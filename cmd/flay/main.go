@@ -1,0 +1,182 @@
+// flay is the command-line front end to goflay's incremental
+// specializer.
+//
+// Usage:
+//
+//	flay analyze    (<file.p4> | catalog:<name>)   print analysis stats
+//	flay specialize (<file.p4> | catalog:<name>)   print the specialized program
+//	flay compile    (<file.p4> | catalog:<name>)   lower onto the Tofino model
+//	flay demo       catalog:<name>                 replay the representative config
+//	flay list                                      list catalog programs
+//
+// Flags (before the subcommand arguments):
+//
+//	-skip-parser        skip parser analysis
+//	-threshold N        overapproximation threshold (-1 = precise mode)
+//	-target tofino|bmv2 device backend for compile
+//	-representative     install the catalog entry's representative config first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	goflay "repro"
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+func main() {
+	skipParser := flag.Bool("skip-parser", false, "skip parser analysis")
+	threshold := flag.Int("threshold", 0, "overapproximation threshold (0 = default 100, negative = precise)")
+	target := flag.String("target", "tofino", "device backend (tofino|bmv2)")
+	representative := flag.Bool("representative", false, "install the catalog representative configuration first")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	cmd := args[0]
+	if cmd == "list" {
+		for _, p := range progs.Catalog() {
+			fmt.Printf("catalog:%-14s target=%-7s", p.Name, p.Target)
+			if p.PaperStatements > 0 {
+				fmt.Printf(" paper-stmts=%d", p.PaperStatements)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if len(args) != 2 {
+		usage()
+		os.Exit(2)
+	}
+
+	name, source, catalogEntry := loadSource(args[1])
+	opts := goflay.Options{
+		SkipParser:          *skipParser,
+		OverapproxThreshold: *threshold,
+	}
+	if catalogEntry != nil && catalogEntry.SkipParser {
+		opts.SkipParser = true
+	}
+	switch *target {
+	case "tofino":
+		opts.Target = goflay.TargetTofino
+	case "bmv2":
+		opts.Target = goflay.TargetBMv2
+	default:
+		fatal("unknown target %q", *target)
+	}
+
+	t0 := time.Now()
+	pipe, err := goflay.Open(name, source, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	openTime := time.Since(t0)
+
+	if *representative {
+		if catalogEntry == nil {
+			fatal("-representative requires a catalog: program")
+		}
+		for _, u := range catalogEntry.Representative() {
+			if d := pipe.Apply(u); d.Kind == goflay.Rejected {
+				fatal("representative config rejected: %v", d.Err)
+			}
+		}
+	}
+
+	switch cmd {
+	case "analyze":
+		st := pipe.Statistics()
+		fmt.Printf("program:             %s\n", name)
+		fmt.Printf("tables:              %d (%s)\n", len(pipe.Tables()), strings.Join(pipe.Tables(), ", "))
+		fmt.Printf("program points:      %d\n", st.Points)
+		fmt.Printf("data-plane analysis: %v\n", st.AnalysisTime.Round(time.Microsecond))
+		fmt.Printf("preprocessing:       %v\n", st.PreprocessTime.Round(time.Microsecond))
+		fmt.Printf("open (total):        %v\n", openTime.Round(time.Microsecond))
+	case "specialize":
+		fmt.Print(pipe.SpecializedSource())
+	case "compile":
+		full, err := pipe.CompileOriginal()
+		if err != nil {
+			fatal("%v", err)
+		}
+		spec, err := pipe.Compile()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("original:    %s\n", full)
+		fmt.Printf("specialized: %s\n", spec)
+	case "demo":
+		if catalogEntry == nil {
+			fatal("demo requires a catalog: program")
+		}
+		runDemo(pipe, catalogEntry)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runDemo(pipe *goflay.Pipeline, p *progs.Program) {
+	fmt.Printf("replaying the representative configuration for %s...\n", p.Name)
+	forwarded, recompiled := 0, 0
+	t0 := time.Now()
+	for _, u := range p.Representative() {
+		switch pipe.Apply(u).Kind {
+		case goflay.Forward:
+			forwarded++
+		case goflay.Recompile:
+			recompiled++
+		case core.Rejected:
+			fatal("update rejected")
+		}
+	}
+	fmt.Printf("%d updates in %v: %d forwarded, %d recompiled\n",
+		forwarded+recompiled, time.Since(t0).Round(time.Millisecond), forwarded, recompiled)
+	rep, err := pipe.Compile()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("specialized implementation: %s\n", rep)
+}
+
+func loadSource(arg string) (string, string, *progs.Program) {
+	if n, ok := strings.CutPrefix(arg, "catalog:"); ok {
+		p, err := progs.ByName(n)
+		if err != nil {
+			fatal("%v (try `flay list`)", err)
+		}
+		return p.Name, p.Source, p
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return arg, string(data), nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flay: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: flay [flags] <analyze|specialize|compile|demo> (<file.p4> | catalog:<name>)
+       flay list
+
+flags:
+  -skip-parser      skip parser analysis
+  -threshold N      overapproximation threshold (negative = precise mode)
+  -target T         tofino (default) or bmv2
+  -representative   install the catalog representative configuration first
+`)
+}

@@ -1,0 +1,85 @@
+// scion-border-router reproduces the paper's §4.2 evaluation flow on
+// the SCION border router: compile the full program (maximum Tofino-2
+// stages), specialize under the representative IPv6-free deployment
+// configuration (20% fewer stages), absorb a burst of IPv4 forwarding
+// updates without recompilation, then enable the IPv6 paths and watch
+// the program grow back to the maximum stage count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	goflay "repro"
+	"repro/internal/progs"
+)
+
+func main() {
+	p := progs.Scion()
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Target: goflay.TargetTofino})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := pipe.CompileOriginal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unspecialized:     %s\n", full)
+
+	// Install the representative deployment configuration (shared path
+	// processing + IPv4 underlay; IPv6 unused).
+	for _, u := range p.Representative() {
+		if d := pipe.Apply(u); d.Kind == goflay.Rejected {
+			log.Fatalf("representative config rejected: %v", d.Err)
+		}
+	}
+	spec, err := pipe.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specialized:       %s\n", spec)
+	fmt.Printf("stage savings:     %d -> %d stages (%.0f%%)\n\n",
+		full.Stages, spec.Stages, 100*float64(full.Stages-spec.Stages)/float64(full.Stages))
+
+	// Burst of unique IPv4 forwarding entries: semantics-preserving, so
+	// Flay forwards them without recompiling.
+	const burst = 250
+	t0 := time.Now()
+	forwarded, recompiled := 0, 0
+	for i := 0; i < burst; i++ {
+		switch pipe.Apply(progs.ScionBurstEntry(i)).Kind {
+		case goflay.Forward:
+			forwarded++
+		case goflay.Recompile:
+			recompiled++
+		}
+	}
+	fmt.Printf("IPv4 burst:        %d updates in %v (%d forwarded, %d recompiled)\n",
+		burst, time.Since(t0).Round(time.Millisecond), forwarded, recompiled)
+
+	// Enable the previously unused IPv6 paths: respecialization is
+	// required and the program needs the maximum number of stages
+	// again.
+	t0 = time.Now()
+	recompiled = 0
+	for _, u := range p.IPv6Enable() {
+		if d := pipe.Apply(u); d.Kind == goflay.Recompile {
+			recompiled++
+		}
+	}
+	after, err := pipe.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IPv6 enable:       %d updates in %v (%d triggered recompilation)\n",
+		len(p.IPv6Enable()), time.Since(t0).Round(time.Millisecond), recompiled)
+	fmt.Printf("after IPv6 enable: %s\n", after)
+
+	st := pipe.Statistics()
+	fmt.Printf("\nengine: %d points, analysis %v, %d updates (%d forwarded / %d recompilations), mean update analysis %v\n",
+		st.Points, st.AnalysisTime.Round(time.Millisecond),
+		st.Updates, st.Forwarded, st.Recompilations,
+		(st.UpdateTime / time.Duration(st.Updates)).Round(time.Microsecond))
+}

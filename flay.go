@@ -1,0 +1,249 @@
+// Package goflay is a from-scratch Go implementation of Flay, the
+// incremental specializing compiler for network programs from
+// "Incremental Specialization of Network Programs" (HotNets '24).
+//
+// A Pipeline wraps a P4 program (goflay's P4-16 subset) together with
+// its live control-plane configuration. Every control-plane update is
+// routed through a taint map to the program points it can influence;
+// Flay re-answers the specialization queries at exactly those points
+// and decides whether the update can be forwarded to the device as-is
+// (the common case) or whether the affected components must be
+// respecialized and recompiled.
+//
+//	pipe, err := goflay.Open("router", source, goflay.Options{})
+//	d := pipe.Apply(&goflay.Update{
+//		Kind:  goflay.InsertEntry,
+//		Table: "Ingress.route",
+//		Entry: &goflay.TableEntry{ ... },
+//	})
+//	if d.Kind == goflay.Recompile {
+//		report, _ := pipe.Compile()
+//		install(pipe.SpecializedSource(), report)
+//	}
+package goflay
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/devcompiler"
+	"repro/internal/p4/ast"
+	"repro/internal/rmt"
+	"repro/internal/sym"
+)
+
+// Re-exported control-plane vocabulary. The aliases make the full
+// update model usable through this package alone.
+type (
+	// Update is one control-plane write (P4Runtime-style).
+	Update = controlplane.Update
+	// TableEntry is one match-action entry.
+	TableEntry = controlplane.TableEntry
+	// FieldMatch is one key component of an entry.
+	FieldMatch = controlplane.FieldMatch
+	// ActionCall names an action with bound parameters.
+	ActionCall = controlplane.ActionCall
+	// ValueSetMember is one parser value-set member.
+	ValueSetMember = controlplane.ValueSetMember
+	// Decision reports what Flay did with an update.
+	Decision = core.Decision
+	// Stats aggregates engine counters.
+	Stats = core.Stats
+	// BV is a bitvector value (match keys, masks, action parameters).
+	BV = sym.BV
+)
+
+// Update kinds.
+const (
+	InsertEntry  = controlplane.InsertEntry
+	ModifyEntry  = controlplane.ModifyEntry
+	DeleteEntry  = controlplane.DeleteEntry
+	SetDefault   = controlplane.SetDefault
+	SetValueSet  = controlplane.SetValueSet
+	FillRegister = controlplane.FillRegister
+)
+
+// Match kinds.
+const (
+	MatchExact    = controlplane.MatchExact
+	MatchTernary  = controlplane.MatchTernary
+	MatchLPM      = controlplane.MatchLPM
+	MatchOptional = controlplane.MatchOptional
+)
+
+// Decision kinds.
+const (
+	// Forward: the update does not change the program's implementation.
+	Forward = core.Forward
+	// Recompile: affected components must be respecialized.
+	Recompile = core.Recompile
+	// Rejected: the update failed validation.
+	Rejected = core.Rejected
+)
+
+// NewBV builds a bitvector value of the given width from lo.
+func NewBV(width uint16, lo uint64) BV { return sym.NewBV(width, lo) }
+
+// NewBV2 builds a wide bitvector from (hi, lo) 64-bit limbs.
+func NewBV2(width uint16, hi, lo uint64) BV { return sym.NewBV2(width, hi, lo) }
+
+// Target selects the device backend for Compile.
+type Target = devcompiler.Target
+
+// Device backends.
+const (
+	// TargetTofino lowers onto the RMT pipeline model (stage
+	// allocation, TCAM/SRAM/PHV accounting).
+	TargetTofino = devcompiler.TargetTofino
+	// TargetBMv2 targets the software switch.
+	TargetBMv2 = devcompiler.TargetBMv2
+)
+
+// Quality selects how aggressively the specializer rewrites the
+// program — the recompilation-time vs specialization-quality tradeoff
+// (paper §6).
+type Quality = core.Quality
+
+// Quality levels, most to least aggressive.
+const (
+	QualityFull        = core.QualityFull
+	QualityNoNarrowing = core.QualityNoNarrowing
+	QualityDCEOnly     = core.QualityDCEOnly
+	QualityNone        = core.QualityNone
+)
+
+// Options configures Open.
+type Options struct {
+	// SkipParser skips parser analysis (useful for very large programs;
+	// the paper does this for switch.p4).
+	SkipParser bool
+	// OverapproxThreshold is the per-table entry count past which the
+	// table's control-plane assignment is overapproximated (default
+	// 100; negative disables overapproximation entirely).
+	OverapproxThreshold int
+	// Target selects the device backend for Compile (default Tofino).
+	Target Target
+	// Quality selects specialization aggressiveness (default
+	// QualityFull).
+	Quality Quality
+}
+
+// Pipeline is a live program + configuration pair under incremental
+// specialization.
+type Pipeline struct {
+	spec   *core.Specializer
+	target Target
+}
+
+// Open parses, type-checks and analyzes a program, then runs the
+// initial specialization pass under the empty (device-default)
+// configuration.
+func Open(name, source string, opts Options) (*Pipeline, error) {
+	s, err := core.NewFromSource(name, source, core.Options{
+		SkipParser:          opts.SkipParser,
+		OverapproxThreshold: opts.OverapproxThreshold,
+		Quality:             opts.Quality,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{spec: s, target: opts.Target}, nil
+}
+
+// Apply processes one control-plane update and returns Flay's decision.
+// Rejected updates leave all state unchanged.
+func (p *Pipeline) Apply(u *Update) *Decision { return p.spec.Apply(u) }
+
+// ApplyAll processes a batch and returns the per-update decisions.
+func (p *Pipeline) ApplyAll(updates []*Update) []*Decision {
+	out := make([]*Decision, len(updates))
+	for i, u := range updates {
+		out[i] = p.spec.Apply(u)
+	}
+	return out
+}
+
+// Statistics returns engine counters (points, update timings,
+// forward/recompile counts).
+func (p *Pipeline) Statistics() Stats { return p.spec.Statistics() }
+
+// Tables lists the program's qualified table names in apply order.
+func (p *Pipeline) Tables() []string {
+	return append([]string(nil), p.spec.An.TableOrder...)
+}
+
+// Entries returns the installed entry count of a table.
+func (p *Pipeline) Entries(table string) int { return p.spec.Cfg.NumEntries(table) }
+
+// SpecializedProgram returns the AST of the program specialized to the
+// current configuration.
+func (p *Pipeline) SpecializedProgram() *ast.Program { return p.spec.SpecializedProgram() }
+
+// SpecializedSource renders the specialized program as P4 source.
+func (p *Pipeline) SpecializedSource() string { return ast.Print(p.spec.SpecializedProgram()) }
+
+// OriginalSource renders the original (unspecialized) program.
+func (p *Pipeline) OriginalSource() string { return ast.Print(p.spec.Prog) }
+
+// CompileReport is the outcome of a device compile.
+type CompileReport struct {
+	Target       Target
+	Statements   int
+	Tables       int
+	ModelSeconds float64
+	// Stage/resource figures are present for the Tofino target.
+	Stages     int
+	MaxStages  int
+	Feasible   bool
+	TCAMBlocks int
+	SRAMBlocks int
+	PHVBits    int
+}
+
+func (r CompileReport) String() string {
+	if r.MaxStages > 0 {
+		return fmt.Sprintf("[%s] %d stmts, %d tables, %d/%d stages, %d TCAM, %d SRAM, %d PHV bits, model %.1fs",
+			r.Target, r.Statements, r.Tables, r.Stages, r.MaxStages, r.TCAMBlocks, r.SRAMBlocks, r.PHVBits, r.ModelSeconds)
+	}
+	return fmt.Sprintf("[%s] %d stmts, %d tables, model %.1fs", r.Target, r.Statements, r.Tables, r.ModelSeconds)
+}
+
+// Compile lowers the current specialized program onto the configured
+// target device.
+func (p *Pipeline) Compile() (CompileReport, error) {
+	return p.compileProgram(p.spec.SpecializedProgram())
+}
+
+// CompileOriginal lowers the unspecialized program (for
+// before/after-specialization comparisons).
+func (p *Pipeline) CompileOriginal() (CompileReport, error) {
+	return p.compileProgram(p.spec.Prog)
+}
+
+func (p *Pipeline) compileProgram(prog *ast.Program) (CompileReport, error) {
+	comp := devcompiler.New(p.target)
+	res, err := comp.Compile(prog)
+	if err != nil {
+		return CompileReport{}, err
+	}
+	rep := CompileReport{
+		Target:       p.target,
+		Statements:   res.Statements,
+		Tables:       res.Tables,
+		ModelSeconds: res.ModelSeconds,
+	}
+	if res.Allocation != nil {
+		rep.Stages = res.Allocation.StagesUsed
+		rep.MaxStages = res.Allocation.Device.Stages
+		rep.Feasible = res.Allocation.Feasible
+		rep.TCAMBlocks = res.Allocation.TCAMBlocks
+		rep.SRAMBlocks = res.Allocation.SRAMBlocks
+		rep.PHVBits = res.Allocation.PHVBits
+	}
+	return rep, nil
+}
+
+// Device returns the Tofino-like device profile used by the Tofino
+// backend.
+func Device() rmt.Device { return rmt.Tofino2() }

@@ -1,0 +1,252 @@
+package bmv2
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+	"repro/internal/p4/ast"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+const routerSrc = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+header ipv4_t { bit<8> ttl; bit<8> proto; bit<32> src; bit<32> dst; }
+struct headers { ethernet_t eth; ipv4_t ipv4; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action fwd(bit<9> port) {
+        std.egress_port = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std); }
+    table route {
+        key = { hdr.ipv4.dst: lpm; }
+        actions = { fwd; drop; NoAction; }
+        default_action = drop;
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            route.apply();
+        }
+    }
+}
+`
+
+func build(t *testing.T, src string) (*ast.Program, *typecheck.Info, *dataplane.Analysis) {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := dataplane.Analyze(prog, info, dataplane.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, info, an
+}
+
+// ipv4Packet builds eth(dst,src,0x0800) + ipv4(ttl,proto,src,dst) bytes.
+func ipv4Packet(ethDst uint64, ttl byte, dst uint32) []byte {
+	var buf []byte
+	for i := 5; i >= 0; i-- {
+		buf = append(buf, byte(ethDst>>(8*i)))
+	}
+	buf = append(buf, 0, 0, 0, 0, 0, 0) // eth.src
+	buf = append(buf, 0x08, 0x00)       // type
+	buf = append(buf, ttl, 6)           // ttl, proto
+	buf = append(buf, 1, 2, 3, 4)       // ipv4.src
+	buf = append(buf, byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst))
+	return buf
+}
+
+func TestInterpRouting(t *testing.T) {
+	prog, info, an := build(t, routerSrc)
+	cfg := controlplane.NewConfig(an)
+	err := cfg.Apply(&controlplane.Update{
+		Kind: controlplane.InsertEntry, Table: "Ingress.route",
+		Entry: &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{{
+				Kind: controlplane.MatchLPM, Value: sym.NewBV(32, 0x0a000000), PrefixLen: 8,
+			}},
+			Action: "fwd", Params: []sym.BV{sym.NewBV(9, 7)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, info, cfg)
+
+	// 10.x.x.x routes to port 7 with decremented TTL.
+	res, err := in.Run(Packet{Data: ipv4Packet(0xAABBCCDDEEFF, 64, 0x0a010203)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.EgressPort != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Emitted packet: ttl must be 63 at offset 14.
+	if res.Emitted[14] != 63 {
+		t.Fatalf("ttl byte = %d, want 63", res.Emitted[14])
+	}
+
+	// 11.x.x.x misses: default drop.
+	res, err = in.Run(Packet{Data: ipv4Packet(0xAABBCCDDEEFF, 64, 0x0b010203)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped {
+		t.Fatalf("miss should drop: %+v", res)
+	}
+
+	// Non-IPv4 packets skip the table (valid check) — not dropped.
+	pkt := ipv4Packet(1, 64, 0x0a000001)
+	pkt[12], pkt[13] = 0x86, 0xDD // not 0x0800
+	res, err = in.Run(Packet{Data: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.EgressPort != 0 {
+		t.Fatalf("non-ipv4: %+v", res)
+	}
+}
+
+func TestInterpDeparsePayloadPassthrough(t *testing.T) {
+	prog, info, an := build(t, routerSrc)
+	cfg := controlplane.NewConfig(an)
+	// Override the default so misses are not dropped.
+	if err := cfg.Apply(&controlplane.Update{
+		Kind: controlplane.SetDefault, Table: "Ingress.route",
+		Default: controlplane.ActionCall{Name: "NoAction"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, info, cfg)
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	pkt := append(ipv4Packet(5, 9, 0x01020304), payload...)
+	res, err := in.Run(Packet{Data: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped {
+		t.Fatalf("unexpected drop")
+	}
+	if !bytes.Equal(res.Emitted, pkt) {
+		t.Fatalf("round trip changed bytes:\n in: %x\nout: %x", pkt, res.Emitted)
+	}
+}
+
+func TestInterpShortPacketRejected(t *testing.T) {
+	prog, info, _ := build(t, routerSrc)
+	in := New(prog, info, nil)
+	res, err := in.Run(Packet{Data: []byte{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped || !res.ParserRejected {
+		t.Fatalf("short packet should be rejected: %+v", res)
+	}
+}
+
+func TestInterpRegistersAndExit(t *testing.T) {
+	src := `
+struct metadata { bit<32> v; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(4) counts;
+    apply {
+        counts.read(meta.v, 1);
+        meta.v = meta.v + 32w10;
+        counts.write(1, meta.v);
+        if (meta.v == 32w20) {
+            exit;
+        }
+        std.egress_port = 9w3;
+    }
+}
+`
+	prog, info, an := build(t, src)
+	cfg := controlplane.NewConfig(an)
+	in := New(prog, info, cfg)
+	// First packet: register starts at 0 → v=10 → egress set.
+	res, err := in.Run(Packet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 3 {
+		t.Fatalf("first: %+v", res)
+	}
+	// Second packet: register now 10 → v=20 → exit before egress set.
+	res, err = in.Run(Packet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 0 {
+		t.Fatalf("second should exit early: %+v", res)
+	}
+	// Reset clears register state.
+	in.Reset()
+	res, err = in.Run(Packet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 3 {
+		t.Fatalf("after reset: %+v", res)
+	}
+}
+
+func TestInterpTernaryPriority(t *testing.T) {
+	prog, info, an := build(t, routerSrc)
+	cfg := controlplane.NewConfig(an)
+	// Two overlapping LPM prefixes: /16 must beat /8.
+	for _, e := range []struct {
+		plen int
+		port uint64
+	}{{8, 1}, {16, 2}} {
+		if err := cfg.Apply(&controlplane.Update{
+			Kind: controlplane.InsertEntry, Table: "Ingress.route",
+			Entry: &controlplane.TableEntry{
+				Matches: []controlplane.FieldMatch{{
+					Kind: controlplane.MatchLPM, Value: sym.NewBV(32, 0x0a0a0000), PrefixLen: e.plen,
+				}},
+				Action: "fwd", Params: []sym.BV{sym.NewBV(9, e.port)},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := New(prog, info, cfg)
+	res, err := in.Run(Packet{Data: ipv4Packet(1, 64, 0x0a0a0101)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 2 {
+		t.Fatalf("longest prefix should win: %+v", res)
+	}
+	res, err = in.Run(Packet{Data: ipv4Packet(1, 64, 0x0a0b0101)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 1 {
+		t.Fatalf("/8 should match 10.11.x: %+v", res)
+	}
+}

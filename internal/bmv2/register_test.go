@@ -1,0 +1,108 @@
+package bmv2
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/p4/ast"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+const writtenRegSrc = `
+struct metadata { bit<32> v; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(4) mode;
+    apply {
+        mode.read(meta.v, 0);
+        if (meta.v == 32w0) {
+            std.egress_port = 9w5;
+        }
+        mode.write(0, meta.v + 32w1);
+    }
+}
+`
+
+// TestWrittenRegisterFillNotFolded guards the register-soundness rule:
+// a register the data plane writes must not have its reads specialized
+// to the fill constant — the second packet would observe the write.
+func TestWrittenRegisterFillNotFolded(t *testing.T) {
+	s, err := core.NewFromSource("wreg", writtenRegSrc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Apply(&controlplane.Update{
+		Kind: controlplane.FillRegister, Register: "C.mode", Fill: sym.NewBV(32, 0),
+	})
+	if d.Kind == core.Rejected {
+		t.Fatal(d.Err)
+	}
+	// The branch must stay live: with the fill folded (unsound), the
+	// condition would be constant-true and the if would be rewritten.
+	printed := ast.Print(s.SpecializedProgram())
+	if !strings.Contains(printed, "if (meta.v == 32w0x0)") {
+		t.Fatalf("written register read must stay unconstrained:\n%s", printed)
+	}
+
+	// And differentially: the specialized program behaves identically
+	// across a packet sequence during which the register value evolves.
+	spec := s.SpecializedProgram()
+	specInfo, err := typecheck.Check(spec)
+	if err != nil {
+		t.Fatalf("specialized program fails typecheck: %v", err)
+	}
+	orig := New(s.Prog, s.Info, s.Cfg)
+	specialized := New(spec, specInfo, s.Cfg)
+	for i := 0; i < 5; i++ {
+		r1, err1 := orig.Run(Packet{})
+		r2, err2 := specialized.Run(Packet{})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !r1.Equal(r2) {
+			t.Fatalf("packet %d diverged: %+v vs %+v", i, r1, r2)
+		}
+		if i == 0 && r1.EgressPort != 5 {
+			t.Fatalf("first packet should see the zero fill: %+v", r1)
+		}
+		if i == 1 && r1.EgressPort == 5 {
+			t.Fatalf("second packet must see the write: %+v", r1)
+		}
+	}
+}
+
+// TestReadOnlyRegisterFillFolds: the positive case — a read-only
+// register's fill does specialize, and stays differentially sound.
+func TestReadOnlyRegisterFillFolds(t *testing.T) {
+	src := `
+struct metadata { bit<32> v; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(4) mode;
+    apply {
+        mode.read(meta.v, 0);
+        if (meta.v == 32w1) {
+            std.egress_port = 9w5;
+        }
+    }
+}
+`
+	s, err := core.NewFromSource("roreg", src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Apply(&controlplane.Update{
+		Kind: controlplane.FillRegister, Register: "C.mode", Fill: sym.NewBV(32, 1),
+	})
+	printed := ast.Print(s.SpecializedProgram())
+	if strings.Contains(printed, "if (") {
+		t.Fatalf("read-only fill should resolve the branch:\n%s", printed)
+	}
+	if !strings.Contains(printed, "std.egress_port = 9w0x5;") {
+		t.Fatalf("always-true branch body should remain:\n%s", printed)
+	}
+	r := rand.New(rand.NewSource(5))
+	comparePrograms(t, r, s, 10, func() Packet { return Packet{} })
+}

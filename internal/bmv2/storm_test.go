@@ -1,0 +1,110 @@
+package bmv2
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/sym"
+)
+
+// TestDifferentialUpdateStorm throws a mixed storm of updates — valid
+// inserts/modifies/deletes, default overrides, and deliberately invalid
+// operations — at the specializer and checks after every burst that
+// (a) invalid updates were rejected without corrupting state and
+// (b) the specialized program stays observationally equivalent to the
+// original. This is the failure-injection companion to the clean
+// differential tests.
+func TestDifferentialUpdateStorm(t *testing.T) {
+	r := rand.New(rand.NewSource(2025))
+	s, err := core.NewFromSource("storm", routerSrc, core.Options{OverapproxThreshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type live struct{ e *controlplane.TableEntry }
+	var installed []live
+
+	randEntry := func() *controlplane.TableEntry {
+		action := "fwd"
+		params := []sym.BV{sym.NewBV(9, uint64(r.Intn(512)))}
+		if r.Intn(4) == 0 {
+			action, params = "drop", nil
+		}
+		return &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{{
+				Kind:      controlplane.MatchLPM,
+				Value:     sym.NewBV(32, uint64(r.Uint32())),
+				PrefixLen: r.Intn(33),
+			}},
+			Action: action, Params: params,
+		}
+	}
+
+	gen := func() Packet {
+		data := ipv4Packet(uint64(r.Int63())&0xFFFFFFFFFFFF, byte(r.Intn(256)), r.Uint32())
+		if r.Intn(6) == 0 {
+			data = data[:r.Intn(len(data))]
+		}
+		return Packet{Data: data}
+	}
+
+	for burst := 0; burst < 12; burst++ {
+		for op := 0; op < 8; op++ {
+			var u *controlplane.Update
+			switch choice := r.Intn(10); {
+			case choice < 4: // insert
+				e := randEntry()
+				u = &controlplane.Update{Kind: controlplane.InsertEntry, Table: "Ingress.route", Entry: e}
+				if d := s.Apply(u); d.Kind != core.Rejected {
+					installed = append(installed, live{e})
+				}
+			case choice < 6 && len(installed) > 0: // delete an existing entry
+				i := r.Intn(len(installed))
+				u = &controlplane.Update{Kind: controlplane.DeleteEntry, Table: "Ingress.route", Entry: installed[i].e}
+				if d := s.Apply(u); d.Kind == core.Rejected {
+					t.Fatalf("delete of live entry rejected: %v", d.Err)
+				}
+				installed = append(installed[:i], installed[i+1:]...)
+			case choice < 7 && len(installed) > 0: // modify an existing entry
+				i := r.Intn(len(installed))
+				mod := *installed[i].e
+				mod.Action = "fwd"
+				mod.Params = []sym.BV{sym.NewBV(9, uint64(r.Intn(512)))}
+				u = &controlplane.Update{Kind: controlplane.ModifyEntry, Table: "Ingress.route", Entry: &mod}
+				if d := s.Apply(u); d.Kind == core.Rejected {
+					t.Fatalf("modify of live entry rejected: %v", d.Err)
+				}
+				installed[i].e = &mod
+			case choice < 8: // default override
+				name := []string{"NoAction", "drop"}[r.Intn(2)]
+				u = &controlplane.Update{Kind: controlplane.SetDefault, Table: "Ingress.route",
+					Default: controlplane.ActionCall{Name: name}}
+				if d := s.Apply(u); d.Kind == core.Rejected {
+					t.Fatalf("default override rejected: %v", d.Err)
+				}
+			default: // deliberately invalid operations — must all reject
+				bad := []*controlplane.Update{
+					{Kind: controlplane.InsertEntry, Table: "Ingress.ghost", Entry: randEntry()},
+					{Kind: controlplane.InsertEntry, Table: "Ingress.route",
+						Entry: &controlplane.TableEntry{
+							Matches: []controlplane.FieldMatch{{Kind: controlplane.MatchExact, Value: sym.NewBV(32, 1)}},
+							Action:  "fwd", Params: []sym.BV{sym.NewBV(9, 1)}}},
+					{Kind: controlplane.DeleteEntry, Table: "Ingress.route", Entry: randEntry()},
+					{Kind: controlplane.SetDefault, Table: "Ingress.route",
+						Default: controlplane.ActionCall{Name: "fwd"}}, // missing params
+					{Kind: controlplane.FillRegister, Register: "Ingress.nope", Fill: sym.NewBV(32, 0)},
+				}
+				u = bad[r.Intn(len(bad))]
+				if d := s.Apply(u); d.Kind != core.Rejected {
+					t.Fatalf("invalid update %v accepted: %v", u, d)
+				}
+			}
+		}
+		if got := s.Cfg.NumEntries("Ingress.route"); got != len(installed) {
+			t.Fatalf("burst %d: config holds %d entries, harness tracks %d", burst, got, len(installed))
+		}
+		comparePrograms(t, r, s, 25, gen)
+	}
+}

@@ -1,0 +1,383 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+const fig5Src = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+struct headers { ethernet_t eth; }
+struct metadata { }
+parser MyParser(packet_in pkt, out headers h, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(h.eth); transition accept; }
+}
+control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t std) {
+    bit<9> egress_port;
+    action set(bit<9> port_var) { egress_port = port_var; }
+    action noop() { }
+    table port_table {
+        key = { h.eth.dst: exact; }
+        actions = { set; noop; }
+        default_action = noop;
+    }
+    apply {
+        egress_port = 0;
+        port_table.apply();
+        std.egress_port = egress_port;
+    }
+}
+`
+
+const aclSrc = `
+header ipv4_t { bit<32> src; bit<32> dst; bit<8> proto; }
+struct headers { ipv4_t ipv4; }
+struct metadata { }
+control Acl(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action allow() { }
+    action deny() { mark_to_drop(std); }
+    table acl {
+        key = { hdr.ipv4.src: ternary; hdr.ipv4.dst: lpm; }
+        actions = { allow; deny; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        acl.apply();
+    }
+}
+`
+
+func analyze(t *testing.T, src string) *dataplane.Analysis {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := dataplane.Analyze(prog, info, dataplane.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func exactEntry(key uint64, action string, params ...sym.BV) *TableEntry {
+	return &TableEntry{
+		Matches: []FieldMatch{{Kind: MatchExact, Value: sym.NewBV(48, key)}},
+		Action:  action,
+		Params:  params,
+	}
+}
+
+func TestEmptyTableCompile(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	env, stats, err := cfg.CompileTable(b, "Ingress.port_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Installed != 0 || stats.Overapproximate {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Fig. 5b block B: empty table ⇒ selector is the default (noop=1),
+	// hit is false.
+	if env[ti.ActionVar] != b.ConstUint(8, 1) {
+		t.Fatalf("selector = %s", env[ti.ActionVar])
+	}
+	if !env[ti.HitVar].IsFalse() {
+		t.Fatalf("hit = %s", env[ti.HitVar])
+	}
+}
+
+func TestOneEntryCompile(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	up := &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+		Entry: exactEntry(0xDEADBEEFF00D, "set", sym.NewBV(9, 1))}
+	if err := cfg.Apply(up); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := cfg.CompileTable(b, "Ingress.port_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 5b block C: selector = ite(dst == key, set, noop).
+	key := b.Data("h.eth.dst", 48)
+	match := b.Eq(key, b.ConstUint(48, 0xDEADBEEFF00D))
+	if env[ti.ActionVar] != b.Ite(match, b.ConstUint(8, 0), b.ConstUint(8, 1)) {
+		t.Fatalf("selector = %s", env[ti.ActionVar])
+	}
+	if env[ti.HitVar] != match {
+		t.Fatalf("hit = %s", env[ti.HitVar])
+	}
+	if env[ti.Actions[0].Params[0]] != b.Ite(match, b.ConstUint(9, 1), b.ConstUint(9, 0)) {
+		t.Fatalf("param = %s", env[ti.Actions[0].Params[0]])
+	}
+}
+
+func TestInsertModifyDelete(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	e := exactEntry(1, "set", sym.NewBV(9, 1))
+	ins := &Update{Kind: InsertEntry, Table: "Ingress.port_table", Entry: e}
+	if err := cfg.Apply(ins); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Apply(ins); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	mod := exactEntry(1, "set", sym.NewBV(9, 2))
+	if err := cfg.Apply(&Update{Kind: ModifyEntry, Table: "Ingress.port_table", Entry: mod}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Entries("Ingress.port_table"); len(got) != 1 || got[0].Params[0].Uint64() != 2 {
+		t.Fatalf("modify did not replace: %+v", got)
+	}
+	if err := cfg.Apply(&Update{Kind: DeleteEntry, Table: "Ingress.port_table", Entry: mod}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumEntries("Ingress.port_table") != 0 {
+		t.Fatal("delete failed")
+	}
+	if err := cfg.Apply(&Update{Kind: DeleteEntry, Table: "Ingress.port_table", Entry: mod}); err == nil {
+		t.Fatal("delete of missing entry should fail")
+	}
+	if err := cfg.Apply(&Update{Kind: ModifyEntry, Table: "Ingress.port_table", Entry: mod}); err == nil {
+		t.Fatal("modify of missing entry should fail")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	cases := []struct {
+		name string
+		up   *Update
+		sub  string
+	}{
+		{"unknown table", &Update{Kind: InsertEntry, Table: "Ingress.ghost",
+			Entry: exactEntry(1, "set", sym.NewBV(9, 1))}, "unknown table"},
+		{"wrong width", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: &TableEntry{Matches: []FieldMatch{{Kind: MatchExact, Value: sym.NewBV(32, 1)}},
+				Action: "set", Params: []sym.BV{sym.NewBV(9, 1)}}}, "width"},
+		{"wrong kind", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: &TableEntry{Matches: []FieldMatch{{Kind: MatchTernary, Value: sym.NewBV(48, 1), Mask: sym.AllOnes(48)}},
+				Action: "set", Params: []sym.BV{sym.NewBV(9, 1)}}}, "entry supplies"},
+		{"unknown action", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: exactEntry(1, "ghost")}, "no action"},
+		{"param count", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: exactEntry(1, "set")}, "params"},
+		{"param width", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: exactEntry(1, "set", sym.NewBV(8, 1))}, "width"},
+		{"match count", &Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: &TableEntry{Action: "set", Params: []sym.BV{sym.NewBV(9, 1)}}}, "match fields"},
+		{"bad default", &Update{Kind: SetDefault, Table: "Ingress.port_table",
+			Default: ActionCall{Name: "ghost"}}, "no action"},
+		{"unknown register", &Update{Kind: FillRegister, Register: "Ingress.ghost",
+			Fill: sym.NewBV(32, 0)}, "unknown register"},
+		{"unknown value set", &Update{Kind: SetValueSet, ValueSet: "P.ghost"}, "unknown value set"},
+	}
+	for _, c := range cases {
+		err := cfg.Apply(c.up)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.sub)
+		}
+	}
+	if cfg.NumEntries("Ingress.port_table") != 0 {
+		t.Fatal("failed updates must not mutate the config")
+	}
+}
+
+func ternaryMatch(src uint64, srcMask uint64, dst uint64, plen int) []FieldMatch {
+	return []FieldMatch{
+		{Kind: MatchTernary, Value: sym.NewBV(32, src), Mask: sym.NewBV(32, srcMask)},
+		{Kind: MatchLPM, Value: sym.NewBV(32, dst), PrefixLen: plen},
+	}
+}
+
+func TestEclipseDetection(t *testing.T) {
+	an := analyze(t, aclSrc)
+	cfg := NewConfig(an)
+	insert := func(prio int, m []FieldMatch, action string) {
+		t.Helper()
+		err := cfg.Apply(&Update{Kind: InsertEntry, Table: "Acl.acl",
+			Entry: &TableEntry{Priority: prio, Matches: m, Action: action}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// High-priority wildcard-src /8 rule covers a low-priority /16 rule
+	// under it.
+	insert(10, ternaryMatch(0, 0, 0x0a000000, 8), "allow")
+	insert(5, ternaryMatch(0, 0, 0x0a010000, 16), "deny") // eclipsed by the /8
+	insert(7, ternaryMatch(0x01020304, 0xffffffff, 0x0b000000, 8), "deny")
+
+	active, eclipsed := cfg.ActiveEntries("Acl.acl")
+	if eclipsed != 1 {
+		t.Fatalf("eclipsed = %d, want 1", eclipsed)
+	}
+	if len(active) != 2 {
+		t.Fatalf("active = %d, want 2", len(active))
+	}
+	if active[0].Priority != 10 || active[1].Priority != 7 {
+		t.Fatalf("active order wrong: %v, %v", active[0], active[1])
+	}
+}
+
+func TestEclipseRequiresValueAgreement(t *testing.T) {
+	an := analyze(t, aclSrc)
+	cfg := NewConfig(an)
+	insert := func(prio int, m []FieldMatch, action string) {
+		t.Helper()
+		if err := cfg.Apply(&Update{Kind: InsertEntry, Table: "Acl.acl",
+			Entry: &TableEntry{Priority: prio, Matches: m, Action: action}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same shape but different /8 prefixes: neither covers the other.
+	insert(10, ternaryMatch(0, 0, 0x0a000000, 8), "allow")
+	insert(5, ternaryMatch(0, 0, 0x0b000000, 8), "deny")
+	if _, eclipsed := cfg.ActiveEntries("Acl.acl"); eclipsed != 0 {
+		t.Fatalf("eclipsed = %d, want 0", eclipsed)
+	}
+}
+
+func TestLPMOrdering(t *testing.T) {
+	an := analyze(t, aclSrc)
+	cfg := NewConfig(an)
+	b := an.Builder
+	ti := an.Tables["Acl.acl"]
+	insert := func(m []FieldMatch, action string) {
+		t.Helper()
+		if err := cfg.Apply(&Update{Kind: InsertEntry, Table: "Acl.acl",
+			Entry: &TableEntry{Matches: m, Action: action}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert the shorter prefix first; LPM semantics must still prefer
+	// the longer prefix.
+	insert(ternaryMatch(0, 0, 0x0a000000, 8), "allow")
+	insert(ternaryMatch(0, 0, 0x0a010000, 16), "deny")
+	env, _, err := cfg.CompileTable(b, "Acl.acl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the selector for dst=10.1.2.3: must pick deny (idx 1).
+	assign := sym.Env{
+		b.Data("hdr.ipv4.src", 32):       sym.NewBV(32, 0x01020304),
+		b.Data("hdr.ipv4.dst", 32):       sym.NewBV(32, 0x0a010203),
+		b.Data("hdr.ipv4.src.$valid", 1): sym.Bool(true),
+	}
+	_ = assign
+	got, err := sym.Eval(env[ti.ActionVar], sym.Env{
+		b.Data("hdr.ipv4.src", 32): sym.NewBV(32, 0x01020304),
+		b.Data("hdr.ipv4.dst", 32): sym.NewBV(32, 0x0a010203),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != 1 {
+		t.Fatalf("selector picked action %d, want deny(1)", got.Uint64())
+	}
+	// And for dst=10.2.x the /8 must win: allow (idx 0).
+	got, err = sym.Eval(env[ti.ActionVar], sym.Env{
+		b.Data("hdr.ipv4.src", 32): sym.NewBV(32, 0),
+		b.Data("hdr.ipv4.dst", 32): sym.NewBV(32, 0x0a020203),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != 0 {
+		t.Fatalf("selector picked action %d, want allow(0)", got.Uint64())
+	}
+}
+
+func TestOverapproximation(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	cfg.OverapproxThreshold = 10
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	for i := 0; i < 11; i++ {
+		err := cfg.Apply(&Update{Kind: InsertEntry, Table: "Ingress.port_table",
+			Entry: exactEntry(uint64(i), "set", sym.NewBV(9, uint64(i%512)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, stats, err := cfg.CompileTable(b, "Ingress.port_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Overapproximate {
+		t.Fatal("expected overapproximation past the threshold")
+	}
+	sel := env[ti.ActionVar]
+	if sel.Op != sym.OpVar || sel.Class != sym.DataVar {
+		t.Fatalf("overapproximated selector should be a free data var, got %s", sel)
+	}
+}
+
+func TestDefaultOverride(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	err := cfg.Apply(&Update{Kind: SetDefault, Table: "Ingress.port_table",
+		Default: ActionCall{Name: "set", Params: []sym.BV{sym.NewBV(9, 7)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := cfg.CompileTable(b, "Ingress.port_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env[ti.ActionVar] != b.ConstUint(8, 0) {
+		t.Fatalf("selector = %s, want set(0)", env[ti.ActionVar])
+	}
+	if env[ti.Actions[0].Params[0]] != b.ConstUint(9, 7) {
+		t.Fatalf("param = %s, want 7", env[ti.Actions[0].Params[0]])
+	}
+}
+
+func TestCompileEnvCoversEverything(t *testing.T) {
+	an := analyze(t, fig5Src)
+	cfg := NewConfig(an)
+	env, stats, err := cfg.CompileEnv(an.Builder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("stats for %d tables", len(stats))
+	}
+	ti := an.Tables["Ingress.port_table"]
+	for _, v := range []any{env[ti.ActionVar], env[ti.HitVar], env[ti.Actions[0].Params[0]]} {
+		if v == nil {
+			t.Fatal("env missing a placeholder")
+		}
+	}
+	// After substituting the full env into every point, no control vars
+	// may remain.
+	for _, p := range an.Points {
+		sub := an.Builder.Subst(p.Expr, env)
+		if sym.HasCtrlVars(sub) {
+			t.Fatalf("point %s still has ctrl vars after full substitution: %s", p, sub)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package controlplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sym"
+)
+
+// TestCompiledSelectorMatchesOperationalSemantics is the cross-layer
+// property tying the two implementations of table matching together:
+// evaluating the *compiled* control-plane assignment (the ite chain
+// substituted into the data-plane model) on a concrete key must select
+// exactly the entry that operational first-match semantics (the
+// reference interpreter's path, via ActiveEntries) selects. If these
+// ever disagree, specialization decisions would diverge from device
+// behaviour.
+func TestCompiledSelectorMatchesOperationalSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	an := analyze(t, aclSrc)
+	b := an.Builder
+	ti := an.Tables["Acl.acl"]
+
+	for trial := 0; trial < 60; trial++ {
+		cfg := NewConfig(an)
+		cfg.OverapproxThreshold = -1
+		n := r.Intn(12)
+		for i := 0; i < n; i++ {
+			mask := uint64(0xffffffff)
+			if r.Intn(3) == 0 {
+				mask = uint64(r.Uint32())
+			}
+			e := &TableEntry{
+				Priority: r.Intn(5),
+				Matches: []FieldMatch{
+					{Kind: MatchTernary, Value: sym.NewBV(32, uint64(r.Uint32())), Mask: sym.NewBV(32, mask)},
+					{Kind: MatchLPM, Value: sym.NewBV(32, uint64(r.Uint32())), PrefixLen: r.Intn(33)},
+				},
+				Action: []string{"allow", "deny"}[r.Intn(2)],
+			}
+			// Duplicates may be rejected; ignore.
+			_ = cfg.Apply(&Update{Kind: InsertEntry, Table: "Acl.acl", Entry: e})
+		}
+		env, _, err := cfg.CompileTable(b, "Acl.acl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		active, _ := cfg.ActiveEntries("Acl.acl")
+
+		for probe := 0; probe < 40; probe++ {
+			src := uint64(r.Uint32())
+			dst := uint64(r.Uint32())
+			if len(active) > 0 && r.Intn(2) == 0 {
+				// Half the probes aim at an installed entry.
+				e := active[r.Intn(len(active))]
+				src = e.Matches[0].Value.Uint64()
+				dst = e.Matches[1].Value.Uint64()
+			}
+			assign := sym.Env{
+				b.Data("hdr.ipv4.src", 32): sym.NewBV(32, src),
+				b.Data("hdr.ipv4.dst", 32): sym.NewBV(32, dst),
+			}
+			gotSel := sym.MustEval(env[ti.ActionVar], assign)
+			gotHit := sym.MustEval(env[ti.HitVar], assign)
+
+			// Operational first-match over the active (sorted,
+			// eclipse-free) entries.
+			keys := []sym.BV{sym.NewBV(32, src), sym.NewBV(32, dst)}
+			wantIdx := ti.DefaultIndex
+			wantHit := false
+			for _, e := range active {
+				if opMatches(e, keys) {
+					wantHit = true
+					wantIdx = actionIndex(ti, e.Action)
+					break
+				}
+			}
+			if int(gotSel.Uint64()) != wantIdx || gotHit.IsTrue() != wantHit {
+				t.Fatalf("trial %d probe %d: compiled (sel=%d hit=%v) vs operational (sel=%d hit=%v)\nentries: %v",
+					trial, probe, gotSel.Uint64(), gotHit.IsTrue(), wantIdx, wantHit, active)
+			}
+		}
+	}
+}
+
+// opMatches mirrors the interpreter's per-entry matching.
+func opMatches(e *TableEntry, keys []sym.BV) bool {
+	for i, m := range e.Matches {
+		key := keys[i]
+		switch m.Kind {
+		case MatchExact:
+			if key != m.Value {
+				return false
+			}
+		case MatchTernary:
+			if key.And(m.Mask) != m.Value.And(m.Mask) {
+				return false
+			}
+		case MatchLPM:
+			if m.PrefixLen > 0 {
+				mask := sym.AllOnes(key.W).Shl(uint(int(key.W) - m.PrefixLen))
+				if key.And(mask) != m.Value.And(mask) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestEclipseOmissionPreservesSemantics: removing eclipsed entries from
+// the assignment must not change which action any packet gets.
+func TestEclipseOmissionPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	an := analyze(t, aclSrc)
+	ti := an.Tables["Acl.acl"]
+	for trial := 0; trial < 40; trial++ {
+		cfg := NewConfig(an)
+		cfg.OverapproxThreshold = -1
+		// Deliberately overlapping entries to provoke eclipses.
+		for i := 0; i < 8; i++ {
+			e := &TableEntry{
+				Priority: r.Intn(3),
+				Matches: []FieldMatch{
+					{Kind: MatchTernary, Value: sym.NewBV(32, uint64(r.Intn(4))), Mask: sym.NewBV(32, uint64([]uint64{0, 0, 3, 0xffffffff}[r.Intn(4)]))},
+					{Kind: MatchLPM, Value: sym.NewBV(32, uint64(r.Intn(2))<<30), PrefixLen: []int{0, 2, 2, 32}[r.Intn(4)]},
+				},
+				Action: []string{"allow", "deny"}[r.Intn(2)],
+			}
+			_ = cfg.Apply(&Update{Kind: InsertEntry, Table: "Acl.acl", Entry: e})
+		}
+		installed := cfg.Entries("Acl.acl")
+		sorted := append([]*TableEntry(nil), installed...)
+		sortEntries(ti, sorted)
+		active, eclipsed := cfg.ActiveEntries("Acl.acl")
+		if eclipsed == 0 {
+			continue
+		}
+		// First-match over ALL sorted entries vs first-match over the
+		// active subset must agree on every probe.
+		for probe := 0; probe < 60; probe++ {
+			keys := []sym.BV{sym.NewBV(32, uint64(r.Intn(8))), sym.NewBV(32, uint64(r.Intn(4))<<30)}
+			pick := func(list []*TableEntry) string {
+				for _, e := range list {
+					if opMatches(e, keys) {
+						return e.Action
+					}
+				}
+				return "-default-"
+			}
+			if got, want := pick(active), pick(sorted); got != want {
+				t.Fatalf("trial %d: eclipse omission changed behaviour: %s vs %s (eclipsed %d)",
+					trial, got, want, eclipsed)
+			}
+		}
+	}
+}

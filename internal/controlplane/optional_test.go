@@ -1,0 +1,101 @@
+package controlplane
+
+import (
+	"testing"
+
+	"repro/internal/sym"
+)
+
+const optionalSrc = `
+header ipv4_t { bit<32> src; bit<32> dst; bit<8> proto; }
+struct headers { ipv4_t ipv4; }
+struct metadata { }
+control Opt(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action pick(bit<9> p) { std.egress_port = p; }
+    table sel {
+        key = {
+            hdr.ipv4.proto: exact;
+            hdr.ipv4.dst: optional;
+        }
+        actions = { pick; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        sel.apply();
+    }
+}
+`
+
+// TestOptionalMatchCompile covers the fourth match kind end to end: a
+// wildcarded optional component matches anything; a valued one matches
+// exactly.
+func TestOptionalMatchCompile(t *testing.T) {
+	an := analyze(t, optionalSrc)
+	b := an.Builder
+	ti := an.Tables["Opt.sel"]
+	cfg := NewConfig(an)
+
+	wild := &TableEntry{
+		Priority: 1,
+		Matches: []FieldMatch{
+			{Kind: MatchExact, Value: sym.NewBV(8, 6)},
+			{Kind: MatchOptional, Wildcard: true, Value: sym.NewBV(32, 0)},
+		},
+		Action: "pick", Params: []sym.BV{sym.NewBV(9, 1)},
+	}
+	valued := &TableEntry{
+		Priority: 2,
+		Matches: []FieldMatch{
+			{Kind: MatchExact, Value: sym.NewBV(8, 6)},
+			{Kind: MatchOptional, Value: sym.NewBV(32, 0x0a0a0a0a)},
+		},
+		Action: "pick", Params: []sym.BV{sym.NewBV(9, 2)},
+	}
+	for _, e := range []*TableEntry{wild, valued} {
+		if err := cfg.Apply(&Update{Kind: InsertEntry, Table: "Opt.sel", Entry: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, _, err := cfg.CompileTable(b, "Opt.sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalPort := func(proto, dst uint64) uint64 {
+		p := sym.MustEval(env[ti.Actions[0].Params[0]], sym.Env{
+			b.Data("hdr.ipv4.proto", 8): sym.NewBV(8, proto),
+			b.Data("hdr.ipv4.dst", 32):  sym.NewBV(32, dst),
+		})
+		return p.Uint64()
+	}
+	// Higher-priority valued entry wins on its dst; wildcard catches the
+	// rest; non-tcp misses entirely (param falls back to 0).
+	if got := evalPort(6, 0x0a0a0a0a); got != 2 {
+		t.Fatalf("valued optional: port %d, want 2", got)
+	}
+	if got := evalPort(6, 0x01020304); got != 1 {
+		t.Fatalf("wildcard optional: port %d, want 1", got)
+	}
+	if got := evalPort(17, 0x0a0a0a0a); got != 0 {
+		t.Fatalf("miss: port %d, want 0", got)
+	}
+	// The wildcard entry covers the valued one only if priorities say
+	// so; at higher priority the valued entry must stay active.
+	active, eclipsed := cfg.ActiveEntries("Opt.sel")
+	if len(active) != 2 || eclipsed != 0 {
+		t.Fatalf("active=%d eclipsed=%d", len(active), eclipsed)
+	}
+	// Reversed: a wildcard at higher priority eclipses the valued entry.
+	cfg2 := NewConfig(an)
+	wild2 := *wild
+	wild2.Priority = 5
+	valued2 := *valued
+	valued2.Priority = 1
+	for _, e := range []*TableEntry{&wild2, &valued2} {
+		if err := cfg2.Apply(&Update{Kind: InsertEntry, Table: "Opt.sel", Entry: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, eclipsed := cfg2.ActiveEntries("Opt.sel"); eclipsed != 1 {
+		t.Fatalf("high-priority wildcard should eclipse the valued entry, eclipsed=%d", eclipsed)
+	}
+}

@@ -1,0 +1,630 @@
+package core
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/p4/ast"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+// SpecializedProgram rebuilds the program with every specialization the
+// current verdicts permit: dead-branch elimination, constant
+// propagation, table inlining, dead-action removal, match-kind
+// narrowing, empty-table removal, select-case pruning and parser-tail
+// pruning (paper §3, §4.1). The original program is never mutated.
+func (s *Specializer) SpecializedProgram() *ast.Program {
+	if s.quality == QualityNone {
+		return s.Prog
+	}
+	r := &rewriter{s: s}
+	r.prepare()
+	return r.program()
+}
+
+type branchVerdicts struct {
+	thenPoints, elsePoints []int
+}
+
+type rewriter struct {
+	s *Specializer
+
+	// branch verdicts grouped per if node (an if inside a shared action
+	// body yields one point per execution context; a branch is dead
+	// only if every context says so).
+	branches map[*ast.IfStmt]*branchVerdicts
+	// constAssigns maps assignments whose RHS is the same constant in
+	// every context.
+	constAssigns map[*ast.AssignStmt]sym.BV
+	// tableImpl per qualified table name (current installed impls).
+	impls map[string]*tableImpl
+	// deadCases maps parser/state to the set of dead case indices.
+	deadCases map[string]map[int]bool
+	// usedHeaders is the set of header-instance paths accessed by the
+	// program outside parser extracts (parser-tail pruning).
+	usedHeaders map[string]bool
+
+	control *ast.ControlDecl
+}
+
+func (r *rewriter) prepare() {
+	s := r.s
+	r.branches = make(map[*ast.IfStmt]*branchVerdicts)
+	r.constAssigns = make(map[*ast.AssignStmt]sym.BV)
+	r.deadCases = make(map[string]map[int]bool)
+	r.impls = make(map[string]*tableImpl, len(s.impls))
+	for name, impl := range s.impls {
+		r.impls[name] = impl
+	}
+
+	assignPoints := make(map[*ast.AssignStmt][]int)
+	for _, p := range s.An.Points {
+		switch p.Kind {
+		case dataplane.PointIfBranch:
+			bv := r.branches[p.If]
+			if bv == nil {
+				bv = &branchVerdicts{}
+				r.branches[p.If] = bv
+			}
+			if p.ThenBranch {
+				bv.thenPoints = append(bv.thenPoints, p.ID)
+			} else {
+				bv.elsePoints = append(bv.elsePoints, p.ID)
+			}
+		case dataplane.PointAssignValue:
+			assignPoints[p.Assign] = append(assignPoints[p.Assign], p.ID)
+		case dataplane.PointSelectCase:
+			key := p.Control + "." + p.ParserState
+			if r.deadCases[key] == nil {
+				r.deadCases[key] = make(map[int]bool)
+			}
+			// A case is dead only if dead in every traversal context;
+			// initialise true and clear on any live context.
+			if _, seen := r.deadCases[key][p.CaseIndex]; !seen {
+				r.deadCases[key][p.CaseIndex] = true
+			}
+			if s.verdicts[p.ID].Kind != VerdictDead {
+				r.deadCases[key][p.CaseIndex] = false
+			}
+		}
+	}
+	for asg, ids := range assignPoints {
+		allConst := true
+		var val sym.BV
+		for i, id := range ids {
+			v := s.verdicts[id]
+			if v.Kind != VerdictConst || (i > 0 && v.Val != val) {
+				allConst = false
+				break
+			}
+			val = v.Val
+		}
+		if allConst && len(ids) > 0 {
+			r.constAssigns[asg] = val
+		}
+	}
+	// A table whose hit result feeds a live two-way branch must keep its
+	// apply site: force-keep it even if it would otherwise be inlined.
+	for _, cd := range s.Prog.Controls {
+		ast.WalkStmts(cd.Apply, func(st ast.Stmt) {
+			ifs, ok := st.(*ast.IfStmt)
+			if !ok {
+				return
+			}
+			m, ok := ifs.Cond.(*ast.Member)
+			if !ok || m.Name != "hit" {
+				return
+			}
+			call, ok := m.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			inner, ok := call.Fun.(*ast.Member)
+			if !ok || inner.Name != "apply" {
+				return
+			}
+			id, ok := inner.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if r.branchDead(ifs, true) || r.branchDead(ifs, false) {
+				return
+			}
+			qname := cd.Name + "." + id.Name
+			if impl := r.impls[qname]; impl != nil && (impl.removed || impl.inlineParams != nil) {
+				keep := *impl
+				keep.removed = false
+				keep.inlineParams = nil
+				r.impls[qname] = &keep
+			}
+		})
+	}
+}
+
+func (r *rewriter) branchDead(ifs *ast.IfStmt, thenBranch bool) bool {
+	bv := r.branches[ifs]
+	if bv == nil {
+		return false
+	}
+	ids := bv.thenPoints
+	if !thenBranch {
+		ids = bv.elsePoints
+	}
+	if len(ids) == 0 {
+		return false
+	}
+	for _, id := range ids {
+		if r.s.verdicts[id].Kind != VerdictDead {
+			return false
+		}
+	}
+	return true
+}
+
+// computeUsedHeadersFrom collects header instances referenced anywhere
+// outside extract statements: in (specialized) control bodies, table
+// keys, action bodies, and the original parser's select expressions.
+// Extracted-but-unused headers can be reclassified as payload (§3,
+// parser-tail pruning).
+func (r *rewriter) computeUsedHeadersFrom(controls []*ast.ControlDecl) {
+	r.usedHeaders = make(map[string]bool)
+	markExpr := func(e ast.Expr) {
+		ast.WalkExprs(e, func(sub ast.Expr) {
+			if path, ok := typecheck.FieldPath(sub); ok {
+				r.usedHeaders[path] = true
+			}
+			if call, ok := sub.(*ast.CallExpr); ok {
+				if m, ok := call.Fun.(*ast.Member); ok && (m.Name == "isValid" || m.Name == "setValid" || m.Name == "setInvalid") {
+					if path, ok := typecheck.FieldPath(m.X); ok {
+						r.usedHeaders[path] = true
+					}
+				}
+			}
+		})
+	}
+	var markStmt func(st ast.Stmt)
+	markStmt = func(st ast.Stmt) {
+		ast.WalkStmts(st, func(inner ast.Stmt) {
+			switch inner := inner.(type) {
+			case *ast.AssignStmt:
+				markExpr(inner.LHS)
+				markExpr(inner.RHS)
+			case *ast.IfStmt:
+				markExpr(inner.Cond)
+			case *ast.VarDecl:
+				if inner.Init != nil {
+					markExpr(inner.Init)
+				}
+			case *ast.CallStmt:
+				if m, ok := inner.Call.Fun.(*ast.Member); ok && m.Name == "extract" {
+					return // extracts themselves don't count as uses
+				}
+				markExpr(inner.Call)
+			}
+		})
+	}
+	for _, cd := range controls {
+		for _, a := range cd.Actions {
+			markStmt(a.Body)
+		}
+		for _, t := range cd.Tables {
+			for _, k := range t.Keys {
+				markExpr(k.Expr)
+			}
+		}
+		markStmt(cd.Apply)
+	}
+	for _, pd := range r.s.Prog.Parsers {
+		for _, st := range pd.States {
+			for _, e := range st.Trans.Select {
+				markExpr(e)
+			}
+		}
+	}
+}
+
+// headerUsed reports whether the header instance at path (or any of its
+// fields) is referenced.
+func (r *rewriter) headerUsed(path string) bool {
+	if r.usedHeaders[path] {
+		return true
+	}
+	prefix := path + "."
+	for p := range r.usedHeaders {
+		if len(p) > len(prefix) && p[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Program rebuild
+
+func (r *rewriter) program() *ast.Program {
+	src := r.s.Prog
+	out := &ast.Program{
+		Name:     src.Name + ".specialized",
+		Typedefs: src.Typedefs,
+		Consts:   src.Consts,
+		Headers:  src.Headers,
+		Structs:  src.Structs,
+	}
+	// Controls first: parser-tail pruning keys off the uses that remain
+	// after table removal and dead-branch elimination.
+	for _, cd := range src.Controls {
+		out.Controls = append(out.Controls, r.controlDecl(cd))
+	}
+	r.computeUsedHeadersFrom(out.Controls)
+	for _, pd := range src.Parsers {
+		out.Parsers = append(out.Parsers, r.parserDecl(pd))
+	}
+	return out
+}
+
+func (r *rewriter) parserDecl(pd *ast.ParserDecl) *ast.ParserDecl {
+	out := &ast.ParserDecl{
+		Name:      pd.Name,
+		Params:    pd.Params,
+		ValueSets: pd.ValueSets,
+		TokPos:    pd.TokPos,
+	}
+	for _, st := range pd.States {
+		out.States = append(out.States, r.state(pd, st))
+	}
+	return out
+}
+
+func (r *rewriter) state(pd *ast.ParserDecl, st *ast.State) *ast.State {
+	out := &ast.State{Name: st.Name, TokPos: st.TokPos}
+	for _, s := range st.Stmts {
+		if call, ok := s.(*ast.CallStmt); ok {
+			if m, ok := call.Call.Fun.(*ast.Member); ok && m.Name == "extract" {
+				if path, ok := typecheck.FieldPath(call.Call.Args[0]); ok && !r.headerUsed(path) {
+					continue // parser-tail pruning: header is payload
+				}
+			}
+		}
+		out.Stmts = append(out.Stmts, s)
+	}
+	tr := st.Trans
+	if tr.Select == nil {
+		out.Trans = tr
+		return out
+	}
+	dead := r.deadCases[pd.Name+"."+st.Name]
+	var cases []ast.SelectCase
+	for i, cs := range tr.Cases {
+		if dead != nil && dead[i] {
+			continue
+		}
+		cases = append(cases, cs)
+	}
+	switch {
+	case len(cases) == 0:
+		out.Trans = ast.Transition{Next: "reject", TokPos: tr.TokPos}
+	case len(cases) == 1 && cases[0].Keysets[0].Kind == ast.KeysetDefault:
+		out.Trans = ast.Transition{Next: cases[0].Next, TokPos: tr.TokPos}
+	default:
+		out.Trans = ast.Transition{Select: tr.Select, Cases: cases, TokPos: tr.TokPos}
+	}
+	return out
+}
+
+func (r *rewriter) controlDecl(cd *ast.ControlDecl) *ast.ControlDecl {
+	r.control = cd
+	out := &ast.ControlDecl{
+		Name:      cd.Name,
+		Params:    cd.Params,
+		Registers: cd.Registers,
+		Locals:    cd.Locals,
+		Consts:    cd.Consts,
+		TokPos:    cd.TokPos,
+	}
+	out.Apply = r.blockStmt(cd.Apply)
+
+	// Tables: drop removed/inlined ones, specialize the survivors.
+	for _, t := range cd.Tables {
+		impl := r.impls[cd.Name+"."+t.Name]
+		if impl != nil && (impl.removed || impl.inlineParams != nil) {
+			continue
+		}
+		out.Tables = append(out.Tables, r.table(cd, t, impl))
+	}
+
+	// Actions: keep those still referenced by a table or a direct call.
+	used := make(map[string]bool)
+	for _, t := range out.Tables {
+		for _, ar := range t.Actions {
+			used[ar.Name] = true
+		}
+		if t.Default != nil {
+			used[t.Default.Name] = true
+		}
+	}
+	ast.WalkStmts(out.Apply, func(st ast.Stmt) {
+		if call, ok := st.(*ast.CallStmt); ok {
+			if id, ok := call.Call.Fun.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+		}
+	})
+	for _, a := range cd.Actions {
+		if used[a.Name] {
+			out.Actions = append(out.Actions, a)
+		}
+	}
+	return out
+}
+
+func (r *rewriter) table(cd *ast.ControlDecl, t *ast.Table, impl *tableImpl) *ast.Table {
+	out := &ast.Table{
+		Name:    t.Name,
+		Default: t.Default,
+		Size:    t.Size,
+		TokPos:  t.TokPos,
+	}
+	defaultName := "NoAction"
+	if t.Default != nil {
+		defaultName = t.Default.Name
+	}
+	ti := r.s.An.Tables[cd.Name+"."+t.Name]
+	for i, ar := range t.Actions {
+		if impl != nil && ti != nil && i < len(impl.deadActions) && impl.deadActions[i] && ar.Name != defaultName {
+			continue // dead-action removal (Fig. 3 C/D)
+		}
+		out.Actions = append(out.Actions, ar)
+	}
+	for i, k := range t.Keys {
+		nk := k
+		if impl != nil && i < len(impl.matchKinds) {
+			nk.Match = impl.matchKinds[i] // match-kind narrowing
+		}
+		out.Keys = append(out.Keys, nk)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (r *rewriter) blockStmt(b *ast.BlockStmt) *ast.BlockStmt {
+	out := &ast.BlockStmt{TokPos: b.TokPos}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, r.stmt(s)...)
+	}
+	return out
+}
+
+// stmt rewrites one statement into zero or more statements.
+func (r *rewriter) stmt(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		nb := r.blockStmt(s)
+		if len(nb.Stmts) == 0 {
+			return nil
+		}
+		return []ast.Stmt{nb}
+	case *ast.IfStmt:
+		return r.ifStmt(s)
+	case *ast.AssignStmt:
+		if val, ok := r.constAssigns[s]; ok && r.s.quality <= QualityNoNarrowing {
+			return []ast.Stmt{&ast.AssignStmt{
+				LHS:    s.LHS,
+				RHS:    &ast.IntLit{Width: int(val.W), Hi: val.Hi, Lo: val.Lo, TokPos: s.TokPos},
+				TokPos: s.TokPos,
+			}}
+		}
+		return []ast.Stmt{s}
+	case *ast.CallStmt:
+		if m, ok := s.Call.Fun.(*ast.Member); ok && m.Name == "apply" {
+			return r.applyStmt(s)
+		}
+		return []ast.Stmt{s}
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+func (r *rewriter) ifStmt(s *ast.IfStmt) []ast.Stmt {
+	thenDead := r.branchDead(s, true)
+	elseDead := r.branchDead(s, false)
+
+	// `if (t.apply().hit)` carries the apply's side effects in the
+	// condition; splice them out before branch pruning.
+	var applyStmts []ast.Stmt
+	plainCond := true
+	if m, ok := s.Cond.(*ast.Member); ok && m.Name == "hit" {
+		if call, ok := m.X.(*ast.CallExpr); ok {
+			if inner, ok := call.Fun.(*ast.Member); ok && inner.Name == "apply" {
+				plainCond = false
+				qname := r.control.Name + "." + inner.X.(*ast.Ident).Name
+				applyStmts = r.applyReplacement(qname, &ast.CallStmt{Call: call, TokPos: s.TokPos})
+				if !thenDead && !elseDead {
+					// Both branches live: the condition must stay, so
+					// the table must survive (prepare() force-keeps it).
+					out := &ast.IfStmt{Cond: s.Cond, TokPos: s.TokPos}
+					out.Then = r.wrap(r.stmt(s.Then), s.Then)
+					if s.Else != nil {
+						out.Else = r.wrap(r.stmt(s.Else), s.Else)
+					}
+					return []ast.Stmt{out}
+				}
+			}
+		}
+	}
+
+	switch {
+	case thenDead && elseDead:
+		// The whole if is unreachable.
+		return applyStmts
+	case elseDead:
+		return append(applyStmts, r.stmt(s.Then)...)
+	case thenDead:
+		var rest []ast.Stmt
+		if s.Else != nil {
+			rest = r.stmt(s.Else)
+		}
+		return append(applyStmts, rest...)
+	}
+	if !plainCond {
+		// Unreachable: handled above, but keep the compiler happy.
+		return applyStmts
+	}
+	out := &ast.IfStmt{Cond: s.Cond, TokPos: s.TokPos}
+	out.Then = r.wrap(r.stmt(s.Then), s.Then)
+	if s.Else != nil {
+		elseStmts := r.stmt(s.Else)
+		if len(elseStmts) > 0 {
+			out.Else = r.wrap(elseStmts, s.Else)
+		}
+	}
+	if emptyStmt(out.Then) && out.Else == nil {
+		return nil
+	}
+	return []ast.Stmt{out}
+}
+
+func emptyStmt(s ast.Stmt) bool {
+	b, ok := s.(*ast.BlockStmt)
+	return ok && len(b.Stmts) == 0
+}
+
+// wrap folds a rewritten statement list back into a single statement.
+func (r *rewriter) wrap(stmts []ast.Stmt, orig ast.Stmt) ast.Stmt {
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	pos := orig.Pos()
+	return &ast.BlockStmt{Stmts: stmts, TokPos: pos}
+}
+
+func (r *rewriter) applyStmt(s *ast.CallStmt) []ast.Stmt {
+	m := s.Call.Fun.(*ast.Member)
+	id, ok := m.X.(*ast.Ident)
+	if !ok {
+		return []ast.Stmt{s}
+	}
+	return r.applyReplacement(r.control.Name+"."+id.Name, s)
+}
+
+// applyReplacement rewrites a table apply site per the table's
+// implementation: dropped when removed, inlined to the constant
+// action's body when possible, kept otherwise.
+func (r *rewriter) applyReplacement(qname string, orig *ast.CallStmt) []ast.Stmt {
+	impl := r.impls[qname]
+	ti := r.s.An.Tables[qname]
+	if impl == nil || ti == nil {
+		return []ast.Stmt{orig}
+	}
+	if impl.removed {
+		return nil
+	}
+	if impl.inlineParams == nil {
+		return []ast.Stmt{orig}
+	}
+	act := ti.Actions[impl.constAction]
+	if act.Decl == nil || len(act.Decl.Body.Stmts) == 0 {
+		return nil // inlining a no-op
+	}
+	// Rewrite the body (pruning its own dead branches), then substitute
+	// the constant parameters.
+	var rewritten []ast.Stmt
+	for _, st := range act.Decl.Body.Stmts {
+		rewritten = append(rewritten, r.stmt(st)...)
+	}
+	params := make(map[string]ast.Expr, len(act.Decl.Params))
+	for i, p := range act.Decl.Params {
+		v := impl.inlineParams[i]
+		params[p.Name] = &ast.IntLit{Width: int(v.W), Hi: v.Hi, Lo: v.Lo, TokPos: orig.TokPos}
+	}
+	return substStmts(rewritten, params)
+}
+
+// ---------------------------------------------------------------------------
+// Identifier substitution (for action inlining)
+
+func substStmts(stmts []ast.Stmt, env map[string]ast.Expr) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		// A local declaration shadowing a parameter stops substitution
+		// for the remaining statements.
+		if vd, ok := s.(*ast.VarDecl); ok {
+			if _, shadows := env[vd.Name]; shadows {
+				env = copyEnvWithout(env, vd.Name)
+			}
+		}
+		out = append(out, substStmt(s, env))
+	}
+	return out
+}
+
+func copyEnvWithout(env map[string]ast.Expr, name string) map[string]ast.Expr {
+	n := make(map[string]ast.Expr, len(env))
+	for k, v := range env {
+		if k != name {
+			n[k] = v
+		}
+	}
+	return n
+}
+
+func substStmt(s ast.Stmt, env map[string]ast.Expr) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return &ast.BlockStmt{Stmts: substStmts(s.Stmts, env), TokPos: s.TokPos}
+	case *ast.VarDecl:
+		n := *s
+		if s.Init != nil {
+			n.Init = substExpr(s.Init, env)
+		}
+		return &n
+	case *ast.AssignStmt:
+		return &ast.AssignStmt{
+			LHS:    substExpr(s.LHS, env),
+			RHS:    substExpr(s.RHS, env),
+			TokPos: s.TokPos,
+		}
+	case *ast.IfStmt:
+		n := &ast.IfStmt{Cond: substExpr(s.Cond, env), TokPos: s.TokPos}
+		n.Then = substStmt(s.Then, env)
+		if s.Else != nil {
+			n.Else = substStmt(s.Else, env)
+		}
+		return n
+	case *ast.CallStmt:
+		return &ast.CallStmt{Call: substExpr(s.Call, env).(*ast.CallExpr), TokPos: s.TokPos}
+	default:
+		return s
+	}
+}
+
+func substExpr(e ast.Expr, env map[string]ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if repl, ok := env[e.Name]; ok {
+			return repl
+		}
+		return e
+	case *ast.Member:
+		return &ast.Member{X: substExpr(e.X, env), Name: e.Name, TokPos: e.TokPos}
+	case *ast.CallExpr:
+		n := &ast.CallExpr{Fun: substExpr(e.Fun, env), TokPos: e.TokPos}
+		for _, a := range e.Args {
+			n.Args = append(n.Args, substExpr(a, env))
+		}
+		return n
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: e.Op, X: substExpr(e.X, env), TokPos: e.TokPos}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: e.Op, X: substExpr(e.X, env), Y: substExpr(e.Y, env), TokPos: e.TokPos}
+	case *ast.TernaryExpr:
+		return &ast.TernaryExpr{
+			Cond: substExpr(e.Cond, env), Then: substExpr(e.Then, env),
+			Else: substExpr(e.Else, env), TokPos: e.TokPos,
+		}
+	case *ast.SliceExpr:
+		return &ast.SliceExpr{X: substExpr(e.X, env), Hi: e.Hi, Lo: e.Lo, TokPos: e.TokPos}
+	default:
+		return e
+	}
+}

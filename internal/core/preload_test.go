@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/sym"
+)
+
+// TestPreloadEquivalentToIncremental: preloading a batch must leave the
+// engine in exactly the state that applying the batch update-by-update
+// produces (same verdicts, same installed implementations, same
+// specialized program) — just without the per-update work.
+func TestPreloadEquivalentToIncremental(t *testing.T) {
+	batch := []*controlplane.Update{
+		insert(ternaryEntry(0x10, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 1))),
+		insert(ternaryEntry(0x11, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 2))),
+		insert(ternaryEntry(0x12, 0xFF00, "drop")),
+	}
+
+	inc := newSpec(t, fig3Src, Options{})
+	for _, u := range batch {
+		if d := inc.Apply(u); d.Kind == Rejected {
+			t.Fatal(d.Err)
+		}
+	}
+
+	pre := newSpec(t, fig3Src, Options{})
+	if err := pre.Preload(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := pre.Cfg.NumEntries(tbl), inc.Cfg.NumEntries(tbl); got != want {
+		t.Fatalf("entries %d vs %d", got, want)
+	}
+	for i := range inc.verdicts {
+		if pre.verdicts[i] != inc.verdicts[i] {
+			t.Fatalf("verdict %d differs: %v vs %v (%s)",
+				i, pre.verdicts[i], inc.verdicts[i], inc.An.Points[i])
+		}
+	}
+	if !pre.impls[tbl].equal(inc.impls[tbl]) {
+		t.Fatalf("implementations differ: %+v vs %+v", pre.impls[tbl], inc.impls[tbl])
+	}
+	// And the very next live update gets the same decision.
+	probe := insert(ternaryEntry(0x13, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 3)))
+	probeCopy := insert(ternaryEntry(0x13, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 3)))
+	d1 := inc.Apply(probe)
+	d2 := pre.Apply(probeCopy)
+	if d1.Kind != d2.Kind {
+		t.Fatalf("post-preload decision differs: %v vs %v", d1.Kind, d2.Kind)
+	}
+}
+
+// TestPreloadStopsAtInvalid: the first invalid update aborts the batch
+// with an error, already-applied updates stay consistent.
+func TestPreloadStopsAtInvalid(t *testing.T) {
+	s := newSpec(t, fig3Src, Options{})
+	batch := []*controlplane.Update{
+		insert(ternaryEntry(0x1, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 1))),
+		insert(ternaryEntry(0x2, 0xFFFFFFFFFFFF, "ghost")), // invalid
+		insert(ternaryEntry(0x3, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 3))),
+	}
+	if err := s.Preload(batch); err == nil {
+		t.Fatal("expected error from invalid update")
+	}
+	if s.Cfg.NumEntries(tbl) != 1 {
+		t.Fatalf("entries = %d, want 1 (stop at first invalid)", s.Cfg.NumEntries(tbl))
+	}
+	// The applied prefix must still be reflected in the verdicts: the
+	// table is configured, so a same-shape follow-up forwards or
+	// recompiles exactly as after a live apply.
+	d := s.Apply(insert(ternaryEntry(0x4, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 4))))
+	if d.Kind == Rejected {
+		t.Fatalf("follow-up rejected: %v", d.Err)
+	}
+}

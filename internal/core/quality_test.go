@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/p4/ast"
+	"repro/internal/sym"
+)
+
+// TestQualityTradeoff replays the Fig. 3 sequence at every quality
+// level and checks the §6 tradeoff: lower quality ⇒ fewer
+// recompilations ⇒ less specialized implementations.
+func TestQualityTradeoff(t *testing.T) {
+	recompilesAt := func(q Quality) (int, *ast.Program) {
+		s := newSpec(t, fig3Src, Options{Quality: q})
+		updates := []func() *Decision{
+			func() *Decision {
+				return s.Apply(insert(ternaryEntry(0x1, 0x0, "set", sym.NewBV(16, 0x800))))
+			},
+			func() *Decision { return s.Apply(del(ternaryEntry(0x1, 0x0, "set", sym.NewBV(16, 0x800)))) },
+			func() *Decision {
+				return s.Apply(insert(ternaryEntry(0x2, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 0x900))))
+			},
+			func() *Decision {
+				return s.Apply(insert(ternaryEntry(0x5, 0x8, "set", sym.NewBV(16, 0x700))))
+			},
+			func() *Decision {
+				return s.Apply(insert(ternaryEntry(0x6, 0x7, "set", sym.NewBV(16, 0x200))))
+			},
+		}
+		n := 0
+		for i, u := range updates {
+			d := u()
+			if d.Kind == Rejected {
+				t.Fatalf("quality %v step %d rejected: %v", q, i, d.Err)
+			}
+			if d.Kind == Recompile {
+				n++
+			}
+		}
+		return n, s.SpecializedProgram()
+	}
+
+	full, fullProg := recompilesAt(QualityFull)
+	noNarrow, noNarrowProg := recompilesAt(QualityNoNarrowing)
+	dceOnly, dceProg := recompilesAt(QualityDCEOnly)
+	none, noneProg := recompilesAt(QualityNone)
+
+	if !(full >= noNarrow && noNarrow >= dceOnly && dceOnly >= none) {
+		t.Fatalf("recompilations must fall with quality: full=%d no-narrowing=%d dce-only=%d none=%d",
+			full, noNarrow, dceOnly, none)
+	}
+	if none != 0 {
+		t.Fatalf("QualityNone must never recompile, got %d", none)
+	}
+	// Full narrows the match kind at the end of the sequence... the
+	// final state is ternary for both, but no-narrowing must skip the
+	// step-3 exact narrowing — visible as one fewer recompile.
+	if full <= noNarrow {
+		t.Fatalf("narrowing must cost at least one extra recompilation: %d vs %d", full, noNarrow)
+	}
+
+	// Specialization quality falls too: QualityNone returns the very
+	// original program.
+	if noneProg == nil || ast.Print(noneProg) == "" {
+		t.Fatal("QualityNone program missing")
+	}
+	if findTable(noneProg, "Ingress", "eth_table") == nil {
+		t.Fatal("QualityNone must keep the original table")
+	}
+	if tb := findTable(dceProg, "Ingress", "eth_table"); tb == nil || tb.Keys[0].Match != ast.MatchTernary {
+		t.Fatal("DCE-only must keep the declared ternary match")
+	}
+	if tb := findTable(noNarrowProg, "Ingress", "eth_table"); tb == nil || tb.Keys[0].Match != ast.MatchTernary {
+		t.Fatal("no-narrowing must keep ternary")
+	}
+	if tb := findTable(fullProg, "Ingress", "eth_table"); tb == nil || tb.Keys[0].Match != ast.MatchTernary {
+		t.Fatal("full quality ends ternary after the masked entry")
+	}
+	// Dead-action removal applies at every level above None.
+	for _, prog := range []*ast.Program{fullProg, noNarrowProg, dceProg} {
+		if findTable(prog, "Ingress", "eth_table").HasAction("drop") {
+			t.Fatalf("dead drop action should be removed:\n%s", ast.Print(prog))
+		}
+	}
+}
+
+// TestQualityDCEOnlySkipsInlining: a constant-action table is inlined
+// at full quality but kept at DCE-only.
+func TestQualityDCEOnlySkipsInlining(t *testing.T) {
+	e := ternaryEntry(0x1, 0x0, "set", sym.NewBV(16, 0x800)) // matches everything
+
+	sFull := newSpec(t, fig3Src, Options{Quality: QualityFull})
+	sFull.Apply(insert(e))
+	if findTable(sFull.SpecializedProgram(), "Ingress", "eth_table") != nil {
+		t.Fatal("full quality should inline the table away")
+	}
+	if !strings.Contains(ast.Print(sFull.SpecializedProgram()), "hdr.eth.type = 16w0x800;") {
+		t.Fatal("full quality should constant-propagate the inlined body")
+	}
+
+	sDCE := newSpec(t, fig3Src, Options{Quality: QualityDCEOnly})
+	sDCE.Apply(insert(e))
+	if findTable(sDCE.SpecializedProgram(), "Ingress", "eth_table") == nil {
+		t.Fatal("DCE-only must keep the table")
+	}
+}
+
+// TestQualityNoneFastPath: updates under QualityNone validate but never
+// trigger any query work.
+func TestQualityNoneFastPath(t *testing.T) {
+	s := newSpec(t, fig3Src, Options{Quality: QualityNone})
+	d := s.Apply(insert(ternaryEntry(0x9, 0xFF, "drop")))
+	if d.Kind != Forward || d.AffectedPoints != 0 {
+		t.Fatalf("decision %v", d)
+	}
+	// Invalid updates are still rejected.
+	d = s.Apply(insert(ternaryEntry(0x9, 0xFF, "ghost")))
+	if d.Kind != Rejected {
+		t.Fatalf("invalid update: %v", d)
+	}
+	if s.Cfg.NumEntries(tbl) != 1 {
+		t.Fatal("valid update must still be installed")
+	}
+}

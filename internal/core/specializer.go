@@ -1,0 +1,511 @@
+// Package core implements Flay's incremental specialization engine
+// (paper §4): it combines the one-time data-plane analysis with the
+// live control-plane configuration, answers specialization queries at
+// every annotated program point, decides for each control-plane update
+// whether the program's implementation must change (Recompile) or the
+// update can be forwarded to the device as-is (Forward), and produces
+// the specialized program.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+	"repro/internal/p4/ast"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+// VerdictKind classifies a program point's resolved behaviour.
+type VerdictKind uint8
+
+const (
+	// VerdictDead: the point's condition is provably unsatisfiable.
+	VerdictDead VerdictKind = iota
+	// VerdictLive: the condition may hold (includes solver Unknown —
+	// conservative).
+	VerdictLive
+	// VerdictConst: the point's value is a single constant.
+	VerdictConst
+	// VerdictVaries: the value is not provably constant.
+	VerdictVaries
+)
+
+var verdictNames = [...]string{"dead", "live", "const", "varies"}
+
+func (k VerdictKind) String() string {
+	if int(k) < len(verdictNames) {
+		return verdictNames[k]
+	}
+	return "verdict?"
+}
+
+// Verdict is the resolved behaviour of one program point under the
+// current control-plane configuration.
+type Verdict struct {
+	Kind VerdictKind
+	// Val holds the constant for VerdictConst.
+	Val sym.BV
+}
+
+func (v Verdict) String() string {
+	if v.Kind == VerdictConst {
+		return fmt.Sprintf("const %s", v.Val)
+	}
+	return v.Kind.String()
+}
+
+// DecisionKind is the outcome of processing one control-plane update.
+type DecisionKind uint8
+
+const (
+	// Forward: no program point changed behaviour; the update is
+	// installed on the device without recompilation (the paper's fast
+	// path).
+	Forward DecisionKind = iota
+	// Recompile: at least one point's verdict (or an implementation
+	// assumption such as a narrowed match kind) changed; the affected
+	// components must be respecialized.
+	Recompile
+	// Rejected: the update failed validation and was not applied.
+	Rejected
+)
+
+var decisionNames = [...]string{"forward", "recompile", "rejected"}
+
+func (k DecisionKind) String() string {
+	if int(k) < len(decisionNames) {
+		return decisionNames[k]
+	}
+	return "decision?"
+}
+
+// Decision reports what Flay did with one update.
+type Decision struct {
+	Kind   DecisionKind
+	Update *controlplane.Update
+	// AffectedPoints is how many program points the taint map routed
+	// the update to.
+	AffectedPoints int
+	// ChangedPoints lists the IDs of points whose verdict changed.
+	ChangedPoints []int
+	// ImplementationChange notes a non-verdict assumption violation
+	// (e.g. a ternary key narrowed to exact now needs ternary again).
+	ImplementationChange string
+	// Components lists the qualified names of data-plane components
+	// needing recompilation.
+	Components []string
+	// Elapsed is the update-analysis wall time (the paper's "update
+	// analysis time", Tbl. 2/3).
+	Elapsed time.Duration
+	// Err is set for Rejected decisions.
+	Err error
+}
+
+func (d *Decision) String() string {
+	switch d.Kind {
+	case Forward:
+		return fmt.Sprintf("forward %s (%d points, %v)", d.Update, d.AffectedPoints, d.Elapsed)
+	case Recompile:
+		return fmt.Sprintf("recompile %v after %s (%d/%d points changed, %v)",
+			d.Components, d.Update, len(d.ChangedPoints), d.AffectedPoints, d.Elapsed)
+	default:
+		return fmt.Sprintf("rejected %s: %v", d.Update, d.Err)
+	}
+}
+
+// Quality selects how aggressively the specializer rewrites the
+// program — the recompilation-time vs specialization-quality tradeoff
+// the paper names as future work (§6). Lower quality keeps more of the
+// original implementation, so fewer control-plane updates invalidate
+// it (fewer recompilations), at the price of higher resource usage.
+type Quality uint8
+
+const (
+	// QualityFull applies every pass: DCE, constant propagation, table
+	// inlining, dead-action removal, match-kind narrowing, parser
+	// pruning. Best resource usage, most recompilation triggers.
+	QualityFull Quality = iota
+	// QualityNoNarrowing skips match-kind narrowing (ternary keys stay
+	// ternary), removing the Fig.-3-step-4 class of recompilations for
+	// tables with mask churn.
+	QualityNoNarrowing
+	// QualityDCEOnly additionally skips table inlining and constant
+	// propagation: only dead branches, dead actions and empty tables
+	// are removed.
+	QualityDCEOnly
+	// QualityNone performs no specialization at all: the installed
+	// implementation is the original program, so no control-plane
+	// update ever requires recompilation (the "fall-back datapath"
+	// extreme the paper contrasts against).
+	QualityNone
+)
+
+var qualityNames = [...]string{"full", "no-narrowing", "dce-only", "none"}
+
+func (q Quality) String() string {
+	if int(q) < len(qualityNames) {
+		return qualityNames[q]
+	}
+	return "quality?"
+}
+
+// Options configures a Specializer.
+type Options struct {
+	// SkipParser skips parser analysis (paper §4.2, switch.p4).
+	SkipParser bool
+	// OverapproxThreshold overrides the per-table entry budget
+	// (default 100; negative disables overapproximation — "precise
+	// mode" in Tbl. 3).
+	OverapproxThreshold int
+	// Quality selects the specialization aggressiveness (default
+	// QualityFull).
+	Quality Quality
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Points         int
+	Tables         int
+	AnalysisTime   time.Duration // one-time data-plane analysis
+	PreprocessTime time.Duration // initial verdict computation
+	Updates        int
+	Forwarded      int
+	Recompilations int
+	Rejected       int
+	UpdateTime     time.Duration // cumulative update-analysis time
+}
+
+// Specializer is the incremental specializing compiler.
+type Specializer struct {
+	Prog *ast.Program
+	Info *typecheck.Info
+	An   *dataplane.Analysis
+	Cfg  *controlplane.Config
+
+	solver   *sym.Solver
+	env      controlplane.Env
+	verdicts []Verdict
+	impls    map[string]*tableImpl
+	stats    Stats
+	quality  Quality
+
+	// pointSub caches each point's last substituted expression (a
+	// hash-consed pointer): when an update's substitution yields the
+	// same node, the verdict cannot have changed and the query is
+	// skipped entirely.
+	pointSub []*sym.Expr
+	// witnesses caches per-point satisfying assignments; re-evaluating
+	// a cached witness is usually all it takes to re-prove liveness.
+	witnesses []sym.Env
+}
+
+// New builds a Specializer from parsed+checked inputs: it runs the
+// data-plane analysis and the initial specialization pass under the
+// empty (device-spec) configuration.
+func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, error) {
+	t0 := time.Now()
+	an, err := dataplane.Analyze(prog, info, dataplane.Options{SkipParser: opts.SkipParser})
+	if err != nil {
+		return nil, err
+	}
+	analysisTime := time.Since(t0)
+
+	cfg := controlplane.NewConfig(an)
+	cfg.OverapproxThreshold = opts.OverapproxThreshold
+	s := &Specializer{
+		Prog:    prog,
+		Info:    info,
+		An:      an,
+		Cfg:     cfg,
+		solver:  sym.NewSolver(),
+		impls:   make(map[string]*tableImpl),
+		quality: opts.Quality,
+	}
+	t1 := time.Now()
+	env, _, err := cfg.CompileEnv(an.Builder)
+	if err != nil {
+		return nil, err
+	}
+	s.env = env
+	s.verdicts = make([]Verdict, len(an.Points))
+	s.pointSub = make([]*sym.Expr, len(an.Points))
+	s.witnesses = make([]sym.Env, len(an.Points))
+	for _, p := range an.Points {
+		s.verdicts[p.ID] = s.evalPoint(p)
+	}
+	for name := range an.Tables {
+		s.impls[name] = s.idealImpl(name)
+	}
+	s.stats = Stats{
+		Points:         len(an.Points),
+		Tables:         len(an.Tables),
+		AnalysisTime:   analysisTime,
+		PreprocessTime: time.Since(t1),
+	}
+	return s, nil
+}
+
+// NewFromSource parses, checks and analyzes a program in one call.
+func NewFromSource(name, src string, opts Options) (*Specializer, error) {
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return New(prog, info, opts)
+}
+
+// Stats returns a copy of the engine counters.
+func (s *Specializer) Statistics() Stats { return s.stats }
+
+// ReevaluateAll recomputes every program point's verdict from scratch,
+// bypassing the taint map and the per-point caches. It exists as the
+// ablation baseline: this is the work a non-incremental specializing
+// compiler performs on every control-plane update (§2: "recompiling the
+// data-plane program every time the control-plane issues an update").
+// It returns the number of points whose verdict differs from the cached
+// one (always zero when the engine is consistent).
+func (s *Specializer) ReevaluateAll() int {
+	changed := 0
+	for _, p := range s.An.Points {
+		s.pointSub[p.ID] = nil
+		s.witnesses[p.ID] = nil
+		v := s.evalPoint(p)
+		if v != s.verdicts[p.ID] {
+			s.verdicts[p.ID] = v
+			changed++
+		}
+	}
+	return changed
+}
+
+// Preload installs a batch of updates as initial configuration state,
+// without per-update incremental analysis: the configuration is applied
+// first, then the affected assignments and point verdicts are
+// recomputed once. This mirrors the paper's Tbl.-3 methodology
+// ("initialize this ACL table with varying number of entries, then send
+// a single update and measure") — initialization is not what is being
+// timed. The first invalid update aborts with an error; already-applied
+// updates stay applied (their verdicts are still refreshed).
+func (s *Specializer) Preload(updates []*controlplane.Update) error {
+	targets := make(map[string]bool)
+	var firstErr error
+	for _, u := range updates {
+		if err := s.Cfg.Apply(u); err != nil {
+			firstErr = err
+			break
+		}
+		targets[u.Target()] = true
+	}
+	b := s.An.Builder
+	pointSet := make(map[int]bool)
+	for target := range targets {
+		switch {
+		case s.An.Tables[target] != nil:
+			te, _, err := s.Cfg.CompileTable(b, target)
+			if err != nil {
+				return err
+			}
+			for k, v := range te {
+				s.env[k] = v
+			}
+		case s.An.Registers[target] != nil:
+			for k, v := range s.Cfg.CompileRegister(b, target) {
+				s.env[k] = v
+			}
+		default:
+			for k, v := range s.Cfg.CompileValueSet(b, target) {
+				s.env[k] = v
+			}
+		}
+		for _, p := range s.An.PointsOf(target) {
+			pointSet[p.ID] = true
+		}
+	}
+	for id := range pointSet {
+		s.verdicts[id] = s.evalPoint(s.An.Points[id])
+	}
+	for target := range targets {
+		if _, ok := s.An.Tables[target]; ok {
+			s.impls[target] = s.idealImpl(target)
+		}
+	}
+	return firstErr
+}
+
+// Verdict returns the current verdict of a point.
+func (s *Specializer) Verdict(id int) Verdict { return s.verdicts[id] }
+
+// evalPoint substitutes the full control-plane assignment into a point
+// and answers its specialization query. Hash-consing makes the
+// substituted expression a canonical pointer, so an unchanged pointer
+// means an unchanged verdict; liveness witnesses from previous queries
+// are retried first.
+func (s *Specializer) evalPoint(p *dataplane.Point) Verdict {
+	b := s.An.Builder
+	sub := b.Subst(p.Expr, s.env)
+	if s.pointSub[p.ID] == sub && sub != nil {
+		return s.verdicts[p.ID]
+	}
+	s.pointSub[p.ID] = sub
+	switch p.Kind {
+	case dataplane.PointIfBranch, dataplane.PointActionReach,
+		dataplane.PointTableReach, dataplane.PointSelectCase:
+		verdict, witness := s.solver.CheckWitness(sub, s.witnesses[p.ID])
+		if verdict == sym.Unsat {
+			return Verdict{Kind: VerdictDead}
+		}
+		if verdict == sym.Sat {
+			s.witnesses[p.ID] = witness
+		}
+		return Verdict{Kind: VerdictLive}
+	case dataplane.PointAssignValue, dataplane.PointTableAction:
+		res := s.solver.ConstValue(sub)
+		if res.Known && res.IsConst {
+			return Verdict{Kind: VerdictConst, Val: res.Val}
+		}
+		return Verdict{Kind: VerdictVaries}
+	default:
+		return Verdict{Kind: VerdictLive}
+	}
+}
+
+// Apply processes one control-plane update: validate, route through the
+// taint map, re-evaluate only the affected points, and decide Forward
+// vs Recompile (paper Fig. 2).
+func (s *Specializer) Apply(u *controlplane.Update) *Decision {
+	t0 := time.Now()
+	d := &Decision{Update: u}
+	s.stats.Updates++
+	if err := s.Cfg.Apply(u); err != nil {
+		s.stats.Rejected++
+		d.Kind = Rejected
+		d.Err = err
+		d.Elapsed = time.Since(t0)
+		return d
+	}
+	target := u.Target()
+
+	// With specialization disabled the installed implementation is the
+	// original program; nothing a valid update does can invalidate it.
+	if s.quality == QualityNone {
+		s.stats.Forwarded++
+		d.Kind = Forward
+		d.Elapsed = time.Since(t0)
+		s.stats.UpdateTime += d.Elapsed
+		return d
+	}
+
+	// Recompile the assignment for the touched object only; the rest of
+	// the environment is unchanged.
+	b := s.An.Builder
+	switch u.Kind {
+	case controlplane.SetValueSet:
+		for k, v := range s.Cfg.CompileValueSet(b, target) {
+			s.env[k] = v
+		}
+	case controlplane.FillRegister:
+		for k, v := range s.Cfg.CompileRegister(b, target) {
+			s.env[k] = v
+		}
+	default:
+		te, _, err := s.Cfg.CompileTable(b, target)
+		if err != nil {
+			s.stats.Rejected++
+			d.Kind = Rejected
+			d.Err = err
+			d.Elapsed = time.Since(t0)
+			return d
+		}
+		for k, v := range te {
+			s.env[k] = v
+		}
+	}
+
+	// Taint lookup → affected points → re-query.
+	pts := s.An.PointsOf(target)
+	d.AffectedPoints = len(pts)
+	for _, p := range pts {
+		v := s.evalPoint(p)
+		if v != s.verdicts[p.ID] {
+			s.verdicts[p.ID] = v
+			d.ChangedPoints = append(d.ChangedPoints, p.ID)
+		}
+	}
+
+	// Implementation-assumption check: a narrowed implementation may be
+	// invalidated by an update even when no query verdict flips (the
+	// Fig. 3 C→D step: a masked entry forces the table back to
+	// ternary).
+	changedImpls := s.changedImpls(target, d)
+
+	if len(d.ChangedPoints) == 0 && len(changedImpls) == 0 {
+		s.stats.Forwarded++
+		d.Kind = Forward
+		d.Elapsed = time.Since(t0)
+		s.stats.UpdateTime += d.Elapsed
+		return d
+	}
+
+	// Respecialization: adopt the new ideal implementations for the
+	// affected components.
+	d.Kind = Recompile
+	s.stats.Recompilations++
+	comps := map[string]bool{}
+	for name := range changedImpls {
+		comps[name] = true
+		s.impls[name] = changedImpls[name]
+	}
+	for _, id := range d.ChangedPoints {
+		p := s.An.Points[id]
+		switch {
+		case p.Table != "":
+			comps[p.Table] = true
+			s.impls[p.Table] = s.idealImpl(p.Table)
+		case p.ParserState != "":
+			comps[p.Control+".parser"] = true
+		default:
+			comps[p.Control] = true
+		}
+	}
+	for c := range comps {
+		d.Components = append(d.Components, c)
+	}
+	sortStrings(d.Components)
+	d.Elapsed = time.Since(t0)
+	s.stats.UpdateTime += d.Elapsed
+	return d
+}
+
+// changedImpls compares the installed implementation of the update's
+// target table against the ideal one.
+func (s *Specializer) changedImpls(target string, d *Decision) map[string]*tableImpl {
+	out := make(map[string]*tableImpl)
+	if _, ok := s.An.Tables[target]; !ok {
+		return out
+	}
+	ideal := s.idealImpl(target)
+	cur := s.impls[target]
+	if cur == nil || !cur.equal(ideal) {
+		out[target] = ideal
+		if cur != nil {
+			d.ImplementationChange = cur.diff(ideal)
+		}
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package dataplane
+
+import (
+	"repro/internal/p4/ast"
+	"repro/internal/sym"
+)
+
+// lvaluePath resolves an assignable expression (a variable or field
+// reference) to its store slot.
+func (a *analyzer) lvaluePath(ctx *execCtx, e ast.Expr) (string, error) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		bnd, ok := ctx.lookup(e.Name)
+		if !ok {
+			return "", errorf("unknown identifier %s", e.Name)
+		}
+		if bnd.expr != nil {
+			return "", errorf("cannot assign to action parameter %s", e.Name)
+		}
+		return bnd.slot, nil
+	case *ast.Member:
+		base, err := a.lvaluePath(ctx, e.X)
+		if err != nil {
+			return "", err
+		}
+		return base + "." + e.Name, nil
+	default:
+		return "", errorf("invalid assignment target %T", e)
+	}
+}
+
+// evalExpr computes the symbolic value of an expression under the
+// current store.
+func (a *analyzer) evalExpr(ctx *execCtx, e ast.Expr) (*sym.Expr, error) {
+	b := a.b
+	switch e := e.(type) {
+	case *ast.IntLit:
+		t := a.info.TypeOf(e)
+		w := t.Width
+		if w == 0 {
+			w = e.Width
+		}
+		if w == 0 {
+			return nil, errorf("literal with unknown width at %s", e.Pos())
+		}
+		return b.Const(sym.NewBV2(uint16(w), e.Hi, e.Lo)), nil
+	case *ast.BoolLit:
+		if e.Value {
+			return b.True(), nil
+		}
+		return b.False(), nil
+	case *ast.Ident:
+		if bnd, ok := ctx.lookup(e.Name); ok {
+			if bnd.expr != nil {
+				return bnd.expr, nil
+			}
+			if v, ok := ctx.store[bnd.slot]; ok {
+				return v, nil
+			}
+			return nil, errorf("%s has no value (is it a table or register?)", e.Name)
+		}
+		if cv, ok := a.info.Consts[e.Name]; ok {
+			return b.Const(sym.NewBV2(uint16(cv.Width), cv.Hi, cv.Lo)), nil
+		}
+		return nil, errorf("unknown identifier %s", e.Name)
+	case *ast.Member:
+		path, err := a.lvaluePath(ctx, e)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := ctx.store[path]; ok {
+			return v, nil
+		}
+		return nil, errorf("unknown field %s", path)
+	case *ast.CallExpr:
+		return a.evalCall(ctx, e)
+	case *ast.UnaryExpr:
+		x, err := a.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "!", "~":
+			return b.Not(x), nil
+		case "-":
+			return b.Sub(b.Const(sym.BV{W: x.Width}), x), nil
+		default:
+			return nil, errorf("unknown unary operator %s", e.Op)
+		}
+	case *ast.BinaryExpr:
+		x, err := a.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := a.evalExpr(ctx, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "&&":
+			return b.And(x, y), nil
+		case "||":
+			return b.Or(x, y), nil
+		case "==":
+			return b.Eq(x, y), nil
+		case "!=":
+			return b.Ne(x, y), nil
+		case "<":
+			return b.Ult(x, y), nil
+		case "<=":
+			return b.Ule(x, y), nil
+		case ">":
+			return b.Ugt(x, y), nil
+		case ">=":
+			return b.Uge(x, y), nil
+		case "&":
+			return b.And(x, y), nil
+		case "|":
+			return b.Or(x, y), nil
+		case "^":
+			return b.Xor(x, y), nil
+		case "+":
+			return b.Add(x, y), nil
+		case "-":
+			return b.Sub(x, y), nil
+		case "<<":
+			return b.Shl(x, a.fitShift(x, y)), nil
+		case ">>":
+			return b.Lshr(x, a.fitShift(x, y)), nil
+		case "++":
+			return b.Concat(x, y), nil
+		default:
+			return nil, errorf("unknown binary operator %s", e.Op)
+		}
+	case *ast.TernaryExpr:
+		c, err := a.evalExpr(ctx, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := a.evalExpr(ctx, e.Then)
+		if err != nil {
+			return nil, err
+		}
+		f, err := a.evalExpr(ctx, e.Else)
+		if err != nil {
+			return nil, err
+		}
+		return b.Ite(c, t, f), nil
+	case *ast.SliceExpr:
+		x, err := a.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return b.Extract(x, uint16(e.Hi), uint16(e.Lo)), nil
+	default:
+		return nil, errorf("unsupported expression %T", e)
+	}
+}
+
+// fitShift widens or narrows a shift amount to the shifted operand's
+// width so the sym layer's width discipline holds. Shift semantics are
+// unaffected: amounts >= the width already yield zero.
+func (a *analyzer) fitShift(x, amount *sym.Expr) *sym.Expr {
+	b := a.b
+	switch {
+	case amount.Width == x.Width:
+		return amount
+	case amount.Width < x.Width:
+		return b.ZeroExtend(amount, x.Width)
+	default:
+		// Narrowing is safe only when the amount is constant or the
+		// dropped bits are zero; for constants fold directly, otherwise
+		// saturate via comparison.
+		if amount.IsConst() {
+			if amount.Val.Hi != 0 || amount.Val.Lo >= uint64(x.Width) {
+				return b.ConstUint(x.Width, uint64(x.Width)) // >= width: shifts to zero
+			}
+			return b.ConstUint(x.Width, amount.Val.Lo)
+		}
+		// ite(amount >= width, width, amount[w-1:0])
+		over := b.Uge(amount, b.ConstUint(amount.Width, uint64(x.Width)))
+		return b.Ite(over, b.ConstUint(x.Width, uint64(x.Width)), b.Extract(amount, x.Width-1, 0))
+	}
+}
+
+// evalCall handles pure (value-returning) builtin calls.
+func (a *analyzer) evalCall(ctx *execCtx, call *ast.CallExpr) (*sym.Expr, error) {
+	b := a.b
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "checksum16" {
+			// The checksum unit is modelled as an XOR fold over 16-bit
+			// chunks: deterministic, width-correct, and foldable to a
+			// constant exactly when every input is constant — which is
+			// the property the §3 extern specialization exploits. (The
+			// reference interpreter implements the same function.)
+			acc := b.ConstUint(16, 0)
+			for _, argE := range call.Args {
+				v, err := a.evalExpr(ctx, argE)
+				if err != nil {
+					return nil, err
+				}
+				if v.Width%16 != 0 {
+					v = b.ZeroExtend(v, v.Width+(16-v.Width%16))
+				}
+				for lo := uint16(0); lo < v.Width; lo += 16 {
+					acc = b.Xor(acc, b.Extract(v, lo+15, lo))
+				}
+			}
+			return acc, nil
+		}
+		return nil, errorf("function %s cannot be used as a value", fun.Name)
+	case *ast.Member:
+		if fun.Name == "isValid" {
+			path, err := a.lvaluePath(ctx, fun.X)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := ctx.store[path+".$valid"]
+			if !ok {
+				return nil, errorf("%s is not a header instance", path)
+			}
+			return v, nil
+		}
+		return nil, errorf("method %s cannot be used as a value (apply().hit may only be an entire if condition)", fun.Name)
+	default:
+		return nil, errorf("invalid call expression")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Taint
+
+// buildTaint computes, for every control-plane placeholder, the set of
+// program points it can influence. The dependency is transitive: if a
+// point mentions table B's selector and B's key expressions mention
+// table A's placeholders, then A's placeholders influence the point too
+// (A's outcome feeds B's match key).
+func (a *analyzer) buildTaint() {
+	an := a.an
+	// ownerDeps caches the control-plane variables appearing in an
+	// object's key expressions.
+	ownerDeps := make(map[string][]*sym.Expr)
+	depsOf := func(owner string) []*sym.Expr {
+		if d, ok := ownerDeps[owner]; ok {
+			return d
+		}
+		var vars []*sym.Expr
+		if ti, ok := an.Tables[owner]; ok {
+			for _, k := range ti.KeyExprs {
+				vars = append(vars, sym.CtrlVars(k)...)
+			}
+		}
+		for _, vi := range an.ValueSets {
+			if vi.Name == owner {
+				vars = append(vars, sym.CtrlVars(vi.KeyExpr)...)
+			}
+		}
+		ownerDeps[owner] = vars
+		return vars
+	}
+
+	for _, p := range an.Points {
+		seen := make(map[*sym.Expr]bool)
+		work := sym.CtrlVars(p.Expr)
+		// A table's own point must be tainted by its placeholders even
+		// when the recorded expression does not mention them (e.g. the
+		// reach condition of an always-reachable table).
+		if p.Table != "" {
+			if ti, ok := an.Tables[p.Table]; ok {
+				work = append(work, ti.ActionVar, ti.HitVar)
+			}
+		}
+		for len(work) > 0 {
+			v := work[len(work)-1]
+			work = work[:len(work)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			an.Taint[v] = append(an.Taint[v], p.ID)
+			if owner, ok := an.VarOwner[v]; ok {
+				work = append(work, depsOf(owner)...)
+			}
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/p4/ast"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+func analyze(t *testing.T, src string, opts Options) *Analysis {
+	t.Helper()
+	prog, err := parser.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// fig5Src mirrors the paper's Fig. 5a.
+const fig5Src = `
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+struct headers { ethernet_t eth; }
+struct metadata { }
+parser MyParser(packet_in pkt, out headers h, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(h.eth);
+        transition accept;
+    }
+}
+control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t std) {
+    bit<9> egress_port;
+    action set(bit<9> port_var) {
+        egress_port = port_var;
+    }
+    action noop() { }
+    table port_table {
+        key = { h.eth.dst: exact; }
+        actions = { set; noop; }
+        default_action = noop;
+    }
+    apply {
+        egress_port = 0;
+        port_table.apply();
+        h.eth.dst = egress_port == 0 ? 48w0xAAAAAAAAAAAA : 48w0xBBBBBBBBBBBB;
+        std.egress_port = egress_port;
+    }
+}
+`
+
+// TestFig5DataPlaneExpression reproduces the paper's Fig. 5a annotation:
+// after port_table.apply(), the symbolic value of egress_port is
+// (|port_table.$action| == set ? |port_table.set.port_var| : 0).
+func TestFig5DataPlaneExpression(t *testing.T) {
+	an := analyze(t, fig5Src, Options{})
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	if ti == nil {
+		t.Fatal("port_table not analysed")
+	}
+	if len(ti.Actions) != 2 || ti.Actions[0].Name != "set" || ti.Actions[1].Name != "noop" {
+		t.Fatalf("actions = %+v", ti.Actions)
+	}
+	if ti.DefaultIndex != 1 {
+		t.Fatalf("default index = %d", ti.DefaultIndex)
+	}
+	if len(ti.KeyExprs) != 1 {
+		t.Fatal("key exprs missing")
+	}
+	// The key at the apply site is the extracted packet field.
+	if ti.KeyExprs[0] != b.Data("h.eth.dst", 48) {
+		t.Fatalf("key expr = %s", ti.KeyExprs[0])
+	}
+
+	// Find the final egress_port value through std.egress_port.
+	v := an.Final["std.egress_port"]
+	if v == nil {
+		t.Fatal("std.egress_port missing from final store")
+	}
+	want := b.Ite(
+		b.Eq(ti.ActionVar, b.ConstUint(8, 0)),
+		ti.Actions[0].Params[0],
+		b.ConstUint(9, 0),
+	)
+	if v != want {
+		t.Fatalf("egress_port = %s, want %s", v, want)
+	}
+
+	// Substituting the empty-table assignment (Fig. 5b block B): the
+	// selector is the default action, so egress_port must fold to 0.
+	env := map[*sym.Expr]*sym.Expr{
+		ti.ActionVar: b.ConstUint(8, uint64(ti.DefaultIndex)),
+		ti.HitVar:    b.False(),
+	}
+	got := b.Subst(v, env)
+	if !got.IsConst() || got.Val.Uint64() != 0 {
+		t.Fatalf("empty-table egress_port = %s, want 0", got)
+	}
+
+	// One entry (Fig. 5b block C): selector = ite(dst == KEY, set, noop),
+	// parameter = 1 → egress_port = ite(dst == KEY, 1, 0).
+	key := b.Data("h.eth.dst", 48)
+	match := b.Eq(key, b.ConstUint(48, 0xDEADBEEFF00D))
+	env = map[*sym.Expr]*sym.Expr{
+		ti.ActionVar:            b.Ite(match, b.ConstUint(8, 0), b.ConstUint(8, 1)),
+		ti.Actions[0].Params[0]: b.ConstUint(9, 1),
+		ti.HitVar:               match,
+	}
+	got = b.Subst(v, env)
+	want = b.Ite(match, b.ConstUint(9, 1), b.ConstUint(9, 0))
+	if got != want {
+		t.Fatalf("one-entry egress_port = %s, want %s", got, want)
+	}
+}
+
+func TestFig5AssignPointAndHdrRewrite(t *testing.T) {
+	an := analyze(t, fig5Src, Options{})
+	b := an.Builder
+	ti := an.Tables["Ingress.port_table"]
+	// The h.eth.dst assignment point (line 12 in the paper) captures the
+	// ternary over egress_port.
+	var pt *Point
+	for _, p := range an.Points {
+		if p.Kind == PointAssignValue && p.Assign != nil {
+			if path, _ := typecheckFieldPath(p.Assign.LHS); path == "h.eth.dst" {
+				pt = p
+			}
+		}
+	}
+	if pt == nil {
+		t.Fatal("assignment point for h.eth.dst not recorded")
+	}
+	// With the empty-table assignment it must fold to the 0xAAA... arm.
+	env := map[*sym.Expr]*sym.Expr{
+		ti.ActionVar: b.ConstUint(8, uint64(ti.DefaultIndex)),
+	}
+	got := b.Subst(pt.Expr, env)
+	if !got.IsConst() || got.Val.Lo != 0xAAAAAAAAAAAA {
+		t.Fatalf("folded h.eth.dst = %s", got)
+	}
+}
+
+func typecheckFieldPath(e ast.Expr) (string, bool) { return typecheck.FieldPath(e) }
+
+func TestIfBranchPointsAndExit(t *testing.T) {
+	src := `
+struct metadata { bit<8> a; bit<8> b; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        if (meta.a == 8w1) {
+            exit;
+        }
+        meta.b = 8w5;
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	b := an.Builder
+	var branches []*Point
+	for _, p := range an.Points {
+		if p.Kind == PointIfBranch {
+			branches = append(branches, p)
+		}
+	}
+	if len(branches) != 2 {
+		t.Fatalf("branch points = %d, want 2", len(branches))
+	}
+	// meta.a is zero-initialised metadata, so the condition folds: the
+	// then-branch is statically dead and the else-branch is true.
+	if !branches[0].Expr.IsFalse() {
+		t.Fatalf("then-branch executability = %s, want false", branches[0].Expr)
+	}
+	if !branches[1].Expr.IsTrue() {
+		t.Fatalf("else-branch executability = %s, want true", branches[1].Expr)
+	}
+	// Since the exit branch is dead, meta.b must be 5 at the end.
+	if v := an.Final["meta.b"]; v != b.ConstUint(8, 5) {
+		t.Fatalf("meta.b = %s", v)
+	}
+}
+
+func TestExitMasksLaterAssignments(t *testing.T) {
+	src := `
+struct headers_t { bit<8> x; }
+header h_t { bit<8> x; }
+struct headers { h_t h; }
+struct metadata { bit<8> out; }
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        if (hdr.h.x == 8w1) {
+            exit;
+        }
+        meta.out = 8w7;
+    }
+}
+`
+	an := analyze(t, src, Options{SkipParser: true})
+	b := an.Builder
+	x := b.Data("hdr.h.x", 8)
+	cond := b.Eq(x, b.ConstUint(8, 1))
+	want := b.Ite(cond, b.ConstUint(8, 0), b.ConstUint(8, 7))
+	if v := an.Final["meta.out"]; v != want {
+		t.Fatalf("meta.out = %s, want %s", v, want)
+	}
+}
+
+func TestValueSetAndSelect(t *testing.T) {
+	src := `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+header mpls_t { bit<20> label; bit<12> rest; }
+struct headers { ethernet_t eth; mpls_t mpls; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    value_set<bit<16>>(4) mpls_types;
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            mpls_types: parse_mpls;
+            default: accept;
+        }
+    }
+    state parse_mpls {
+        pkt.extract(hdr.mpls);
+        transition accept;
+    }
+}
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        if (hdr.mpls.isValid()) {
+            std.egress_port = 9w2;
+        }
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	b := an.Builder
+	if len(an.ValueSets) != 1 {
+		t.Fatalf("value set sites = %d", len(an.ValueSets))
+	}
+	var vi *ValueSetInfo
+	for _, v := range an.ValueSets {
+		vi = v
+	}
+	if vi.Name != "P.mpls_types" || vi.Width != 16 {
+		t.Fatalf("value set info %+v", vi)
+	}
+	if vi.KeyExpr != b.Data("hdr.eth.type", 16) {
+		t.Fatalf("key expr = %s", vi.KeyExpr)
+	}
+	// mpls validity must equal the match placeholder.
+	if v := an.Final["hdr.mpls.$valid"]; v != vi.MatchVar {
+		t.Fatalf("mpls validity = %s, want %s", v, vi.MatchVar)
+	}
+	// Unconfigured set ⇒ substituting false kills the branch: this is
+	// the §3 PVS specialization.
+	got := b.Subst(an.Final["std.egress_port"], map[*sym.Expr]*sym.Expr{vi.MatchVar: b.False()})
+	if !got.IsConst() || got.Val.Uint64() != 0 {
+		t.Fatalf("egress_port with unconfigured PVS = %s", got)
+	}
+}
+
+func TestRegisterReadSites(t *testing.T) {
+	src := `
+struct metadata { bit<32> a; bit<32> b; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(16) r;
+    apply {
+        r.read(meta.a, 0);
+        r.read(meta.b, 1);
+        r.write(0, meta.a + 32w1);
+        if (meta.a != meta.b) {
+            std.egress_port = 9w1;
+        }
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	ri := an.Registers["C.r"]
+	if ri == nil || len(ri.ReadVars) != 2 {
+		t.Fatalf("register read sites wrong: %+v", ri)
+	}
+	if ri.ReadVars[0] == ri.ReadVars[1] {
+		t.Fatal("distinct read sites must get distinct placeholders")
+	}
+	// The if-branch point must depend on both read placeholders, so a
+	// register fill update taints it.
+	var branch *Point
+	for _, p := range an.Points {
+		if p.Kind == PointIfBranch && p.ThenBranch {
+			branch = p
+		}
+	}
+	cvs := sym.CtrlVars(branch.Expr)
+	if len(cvs) != 2 {
+		t.Fatalf("branch ctrl vars = %v", cvs)
+	}
+}
+
+func TestTableAppliedTwiceRejected(t *testing.T) {
+	src := `
+struct metadata { bit<8> a; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    action x() { }
+    table t { key = { meta.a: exact; } actions = { x; NoAction; } default_action = NoAction; }
+    apply {
+        t.apply();
+        t.apply();
+    }
+}
+`
+	prog, err := parser.Parse("twice", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, info, Options{}); err == nil {
+		t.Fatal("expected single-apply-site error")
+	} else if !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestSkipParserMakesFieldsFree(t *testing.T) {
+	an := analyze(t, fig5Src, Options{SkipParser: true})
+	b := an.Builder
+	if !an.SkippedParser {
+		t.Fatal("flag not set")
+	}
+	// Validity is unconstrained rather than parser-determined.
+	if v := an.Final["h.eth.$valid"]; v != b.Data("h.eth.$valid", 1) {
+		t.Fatalf("validity = %s", v)
+	}
+}
+
+func TestTaintTransitivity(t *testing.T) {
+	// Table B's key is written by table A's action: updating A must
+	// taint B's points.
+	src := `
+struct metadata { bit<8> cls; bit<8> k; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    action set_cls(bit<8> c) { meta.cls = c; }
+    action out1() { std.egress_port = 9w1; }
+    table classify {
+        key = { meta.k: exact; }
+        actions = { set_cls; NoAction; }
+        default_action = NoAction;
+    }
+    table route {
+        key = { meta.cls: exact; }
+        actions = { out1; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        classify.apply();
+        route.apply();
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	classify := an.Tables["C.classify"]
+	pts := an.PointsOf("C.classify")
+	foundRoute := false
+	for _, p := range pts {
+		if p.Table == "C.route" && p.Kind == PointTableAction {
+			foundRoute = true
+		}
+	}
+	if !foundRoute {
+		t.Fatalf("classify update should taint route's decision point; tainted points: %v", pts)
+	}
+	// And the route table's key expr must mention classify's selector.
+	route := an.Tables["C.route"]
+	deps := sym.CtrlVars(route.KeyExprs[0])
+	has := false
+	for _, d := range deps {
+		if d == classify.ActionVar {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatalf("route key deps = %v", deps)
+	}
+}
+
+func TestDirectActionCallInlined(t *testing.T) {
+	src := `
+struct metadata { bit<8> a; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    action bump(bit<8> by) { meta.a = meta.a + by; }
+    apply {
+        bump(8w3);
+        bump(8w4);
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	b := an.Builder
+	if v := an.Final["meta.a"]; v != b.ConstUint(8, 7) {
+		t.Fatalf("meta.a = %s, want 7", v)
+	}
+}
+
+func TestChecksum16Folds(t *testing.T) {
+	src := `
+struct metadata { bit<16> c; bit<32> x; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        meta.c = checksum16(32w0x00010002);
+        meta.x = 32w5;
+        meta.c = meta.c ^ checksum16(meta.x);
+    }
+}
+`
+	an := analyze(t, src, Options{})
+	b := an.Builder
+	// checksum16(0x00010002) = 0x0001 ^ 0x0002 = 3; then ^ checksum16(5)
+	// = 3 ^ 5 = 6.
+	if v := an.Final["meta.c"]; v != b.ConstUint(16, 6) {
+		t.Fatalf("meta.c = %s", v)
+	}
+}
+
+func TestAnalysisErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"two parsers", `
+struct metadata { }
+parser P1(packet_in pkt, inout metadata meta) { state start { transition accept; } }
+parser P2(packet_in pkt, inout metadata meta) { state start { transition accept; } }
+`, "at most one parser"},
+		{"param type clash", `
+struct m1 { bit<8> a; }
+struct m2 { bit<16> a; }
+control C1(inout m1 meta, inout standard_metadata_t std) { apply { } }
+control C2(inout m2 meta, inout standard_metadata_t std) { apply { } }
+`, "must agree"},
+		{"apply in compound condition", `
+struct metadata { bit<8> a; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    action x() { }
+    table t { key = { meta.a: exact; } actions = { x; NoAction; } default_action = NoAction; }
+    apply {
+        if (t.apply().hit && meta.a == 8w1) { meta.a = 8w2; }
+    }
+}
+`, "compound condition"},
+	}
+	for _, c := range cases {
+		prog, err := parser.Parse(c.name, c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		info, err := typecheck.Check(prog)
+		if err != nil {
+			t.Fatalf("%s: check: %v", c.name, err)
+		}
+		if _, err := Analyze(prog, info, Options{}); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestPointsOfOrderedAndDeduped(t *testing.T) {
+	an := analyze(t, fig5Src, Options{})
+	pts := an.PointsOf("Ingress.port_table")
+	if len(pts) == 0 {
+		t.Fatal("no tainted points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].ID >= pts[i].ID {
+			t.Fatalf("points not strictly ordered: %v", pts)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package devcompiler_test
+
+import (
+	"testing"
+
+	"repro/internal/devcompiler"
+	"repro/internal/p4/parser"
+	"repro/internal/progs"
+)
+
+// TestTable1Ordering checks the shape criterion for the paper's
+// Table 1: switch ≫ scion ≫ ACCTurbo ≥ DTA ≥ Beaucoup, and the
+// BMv2-target programs compile in the couple-of-seconds class.
+func TestTable1Ordering(t *testing.T) {
+	model := map[string]float64{}
+	for _, p := range progs.Catalog() {
+		prog, err := parser.Parse(p.Name, p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		res, err := devcompiler.New(p.Target).Compile(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		model[p.Name] = res.ModelSeconds
+	}
+	order := []string{"switch", "scion", "accturbo", "dta", "beaucoup"}
+	for i := 1; i < len(order); i++ {
+		if model[order[i-1]] <= model[order[i]] {
+			t.Errorf("compile-time ordering violated: %s (%.1fs) should exceed %s (%.1fs)",
+				order[i-1], model[order[i-1]], order[i], model[order[i]])
+		}
+	}
+	for _, name := range []string{"middleblock", "dash"} {
+		if model[name] > 5 {
+			t.Errorf("%s modelled at %.1fs; BMv2 compiles are seconds-class", name, model[name])
+		}
+	}
+	// Within 25% (or 1 s absolute, for the seconds-class programs whose
+	// paper numbers are rounded to whole seconds) of Table 1/2.
+	for _, p := range progs.Catalog() {
+		if p.PaperCompileSeconds == 0 {
+			continue
+		}
+		got := model[p.Name]
+		slack := p.PaperCompileSeconds * 0.25
+		if slack < 1 {
+			slack = 1
+		}
+		if got < p.PaperCompileSeconds-slack || got > p.PaperCompileSeconds+slack {
+			t.Errorf("%s: modelled %.1fs, paper %.0fs (outside tolerance)", p.Name, got, p.PaperCompileSeconds)
+		}
+	}
+}
+
+// TestSpecializedCompileIsCheaper: the specialized SCION program must
+// model-compile faster than the full program (fewer tables and stages).
+func TestSpecializedCompileIsCheaper(t *testing.T) {
+	p := progs.Scion()
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := devcompiler.New(devcompiler.TargetTofino)
+	full, err := comp.Compile(s.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyRepresentative(s); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := comp.Compile(s.SpecializedProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ModelSeconds >= full.ModelSeconds {
+		t.Fatalf("specialized compile (%.1fs) should be cheaper than full (%.1fs)",
+			spec.ModelSeconds, full.ModelSeconds)
+	}
+	if spec.Tables >= full.Tables {
+		t.Fatalf("specialized tables %d should be fewer than %d", spec.Tables, full.Tables)
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if devcompiler.TargetTofino.String() != "tofino" || devcompiler.TargetBMv2.String() != "bmv2" {
+		t.Fatal("target names wrong")
+	}
+}

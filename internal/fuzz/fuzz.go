@@ -1,0 +1,119 @@
+// Package fuzz generates valid random control-plane entries from a
+// program's table schemas — the role ControlPlaneSmith plays in the
+// paper (§4.2 uses "a fuzzer to generate 1000 unique IPv4 entries").
+// Generation is deterministic for a given seed.
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+	"repro/internal/sym"
+)
+
+// Generator builds random-but-valid table entries.
+type Generator struct {
+	an  *dataplane.Analysis
+	rng uint64
+	// seen tracks generated match keys per table so entries are unique.
+	seen map[string]map[string]bool
+}
+
+// New returns a generator over the program's schemas.
+func New(an *dataplane.Analysis, seed uint64) *Generator {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Generator{an: an, rng: seed, seen: make(map[string]map[string]bool)}
+}
+
+func (g *Generator) next() uint64 {
+	x := g.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (g *Generator) bv(w uint16) sym.BV {
+	return sym.NewBV2(w, g.next(), g.next())
+}
+
+// Entry generates one valid, previously-ungenerated entry for the
+// table. Ternary masks are biased toward full masks (exact-like
+// entries), mirroring typical forwarding/NAT updates; priorities are
+// assigned increasing so entries never collide.
+func (g *Generator) Entry(table string) (*controlplane.TableEntry, error) {
+	ti, ok := g.an.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("fuzz: unknown table %s", table)
+	}
+	if g.seen[table] == nil {
+		g.seen[table] = make(map[string]bool)
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		e := &controlplane.TableEntry{Priority: len(g.seen[table]) + 1}
+		keyID := ""
+		for i, w := range ti.KeyWidths {
+			var m controlplane.FieldMatch
+			switch ti.KeyMatch[i] {
+			case controlplane.MatchExact:
+				m = controlplane.FieldMatch{Kind: controlplane.MatchExact, Value: g.bv(w)}
+			case controlplane.MatchLPM:
+				plen := int(g.next()%uint64(w)) + 1
+				m = controlplane.FieldMatch{Kind: controlplane.MatchLPM, Value: g.bv(w), PrefixLen: plen}
+			case controlplane.MatchTernary:
+				mask := sym.AllOnes(w)
+				if g.next()%4 == 0 {
+					mask = g.bv(w)
+				}
+				m = controlplane.FieldMatch{Kind: controlplane.MatchTernary, Value: g.bv(w), Mask: mask}
+			case controlplane.MatchOptional:
+				m = controlplane.FieldMatch{Kind: controlplane.MatchOptional, Value: g.bv(w), Wildcard: g.next()%4 == 0}
+			}
+			e.Matches = append(e.Matches, m)
+			keyID += fmt.Sprintf("%v|%v|%d;", m.Value, m.Mask, m.PrefixLen)
+		}
+		if g.seen[table][keyID] {
+			continue
+		}
+		g.seen[table][keyID] = true
+
+		// Pick a non-NoAction action when one exists.
+		actIdx := -1
+		for tries := 0; tries < 8; tries++ {
+			i := int(g.next() % uint64(len(ti.Actions)))
+			if ti.Actions[i].Name != "NoAction" {
+				actIdx = i
+				break
+			}
+		}
+		if actIdx < 0 {
+			actIdx = 0
+		}
+		ai := ti.Actions[actIdx]
+		e.Action = ai.Name
+		for _, pw := range ai.ParamWidths {
+			e.Params = append(e.Params, g.bv(pw))
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("fuzz: could not generate a unique entry for %s", table)
+}
+
+// Updates generates n unique insert updates for the table.
+func (g *Generator) Updates(table string, n int) ([]*controlplane.Update, error) {
+	out := make([]*controlplane.Update, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := g.Entry(table)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &controlplane.Update{
+			Kind: controlplane.InsertEntry, Table: table, Entry: e,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+func TestGeneratedEntriesAreValid(t *testing.T) {
+	p := progs.Middleblock()
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(s.An, 42)
+	ups, err := g.Updates(p.ACLTable, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 200 {
+		t.Fatalf("got %d updates", len(ups))
+	}
+	cfg := controlplane.NewConfig(s.An)
+	cfg.OverapproxThreshold = -1
+	for i, u := range ups {
+		if err := cfg.Apply(u); err != nil {
+			t.Fatalf("entry %d rejected: %v", i, err)
+		}
+	}
+	if cfg.NumEntries(p.ACLTable) != 200 {
+		t.Fatalf("installed %d entries", cfg.NumEntries(p.ACLTable))
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := progs.Fig3()
+	s1, _ := p.Load()
+	s2, _ := p.Load()
+	g1 := New(s1.An, 7)
+	g2 := New(s2.An, 7)
+	for i := 0; i < 50; i++ {
+		e1, err1 := g1.Entry(p.BurstTable)
+		e2, err2 := g2.Entry(p.BurstTable)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if e1.Action != e2.Action || len(e1.Matches) != len(e2.Matches) ||
+			e1.Matches[0].Value != e2.Matches[0].Value {
+			t.Fatalf("entry %d differs between equal seeds", i)
+		}
+	}
+}
+
+func TestGeneratorUnknownTable(t *testing.T) {
+	p := progs.Fig3()
+	s, _ := p.Load()
+	g := New(s.An, 1)
+	if _, err := g.Entry("Ingress.ghost"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+// TestFuzzBurstAgainstSpecializer mirrors the paper's use: a fuzzer
+// burst against a live specializer never produces rejected updates.
+func TestFuzzBurstAgainstSpecializer(t *testing.T) {
+	p := progs.Fig3()
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(s.An, 99)
+	ups, err := g.Updates(p.BurstTable, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range ups {
+		if d := s.Apply(u); d.Kind == core.Rejected {
+			t.Fatalf("update %d rejected: %v", i, d.Err)
+		}
+	}
+	if s.Statistics().Updates != 120 {
+		t.Fatal("not all updates processed")
+	}
+}

@@ -1,0 +1,541 @@
+// Package ast defines the abstract syntax tree for goflay's P4-16
+// subset, together with a source printer and the statement-count metric
+// used by the paper's Table 2.
+package ast
+
+import (
+	"repro/internal/p4/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeKind classifies a syntactic type.
+type TypeKind uint8
+
+const (
+	// TypeBit is bit<W>.
+	TypeBit TypeKind = iota
+	// TypeBool is bool.
+	TypeBool
+	// TypeNamed refers to a typedef, header or struct by name.
+	TypeNamed
+)
+
+// Type is a syntactic type reference.
+type Type struct {
+	Kind   TypeKind
+	Width  int    // TypeBit only
+	Name   string // TypeNamed only
+	TokPos token.Pos
+}
+
+func (t Type) Pos() token.Pos { return t.TokPos }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Name     string // derived from the source name, informational
+	Typedefs []*Typedef
+	Consts   []*ConstDecl
+	Headers  []*HeaderDecl
+	Structs  []*StructDecl
+	Parsers  []*ParserDecl
+	Controls []*ControlDecl
+}
+
+func (p *Program) Pos() token.Pos { return token.Pos{Line: 1, Col: 1} }
+
+// Header returns the header declaration named name, or nil.
+func (p *Program) Header(name string) *HeaderDecl {
+	for _, h := range p.Headers {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Struct returns the struct declaration named name, or nil.
+func (p *Program) Struct(name string) *StructDecl {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Control returns the control declaration named name, or nil.
+func (p *Program) Control(name string) *ControlDecl {
+	for _, c := range p.Controls {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Typedef aliases a name to a type.
+type Typedef struct {
+	Name   string
+	Type   Type
+	TokPos token.Pos
+}
+
+func (d *Typedef) Pos() token.Pos { return d.TokPos }
+
+// ConstDecl is a compile-time constant.
+type ConstDecl struct {
+	Name   string
+	Type   Type
+	Value  Expr
+	TokPos token.Pos
+}
+
+func (d *ConstDecl) Pos() token.Pos { return d.TokPos }
+
+// Field is a header or struct member.
+type Field struct {
+	Type   Type
+	Name   string
+	TokPos token.Pos
+}
+
+func (f Field) Pos() token.Pos { return f.TokPos }
+
+// HeaderDecl declares a packet header type.
+type HeaderDecl struct {
+	Name   string
+	Fields []Field
+	TokPos token.Pos
+}
+
+func (d *HeaderDecl) Pos() token.Pos { return d.TokPos }
+
+// Field returns the field named name, or nil.
+func (d *HeaderDecl) Field(name string) *Field {
+	for i := range d.Fields {
+		if d.Fields[i].Name == name {
+			return &d.Fields[i]
+		}
+	}
+	return nil
+}
+
+// StructDecl declares a struct type (header containers, metadata).
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	TokPos token.Pos
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.TokPos }
+
+// Field returns the field named name, or nil.
+func (d *StructDecl) Field(name string) *Field {
+	for i := range d.Fields {
+		if d.Fields[i].Name == name {
+			return &d.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Param is a parser/control/action parameter. Dir is one of "", "in",
+// "out", "inout" ("" for action data parameters, which are
+// control-plane-supplied).
+type Param struct {
+	Dir    string
+	Type   Type
+	Name   string
+	TokPos token.Pos
+}
+
+func (p Param) Pos() token.Pos { return p.TokPos }
+
+// ---------------------------------------------------------------------------
+// Parser declarations
+
+// ParserDecl is a parser block: a state machine extracting headers.
+type ParserDecl struct {
+	Name      string
+	Params    []Param
+	ValueSets []*ValueSet
+	States    []*State
+	TokPos    token.Pos
+}
+
+func (d *ParserDecl) Pos() token.Pos { return d.TokPos }
+
+// State returns the named state, or nil.
+func (d *ParserDecl) State(name string) *State {
+	for _, s := range d.States {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ValueSet is a parser value set (PVS), a control-plane-configurable
+// match set used in select expressions (paper §3, parser
+// specializations).
+type ValueSet struct {
+	Name   string
+	Type   Type
+	Size   int
+	TokPos token.Pos
+}
+
+func (d *ValueSet) Pos() token.Pos { return d.TokPos }
+
+// State is one parser state.
+type State struct {
+	Name   string
+	Stmts  []Stmt
+	Trans  Transition
+	TokPos token.Pos
+}
+
+func (s *State) Pos() token.Pos { return s.TokPos }
+
+// Transition is a parser state transition: either direct (Next set,
+// Select nil) or a select over expressions.
+type Transition struct {
+	Select []Expr
+	Cases  []SelectCase
+	Next   string // direct transition target; "accept"/"reject" terminate
+	TokPos token.Pos
+}
+
+func (t Transition) Pos() token.Pos { return t.TokPos }
+
+// SelectCase is one arm of a select transition.
+type SelectCase struct {
+	Keysets []Keyset
+	Next    string
+	TokPos  token.Pos
+}
+
+// KeysetKind classifies a select keyset entry.
+type KeysetKind uint8
+
+const (
+	// KeysetValue matches a single value.
+	KeysetValue KeysetKind = iota
+	// KeysetMask matches value &&& mask.
+	KeysetMask
+	// KeysetDefault matches anything (default or _).
+	KeysetDefault
+	// KeysetValueSet matches against a parser value set by name.
+	KeysetValueSet
+)
+
+// Keyset is one component of a select case label.
+type Keyset struct {
+	Kind   KeysetKind
+	Value  Expr   // KeysetValue, KeysetMask
+	Mask   Expr   // KeysetMask
+	Ref    string // KeysetValueSet
+	TokPos token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Control declarations
+
+// ControlDecl is a control block: actions, tables, registers, locals and
+// an apply body.
+type ControlDecl struct {
+	Name      string
+	Params    []Param
+	Actions   []*Action
+	Tables    []*Table
+	Registers []*Register
+	Locals    []*VarDecl
+	Consts    []*ConstDecl
+	Apply     *BlockStmt
+	TokPos    token.Pos
+}
+
+func (d *ControlDecl) Pos() token.Pos { return d.TokPos }
+
+// Action returns the named action, or nil.
+func (d *ControlDecl) Action(name string) *Action {
+	for _, a := range d.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (d *ControlDecl) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Action is a named action with control-plane-supplied data parameters.
+type Action struct {
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	TokPos token.Pos
+}
+
+func (a *Action) Pos() token.Pos { return a.TokPos }
+
+// MatchKind is a table key's match kind.
+type MatchKind uint8
+
+const (
+	// MatchExact requires value equality (SRAM-friendly).
+	MatchExact MatchKind = iota
+	// MatchTernary matches under a per-entry mask (TCAM).
+	MatchTernary
+	// MatchLPM is longest-prefix match.
+	MatchLPM
+	// MatchOptional matches a value or wildcards entirely.
+	MatchOptional
+)
+
+var matchNames = [...]string{"exact", "ternary", "lpm", "optional"}
+
+func (m MatchKind) String() string {
+	if int(m) < len(matchNames) {
+		return matchNames[m]
+	}
+	return "match?"
+}
+
+// MatchKinds maps spelling to kind, for the parser.
+var MatchKinds = map[string]MatchKind{
+	"exact": MatchExact, "ternary": MatchTernary,
+	"lpm": MatchLPM, "optional": MatchOptional,
+}
+
+// TableKey is one key component of a table.
+type TableKey struct {
+	Expr   Expr
+	Match  MatchKind
+	TokPos token.Pos
+}
+
+// ActionRef references an action from a table's actions list or default.
+type ActionRef struct {
+	Name   string
+	Args   []Expr // bound arguments (default_action only)
+	TokPos token.Pos
+}
+
+// Table is a match-action table.
+type Table struct {
+	Name    string
+	Keys    []TableKey
+	Actions []ActionRef
+	Default *ActionRef // nil means NoAction semantics
+	Size    int
+	TokPos  token.Pos
+}
+
+func (t *Table) Pos() token.Pos { return t.TokPos }
+
+// HasAction reports whether the table lists the action.
+func (t *Table) HasAction(name string) bool {
+	for _, a := range t.Actions {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Register is a stateful register array (control-plane initialisable).
+type Register struct {
+	Name   string
+	Elem   Type
+	Size   int
+	TokPos token.Pos
+}
+
+func (r *Register) Pos() token.Pos { return r.TokPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// VarDecl declares a local variable, optionally initialised.
+type VarDecl struct {
+	Type   Type
+	Name   string
+	Init   Expr // may be nil
+	TokPos token.Pos
+}
+
+func (s *VarDecl) Pos() token.Pos { return s.TokPos }
+func (*VarDecl) stmtNode()        {}
+
+// AssignStmt is lhs = rhs.
+type AssignStmt struct {
+	LHS    Expr
+	RHS    Expr
+	TokPos token.Pos
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.TokPos }
+func (*AssignStmt) stmtNode()        {}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond   Expr
+	Then   Stmt
+	Else   Stmt // may be nil
+	TokPos token.Pos
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.TokPos }
+func (*IfStmt) stmtNode()        {}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Stmts  []Stmt
+	TokPos token.Pos
+}
+
+func (s *BlockStmt) Pos() token.Pos { return s.TokPos }
+func (*BlockStmt) stmtNode()        {}
+
+// CallStmt is an expression-statement call: t.apply(), pkt.extract(...),
+// mark_to_drop(std), reg.read(dst, idx), hdr.h.setValid(), ...
+type CallStmt struct {
+	Call   *CallExpr
+	TokPos token.Pos
+}
+
+func (s *CallStmt) Pos() token.Pos { return s.TokPos }
+func (*CallStmt) stmtNode()        {}
+
+// ExitStmt terminates pipeline processing.
+type ExitStmt struct {
+	TokPos token.Pos
+}
+
+func (s *ExitStmt) Pos() token.Pos { return s.TokPos }
+func (*ExitStmt) stmtNode()        {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal. Width 0 means unsized (to be inferred);
+// the value is held in a 128-bit (Hi, Lo) pair.
+type IntLit struct {
+	Width  int
+	Hi, Lo uint64
+	TokPos token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos { return e.TokPos }
+func (*IntLit) exprNode()        {}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value  bool
+	TokPos token.Pos
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.TokPos }
+func (*BoolLit) exprNode()        {}
+
+// Ident is a bare identifier.
+type Ident struct {
+	Name   string
+	TokPos token.Pos
+}
+
+func (e *Ident) Pos() token.Pos { return e.TokPos }
+func (*Ident) exprNode()        {}
+
+// Member is x.Name.
+type Member struct {
+	X      Expr
+	Name   string
+	TokPos token.Pos
+}
+
+func (e *Member) Pos() token.Pos { return e.TokPos }
+func (*Member) exprNode()        {}
+
+// CallExpr is fun(args...). fun is an Ident (builtin/extern) or Member
+// (method form: t.apply, pkt.extract, h.isValid, reg.read).
+type CallExpr struct {
+	Fun    Expr
+	Args   []Expr
+	TokPos token.Pos
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.TokPos }
+func (*CallExpr) exprNode()        {}
+
+// UnaryExpr is op X, with Op one of "!", "~", "-".
+type UnaryExpr struct {
+	Op     string
+	X      Expr
+	TokPos token.Pos
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.TokPos }
+func (*UnaryExpr) exprNode()        {}
+
+// BinaryExpr is X op Y.
+type BinaryExpr struct {
+	Op     string // "+", "-", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">=", "&&", "||", "++"
+	X, Y   Expr
+	TokPos token.Pos
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.TokPos }
+func (*BinaryExpr) exprNode()        {}
+
+// TernaryExpr is cond ? t : e.
+type TernaryExpr struct {
+	Cond   Expr
+	Then   Expr
+	Else   Expr
+	TokPos token.Pos
+}
+
+func (e *TernaryExpr) Pos() token.Pos { return e.TokPos }
+func (*TernaryExpr) exprNode()        {}
+
+// SliceExpr is x[hi:lo], a bit slice with constant bounds.
+type SliceExpr struct {
+	X      Expr
+	Hi, Lo int
+	TokPos token.Pos
+}
+
+func (e *SliceExpr) Pos() token.Pos { return e.TokPos }
+func (*SliceExpr) exprNode()        {}

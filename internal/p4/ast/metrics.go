@@ -1,0 +1,101 @@
+package ast
+
+// CountStatements computes the program-size metric reported in the
+// paper's Table 2 ("Program statements"): every executable statement in
+// parser states, action bodies and control apply blocks, plus one per
+// table (the apply site's match-action work) and one per parser
+// transition.
+func CountStatements(p *Program) int {
+	n := 0
+	for _, ps := range p.Parsers {
+		for _, st := range ps.States {
+			for _, s := range st.Stmts {
+				n += countStmt(s)
+			}
+			n++ // the transition
+		}
+	}
+	for _, c := range p.Controls {
+		for _, a := range c.Actions {
+			n += countStmt(a.Body) - 1 // don't count the block wrapper
+		}
+		n += len(c.Tables)
+		n += countStmt(c.Apply) - 1
+	}
+	return n
+}
+
+func countStmt(s Stmt) int {
+	switch s := s.(type) {
+	case *BlockStmt:
+		n := 1
+		for _, inner := range s.Stmts {
+			n += countStmt(inner)
+		}
+		return n
+	case *IfStmt:
+		n := 1 + countStmt(s.Then)
+		if s.Else != nil {
+			n += countStmt(s.Else)
+		}
+		return n
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Tables returns every table in the program in declaration order.
+func Tables(p *Program) []*Table {
+	var out []*Table
+	for _, c := range p.Controls {
+		out = append(out, c.Tables...)
+	}
+	return out
+}
+
+// WalkStmts calls fn for every statement reachable from s, pre-order.
+func WalkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, inner := range s.Stmts {
+			WalkStmts(inner, fn)
+		}
+	case *IfStmt:
+		WalkStmts(s.Then, fn)
+		WalkStmts(s.Else, fn)
+	}
+}
+
+// WalkExprs calls fn for every subexpression of e, pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Member:
+		WalkExprs(e.X, fn)
+	case *CallExpr:
+		WalkExprs(e.Fun, fn)
+		for _, a := range e.Args {
+			WalkExprs(a, fn)
+		}
+	case *UnaryExpr:
+		WalkExprs(e.X, fn)
+	case *BinaryExpr:
+		WalkExprs(e.X, fn)
+		WalkExprs(e.Y, fn)
+	case *TernaryExpr:
+		WalkExprs(e.Cond, fn)
+		WalkExprs(e.Then, fn)
+		WalkExprs(e.Else, fn)
+	case *SliceExpr:
+		WalkExprs(e.X, fn)
+	}
+}

@@ -1,0 +1,336 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program back to P4-style source. The output
+// re-parses to an equivalent tree (round-trip tested) and is what the
+// CLI shows when displaying specialized programs.
+func Print(p *Program) string {
+	var pr printer
+	pr.program(p)
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.sb.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("    ")
+	}
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) program(prog *Program) {
+	for _, d := range prog.Typedefs {
+		p.printf("typedef %s %s;", typeStr(d.Type), d.Name)
+		p.nl()
+	}
+	for _, d := range prog.Consts {
+		p.printf("const %s %s = %s;", typeStr(d.Type), d.Name, ExprString(d.Value))
+		p.nl()
+	}
+	for _, d := range prog.Headers {
+		p.fields("header", d.Name, d.Fields)
+	}
+	for _, d := range prog.Structs {
+		p.fields("struct", d.Name, d.Fields)
+	}
+	for _, d := range prog.Parsers {
+		p.parser(d)
+	}
+	for _, d := range prog.Controls {
+		p.control(d)
+	}
+}
+
+func (p *printer) fields(kw, name string, fields []Field) {
+	p.printf("%s %s {", kw, name)
+	p.indent++
+	for _, f := range fields {
+		p.nl()
+		p.printf("%s %s;", typeStr(f.Type), f.Name)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+	p.nl()
+}
+
+func typeStr(t Type) string {
+	switch t.Kind {
+	case TypeBit:
+		return fmt.Sprintf("bit<%d>", t.Width)
+	case TypeBool:
+		return "bool"
+	default:
+		return t.Name
+	}
+}
+
+func paramsStr(params []Param) string {
+	parts := make([]string, len(params))
+	for i, pr := range params {
+		if pr.Dir != "" {
+			parts[i] = fmt.Sprintf("%s %s %s", pr.Dir, typeStr(pr.Type), pr.Name)
+		} else {
+			parts[i] = fmt.Sprintf("%s %s", typeStr(pr.Type), pr.Name)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) parser(d *ParserDecl) {
+	p.printf("parser %s(%s) {", d.Name, paramsStr(d.Params))
+	p.indent++
+	for _, vs := range d.ValueSets {
+		p.nl()
+		p.printf("value_set<%s>(%d) %s;", typeStr(vs.Type), vs.Size, vs.Name)
+	}
+	for _, s := range d.States {
+		p.nl()
+		p.printf("state %s {", s.Name)
+		p.indent++
+		for _, st := range s.Stmts {
+			p.nl()
+			p.stmt(st)
+		}
+		p.nl()
+		p.transition(s.Trans)
+		p.indent--
+		p.nl()
+		p.printf("}")
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+	p.nl()
+}
+
+func (p *printer) transition(t Transition) {
+	if t.Select == nil {
+		p.printf("transition %s;", t.Next)
+		return
+	}
+	exprs := make([]string, len(t.Select))
+	for i, e := range t.Select {
+		exprs[i] = ExprString(e)
+	}
+	p.printf("transition select(%s) {", strings.Join(exprs, ", "))
+	p.indent++
+	for _, c := range t.Cases {
+		p.nl()
+		keys := make([]string, len(c.Keysets))
+		for i, k := range c.Keysets {
+			switch k.Kind {
+			case KeysetDefault:
+				keys[i] = "default"
+			case KeysetValue:
+				keys[i] = ExprString(k.Value)
+			case KeysetMask:
+				keys[i] = ExprString(k.Value) + " &&& " + ExprString(k.Mask)
+			case KeysetValueSet:
+				keys[i] = k.Ref
+			}
+		}
+		label := strings.Join(keys, ", ")
+		if len(c.Keysets) > 1 {
+			label = "(" + label + ")"
+		}
+		p.printf("%s: %s;", label, c.Next)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+}
+
+func (p *printer) control(d *ControlDecl) {
+	p.printf("control %s(%s) {", d.Name, paramsStr(d.Params))
+	p.indent++
+	for _, c := range d.Consts {
+		p.nl()
+		p.printf("const %s %s = %s;", typeStr(c.Type), c.Name, ExprString(c.Value))
+	}
+	for _, r := range d.Registers {
+		p.nl()
+		p.printf("register<%s>(%d) %s;", typeStr(r.Elem), r.Size, r.Name)
+	}
+	for _, v := range d.Locals {
+		p.nl()
+		if v.Init != nil {
+			p.printf("%s %s = %s;", typeStr(v.Type), v.Name, ExprString(v.Init))
+		} else {
+			p.printf("%s %s;", typeStr(v.Type), v.Name)
+		}
+	}
+	for _, a := range d.Actions {
+		p.nl()
+		p.printf("action %s(%s) ", a.Name, paramsStr(a.Params))
+		p.block(a.Body)
+	}
+	for _, t := range d.Tables {
+		p.nl()
+		p.table(t)
+	}
+	p.nl()
+	p.printf("apply ")
+	p.block(d.Apply)
+	p.indent--
+	p.nl()
+	p.printf("}")
+	p.nl()
+}
+
+func (p *printer) table(t *Table) {
+	p.printf("table %s {", t.Name)
+	p.indent++
+	if len(t.Keys) > 0 {
+		p.nl()
+		p.printf("key = {")
+		p.indent++
+		for _, k := range t.Keys {
+			p.nl()
+			p.printf("%s: %s;", ExprString(k.Expr), k.Match)
+		}
+		p.indent--
+		p.nl()
+		p.printf("}")
+	}
+	p.nl()
+	p.printf("actions = {")
+	p.indent++
+	for _, a := range t.Actions {
+		p.nl()
+		p.printf("%s;", a.Name)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+	if t.Default != nil {
+		p.nl()
+		args := make([]string, len(t.Default.Args))
+		for i, a := range t.Default.Args {
+			args[i] = ExprString(a)
+		}
+		if len(args) > 0 {
+			p.printf("default_action = %s(%s);", t.Default.Name, strings.Join(args, ", "))
+		} else {
+			p.printf("default_action = %s;", t.Default.Name)
+		}
+	}
+	if t.Size > 0 {
+		p.nl()
+		p.printf("size = %d;", t.Size)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.printf("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		if s.Init != nil {
+			p.printf("%s %s = %s;", typeStr(s.Type), s.Name, ExprString(s.Init))
+		} else {
+			p.printf("%s %s;", typeStr(s.Type), s.Name)
+		}
+	case *AssignStmt:
+		p.printf("%s = %s;", ExprString(s.LHS), ExprString(s.RHS))
+	case *IfStmt:
+		p.printf("if (%s) ", ExprString(s.Cond))
+		p.stmtAsBlock(s.Then)
+		if s.Else != nil {
+			p.printf(" else ")
+			p.stmtAsBlock(s.Else)
+		}
+	case *BlockStmt:
+		p.block(s)
+	case *CallStmt:
+		p.printf("%s;", ExprString(s.Call))
+	case *ExitStmt:
+		p.printf("exit;")
+	default:
+		p.printf("/* unknown stmt %T */", s)
+	}
+}
+
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		return
+	}
+	p.block(&BlockStmt{Stmts: []Stmt{s}})
+}
+
+// ExprString renders an expression in source syntax.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Width > 0 {
+			if e.Hi != 0 {
+				return fmt.Sprintf("%dw0x%x%016x", e.Width, e.Hi, e.Lo)
+			}
+			return fmt.Sprintf("%dw0x%x", e.Width, e.Lo)
+		}
+		if e.Hi != 0 {
+			return fmt.Sprintf("0x%x%016x", e.Hi, e.Lo)
+		}
+		return fmt.Sprintf("0x%x", e.Lo)
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *Ident:
+		return e.Name
+	case *Member:
+		return ExprString(e.X) + "." + e.Name
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return ExprString(e.Fun) + "(" + strings.Join(args, ", ") + ")"
+	case *UnaryExpr:
+		return e.Op + parenthesize(e.X)
+	case *BinaryExpr:
+		return parenthesize(e.X) + " " + e.Op + " " + parenthesize(e.Y)
+	case *TernaryExpr:
+		return "(" + ExprString(e.Cond) + " ? " + ExprString(e.Then) + " : " + ExprString(e.Else) + ")"
+	case *SliceExpr:
+		return parenthesize(e.X) + fmt.Sprintf("[%d:%d]", e.Hi, e.Lo)
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *TernaryExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	default:
+		return ExprString(e)
+	}
+}

@@ -1,0 +1,256 @@
+// Package lexer turns P4 source text into a token stream.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/p4/token"
+)
+
+// Lexer scans a single source buffer. Create one with New and call Next
+// until it returns an EOF token. Scanning never fails hard: unexpected
+// bytes become ILLEGAL tokens carrying the offending text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	two := func(next byte, withKind, without token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: withKind, Pos: pos}
+		}
+		return token.Token{Kind: without, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case '@':
+		return token.Token{Kind: token.AT, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '+':
+		return two('+', token.PLUSPLUS, token.PLUS)
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NE, token.NOT)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GE, token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			if l.peek() == '&' {
+				l.advance()
+				return token.Token{Kind: token.MASK, Pos: pos}
+			}
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		return token.Token{Kind: token.AND, Pos: pos}
+	case '|':
+		return two('|', token.LOR, token.OR)
+	}
+	return token.Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(c)}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if lit == "_" {
+		return token.Token{Kind: token.USCORE, Pos: pos}
+	}
+	if k, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: k, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Pos: pos, Lit: lit}
+}
+
+// scanNumber accepts decimal and hexadecimal literals, optionally
+// width-prefixed in P4 style: 255, 0x800, 8w255, 16w0x0800.
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	digits := func(hex bool) {
+		for l.off < len(l.src) {
+			c := l.peek()
+			if c == '_' || isDigit(c) || (hex && isHexDigit(c)) {
+				l.advance()
+				continue
+			}
+			break
+		}
+	}
+	digits(false)
+	// Width prefix: <decimal>w<number>.
+	if l.peek() == 'w' {
+		l.advance()
+		if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			digits(true)
+		} else {
+			digits(false)
+		}
+		return token.Token{Kind: token.INT, Pos: pos, Lit: l.src[start:l.off]}
+	}
+	// Hex literal: the leading 0 was already consumed by digits(false).
+	if l.off == start+1 && l.src[start] == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+		l.advance()
+		digits(true)
+	}
+	return token.Token{Kind: token.INT, Pos: pos, Lit: l.src[start:l.off]}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	start := l.off
+	for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if l.off >= len(l.src) || l.peek() != '"' {
+		return token.Token{Kind: token.ILLEGAL, Pos: pos, Lit: fmt.Sprintf("unterminated string %q", lit)}
+	}
+	l.advance() // closing quote
+	return token.Token{Kind: token.STRING, Pos: pos, Lit: lit}
+}
+
+// All scans the entire buffer, for tests and tooling.
+func All(src string) []token.Token {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

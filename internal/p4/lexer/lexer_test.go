@@ -1,0 +1,125 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/p4/token"
+)
+
+func kinds(src string) []token.Kind {
+	toks := All(src)
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	src := `table eth_table { key = { hdr.eth.dst: ternary; } }`
+	want := []token.Kind{
+		token.TABLE, token.IDENT, token.LBRACE, token.KEY, token.ASSIGN,
+		token.LBRACE, token.IDENT, token.DOT, token.IDENT, token.DOT,
+		token.IDENT, token.COLON, token.IDENT, token.SEMICOLON,
+		token.RBRACE, token.RBRACE, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `== != <= >= << >> && || &&& ++ & | ^ ~ ! ? : = < > + - _`
+	want := []token.Kind{
+		token.EQ, token.NE, token.LE, token.GE, token.SHL, token.SHR,
+		token.LAND, token.LOR, token.MASK, token.PLUSPLUS, token.AND,
+		token.OR, token.XOR, token.TILDE, token.NOT, token.QUESTION,
+		token.COLON, token.ASSIGN, token.LT, token.GT, token.PLUS,
+		token.MINUS, token.USCORE, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct{ src, lit string }{
+		{"255", "255"},
+		{"0x800", "0x800"},
+		{"0XFF", "0XFF"},
+		{"8w255", "8w255"},
+		{"16w0x0800", "16w0x0800"},
+		{"48w0xDEADBEEFF00D", "48w0xDEADBEEFF00D"},
+		{"1_000_000", "1_000_000"},
+	}
+	for _, c := range cases {
+		toks := All(c.src)
+		if toks[0].Kind != token.INT || toks[0].Lit != c.lit {
+			t.Errorf("%q: got %s", c.src, toks[0])
+		}
+		if toks[1].Kind != token.EOF {
+			t.Errorf("%q: trailing token %s", c.src, toks[1])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "a // line comment\n/* block\ncomment */ b"
+	toks := All(src)
+	if len(toks) != 3 || toks[0].Lit != "a" || toks[1].Lit != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Fatalf("line tracking through block comment wrong: %v", toks[1].Pos)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := All("action actions applied value_set value_sets")
+	want := []token.Kind{token.ACTION, token.ACTIONS, token.IDENT, token.VALUESET, token.IDENT, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %s, want %s", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := All("ab\n  cd")
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Fatalf("first pos %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("second pos %v", toks[1].Pos)
+	}
+}
+
+func TestLexIllegal(t *testing.T) {
+	toks := All("a $ b")
+	if toks[1].Kind != token.ILLEGAL || toks[1].Lit != "$" {
+		t.Fatalf("expected ILLEGAL($), got %s", toks[1])
+	}
+	toks = All(`"unterminated`)
+	if toks[0].Kind != token.ILLEGAL {
+		t.Fatalf("expected ILLEGAL for unterminated string, got %s", toks[0])
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks := All(`"hello world"`)
+	if toks[0].Kind != token.STRING || toks[0].Lit != "hello world" {
+		t.Fatalf("got %s", toks[0])
+	}
+}

@@ -1,0 +1,1159 @@
+// Package parser builds goflay AST from P4 source text via recursive
+// descent.
+package parser
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/p4/ast"
+	"repro/internal/p4/lexer"
+	"repro/internal/p4/token"
+)
+
+// Error is a parse error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a compilation unit. name is used for diagnostics and as
+// Program.Name.
+func Parse(name, src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src), name: name}
+	p.next()
+	p.next() // fill cur and peek
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	name string
+	cur  token.Token
+	peek token.Token
+}
+
+func (p *parser) next() {
+	p.cur = p.peek
+	p.peek = p.lex.Next()
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.cur.Kind != k {
+		return token.Token{}, p.errorf(p.cur.Pos, "expected %s, found %s", k, p.cur)
+	}
+	t := p.cur
+	p.next()
+	return t, nil
+}
+
+func (p *parser) expectIdent() (string, token.Pos, error) {
+	if p.cur.Kind != token.IDENT {
+		return "", token.Pos{}, p.errorf(p.cur.Pos, "expected identifier, found %s", p.cur)
+	}
+	name, pos := p.cur.Lit, p.cur.Pos
+	p.next()
+	return name, pos, nil
+}
+
+// expectGT consumes a single '>' even when the lexer merged two of them
+// into '>>' (as in register<bit<32>>), the classic nested-generic case.
+func (p *parser) expectGT() error {
+	switch p.cur.Kind {
+	case token.GT:
+		p.next()
+		return nil
+	case token.SHR:
+		p.cur.Kind = token.GT // consume the first '>', leave the second
+		return nil
+	case token.GE:
+		p.cur.Kind = token.ASSIGN // consume the '>', leave the '='
+		return nil
+	default:
+		return p.errorf(p.cur.Pos, "expected >, found %s", p.cur)
+	}
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.cur.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+
+func (p *parser) program() (*ast.Program, error) {
+	prog := &ast.Program{Name: p.name}
+	for p.cur.Kind != token.EOF {
+		switch p.cur.Kind {
+		case token.TYPEDEF:
+			d, err := p.typedef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Typedefs = append(prog.Typedefs, d)
+		case token.CONST:
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case token.HEADER:
+			d, err := p.headerDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Headers = append(prog.Headers, d)
+		case token.STRUCT:
+			d, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, d)
+		case token.PARSER:
+			d, err := p.parserDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Parsers = append(prog.Parsers, d)
+		case token.CONTROL:
+			d, err := p.controlDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Controls = append(prog.Controls, d)
+		default:
+			return nil, p.errorf(p.cur.Pos, "expected declaration, found %s", p.cur)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) typedef() (*ast.Typedef, error) {
+	pos := p.cur.Pos
+	p.next() // typedef
+	t, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.Typedef{Name: name, Type: t, TokPos: pos}, nil
+}
+
+func (p *parser) constDecl() (*ast.ConstDecl, error) {
+	pos := p.cur.Pos
+	p.next() // const
+	t, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.ASSIGN); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.ConstDecl{Name: name, Type: t, Value: v, TokPos: pos}, nil
+}
+
+func (p *parser) typeRef() (ast.Type, error) {
+	pos := p.cur.Pos
+	switch p.cur.Kind {
+	case token.BIT:
+		p.next()
+		if _, err := p.expect(token.LT); err != nil {
+			return ast.Type{}, err
+		}
+		w, err := p.intValue()
+		if err != nil {
+			return ast.Type{}, err
+		}
+		if err := p.expectGT(); err != nil {
+			return ast.Type{}, err
+		}
+		return ast.Type{Kind: ast.TypeBit, Width: w, TokPos: pos}, nil
+	case token.BOOL:
+		p.next()
+		return ast.Type{Kind: ast.TypeBool, TokPos: pos}, nil
+	case token.IDENT:
+		name := p.cur.Lit
+		p.next()
+		return ast.Type{Kind: ast.TypeNamed, Name: name, TokPos: pos}, nil
+	default:
+		return ast.Type{}, p.errorf(pos, "expected type, found %s", p.cur)
+	}
+}
+
+// intValue parses a plain (unwidthed) integer token into an int.
+func (p *parser) intValue() (int, error) {
+	t, err := p.expect(token.INT)
+	if err != nil {
+		return 0, err
+	}
+	w, hi, lo, err := ParseIntLit(t.Lit)
+	if err != nil {
+		return 0, p.errorf(t.Pos, "%v", err)
+	}
+	if w != 0 || hi != 0 || lo > 1<<30 {
+		return 0, p.errorf(t.Pos, "expected a small plain integer, found %q", t.Lit)
+	}
+	return int(lo), nil
+}
+
+func (p *parser) fieldList() ([]ast.Field, error) {
+	var fields []ast.Field
+	for p.cur.Kind != token.RBRACE {
+		t, err := p.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		name, pos, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		fields = append(fields, ast.Field{Type: t, Name: name, TokPos: pos})
+	}
+	return fields, nil
+}
+
+func (p *parser) headerDecl() (*ast.HeaderDecl, error) {
+	pos := p.cur.Pos
+	p.next() // header
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	fields, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	return &ast.HeaderDecl{Name: name, Fields: fields, TokPos: pos}, nil
+}
+
+func (p *parser) structDecl() (*ast.StructDecl, error) {
+	pos := p.cur.Pos
+	p.next() // struct
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	fields, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	return &ast.StructDecl{Name: name, Fields: fields, TokPos: pos}, nil
+}
+
+func (p *parser) params() ([]ast.Param, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var out []ast.Param
+	for p.cur.Kind != token.RPAREN {
+		if len(out) > 0 {
+			if _, err := p.expect(token.COMMA); err != nil {
+				return nil, err
+			}
+		}
+		pos := p.cur.Pos
+		dir := ""
+		if p.cur.Kind == token.IDENT {
+			switch p.cur.Lit {
+			case "in", "out", "inout":
+				dir = p.cur.Lit
+				p.next()
+			}
+		}
+		t, err := p.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		name, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ast.Param{Dir: dir, Type: t, Name: name, TokPos: pos})
+	}
+	p.next() // )
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser declarations
+
+func (p *parser) parserDecl() (*ast.ParserDecl, error) {
+	pos := p.cur.Pos
+	p.next() // parser
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	d := &ast.ParserDecl{Name: name, Params: params, TokPos: pos}
+	for p.cur.Kind != token.RBRACE {
+		switch p.cur.Kind {
+		case token.VALUESET:
+			vs, err := p.valueSet()
+			if err != nil {
+				return nil, err
+			}
+			d.ValueSets = append(d.ValueSets, vs)
+		case token.STATE:
+			st, err := p.state()
+			if err != nil {
+				return nil, err
+			}
+			d.States = append(d.States, st)
+		default:
+			return nil, p.errorf(p.cur.Pos, "expected state or value_set in parser, found %s", p.cur)
+		}
+	}
+	p.next() // }
+	return d, nil
+}
+
+func (p *parser) valueSet() (*ast.ValueSet, error) {
+	pos := p.cur.Pos
+	p.next() // value_set
+	if _, err := p.expect(token.LT); err != nil {
+		return nil, err
+	}
+	t, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectGT(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	size, err := p.intValue()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.ValueSet{Name: name, Type: t, Size: size, TokPos: pos}, nil
+}
+
+func (p *parser) state() (*ast.State, error) {
+	pos := p.cur.Pos
+	p.next() // state
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	st := &ast.State{Name: name, TokPos: pos}
+	for p.cur.Kind != token.TRANSITION && p.cur.Kind != token.RBRACE {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st.Stmts = append(st.Stmts, s)
+	}
+	if p.cur.Kind != token.TRANSITION {
+		return nil, p.errorf(p.cur.Pos, "parser state %s must end with a transition", name)
+	}
+	tr, err := p.transition()
+	if err != nil {
+		return nil, err
+	}
+	st.Trans = tr
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) transition() (ast.Transition, error) {
+	pos := p.cur.Pos
+	p.next() // transition
+	if p.cur.Kind == token.SELECT {
+		p.next()
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return ast.Transition{}, err
+		}
+		var sel []ast.Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return ast.Transition{}, err
+			}
+			sel = append(sel, e)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return ast.Transition{}, err
+		}
+		if _, err := p.expect(token.LBRACE); err != nil {
+			return ast.Transition{}, err
+		}
+		var cases []ast.SelectCase
+		for p.cur.Kind != token.RBRACE {
+			c, err := p.selectCase(len(sel))
+			if err != nil {
+				return ast.Transition{}, err
+			}
+			cases = append(cases, c)
+		}
+		p.next() // }
+		return ast.Transition{Select: sel, Cases: cases, TokPos: pos}, nil
+	}
+	// Direct transition to a named state (accept/reject are plain names).
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return ast.Transition{}, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return ast.Transition{}, err
+	}
+	return ast.Transition{Next: name, TokPos: pos}, nil
+}
+
+func (p *parser) selectCase(arity int) (ast.SelectCase, error) {
+	pos := p.cur.Pos
+	var keys []ast.Keyset
+	parenthesised := p.accept(token.LPAREN)
+	for {
+		k, err := p.keyset()
+		if err != nil {
+			return ast.SelectCase{}, err
+		}
+		keys = append(keys, k)
+		if !parenthesised || !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if parenthesised {
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return ast.SelectCase{}, err
+		}
+	}
+	if len(keys) != arity && !(len(keys) == 1 && keys[0].Kind == ast.KeysetDefault) {
+		return ast.SelectCase{}, p.errorf(pos, "select case has %d keysets, want %d", len(keys), arity)
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return ast.SelectCase{}, err
+	}
+	next, _, err := p.expectIdent()
+	if err != nil {
+		return ast.SelectCase{}, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return ast.SelectCase{}, err
+	}
+	return ast.SelectCase{Keysets: keys, Next: next, TokPos: pos}, nil
+}
+
+func (p *parser) keyset() (ast.Keyset, error) {
+	pos := p.cur.Pos
+	switch p.cur.Kind {
+	case token.DEFAULT, token.USCORE:
+		p.next()
+		return ast.Keyset{Kind: ast.KeysetDefault, TokPos: pos}, nil
+	case token.IDENT:
+		// A bare identifier in keyset position is a value-set reference
+		// unless it is a declared constant; the type checker
+		// disambiguates. We record it as a value-set reference and let
+		// typecheck reinterpret const names.
+		name := p.cur.Lit
+		p.next()
+		return ast.Keyset{Kind: ast.KeysetValueSet, Ref: name, TokPos: pos}, nil
+	}
+	v, err := p.expr()
+	if err != nil {
+		return ast.Keyset{}, err
+	}
+	if p.accept(token.MASK) {
+		m, err := p.expr()
+		if err != nil {
+			return ast.Keyset{}, err
+		}
+		return ast.Keyset{Kind: ast.KeysetMask, Value: v, Mask: m, TokPos: pos}, nil
+	}
+	return ast.Keyset{Kind: ast.KeysetValue, Value: v, TokPos: pos}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Control declarations
+
+func (p *parser) controlDecl() (*ast.ControlDecl, error) {
+	pos := p.cur.Pos
+	p.next() // control
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	d := &ast.ControlDecl{Name: name, Params: params, TokPos: pos}
+	for p.cur.Kind != token.APPLY {
+		switch p.cur.Kind {
+		case token.ACTION:
+			a, err := p.action()
+			if err != nil {
+				return nil, err
+			}
+			d.Actions = append(d.Actions, a)
+		case token.TABLE:
+			t, err := p.table()
+			if err != nil {
+				return nil, err
+			}
+			d.Tables = append(d.Tables, t)
+		case token.REGISTER:
+			r, err := p.register()
+			if err != nil {
+				return nil, err
+			}
+			d.Registers = append(d.Registers, r)
+		case token.CONST:
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Consts = append(d.Consts, c)
+		case token.BIT, token.BOOL, token.IDENT:
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Locals = append(d.Locals, v)
+		case token.EOF, token.RBRACE:
+			return nil, p.errorf(p.cur.Pos, "control %s has no apply block", name)
+		default:
+			return nil, p.errorf(p.cur.Pos, "unexpected %s in control %s", p.cur, name)
+		}
+	}
+	p.next() // apply
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	d.Apply = body
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) action() (*ast.Action, error) {
+	pos := p.cur.Pos
+	p.next() // action
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Action{Name: name, Params: params, Body: body, TokPos: pos}, nil
+}
+
+func (p *parser) register() (*ast.Register, error) {
+	pos := p.cur.Pos
+	p.next() // register
+	if _, err := p.expect(token.LT); err != nil {
+		return nil, err
+	}
+	elem, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectGT(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	size, err := p.intValue()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.Register{Name: name, Elem: elem, Size: size, TokPos: pos}, nil
+}
+
+func (p *parser) table() (*ast.Table, error) {
+	pos := p.cur.Pos
+	p.next() // table
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	t := &ast.Table{Name: name, TokPos: pos}
+	for p.cur.Kind != token.RBRACE {
+		switch p.cur.Kind {
+		case token.KEY:
+			p.next()
+			if _, err := p.expect(token.ASSIGN); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBRACE); err != nil {
+				return nil, err
+			}
+			for p.cur.Kind != token.RBRACE {
+				kpos := p.cur.Pos
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.COLON); err != nil {
+					return nil, err
+				}
+				mkName, mkPos, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				mk, ok := ast.MatchKinds[mkName]
+				if !ok {
+					return nil, p.errorf(mkPos, "unknown match kind %q", mkName)
+				}
+				if _, err := p.expect(token.SEMICOLON); err != nil {
+					return nil, err
+				}
+				t.Keys = append(t.Keys, ast.TableKey{Expr: e, Match: mk, TokPos: kpos})
+			}
+			p.next() // }
+		case token.ACTIONS:
+			p.next()
+			if _, err := p.expect(token.ASSIGN); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBRACE); err != nil {
+				return nil, err
+			}
+			for p.cur.Kind != token.RBRACE {
+				aname, apos, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.SEMICOLON); err != nil {
+					return nil, err
+				}
+				t.Actions = append(t.Actions, ast.ActionRef{Name: aname, TokPos: apos})
+			}
+			p.next() // }
+		case token.DEFAULTACTION:
+			p.next()
+			if _, err := p.expect(token.ASSIGN); err != nil {
+				return nil, err
+			}
+			aname, apos, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref := &ast.ActionRef{Name: aname, TokPos: apos}
+			if p.accept(token.LPAREN) {
+				for p.cur.Kind != token.RPAREN {
+					if len(ref.Args) > 0 {
+						if _, err := p.expect(token.COMMA); err != nil {
+							return nil, err
+						}
+					}
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					ref.Args = append(ref.Args, a)
+				}
+				p.next() // )
+			}
+			if _, err := p.expect(token.SEMICOLON); err != nil {
+				return nil, err
+			}
+			t.Default = ref
+		case token.SIZE:
+			p.next()
+			if _, err := p.expect(token.ASSIGN); err != nil {
+				return nil, err
+			}
+			n, err := p.intValue()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.SEMICOLON); err != nil {
+				return nil, err
+			}
+			t.Size = n
+		default:
+			return nil, p.errorf(p.cur.Pos, "unexpected %s in table %s", p.cur, name)
+		}
+	}
+	p.next() // }
+	return t, nil
+}
+
+// varDecl parses "type name (= expr)? ;" where type may be a named type.
+func (p *parser) varDecl() (*ast.VarDecl, error) {
+	pos := p.cur.Pos
+	t, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var init ast.Expr
+	if p.accept(token.ASSIGN) {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.VarDecl{Type: t, Name: name, Init: init, TokPos: pos}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) block() (*ast.BlockStmt, error) {
+	pos := p.cur.Pos
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{TokPos: pos}
+	for p.cur.Kind != token.RBRACE {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) statement() (ast.Stmt, error) {
+	switch p.cur.Kind {
+	case token.LBRACE:
+		return p.block()
+	case token.IF:
+		return p.ifStmt()
+	case token.EXIT:
+		pos := p.cur.Pos
+		p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.ExitStmt{TokPos: pos}, nil
+	case token.BIT, token.BOOL:
+		return p.varDecl()
+	case token.IDENT:
+		// Either "TypeName varName ..." (declaration) or an
+		// expression statement / assignment.
+		if p.peek.Kind == token.IDENT {
+			return p.varDecl()
+		}
+		return p.exprStmt()
+	default:
+		return nil, p.errorf(p.cur.Pos, "expected statement, found %s", p.cur)
+	}
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	pos := p.cur.Pos
+	p.next() // if
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	var els ast.Stmt
+	if p.accept(token.ELSE) {
+		els, err = p.statement()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, TokPos: pos}, nil
+}
+
+func (p *parser) exprStmt() (ast.Stmt, error) {
+	pos := p.cur.Pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(token.ASSIGN) {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{LHS: lhs, RHS: rhs, TokPos: pos}, nil
+	}
+	call, ok := lhs.(*ast.CallExpr)
+	if !ok {
+		return nil, p.errorf(pos, "expression statement must be a call or assignment")
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.CallStmt{Call: call, TokPos: pos}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+var binaryPrec = map[token.Kind]int{
+	token.LOR:  1,
+	token.LAND: 2,
+	token.EQ:   3, token.NE: 3,
+	token.LT: 4, token.LE: 4, token.GT: 4, token.GE: 4,
+	token.OR:  5,
+	token.XOR: 6,
+	token.AND: 7,
+	token.SHL: 8, token.SHR: 8,
+	token.PLUS: 9, token.MINUS: 9, token.PLUSPLUS: 9,
+}
+
+var binaryOpName = map[token.Kind]string{
+	token.LOR: "||", token.LAND: "&&", token.EQ: "==", token.NE: "!=",
+	token.LT: "<", token.LE: "<=", token.GT: ">", token.GE: ">=",
+	token.OR: "|", token.XOR: "^", token.AND: "&", token.SHL: "<<",
+	token.SHR: ">>", token.PLUS: "+", token.MINUS: "-", token.PLUSPLUS: "++",
+}
+
+func (p *parser) expr() (ast.Expr, error) {
+	e, err := p.binaryExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.Kind == token.QUESTION {
+		pos := p.cur.Pos
+		p.next()
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.TernaryExpr{Cond: e, Then: then, Else: els, TokPos: pos}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) binaryExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binaryPrec[p.cur.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := binaryOpName[p.cur.Kind]
+		pos := p.cur.Pos
+		p.next()
+		rhs, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: op, X: lhs, Y: rhs, TokPos: pos}
+	}
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	switch p.cur.Kind {
+	case token.NOT:
+		pos := p.cur.Pos
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "!", X: x, TokPos: pos}, nil
+	case token.TILDE:
+		pos := p.cur.Pos
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "~", X: x, TokPos: pos}, nil
+	case token.MINUS:
+		pos := p.cur.Pos
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "-", X: x, TokPos: pos}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (ast.Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur.Kind {
+		case token.DOT:
+			p.next()
+			// Member names may collide with keywords (e.g. "apply",
+			// "size"); accept keywords as member names.
+			name := p.cur.Lit
+			if p.cur.Kind != token.IDENT {
+				if !p.cur.Kind.IsKeyword() {
+					return nil, p.errorf(p.cur.Pos, "expected member name, found %s", p.cur)
+				}
+				name = p.cur.Kind.String()
+			}
+			pos := p.cur.Pos
+			p.next()
+			e = &ast.Member{X: e, Name: name, TokPos: pos}
+		case token.LPAREN:
+			pos := p.cur.Pos
+			p.next()
+			var args []ast.Expr
+			for p.cur.Kind != token.RPAREN {
+				if len(args) > 0 {
+					if _, err := p.expect(token.COMMA); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next() // )
+			e = &ast.CallExpr{Fun: e, Args: args, TokPos: pos}
+		case token.LBRACKET:
+			pos := p.cur.Pos
+			p.next()
+			hi, err := p.intValue()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.COLON); err != nil {
+				return nil, err
+			}
+			lo, err := p.intValue()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBRACKET); err != nil {
+				return nil, err
+			}
+			e = &ast.SliceExpr{X: e, Hi: hi, Lo: lo, TokPos: pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (ast.Expr, error) {
+	pos := p.cur.Pos
+	switch p.cur.Kind {
+	case token.INT:
+		lit := p.cur.Lit
+		p.next()
+		w, hi, lo, err := ParseIntLit(lit)
+		if err != nil {
+			return nil, p.errorf(pos, "%v", err)
+		}
+		return &ast.IntLit{Width: w, Hi: hi, Lo: lo, TokPos: pos}, nil
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{Value: true, TokPos: pos}, nil
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{Value: false, TokPos: pos}, nil
+	case token.IDENT:
+		name := p.cur.Lit
+		p.next()
+		return &ast.Ident{Name: name, TokPos: pos}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf(pos, "expected expression, found %s", p.cur)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Literals
+
+// ParseIntLit parses a P4 integer literal: 255, 0x800, 8w255, 16w0x800,
+// with optional underscore separators. It returns the declared width (0
+// if unsized) and the 128-bit value.
+func ParseIntLit(lit string) (width int, hi, lo uint64, err error) {
+	body := lit
+	if i := strings.IndexByte(lit, 'w'); i >= 0 {
+		w := 0
+		for _, c := range lit[:i] {
+			if c < '0' || c > '9' {
+				return 0, 0, 0, fmt.Errorf("bad width prefix in literal %q", lit)
+			}
+			w = w*10 + int(c-'0')
+			if w > 1<<20 {
+				return 0, 0, 0, fmt.Errorf("width overflow in literal %q", lit)
+			}
+		}
+		if w < 1 || w > 128 {
+			return 0, 0, 0, fmt.Errorf("literal %q: width %d out of range 1..128", lit, w)
+		}
+		width = w
+		body = lit[i+1:]
+	}
+	base := uint64(10)
+	if strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0X") {
+		base = 16
+		body = body[2:]
+	}
+	if body == "" {
+		return 0, 0, 0, fmt.Errorf("empty integer literal %q", lit)
+	}
+	for _, c := range body {
+		if c == '_' {
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, 0, 0, fmt.Errorf("bad digit %q in literal %q", c, lit)
+		}
+		// (hi, lo) = (hi, lo)*base + d with overflow detection.
+		var carry uint64
+		hiMul, hiLo := mul64(hi, base)
+		if hiMul != 0 {
+			return 0, 0, 0, fmt.Errorf("literal %q exceeds 128 bits", lit)
+		}
+		loHi, loLo := mul64(lo, base)
+		lo = loLo + d
+		if lo < loLo {
+			carry = 1
+		}
+		hi = hiLo + loHi + carry
+		if hi < loHi {
+			return 0, 0, 0, fmt.Errorf("literal %q exceeds 128 bits", lit)
+		}
+	}
+	return width, hi, lo, nil
+}
+
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }

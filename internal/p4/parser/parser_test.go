@@ -1,0 +1,441 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/p4/ast"
+)
+
+// fig3Src is the program from the paper's Fig. 3 (left side).
+const fig3Src = `
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+struct headers {
+    ethernet_t eth;
+}
+struct metadata {
+}
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set(bit<16> type) {
+        hdr.eth.type = type;
+    }
+    action drop() {
+        mark_to_drop(std);
+    }
+    action noop() {
+    }
+    table eth_table {
+        key = { hdr.eth.dst: ternary; }
+        actions = { set; drop; noop; }
+        default_action = noop;
+        size = 1024;
+    }
+    apply {
+        eth_table.apply();
+    }
+}
+`
+
+// fig5Src is the program from the paper's Fig. 5a.
+const fig5Src = `
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+struct headers {
+    ethernet_t eth;
+}
+struct metadata {
+}
+parser MyParser(packet_in pkt, out headers h, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(h.eth);
+        transition accept;
+    }
+}
+control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t std) {
+    bit<9> egress_port;
+    action set(bit<9> port_var) {
+        egress_port = port_var;
+    }
+    action noop() {
+    }
+    table port_table {
+        key = { h.eth.dst: exact; }
+        actions = { set; noop; }
+        default_action = noop;
+    }
+    apply {
+        egress_port = 0;
+        port_table.apply();
+        h.eth.dst = egress_port == 0 ? 48w0xAAAAAAAAAAAA : 48w0xBBBBBBBBBBBB;
+        std.egress_port = egress_port;
+    }
+}
+`
+
+func TestParseFig3(t *testing.T) {
+	prog, err := Parse("fig3", fig3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Headers) != 1 || prog.Headers[0].Name != "ethernet_t" {
+		t.Fatal("header missing")
+	}
+	if len(prog.Headers[0].Fields) != 3 {
+		t.Fatal("ethernet fields wrong")
+	}
+	ctrl := prog.Control("Ingress")
+	if ctrl == nil {
+		t.Fatal("Ingress missing")
+	}
+	if len(ctrl.Actions) != 3 {
+		t.Fatalf("actions = %d, want 3", len(ctrl.Actions))
+	}
+	tbl := ctrl.Table("eth_table")
+	if tbl == nil {
+		t.Fatal("eth_table missing")
+	}
+	if len(tbl.Keys) != 1 || tbl.Keys[0].Match != ast.MatchTernary {
+		t.Fatal("key wrong")
+	}
+	if got, ok := keyPath(tbl.Keys[0].Expr); !ok || got != "hdr.eth.dst" {
+		t.Fatalf("key path = %q", got)
+	}
+	if len(tbl.Actions) != 3 || tbl.Default == nil || tbl.Default.Name != "noop" {
+		t.Fatal("action list or default wrong")
+	}
+	if tbl.Size != 1024 {
+		t.Fatal("size wrong")
+	}
+	if len(ctrl.Apply.Stmts) != 1 {
+		t.Fatal("apply should have one statement")
+	}
+}
+
+func keyPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.Member:
+		base, ok := keyPath(e.X)
+		return base + "." + e.Name, ok
+	}
+	return "", false
+}
+
+func TestParseFig5TernaryExpr(t *testing.T) {
+	prog, err := Parse("fig5", fig5Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := prog.Control("Ingress")
+	assign, ok := ctrl.Apply.Stmts[2].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", ctrl.Apply.Stmts[2])
+	}
+	tern, ok := assign.RHS.(*ast.TernaryExpr)
+	if !ok {
+		t.Fatalf("RHS is %T, want ternary", assign.RHS)
+	}
+	if _, ok := tern.Cond.(*ast.BinaryExpr); !ok {
+		t.Fatal("ternary condition should be a comparison")
+	}
+	lit := tern.Then.(*ast.IntLit)
+	if lit.Width != 48 || lit.Lo != 0xAAAAAAAAAAAA {
+		t.Fatalf("then literal wrong: %+v", lit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `
+struct metadata { }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    bit<8> x;
+    bit<8> y;
+    bool b;
+    apply {
+        x = 8w1 + 8w2 << 2;
+        b = x == 8w3 && y != 8w4 || !b;
+        x = x & 8w0xf0 | y ^ 8w1;
+    }
+}
+`
+	prog, err := Parse("prec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := prog.Controls[0].Apply
+	// x = (1+2) << 2 — shift binds tighter than +? No: in our table SHL
+	// (8) binds tighter than PLUS (9)? Higher number = tighter, so + is
+	// tighter than <<: x = (1+2) << 2.
+	s0 := apply.Stmts[0].(*ast.AssignStmt)
+	shl := s0.RHS.(*ast.BinaryExpr)
+	if shl.Op != "<<" {
+		t.Fatalf("top op %q, want <<", shl.Op)
+	}
+	if add := shl.X.(*ast.BinaryExpr); add.Op != "+" {
+		t.Fatalf("lhs of shift should be +, got %q", add.Op)
+	}
+	// b = ((x==3) && (y!=4)) || (!b)
+	s1 := apply.Stmts[1].(*ast.AssignStmt)
+	or := s1.RHS.(*ast.BinaryExpr)
+	if or.Op != "||" {
+		t.Fatalf("top op %q, want ||", or.Op)
+	}
+	and := or.X.(*ast.BinaryExpr)
+	if and.Op != "&&" {
+		t.Fatalf("lhs op %q, want &&", and.Op)
+	}
+	if _, ok := or.Y.(*ast.UnaryExpr); !ok {
+		t.Fatal("rhs should be unary !")
+	}
+	// x = (x & 0xf0) | (y ^ 1): & (7) tighter than ^ (6) tighter than | (5)
+	s2 := apply.Stmts[2].(*ast.AssignStmt)
+	top := s2.RHS.(*ast.BinaryExpr)
+	if top.Op != "|" {
+		t.Fatalf("top op %q, want |", top.Op)
+	}
+	if l := top.X.(*ast.BinaryExpr); l.Op != "&" {
+		t.Fatalf("lhs op %q", l.Op)
+	}
+	if r := top.Y.(*ast.BinaryExpr); r.Op != "^" {
+		t.Fatalf("rhs op %q", r.Op)
+	}
+}
+
+func TestParseSelectTransition(t *testing.T) {
+	src := `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+header ipv4_t { bit<32> src; bit<32> dst; }
+struct headers { ethernet_t eth; ipv4_t ipv4; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    value_set<bit<16>>(8) tunnel_types;
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            16w0x8100 &&& 16w0xEFFF: parse_vlan;
+            tunnel_types: parse_tunnel;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+    state parse_vlan {
+        transition accept;
+    }
+    state parse_tunnel {
+        transition accept;
+    }
+}
+`
+	prog, err := Parse("sel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := prog.Parsers[0]
+	if len(ps.ValueSets) != 1 || ps.ValueSets[0].Name != "tunnel_types" || ps.ValueSets[0].Size != 8 {
+		t.Fatal("value_set wrong")
+	}
+	start := ps.State("start")
+	if start == nil || start.Trans.Select == nil {
+		t.Fatal("start select missing")
+	}
+	cases := start.Trans.Cases
+	if len(cases) != 4 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	if cases[0].Keysets[0].Kind != ast.KeysetValue || cases[0].Next != "parse_ipv4" {
+		t.Fatal("case 0 wrong")
+	}
+	if cases[1].Keysets[0].Kind != ast.KeysetMask {
+		t.Fatal("case 1 should be masked")
+	}
+	if cases[2].Keysets[0].Kind != ast.KeysetValueSet || cases[2].Keysets[0].Ref != "tunnel_types" {
+		t.Fatal("case 2 should be a value-set ref")
+	}
+	if cases[3].Keysets[0].Kind != ast.KeysetDefault {
+		t.Fatal("case 3 should be default")
+	}
+}
+
+func TestParseRegisterAndCalls(t *testing.T) {
+	src := `
+struct metadata { bit<32> idx; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(1024) counts;
+    bit<32> tmp;
+    apply {
+        counts.read(tmp, meta.idx);
+        tmp = tmp + 32w1;
+        counts.write(meta.idx, tmp);
+    }
+}
+`
+	prog, err := Parse("reg", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := prog.Controls[0]
+	if len(ctrl.Registers) != 1 || ctrl.Registers[0].Size != 1024 {
+		t.Fatal("register wrong")
+	}
+	if len(ctrl.Apply.Stmts) != 3 {
+		t.Fatal("apply statements wrong")
+	}
+	if _, ok := ctrl.Apply.Stmts[0].(*ast.CallStmt); !ok {
+		t.Fatal("read should be a call statement")
+	}
+}
+
+func TestParseIfElseChainAndSlice(t *testing.T) {
+	src := `
+header ipv6_t { bit<128> src; bit<128> dst; }
+struct headers { ipv6_t ipv6; }
+struct metadata { }
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    bit<16> top;
+    apply {
+        if (hdr.ipv6.isValid()) {
+            top = hdr.ipv6.dst[127:112];
+        } else if (top == 16w0) {
+            top = 16w1;
+        } else {
+            exit;
+        }
+    }
+}
+`
+	prog, err := Parse("ifelse", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Controls[0].Apply.Stmts[0].(*ast.IfStmt)
+	inner := ifs.Else.(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("else-if chain broken")
+	}
+	then := ifs.Then.(*ast.BlockStmt)
+	asg := then.Stmts[0].(*ast.AssignStmt)
+	sl := asg.RHS.(*ast.SliceExpr)
+	if sl.Hi != 127 || sl.Lo != 112 {
+		t.Fatalf("slice bounds %d:%d", sl.Hi, sl.Lo)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"missing semicolon", "typedef bit<8> x", "expected ;"},
+		{"bad decl", "flub x;", "expected declaration"},
+		{"state without transition", `
+parser P(packet_in pkt) { state start { } }`, "transition"},
+		{"control without apply", `
+control C(inout standard_metadata_t std) { bit<8> x; }`, "apply"},
+		{"bad match kind", `
+control C(inout standard_metadata_t std) {
+  action a() { }
+  table t { key = { std.drop: fuzzy; } actions = { a; } }
+  apply { }
+}`, "unknown match kind"},
+		{"giant literal", `
+control C(inout standard_metadata_t std) {
+  bit<8> x;
+  apply { x = 8w340282366920938463463374607431768211457; }
+}`, "exceeds 128 bits"},
+		{"expr statement", `
+control C(inout standard_metadata_t std) {
+  bit<8> x;
+  apply { x + 8w1; }
+}`, "must be a call or assignment"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseIntLit(t *testing.T) {
+	cases := []struct {
+		lit    string
+		w      int
+		hi, lo uint64
+		ok     bool
+	}{
+		{"255", 0, 0, 255, true},
+		{"0x800", 0, 0, 0x800, true},
+		{"8w255", 8, 0, 255, true},
+		{"16w0x0800", 16, 0, 0x800, true},
+		{"1_000", 0, 0, 1000, true},
+		{"128w0xffffffffffffffffffffffffffffffff", 128, ^uint64(0), ^uint64(0), true},
+		{"129w1", 0, 0, 0, false},
+		{"0w1", 0, 0, 0, false},
+		{"8wzz", 0, 0, 0, false},
+		{"340282366920938463463374607431768211456", 0, 0, 0, false}, // 2^128
+	}
+	for _, c := range cases {
+		w, hi, lo, err := ParseIntLit(c.lit)
+		if c.ok {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.lit, err)
+				continue
+			}
+			if w != c.w || hi != c.hi || lo != c.lo {
+				t.Errorf("%q: got (%d, %#x, %#x), want (%d, %#x, %#x)", c.lit, w, hi, lo, c.w, c.hi, c.lo)
+			}
+		} else if err == nil {
+			t.Errorf("%q: expected error", c.lit)
+		}
+	}
+}
+
+// TestPrintRoundTrip: Print output re-parses to a tree that prints
+// identically (fixed point).
+func TestPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{fig3Src, fig5Src} {
+		p1, err := Parse("rt", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := ast.Print(p1)
+		p2, err := Parse("rt2", out1)
+		if err != nil {
+			t.Fatalf("printed source does not re-parse: %v\n%s", err, out1)
+		}
+		out2 := ast.Print(p2)
+		if out1 != out2 {
+			t.Fatalf("print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	}
+}
+
+func TestCountStatements(t *testing.T) {
+	prog, err := Parse("fig5", fig5Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig5: parser has 1 stmt + 1 transition; control has 2 action
+	// bodies (1 + 0 stmts), 1 table, 4 apply stmts.
+	got := ast.CountStatements(prog)
+	want := 1 + 1 + 1 + 0 + 1 + 4
+	if got != want {
+		t.Fatalf("CountStatements = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/p4/typecheck"
+)
+
+// TestParserNeverPanics mutates valid source in deterministic ways
+// (truncation, byte flips, token deletion) and requires the whole
+// frontend to fail with errors, never panics. This is the
+// failure-injection bar for the pipeline's entry point.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{fig3Src, fig5Src, `
+typedef bit<48> mac_t;
+const bit<16> K = 16w7;
+header h_t { mac_t m; bit<16> v; }
+struct headers { h_t h; }
+struct metadata { bit<8> a; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta) {
+    value_set<bit<16>>(2) vs;
+    state start {
+        pkt.extract(hdr.h);
+        transition select(hdr.h.v) {
+            K &&& 16w0xff: accept;
+            vs: accept;
+            default: reject;
+        }
+    }
+}
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    register<bit<32>>(4) r;
+    action a(bit<8> x) { meta.a = x; }
+    table t {
+        key = { hdr.h.m: ternary; }
+        actions = { a; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (t.apply().hit) {
+            meta.a = meta.a + 8w1;
+        } else {
+            exit;
+        }
+    }
+}
+`}
+	r := rand.New(rand.NewSource(2024))
+	run := func(src string) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("frontend panicked on mutated input: %v\nsource:\n%s", p, src)
+			}
+		}()
+		prog, err := Parse("mutated", src)
+		if err != nil {
+			return // an error is the expected outcome
+		}
+		// If it parses, the type checker must also not panic.
+		_, _ = typecheck.Check(prog)
+	}
+	for _, seed := range seeds {
+		// Truncations at every prefix boundary (cheap and brutal).
+		for cut := 0; cut < len(seed); cut += 7 {
+			run(seed[:cut])
+		}
+		// Random single-byte corruptions.
+		bytes := "{}();=<>!&|^+-*/:,.~?@0129azAZ_\"' \n"
+		for trial := 0; trial < 400; trial++ {
+			b := []byte(seed)
+			for k := 0; k < 1+r.Intn(4); k++ {
+				b[r.Intn(len(b))] = bytes[r.Intn(len(bytes))]
+			}
+			run(string(b))
+		}
+		// Line deletions.
+		lines := strings.Split(seed, "\n")
+		for i := range lines {
+			mutated := strings.Join(append(append([]string{}, lines[:i]...), lines[i+1:]...), "\n")
+			run(mutated)
+		}
+	}
+}

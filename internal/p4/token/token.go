@@ -1,0 +1,155 @@
+// Package token defines the lexical tokens of the P4-16 subset accepted
+// by goflay's frontend, together with source positions for error
+// reporting.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds. Keywords occupy a contiguous range so IsKeyword is a range
+// check.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // port_table
+	INT    // 10, 0x800, 8w255, 16w0x800
+	STRING // "..." (annotations only)
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMICOLON // ;
+	COLON     // :
+	COMMA     // ,
+	DOT       // .
+	ASSIGN    // =
+	QUESTION  // ?
+	AT        // @
+
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	AND      // &
+	OR       // |
+	XOR      // ^
+	NOT      // !
+	TILDE    // ~
+	SHL      // <<
+	SHR      // >>
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	LAND     // &&
+	LOR      // ||
+	MASK     // &&& (ternary keyset mask)
+	PLUSPLUS // ++ (bit concatenation)
+	USCORE   // _ (wildcard keyset)
+
+	keywordStart
+	ACTION
+	ACTIONS
+	APPLY
+	BIT
+	BOOL
+	CONST
+	CONTROL
+	DEFAULT
+	DEFAULTACTION // default_action
+	ELSE
+	EXIT
+	FALSE
+	HEADER
+	IF
+	KEY
+	PARSER
+	REGISTER
+	RETURN
+	SELECT
+	SIZE
+	STATE
+	STRUCT
+	TABLE
+	TRANSITION
+	TRUE
+	TYPEDEF
+	VALUESET // value_set
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT", STRING: "STRING",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[",
+	RBRACKET: "]", SEMICOLON: ";", COLON: ":", COMMA: ",", DOT: ".",
+	ASSIGN: "=", QUESTION: "?", AT: "@",
+	PLUS: "+", MINUS: "-", STAR: "*", AND: "&", OR: "|", XOR: "^",
+	NOT: "!", TILDE: "~", SHL: "<<", SHR: ">>", LT: "<", GT: ">",
+	LE: "<=", GE: ">=", EQ: "==", NE: "!=", LAND: "&&", LOR: "||",
+	MASK: "&&&", PLUSPLUS: "++", USCORE: "_",
+	ACTION: "action", ACTIONS: "actions", APPLY: "apply", BIT: "bit",
+	BOOL: "bool", CONST: "const", CONTROL: "control", DEFAULT: "default",
+	DEFAULTACTION: "default_action", ELSE: "else", EXIT: "exit",
+	FALSE: "false", HEADER: "header", IF: "if", KEY: "key",
+	PARSER: "parser", REGISTER: "register", RETURN: "return",
+	SELECT: "select", SIZE: "size", STATE: "state", STRUCT: "struct",
+	TABLE: "table", TRANSITION: "transition", TRUE: "true",
+	TYPEDEF: "typedef", VALUESET: "value_set",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordStart && k < keywordEnd }
+
+// Keywords maps spelling to keyword kind.
+var Keywords = map[string]Kind{
+	"action": ACTION, "actions": ACTIONS, "apply": APPLY, "bit": BIT,
+	"bool": BOOL, "const": CONST, "control": CONTROL, "default": DEFAULT,
+	"default_action": DEFAULTACTION, "else": ELSE, "exit": EXIT,
+	"false": FALSE, "header": HEADER, "if": IF, "key": KEY,
+	"parser": PARSER, "register": REGISTER, "return": RETURN,
+	"select": SELECT, "size": SIZE, "state": STATE, "struct": STRUCT,
+	"table": TABLE, "transition": TRANSITION, "true": TRUE,
+	"typedef": TYPEDEF, "value_set": VALUESET,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its position and literal text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string // literal text for IDENT, INT, STRING and ILLEGAL
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,50 @@
+package token
+
+import "testing"
+
+func TestKeywordRange(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if !kind.IsKeyword() {
+			t.Errorf("%q (%v) should satisfy IsKeyword", spelling, kind)
+		}
+		if kind.String() != spelling {
+			t.Errorf("keyword %v prints %q, want %q", kind, kind.String(), spelling)
+		}
+	}
+	for _, k := range []Kind{IDENT, INT, EOF, LPAREN, MASK, PLUSPLUS} {
+		if k.IsKeyword() {
+			t.Errorf("%v should not be a keyword", k)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Lit: "foo"}, `IDENT("foo")`},
+		{Token{Kind: INT, Lit: "8w255"}, `INT("8w255")`},
+		{Token{Kind: ILLEGAL, Lit: "$"}, `ILLEGAL("$")`},
+		{Token{Kind: LBRACE}, "{"},
+		{Token{Kind: TABLE}, "table"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+	if Kind(255).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}

@@ -1,0 +1,264 @@
+package progs
+
+import (
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// Dash re-creates the SONiC DASH pipeline shape: SDN appliance packet
+// processing with direction lookup, ENI (elastic network interface)
+// resolution, three-stage inbound/outbound ACL groups, VNET routing and
+// CA→PA translation, and metering.
+func Dash() *Program {
+	return &Program{
+		Name:                "dash",
+		Source:              dashSource(),
+		Target:              devcompiler.TargetBMv2,
+		PaperStatements:     509,
+		PaperCompileSeconds: 2,
+		PaperAnalysis:       "1.5s",
+		PaperUpdate:         "12ms",
+		Representative:      dashRepresentative,
+		BurstTable:          "Ingress.outbound_routing",
+	}
+}
+
+var (
+	dashOutboundACL = []string{"out_acl_stage1", "out_acl_stage2", "out_acl_stage3"}
+	dashInboundACL  = []string{"in_acl_stage1", "in_acl_stage2", "in_acl_stage3"}
+	dashRoutingCh   = []string{"outbound_routing", "outbound_ca_to_pa", "vnet_mapping", "tunnel_select", "underlay_route"}
+	dashMeterCh     = []string{"meter_policy", "meter_rule", "meter_bucket"}
+)
+
+func dashSource() string {
+	var b strings.Builder
+	b.WriteString(`// dash: SDN appliance pipeline (SONiC DASH shape).
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header udp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<16> length;
+    bit<16> checksum;
+}
+header vxlan_t {
+    bit<8> flags;
+    bit<24> rsv;
+    bit<24> vni;
+    bit<8> rsv2;
+}
+header inner_ipv4_t {
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<32> src;
+    bit<32> dst;
+}
+struct headers {
+    ethernet_t eth;
+    ipv4_t ipv4;
+    udp_t udp;
+    vxlan_t vxlan;
+    inner_ipv4_t inner;
+}
+struct metadata {
+`)
+	emitMetaFields(&b, "oacl", len(dashOutboundACL))
+	emitMetaFields(&b, "iacl", len(dashInboundACL))
+	emitMetaFields(&b, "rt", len(dashRoutingCh))
+	emitMetaFields(&b, "mtr", len(dashMeterCh))
+	b.WriteString(`    bit<1> direction;
+    bit<16> eni_id;
+    bit<24> vni;
+    bit<32> pa_addr;
+    bit<9> out_port;
+}
+parser DashParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dport) {
+            16w4789: parse_vxlan;
+            default: accept;
+        }
+    }
+    state parse_vxlan {
+        pkt.extract(hdr.vxlan);
+        pkt.extract(hdr.inner);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set_outbound() {
+        meta.direction = 1w1;
+    }
+    action set_inbound() {
+        meta.direction = 1w0;
+    }
+    table direction_lookup {
+        key = { hdr.vxlan.vni: exact; }
+        actions = { set_outbound; set_inbound; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    action set_eni(bit<16> eni) {
+        meta.eni_id = eni;
+    }
+    table eni_lookup {
+        key = {
+            hdr.eth.src: exact;
+            meta.direction: exact;
+        }
+        actions = { set_eni; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    action set_vni(bit<24> vni) {
+        meta.vni = vni;
+    }
+    table eni_to_vni {
+        key = { meta.eni_id: exact; }
+        actions = { set_vni; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+`)
+	emitChain(&b, chainOpts{
+		Names: dashOutboundACL, MetaPrefix: "oacl",
+		FirstKey: "hdr.inner.src", FirstKind: "ternary",
+		ExtraFirstKeys: []string{
+			"hdr.inner.dst: ternary", "hdr.inner.protocol: ternary",
+			"meta.eni_id: exact",
+		},
+		BodyAux:  []string{"hdr.inner.ttl = hdr.inner.ttl | 8w1;"},
+		WithDrop: true, Size: 512, Pad: 14, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: dashInboundACL, MetaPrefix: "iacl",
+		FirstKey: "hdr.inner.dst", FirstKind: "ternary",
+		ExtraFirstKeys: []string{
+			"hdr.inner.src: ternary", "meta.eni_id: exact",
+		},
+		BodyAux:  []string{"hdr.inner.ttl = hdr.inner.ttl | 8w2;"},
+		WithDrop: true, Size: 512, Pad: 14, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: dashRoutingCh, MetaPrefix: "rt",
+		FirstKey: "hdr.inner.dst", FirstKind: "lpm",
+		ExtraFirstKeys: []string{"meta.eni_id: exact"},
+		BodyAux: []string{
+			"meta.pa_addr = 16w0 ++ v;",
+			"meta.out_port = v[8:0];",
+		},
+		WithDrop: false, Size: 4096, Pad: 14, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: dashMeterCh, MetaPrefix: "mtr",
+		FirstKey: "meta.eni_id", FirstKind: "exact",
+		BodyAux:  []string{"hdr.ipv4.diffserv = hdr.ipv4.diffserv | 8w4;"},
+		WithDrop: false, Size: 256, Pad: 14, Alt: true,
+	})
+	b.WriteString(`    register<bit<32>>(256) flow_bytes;
+    bit<32> fb;
+    apply {
+        if (hdr.vxlan.isValid()) {
+            direction_lookup.apply();
+            eni_lookup.apply();
+            eni_to_vni.apply();
+            if (meta.direction == 1w1) {
+`)
+	emitApplies(&b, "                ", dashOutboundACL)
+	emitApplies(&b, "                ", dashRoutingCh)
+	b.WriteString(`                hdr.vxlan.vni = meta.vni;
+                hdr.ipv4.dst = meta.pa_addr;
+            } else {
+`)
+	emitApplies(&b, "                ", dashInboundACL)
+	b.WriteString(`            }
+`)
+	emitApplies(&b, "            ", dashMeterCh)
+	b.WriteString(`            flow_bytes.read(fb, 16w0 ++ meta.eni_id[7:0] ++ 8w0);
+            fb = fb + std.packet_length;
+            flow_bytes.write(16w0 ++ meta.eni_id[7:0] ++ 8w0, fb);
+            hdr.ipv4.hdr_checksum = checksum16(hdr.ipv4.src, hdr.ipv4.dst, hdr.ipv4.total_len);
+            std.egress_port = meta.out_port;
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// dashRepresentative: outbound path configured, inbound ACLs sparse.
+func dashRepresentative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	ups = append(ups,
+		insertUpdate("Ingress.direction_lookup", 0,
+			[]controlplane.FieldMatch{exactMatch(24, 1000)}, "set_outbound"),
+		insertUpdate("Ingress.direction_lookup", 0,
+			[]controlplane.FieldMatch{exactMatch(24, 2000)}, "set_inbound"),
+		insertUpdate("Ingress.eni_lookup", 0,
+			[]controlplane.FieldMatch{exactMatch(48, 0xF00D00000001), exactMatch(1, 1)},
+			"set_eni", sym.NewBV(16, 7)),
+		insertUpdate("Ingress.eni_to_vni", 0,
+			[]controlplane.FieldMatch{exactMatch(16, 7)}, "set_vni", sym.NewBV(24, 5001)),
+	)
+	ups = append(ups, chainRepresentative("Ingress", "rt", dashRoutingCh, 2,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{
+				lpmMatch(32, uint64(0x0a000000+e<<16), 16),
+				exactMatch(16, 7),
+			}
+		})...)
+	ups = append(ups, chainRepresentative("Ingress", "oacl", dashOutboundACL, 2,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{
+				ternMatch(32, uint64(0x0a640000+e), 0xffffffff),
+				ternMatch(32, 0, 0),
+				ternMatch(8, 6, 0xff),
+				exactMatch(16, 7),
+			}
+		})...)
+	return ups
+}
+
+// DashRouteEntry builds the i-th unique outbound route for bursts.
+func DashRouteEntry(i int) *controlplane.Update {
+	return insertUpdate("Ingress.outbound_routing", 0,
+		[]controlplane.FieldMatch{
+			lpmMatch(32, uint64(0x0b000000+i*65537%0x00ffffff), 32),
+			exactMatch(16, 7),
+		},
+		"set_rt_1", sym.NewBV(16, uint64(1+i%128)))
+}

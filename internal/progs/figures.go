@@ -1,0 +1,129 @@
+package progs
+
+import (
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// fig3Source is the paper's Fig. 3 running example.
+const fig3Source = `
+// Fig. 3: a single ternary table whose implementation morphs with the
+// control-plane configuration.
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+struct headers { ethernet_t eth; }
+struct metadata { }
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set(bit<16> type) {
+        hdr.eth.type = type;
+    }
+    action drop() {
+        mark_to_drop(std);
+    }
+    action noop() { }
+    table eth_table {
+        key = { hdr.eth.dst: ternary; }
+        actions = { set; drop; noop; }
+        default_action = noop;
+        size = 1024;
+    }
+    apply {
+        eth_table.apply();
+        std.egress_port = 9w1;
+    }
+}
+`
+
+// Fig3 is the paper's Fig. 3 program.
+func Fig3() *Program {
+	return &Program{
+		Name:       "fig3",
+		Source:     fig3Source,
+		Target:     devcompiler.TargetTofino,
+		BurstTable: "Ingress.eth_table",
+	}
+}
+
+// Fig3Updates returns the five control-plane updates of Fig. 3 in
+// order (the "replace" step is a delete followed by an insert).
+func Fig3Updates() []*controlplane.Update {
+	entry := func(key, mask uint64, action string, params ...sym.BV) *controlplane.TableEntry {
+		return &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{ternMatch(48, key, mask)},
+			Action:  action, Params: params,
+		}
+	}
+	t := "Ingress.eth_table"
+	return []*controlplane.Update{
+		{Kind: controlplane.InsertEntry, Table: t, Entry: entry(0x1, 0x0, "set", sym.NewBV(16, 0x800))},
+		{Kind: controlplane.DeleteEntry, Table: t, Entry: entry(0x1, 0x0, "set", sym.NewBV(16, 0x800))},
+		{Kind: controlplane.InsertEntry, Table: t, Entry: entry(0x2, 0xFFFFFFFFFFFF, "set", sym.NewBV(16, 0x900))},
+		{Kind: controlplane.InsertEntry, Table: t, Entry: entry(0x5, 0x8, "set", sym.NewBV(16, 0x700))},
+		{Kind: controlplane.InsertEntry, Table: t, Entry: entry(0x6, 0x7, "set", sym.NewBV(16, 0x200))},
+	}
+}
+
+// fig5Source is the paper's Fig. 5a example.
+const fig5Source = `
+// Fig. 5a: a port variable set by a table entry; Flay's constant
+// propagation resolves the downstream ternary.
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+struct headers { ethernet_t eth; }
+struct metadata { }
+parser MyParser(packet_in pkt, out headers h, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(h.eth);
+        transition accept;
+    }
+}
+control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t std) {
+    bit<9> egress_port;
+    action set(bit<9> port_var) {
+        egress_port = port_var;
+    }
+    action noop() { }
+    table port_table {
+        key = { h.eth.dst: exact; }
+        actions = { set; noop; }
+        default_action = noop;
+    }
+    apply {
+        egress_port = 0;
+        port_table.apply();
+        h.eth.dst = egress_port == 0 ? 48w0xAAAAAAAAAAAA : 48w0xBBBBBBBBBBBB;
+        std.egress_port = egress_port;
+    }
+}
+`
+
+// Fig5 is the paper's Fig. 5 program.
+func Fig5() *Program {
+	return &Program{
+		Name:       "fig5",
+		Source:     fig5Source,
+		Target:     devcompiler.TargetTofino,
+		BurstTable: "Ingress.port_table",
+	}
+}
+
+// Fig5Entry returns the single update of Fig. 5b block C: key
+// 0xDEADBEEFF00D → set(0x01).
+func Fig5Entry() *controlplane.Update {
+	return insertUpdate("Ingress.port_table", 0,
+		[]controlplane.FieldMatch{exactMatch(48, 0xDEADBEEFF00D)},
+		"set", sym.NewBV(9, 1))
+}

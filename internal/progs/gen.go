@@ -1,0 +1,127 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/sym"
+)
+
+// chainOpts describes one generated match-action chain: n tables where
+// table i keys on the metadata field table i-1 writes. Chains are the
+// structural backbone of the catalog programs: their depth drives stage
+// usage, their count drives table counts, and their action bodies drive
+// statement counts.
+type chainOpts struct {
+	// Names are the table names, one per chain link.
+	Names []string
+	// MetaPrefix names the chain's metadata fields (Prefix_i, bit<16>).
+	MetaPrefix string
+	// FirstKey/FirstKind key the first table (e.g. a packet field);
+	// empty FirstKey keys the first table on MetaPrefix_0 (which then
+	// must be written elsewhere) — usually FirstKey is set.
+	FirstKey  string
+	FirstKind string
+	// ExtraFirstKeys appends additional key components to the first
+	// table ("expr: kind" lines).
+	ExtraFirstKeys []string
+	// BodyAux are extra assignment statements added to every set
+	// action (raw source lines).
+	BodyAux []string
+	// WithDrop adds a drop action per table.
+	WithDrop bool
+	// Size is the table capacity (0 → default).
+	Size int
+	// Pad adds this many scratch-accumulator statements to every set
+	// action body (realistic ALU work that scales statement counts the
+	// way real feature-rich actions do).
+	Pad int
+	// Alt adds a second data-carrying action per table (real tables
+	// rarely have a single action).
+	Alt bool
+}
+
+// emitMetaFields declares the chain's metadata fields plus its scratch
+// accumulator.
+func emitMetaFields(b *strings.Builder, prefix string, n int) {
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(b, "    bit<16> %s_%d;\n", prefix, i)
+	}
+	fmt.Fprintf(b, "    bit<16> %s_scratch;\n", prefix)
+}
+
+// emitChain writes the chain's actions and tables into a control body.
+func emitChain(b *strings.Builder, o chainOpts) {
+	for i := 1; i <= len(o.Names); i++ {
+		name := o.Names[i-1]
+		key, kind := fmt.Sprintf("meta.%s_%d", o.MetaPrefix, i-1), "exact"
+		if i == 1 && o.FirstKey != "" {
+			key, kind = o.FirstKey, o.FirstKind
+		}
+		pad := func(seed int) {
+			for j := 0; j < o.Pad; j++ {
+				fmt.Fprintf(b, "        meta.%s_scratch = meta.%s_scratch + 16w%d;\n",
+					o.MetaPrefix, o.MetaPrefix, (seed*31+j*7+1)%4096)
+			}
+		}
+		fmt.Fprintf(b, "    action set_%s_%d(bit<16> v) {\n", o.MetaPrefix, i)
+		fmt.Fprintf(b, "        meta.%s_%d = v;\n", o.MetaPrefix, i)
+		for _, aux := range o.BodyAux {
+			fmt.Fprintf(b, "        %s\n", aux)
+		}
+		pad(i)
+		b.WriteString("    }\n")
+		actions := fmt.Sprintf("set_%s_%d; NoAction;", o.MetaPrefix, i)
+		if o.Alt {
+			fmt.Fprintf(b, "    action alt_%s_%d(bit<16> v) {\n", o.MetaPrefix, i)
+			fmt.Fprintf(b, "        meta.%s_%d = v ^ 16w0x00FF;\n", o.MetaPrefix, i)
+			pad(i + 1000)
+			b.WriteString("    }\n")
+			actions = fmt.Sprintf("set_%s_%d; alt_%s_%d; NoAction;", o.MetaPrefix, i, o.MetaPrefix, i)
+		}
+		if o.WithDrop {
+			fmt.Fprintf(b, "    action drop_%s_%d() {\n        mark_to_drop(std);\n    }\n", o.MetaPrefix, i)
+			actions = fmt.Sprintf("drop_%s_%d; ", o.MetaPrefix, i) + actions
+		}
+		fmt.Fprintf(b, "    table %s {\n        key = {\n            %s: %s;\n", name, key, kind)
+		if i == 1 {
+			for _, ek := range o.ExtraFirstKeys {
+				fmt.Fprintf(b, "            %s;\n", ek)
+			}
+		}
+		fmt.Fprintf(b, "        }\n        actions = { %s }\n        default_action = NoAction;\n", actions)
+		if o.Size > 0 {
+			fmt.Fprintf(b, "        size = %d;\n", o.Size)
+		}
+		b.WriteString("    }\n")
+	}
+}
+
+// emitApplies writes the apply statements for a chain.
+func emitApplies(b *strings.Builder, indent string, names []string) {
+	for _, n := range names {
+		fmt.Fprintf(b, "%s%s.apply();\n", indent, n)
+	}
+}
+
+// chainRepresentative inserts `entries` exact-match entries into every
+// chain table (first-table key shapes must be provided by the caller
+// when they are not plain 16-bit exact).
+func chainRepresentative(control, prefix string, names []string, entries int, firstMatches func(e int) []controlplane.FieldMatch) []*controlplane.Update {
+	var ups []*controlplane.Update
+	for i := 1; i <= len(names); i++ {
+		table := control + "." + names[i-1]
+		for e := 0; e < entries; e++ {
+			var m []controlplane.FieldMatch
+			if i == 1 && firstMatches != nil {
+				m = firstMatches(e)
+			} else {
+				m = []controlplane.FieldMatch{exactMatch(16, uint64(e+1))}
+			}
+			ups = append(ups, insertUpdate(table, 0, m,
+				fmt.Sprintf("set_%s_%d", prefix, i), sym.NewBV(16, uint64(e+1))))
+		}
+	}
+	return ups
+}

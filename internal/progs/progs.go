@@ -1,0 +1,114 @@
+// Package progs holds goflay's evaluation program catalog: structurally
+// faithful re-creations (in goflay's P4 subset) of the programs the
+// paper evaluates — the SCION border router, switch.p4, Google's
+// middleblock.p4, SONiC DASH — plus the three Table-1 Tofino programs
+// (Beaucoup, ACCTurbo, DTA) and the paper's figure programs (Fig. 3 and
+// Fig. 5). Each catalog entry carries its representative control-plane
+// configuration and the paper's reference numbers so the benchmark
+// harness can print paper-vs-measured tables.
+package progs
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// Program is one catalog entry.
+type Program struct {
+	Name   string
+	Source string
+	Target devcompiler.Target
+	// SkipParser reproduces the paper's accommodation for switch.p4.
+	SkipParser bool
+
+	// Paper reference numbers (absent entries are zero).
+	PaperStatements     int     // Tbl. 2 "Program statements"
+	PaperCompileSeconds float64 // Tbl. 1 / Tbl. 2 "Compile time"
+	PaperAnalysis       string  // Tbl. 2 "Data-plane analysis time"
+	PaperUpdate         string  // Tbl. 2 "Update analysis time"
+
+	// Representative returns the program's representative control-plane
+	// configuration as a list of updates (the paper: SCION "is supplied
+	// with representative control-plane configurations").
+	Representative func() []*controlplane.Update
+
+	// BurstTable is the table used for semantics-preserving bursts
+	// (SCION's IPv4 forwarding table in §4.2).
+	BurstTable string
+	// ACLTable is the wide-keyed table used for the Tbl. 3 scaling
+	// study (middleblock's Pre-Ingress ACL).
+	ACLTable string
+	// IPv6Enable returns the update batch that turns on the previously
+	// unused IPv6 paths (SCION, §4.2).
+	IPv6Enable func() []*controlplane.Update
+}
+
+// Catalog returns every evaluation program.
+func Catalog() []*Program {
+	return []*Program{
+		Fig3(), Fig5(), Scion(), SwitchLite(), Middleblock(), Dash(),
+		Beaucoup(), ACCTurbo(), DTA(),
+	}
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (*Program, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("progs: unknown program %q", name)
+}
+
+// Load builds a Specializer for the program with its standard options.
+func (p *Program) Load() (*core.Specializer, error) {
+	return core.NewFromSource(p.Name, p.Source, core.Options{SkipParser: p.SkipParser})
+}
+
+// LoadWith builds a Specializer with explicit options (e.g. precise
+// mode for Tbl. 3).
+func (p *Program) LoadWith(opts core.Options) (*core.Specializer, error) {
+	opts.SkipParser = opts.SkipParser || p.SkipParser
+	return core.NewFromSource(p.Name, p.Source, opts)
+}
+
+// ApplyRepresentative installs the representative configuration.
+func (p *Program) ApplyRepresentative(s *core.Specializer) error {
+	if p.Representative == nil {
+		return nil
+	}
+	for _, u := range p.Representative() {
+		if d := s.Apply(u); d.Kind == core.Rejected {
+			return fmt.Errorf("progs: representative config rejected: %v", d.Err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Entry-building helpers shared by the per-program files.
+
+func exactMatch(w uint16, v uint64) controlplane.FieldMatch {
+	return controlplane.FieldMatch{Kind: controlplane.MatchExact, Value: sym.NewBV(w, v)}
+}
+
+func lpmMatch(w uint16, v uint64, plen int) controlplane.FieldMatch {
+	return controlplane.FieldMatch{Kind: controlplane.MatchLPM, Value: sym.NewBV(w, v), PrefixLen: plen}
+}
+
+func ternMatch(w uint16, v, mask uint64) controlplane.FieldMatch {
+	return controlplane.FieldMatch{Kind: controlplane.MatchTernary, Value: sym.NewBV(w, v), Mask: sym.NewBV(w, mask)}
+}
+
+func insertUpdate(table string, prio int, matches []controlplane.FieldMatch, action string, params ...sym.BV) *controlplane.Update {
+	return &controlplane.Update{
+		Kind:  controlplane.InsertEntry,
+		Table: table,
+		Entry: &controlplane.TableEntry{Priority: prio, Matches: matches, Action: action, Params: params},
+	}
+}

@@ -1,0 +1,91 @@
+package progs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/sym"
+	"repro/internal/trace"
+)
+
+// TestTraceReplayAgainstScion drives the specializer with a Fig.-1-shaped
+// control-plane trace: routing bursts hit the IPv4 forwarding table,
+// NAT-style churn hits the ACL, and the rare policy change flips a
+// default action. The incremental design's promise is that the bursty
+// bulk of the trace forwards without recompilation.
+func TestTraceReplayAgainstScion(t *testing.T) {
+	p := Scion()
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyRepresentative(s); err != nil {
+		t.Fatal(err)
+	}
+	g := fuzz.New(s.An, 77)
+
+	span := 10 * time.Minute
+	events := trace.Generate(span, trace.Profile{
+		PolicyInterval: 4 * time.Minute, // compressed so the test sees policy changes
+		BurstSize:      40,
+	})
+	var (
+		decisions = map[core.DecisionKind]int{}
+		byClass   = map[trace.Class]map[core.DecisionKind]int{}
+		routingN  int
+	)
+	flipped := false
+	for _, ev := range events {
+		var u *controlplane.Update
+		switch ev.Class {
+		case trace.RoutingBurst:
+			u = ScionBurstEntry(routingN)
+			routingN++
+		case trace.NATChurn:
+			e, err := g.Entry("Ingress.ipv4_acl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			u = &controlplane.Update{Kind: controlplane.InsertEntry, Table: "Ingress.ipv4_acl", Entry: e}
+		case trace.PolicyChange:
+			// Policy: flip the dscp table's default action.
+			def := controlplane.ActionCall{Name: "NoAction"}
+			if !flipped {
+				def = controlplane.ActionCall{Name: "set_v4_8", Params: []sym.BV{sym.NewBV(16, 9)}}
+			}
+			flipped = !flipped
+			u = &controlplane.Update{Kind: controlplane.SetDefault, Table: "Ingress.ipv4_dscp_policy", Default: def}
+		}
+		d := s.Apply(u)
+		if d.Kind == core.Rejected {
+			t.Fatalf("%v update rejected: %v", ev.Class, d.Err)
+		}
+		decisions[d.Kind]++
+		if byClass[ev.Class] == nil {
+			byClass[ev.Class] = map[core.DecisionKind]int{}
+		}
+		byClass[ev.Class][d.Kind]++
+	}
+
+	total := decisions[core.Forward] + decisions[core.Recompile]
+	if total < 200 {
+		t.Fatalf("trace too small: %d updates", total)
+	}
+	// The paper's economics: the overwhelming majority of updates must
+	// forward.
+	if forwardShare := 100 * decisions[core.Forward] / total; forwardShare < 95 {
+		t.Fatalf("only %d%% of trace updates forwarded (forward=%d recompile=%d)",
+			forwardShare, decisions[core.Forward], decisions[core.Recompile])
+	}
+	// Every policy change is a semantic change: it must recompile.
+	if pc := byClass[trace.PolicyChange]; pc[core.Recompile] == 0 || pc[core.Forward] != 0 {
+		t.Fatalf("policy changes should always recompile: %+v", pc)
+	}
+	// Routing bursts settle into pure forwarding.
+	if rb := byClass[trace.RoutingBurst]; rb[core.Recompile] > 2 {
+		t.Fatalf("routing bursts caused %d recompilations", rb[core.Recompile])
+	}
+}

@@ -1,0 +1,505 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// The SCION border router re-creation (paper §4.2). Structure chosen to
+// reproduce the paper's headline numbers:
+//
+//   - a shared path-processing front end (per-interface metadata, SCION
+//     common-header checks, hop-field validation, MAC verification,
+//     segment switching): a dependency chain of scionSharedDepth tables;
+//   - an IPv4 underlay chain of scionV4Depth tables (ACL, LPM
+//     forwarding, next-hop resolution, encap rewrite, TTL/csum);
+//   - an IPv6 underlay chain of scionV6Depth tables.
+//
+// The chains are match-dependent (each table keys on metadata the
+// previous table's action writes), so the Tofino allocator needs
+// shared+v6 = 20 stages for the full program — the device maximum — and
+// shared+v4 = 16 stages (20% fewer) once the unused IPv6 chain is
+// specialized away, exactly the paper's experiment.
+const (
+	scionSharedDepth = 6
+	scionV4Depth     = 10
+	scionV6Depth     = 14
+)
+
+// Scion returns the SCION border router catalog entry.
+func Scion() *Program {
+	return &Program{
+		Name:                "scion",
+		Source:              scionSource(),
+		Target:              devcompiler.TargetTofino,
+		PaperStatements:     582,
+		PaperCompileSeconds: 38,
+		PaperAnalysis:       "2s",
+		PaperUpdate:         "90ms",
+		Representative:      scionRepresentative,
+		BurstTable:          "Ingress.ipv4_forward",
+		IPv6Enable:          scionIPv6Enable,
+	}
+}
+
+// ScionBurstEntry builds the i-th unique IPv4 forwarding entry for the
+// §4.2 burst experiment (1000 fuzzer-generated IPv4 entries).
+func ScionBurstEntry(i int) *controlplane.Update {
+	addr := uint64(0x0a000000 + i*7919%0x00ffffff) // unique, spread out
+	return insertUpdate("Ingress.ipv4_forward", 0,
+		[]controlplane.FieldMatch{lpmMatch(32, addr, 32), exactMatch(16, uint64(1+i%3))},
+		"set_v4_2", sym.NewBV(16, uint64(1+i%4)), sym.NewBV(9, uint64(1+i%8)))
+}
+
+// scionPad emits n scratch-accumulator statements (realistic ALU work
+// that sizes action bodies like the original program's).
+func scionPad(b *strings.Builder, n, seed int) {
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(b, "        meta.pad_acc = meta.pad_acc + 16w%d;\n", (seed*37+j*11+1)%4096)
+	}
+}
+
+func scionSource() string {
+	var b strings.Builder
+	b.WriteString(`// SCION border router (goflay re-creation).
+// Shared SCION path processing feeds either an IPv4 or an IPv6
+// underlay chain; the representative deployment leaves IPv6 unused.
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header scion_common_t {
+    bit<4> version;
+    bit<8> qos;
+    bit<20> flow_id;
+    bit<8> next_hdr;
+    bit<8> hdr_len;
+    bit<16> payload_len;
+    bit<8> path_type;
+    bit<8> host_type_len;
+    bit<16> rsv;
+}
+header scion_addr_t {
+    bit<16> dst_isd;
+    bit<48> dst_as;
+    bit<16> src_isd;
+    bit<48> src_as;
+}
+header scion_path_meta_t {
+    bit<2> curr_inf;
+    bit<6> curr_hf;
+    bit<6> rsv;
+    bit<6> seg0_len;
+    bit<6> seg1_len;
+    bit<6> seg2_len;
+}
+header scion_hop_t {
+    bit<8> flags;
+    bit<8> exp_time;
+    bit<16> cons_ingress;
+    bit<16> cons_egress;
+    bit<48> mac;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<128> src;
+    bit<128> dst;
+}
+header udp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<16> length;
+    bit<16> checksum;
+}
+struct headers {
+    ethernet_t eth;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    udp_t udp;
+    scion_common_t scion;
+    scion_addr_t scion_addr;
+    scion_path_meta_t path_meta;
+    scion_hop_t hop;
+}
+struct metadata {
+`)
+	// Chain metadata fields.
+	for i := 1; i <= scionSharedDepth; i++ {
+		fmt.Fprintf(&b, "    bit<16> s%d;\n", i)
+	}
+	for i := 1; i <= scionV4Depth; i++ {
+		fmt.Fprintf(&b, "    bit<16> v4_%d;\n", i)
+	}
+	for i := 1; i <= scionV6Depth; i++ {
+		fmt.Fprintf(&b, "    bit<16> v6_%d;\n", i)
+	}
+	b.WriteString(`    bit<9> out_port;
+    bit<48> next_mac;
+    bit<1> mac_ok;
+    bit<16> pad_acc;
+}
+parser ScionParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dport) {
+            16w50000: parse_scion;
+            default: accept;
+        }
+    }
+    state parse_scion {
+        pkt.extract(hdr.scion);
+        pkt.extract(hdr.scion_addr);
+        pkt.extract(hdr.path_meta);
+        pkt.extract(hdr.hop);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+`)
+	// ------------------------------------------------------- shared chain
+	sharedNames := []string{
+		"ingress_iface", "scion_version_check", "path_epoch",
+		"hop_field_validate", "mac_verify", "segment_switch",
+	}
+	for i := 1; i <= scionSharedDepth; i++ {
+		name := sharedNames[i-1]
+		key := fmt.Sprintf("meta.s%d", i-1)
+		kind := "exact"
+		if i == 1 {
+			key = "std.ingress_port"
+		}
+		if i == 4 {
+			// Hop-field validation also inspects the hop field itself.
+			fmt.Fprintf(&b, `    action accept_hop_%d(bit<16> next, bit<1> ok) {
+        meta.s%d = next;
+        meta.mac_ok = ok;
+        hdr.hop.flags = hdr.hop.flags | 8w1;
+`, i, i)
+			scionPad(&b, 6, i)
+			fmt.Fprintf(&b, `    }
+    action reject_hop_%d() {
+        mark_to_drop(std);
+    }
+    table %s {
+        key = {
+            %s: %s;
+            hdr.hop.cons_ingress: exact;
+        }
+        actions = { accept_hop_%d; reject_hop_%d; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+`, i, name, key, kind, i, i)
+			continue
+		}
+		fmt.Fprintf(&b, `    action set_s%d(bit<16> v, bit<16> aux%d) {
+        meta.s%d = v;
+        hdr.scion.rsv = aux%d;
+        hdr.scion.qos = hdr.scion.qos | 8w1;
+`, i, i, i, i)
+		scionPad(&b, 6, i)
+		fmt.Fprintf(&b, `    }
+    action peer_s%d(bit<16> v) {
+        meta.s%d = v ^ 16w0x0100;
+`, i, i)
+		scionPad(&b, 6, i+100)
+		fmt.Fprintf(&b, `    }
+    action drop_s%d() {
+        mark_to_drop(std);
+    }
+    table %s {
+        key = { %s: %s; }
+        actions = { set_s%d; peer_s%d; drop_s%d; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+`, i, name, key, kind, i, i, i)
+	}
+
+	// --------------------------------------------------------- IPv4 chain
+	v4Names := []string{
+		"ipv4_acl", "ipv4_forward", "ipv4_nexthop", "ipv4_local_delivery",
+		"ipv4_encap_select", "ipv4_src_rewrite", "ipv4_dst_rewrite",
+		"ipv4_dscp_policy", "ipv4_ttl_policy", "ipv4_egress_iface",
+	}
+	for i := 1; i <= scionV4Depth; i++ {
+		name := v4Names[i-1]
+		var key, kind string
+		switch i {
+		case 1:
+			key, kind = "hdr.ipv4.src", "ternary"
+		case 2:
+			key, kind = "hdr.ipv4.dst", "lpm"
+		default:
+			key, kind = fmt.Sprintf("meta.v4_%d", i-1), "exact"
+		}
+		extra := ""
+		if i == 2 {
+			// The forwarding table also picks the output port: this is
+			// the burst-experiment table.
+			extra = "        meta.out_port = port;\n"
+		}
+		port := ""
+		if i == 2 {
+			port = ", bit<9> port"
+		}
+		// Keep the chain match-dependent: the first table ties to the
+		// shared chain, the second to the first.
+		chainDep := ""
+		switch i {
+		case 1:
+			chainDep = fmt.Sprintf("            meta.s%d: exact;\n", scionSharedDepth)
+		case 2:
+			chainDep = "            meta.v4_1: exact;\n"
+		}
+		fmt.Fprintf(&b, `    action set_v4_%d(bit<16> v%s) {
+        meta.v4_%d = v;
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv | 8w2;
+%s`, i, port, i, extra)
+		scionPad(&b, 6, 10+i)
+		fmt.Fprintf(&b, `    }
+    action alt_v4_%d(bit<16> v) {
+        meta.v4_%d = v ^ 16w0x0200;
+`, i, i)
+		scionPad(&b, 6, 110+i)
+		fmt.Fprintf(&b, `    }
+    action drop_v4_%d() {
+        mark_to_drop(std);
+    }
+    table %s {
+        key = {
+            %s: %s;
+%s        }
+        actions = { set_v4_%d; alt_v4_%d; drop_v4_%d; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+`, i, name, key, kind, chainDep, i, i, i)
+	}
+
+	// --------------------------------------------------------- IPv6 chain
+	v6Names := []string{
+		"ipv6_acl", "ipv6_forward", "ipv6_nexthop", "ipv6_local_delivery",
+		"ipv6_encap_select", "ipv6_src_rewrite", "ipv6_dst_rewrite",
+		"ipv6_flowlabel_policy", "ipv6_hoplimit_policy", "ipv6_egress_iface",
+		"ipv6_neighbor", "ipv6_mtu_check", "ipv6_scope_check", "ipv6_final_xform",
+	}
+	for i := 1; i <= scionV6Depth; i++ {
+		name := v6Names[i-1]
+		var key, kind string
+		switch i {
+		case 1:
+			key, kind = "hdr.ipv6.src", "ternary"
+		case 2:
+			key, kind = "hdr.ipv6.dst", "ternary"
+		default:
+			key, kind = fmt.Sprintf("meta.v6_%d", i-1), "exact"
+		}
+		chainDep := ""
+		switch i {
+		case 1:
+			chainDep = fmt.Sprintf("            meta.s%d: exact;\n", scionSharedDepth)
+		case 2:
+			chainDep = "            meta.v6_1: exact;\n"
+		}
+		fmt.Fprintf(&b, `    action set_v6_%d(bit<16> v) {
+        meta.v6_%d = v;
+        hdr.ipv6.traffic_class = hdr.ipv6.traffic_class | 8w4;
+`, i, i)
+		scionPad(&b, 6, 20+i)
+		fmt.Fprintf(&b, `    }
+    action alt_v6_%d(bit<16> v) {
+        meta.v6_%d = v ^ 16w0x0400;
+`, i, i)
+		scionPad(&b, 6, 120+i)
+		fmt.Fprintf(&b, `    }
+    action drop_v6_%d() {
+        mark_to_drop(std);
+    }
+    table %s {
+        key = {
+            %s: %s;
+%s        }
+        actions = { set_v6_%d; alt_v6_%d; drop_v6_%d; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+`, i, name, key, kind, chainDep, i, i, i)
+	}
+
+	// -------------------------------------------------------------- apply
+	b.WriteString("    apply {\n")
+	b.WriteString("        if (hdr.scion.isValid()) {\n")
+	for i := 1; i <= scionSharedDepth; i++ {
+		fmt.Fprintf(&b, "            %s.apply();\n", sharedNames[i-1])
+	}
+	b.WriteString(`            if (hdr.ipv4.isValid()) {
+`)
+	for i := 1; i <= scionV4Depth; i++ {
+		fmt.Fprintf(&b, "                %s.apply();\n", v4Names[i-1])
+	}
+	b.WriteString(`                hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+                hdr.ipv4.hdr_checksum = checksum16(hdr.ipv4.src, hdr.ipv4.dst, 8w0 ++ hdr.ipv4.ttl, hdr.ipv4.total_len);
+                std.egress_port = meta.out_port;
+            }
+            if (hdr.ipv6.isValid()) {
+`)
+	for i := 1; i <= scionV6Depth; i++ {
+		fmt.Fprintf(&b, "                %s.apply();\n", v6Names[i-1])
+	}
+	b.WriteString(`                hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 8w1;
+                std.egress_port = meta.v6_` + fmt.Sprint(scionV6Depth) + `[8:0];
+            }
+            hdr.eth.src = hdr.eth.dst;
+            hdr.eth.dst = meta.next_mac;
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// scionRepresentative builds the supplied deployment configuration: the
+// shared chain and the IPv4 underlay are populated; IPv6 stays unused
+// ("This configuration does not use IPv6 and all the IPv6 program paths
+// are unused", §4.2).
+func scionRepresentative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	// Shared chain: a handful of interface/path entries per table.
+	sharedNames := []string{
+		"ingress_iface", "scion_version_check", "path_epoch",
+		"hop_field_validate", "mac_verify", "segment_switch",
+	}
+	for i := 1; i <= scionSharedDepth; i++ {
+		table := "Ingress." + sharedNames[i-1]
+		for e := 0; e < 3; e++ {
+			var matches []controlplane.FieldMatch
+			if i == 1 {
+				matches = []controlplane.FieldMatch{exactMatch(9, uint64(e+1))}
+			} else {
+				matches = []controlplane.FieldMatch{exactMatch(16, uint64(e+1))}
+			}
+			if i == 4 {
+				matches = append(matches, exactMatch(16, uint64(40+e)))
+				ups = append(ups, insertUpdate(table, 0, matches,
+					fmt.Sprintf("accept_hop_%d", i), sym.NewBV(16, uint64(e+1)), sym.NewBV(1, 1)))
+				continue
+			}
+			ups = append(ups, insertUpdate(table, 0, matches,
+				fmt.Sprintf("set_s%d", i), sym.NewBV(16, uint64(e+1)), sym.NewBV(16, uint64(e+7))))
+		}
+	}
+	// IPv4 chain.
+	v4Names := []string{
+		"ipv4_acl", "ipv4_forward", "ipv4_nexthop", "ipv4_local_delivery",
+		"ipv4_encap_select", "ipv4_src_rewrite", "ipv4_dst_rewrite",
+		"ipv4_dscp_policy", "ipv4_ttl_policy", "ipv4_egress_iface",
+	}
+	for i := 1; i <= scionV4Depth; i++ {
+		table := "Ingress." + v4Names[i-1]
+		for e := 0; e < 3; e++ {
+			var matches []controlplane.FieldMatch
+			switch i {
+			case 1:
+				matches = []controlplane.FieldMatch{
+					ternMatch(32, uint64(0x0a000000+e<<16), 0xffff0000),
+					exactMatch(16, uint64(e+1)),
+				}
+			case 2:
+				matches = []controlplane.FieldMatch{
+					lpmMatch(32, uint64(0xC0A80000+e<<8), 24),
+					exactMatch(16, uint64(e+1)),
+				}
+			default:
+				matches = []controlplane.FieldMatch{exactMatch(16, uint64(e+1))}
+			}
+			if i == 2 {
+				ups = append(ups, insertUpdate(table, 0, matches,
+					"set_v4_2", sym.NewBV(16, uint64(e+1)), sym.NewBV(9, uint64(e+2))))
+				continue
+			}
+			ups = append(ups, insertUpdate(table, 0, matches,
+				fmt.Sprintf("set_v4_%d", i), sym.NewBV(16, uint64(e+1))))
+		}
+	}
+	return ups
+}
+
+// scionIPv6Enable returns the update batch that enables the IPv6 paths
+// (§4.2: "a batch of updates that enables the previously unused IPv6
+// paths"). After applying it, the program needs the maximum number of
+// stages again.
+func scionIPv6Enable() []*controlplane.Update {
+	var ups []*controlplane.Update
+	v6Names := []string{
+		"ipv6_acl", "ipv6_forward", "ipv6_nexthop", "ipv6_local_delivery",
+		"ipv6_encap_select", "ipv6_src_rewrite", "ipv6_dst_rewrite",
+		"ipv6_flowlabel_policy", "ipv6_hoplimit_policy", "ipv6_egress_iface",
+		"ipv6_neighbor", "ipv6_mtu_check", "ipv6_scope_check", "ipv6_final_xform",
+	}
+	for i := 1; i <= scionV6Depth; i++ {
+		table := "Ingress." + v6Names[i-1]
+		for e := 0; e < 2; e++ {
+			var matches []controlplane.FieldMatch
+			switch i {
+			case 1, 2:
+				matches = []controlplane.FieldMatch{
+					{Kind: controlplane.MatchTernary,
+						Value: sym.NewBV2(128, 0x2001_0db8_0000_0000+uint64(e), 0),
+						Mask:  sym.NewBV2(128, ^uint64(0), 0)},
+					exactMatch(16, uint64(e+1)),
+				}
+			default:
+				matches = []controlplane.FieldMatch{exactMatch(16, uint64(e+1))}
+			}
+			ups = append(ups, insertUpdate(table, 0, matches,
+				fmt.Sprintf("set_v6_%d", i), sym.NewBV(16, uint64(e+1))))
+		}
+	}
+	return ups
+}

@@ -1,0 +1,364 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+)
+
+// SwitchLite re-creates switch.p4's role in the evaluation: the
+// kitchen-sink data-center switch with the union of every feature (the
+// paper §1 calls these "kitchen-sink programs"). Feature blocks: L2
+// (VLAN/STP/MAC learning), IPv4/IPv6 routing with ECMP, ingress/egress
+// ACLs, NAT, tunnels, QoS, multicast and system policy — plus a deep
+// underlay feature chain that exercises the full pipeline depth. The
+// paper analyses switch.p4 with parser analysis skipped (§4.2); the
+// catalog entry records that.
+func SwitchLite() *Program {
+	return &Program{
+		Name:                "switch",
+		Source:              switchLiteSource(),
+		Target:              devcompiler.TargetTofino,
+		SkipParser:          true,
+		PaperStatements:     786,
+		PaperCompileSeconds: 106,
+		PaperAnalysis:       "9s",
+		PaperUpdate:         "90ms",
+		Representative:      switchLiteRepresentative,
+		BurstTable:          "Ingress.ipv4_lpm",
+	}
+}
+
+// Feature chains (name lists are package-level so the representative
+// config builder reuses them).
+var (
+	swUnderlay = chainNames("feat", 20)
+	swL2       = []string{"port_vlan", "stp_group", "smac", "dmac", "l2_flood", "learn_notify"}
+	swRoute    = []string{"vrf_select", "ipv4_host", "ipv4_lpm", "ecmp_group", "ecmp_member", "nexthop", "rif", "neighbor"}
+	swV6Route  = []string{"ipv6_host", "ipv6_lpm"}
+	swACL      = []string{"mac_acl", "pre_ingress_acl", "ipv4_ingress_acl", "ipv6_ingress_acl", "mirror_acl", "ipv4_egress_acl", "ipv6_egress_acl", "system_acl"}
+	swTunnel   = []string{"tunnel_term", "tunnel_decap", "tunnel_vni", "tunnel_encap", "tunnel_dst"}
+	swQoS      = []string{"dscp_map", "tc_map", "meter_index", "queue_map", "wred_profile"}
+	swNAT      = []string{"nat_src", "nat_dst", "nat_twice", "nat_flow"}
+	swMcast    = []string{"mcast_route", "mcast_group", "mcast_rpf"}
+
+	swEgrRewrite = []string{"egr_rif", "egr_smac_rewrite", "egr_dmac_rewrite", "egr_vlan_xlate", "egr_encap", "egr_tunnel_rewrite"}
+	swEgrACL     = []string{"egr_ipv4_acl", "egr_ipv6_acl", "egr_mirror_acl", "egr_system_acl"}
+	swEgrQueue   = []string{"egr_queue_map", "egr_wred", "egr_shaper", "egr_ecn_mark", "egr_buffer_profile"}
+	swEgrMisc    = []string{"egr_mtu_check", "egr_sflow", "egr_port_stats", "egr_crc_fixup", "egr_timestamp"}
+)
+
+func chainNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s_%d", prefix, i+1)
+	}
+	return out
+}
+
+func switchLiteSource() string {
+	var b strings.Builder
+	b.WriteString(`// switch-lite: the kitchen-sink data-center switch.
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header vlan_t {
+    bit<3> pcp;
+    bit<1> cfi;
+    bit<12> vid;
+    bit<16> type;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<128> src;
+    bit<128> dst;
+}
+header tcp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<32> seq;
+    bit<32> ack;
+    bit<16> flags;
+}
+header vxlan_t {
+    bit<8> flags;
+    bit<24> rsv;
+    bit<24> vni;
+    bit<8> rsv2;
+}
+struct headers {
+    ethernet_t eth;
+    vlan_t vlan;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    tcp_t tcp;
+    vxlan_t vxlan;
+}
+struct metadata {
+`)
+	emitMetaFields(&b, "feat", len(swUnderlay))
+	emitMetaFields(&b, "l2", len(swL2))
+	emitMetaFields(&b, "rt", len(swRoute))
+	emitMetaFields(&b, "rt6", len(swV6Route))
+	emitMetaFields(&b, "acl", len(swACL))
+	emitMetaFields(&b, "tun", len(swTunnel))
+	emitMetaFields(&b, "qos", len(swQoS))
+	emitMetaFields(&b, "nat", len(swNAT))
+	emitMetaFields(&b, "mc", len(swMcast))
+	emitMetaFields(&b, "erw", len(swEgrRewrite))
+	emitMetaFields(&b, "eacl", len(swEgrACL))
+	emitMetaFields(&b, "eq", len(swEgrQueue))
+	emitMetaFields(&b, "em", len(swEgrMisc))
+	b.WriteString(`    bit<16> vrf;
+    bit<9> out_port;
+    bit<16> l4_sport;
+    bit<16> l4_dport;
+}
+parser SwitchParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x8100: parse_vlan;
+            16w0x0800: parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.type) {
+            16w0x0800: parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            8w6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+`)
+	// Deep underlay feature chain: drives the pipeline to full depth.
+	emitChain(&b, chainOpts{
+		Names: swUnderlay, MetaPrefix: "feat",
+		FirstKey: "std.ingress_port", FirstKind: "exact",
+		BodyAux: []string{
+			"meta.vrf = meta.vrf + 16w1;",
+		},
+		WithDrop: true, Size: 128, Pad: 1, Alt: true,
+	})
+	// L2.
+	emitChain(&b, chainOpts{
+		Names: swL2, MetaPrefix: "l2",
+		FirstKey: "hdr.eth.src", FirstKind: "exact",
+		ExtraFirstKeys: []string{"hdr.vlan.vid: exact"},
+		BodyAux:        []string{"hdr.vlan.pcp = hdr.vlan.pcp | 3w1;"},
+		WithDrop:       true, Size: 4096,
+	})
+	// IPv4 routing.
+	emitChain(&b, chainOpts{
+		Names: swRoute, MetaPrefix: "rt",
+		FirstKey: "hdr.ipv4.dst", FirstKind: "lpm",
+		BodyAux: []string{
+			"meta.out_port = v[8:0];",
+			"hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;",
+		},
+		WithDrop: true, Size: 4096, Pad: 3, Alt: true,
+	})
+	// IPv6 routing.
+	emitChain(&b, chainOpts{
+		Names: swV6Route, MetaPrefix: "rt6",
+		FirstKey: "hdr.ipv6.dst", FirstKind: "lpm",
+		BodyAux:  []string{"hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 8w1;"},
+		WithDrop: true, Size: 1024, Pad: 3, Alt: true,
+	})
+	// ACL stages (TCAM-heavy).
+	emitChain(&b, chainOpts{
+		Names: swACL, MetaPrefix: "acl",
+		FirstKey: "hdr.ipv4.src", FirstKind: "ternary",
+		ExtraFirstKeys: []string{
+			"hdr.ipv4.dst: ternary", "hdr.ipv4.protocol: ternary",
+			"meta.l4_sport: ternary", "meta.l4_dport: ternary",
+		},
+		BodyAux:  []string{"std.mcast_grp = std.mcast_grp | 16w1;"},
+		WithDrop: true, Size: 1024, Pad: 2, Alt: true,
+	})
+	// Tunnels.
+	emitChain(&b, chainOpts{
+		Names: swTunnel, MetaPrefix: "tun",
+		FirstKey: "hdr.vxlan.vni", FirstKind: "exact",
+		BodyAux:  []string{"hdr.vxlan.flags = hdr.vxlan.flags | 8w8;"},
+		WithDrop: false, Size: 1024, Pad: 2, Alt: true,
+	})
+	// QoS.
+	emitChain(&b, chainOpts{
+		Names: swQoS, MetaPrefix: "qos",
+		FirstKey: "hdr.ipv4.diffserv", FirstKind: "exact",
+		BodyAux:  []string{"hdr.ipv4.diffserv = hdr.ipv4.diffserv | 8w1;"},
+		WithDrop: false, Size: 64, Pad: 2, Alt: true,
+	})
+	// NAT.
+	emitChain(&b, chainOpts{
+		Names: swNAT, MetaPrefix: "nat",
+		FirstKey: "hdr.ipv4.src", FirstKind: "exact",
+		ExtraFirstKeys: []string{"meta.l4_sport: exact"},
+		BodyAux: []string{
+			"hdr.ipv4.src = 32w0x0a000001;",
+			"meta.l4_sport = meta.l4_sport + 16w1;",
+		},
+		WithDrop: false, Size: 2048, Pad: 2, Alt: true,
+	})
+	// Multicast.
+	emitChain(&b, chainOpts{
+		Names: swMcast, MetaPrefix: "mc",
+		FirstKey: "hdr.ipv4.dst", FirstKind: "ternary",
+		BodyAux:  []string{"std.mcast_grp = v;"},
+		WithDrop: true, Size: 1024, Pad: 2, Alt: true,
+	})
+	// Stats registers give the sketch-style statefulness.
+	b.WriteString(`    register<bit<32>>(1024) port_bytes;
+    register<bit<32>>(1024) drop_counters;
+    bit<32> stat_tmp;
+    apply {
+        meta.l4_sport = hdr.tcp.sport;
+        meta.l4_dport = hdr.tcp.dport;
+`)
+	emitApplies(&b, "        ", swUnderlay)
+	b.WriteString("        if (hdr.vlan.isValid()) {\n")
+	emitApplies(&b, "            ", swL2)
+	b.WriteString("        }\n")
+	b.WriteString("        if (hdr.ipv4.isValid()) {\n")
+	emitApplies(&b, "            ", swRoute)
+	emitApplies(&b, "            ", swNAT)
+	b.WriteString(`            hdr.ipv4.hdr_checksum = checksum16(hdr.ipv4.src, hdr.ipv4.dst, 8w0 ++ hdr.ipv4.ttl, hdr.ipv4.total_len);
+        }
+`)
+	b.WriteString("        if (hdr.ipv6.isValid()) {\n")
+	emitApplies(&b, "            ", swV6Route)
+	b.WriteString("        }\n")
+	emitApplies(&b, "        ", swACL)
+	b.WriteString("        if (hdr.vxlan.isValid()) {\n")
+	emitApplies(&b, "            ", swTunnel)
+	b.WriteString("        }\n")
+	emitApplies(&b, "        ", swQoS)
+	b.WriteString("        if (hdr.ipv4.dst[31:28] == 4w0xE) {\n")
+	emitApplies(&b, "            ", swMcast)
+	b.WriteString(`        }
+        port_bytes.read(stat_tmp, 16w0 ++ std.ingress_port[8:0] ++ 7w0);
+        stat_tmp = stat_tmp + std.packet_length;
+        port_bytes.write(16w0 ++ std.ingress_port[8:0] ++ 7w0, stat_tmp);
+        if (std.drop == 1w1) {
+            drop_counters.read(stat_tmp, 32w1);
+            stat_tmp = stat_tmp + 32w1;
+            drop_counters.write(32w1, stat_tmp);
+        }
+        std.egress_port = meta.out_port;
+    }
+}
+control Egress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+`)
+	// Egress feature blocks: rewrite, egress ACL, queueing, MTU/sflow.
+	emitChain(&b, chainOpts{
+		Names: swEgrRewrite, MetaPrefix: "erw",
+		FirstKey: "meta.out_port", FirstKind: "exact",
+		BodyAux:  []string{"hdr.eth.src = 32w0 ++ v;"},
+		WithDrop: false, Size: 512, Pad: 2, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: swEgrACL, MetaPrefix: "eacl",
+		FirstKey: "hdr.ipv4.src", FirstKind: "ternary",
+		ExtraFirstKeys: []string{"hdr.ipv4.dst: ternary"},
+		BodyAux:        []string{"hdr.ipv4.diffserv = hdr.ipv4.diffserv | 8w8;"},
+		WithDrop:       true, Size: 512, Pad: 2, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: swEgrQueue, MetaPrefix: "eq",
+		FirstKey: "hdr.ipv4.diffserv", FirstKind: "exact",
+		BodyAux:  []string{"std.mcast_grp = std.mcast_grp | 16w2;"},
+		WithDrop: false, Size: 64, Pad: 2, Alt: true,
+	})
+	emitChain(&b, chainOpts{
+		Names: swEgrMisc, MetaPrefix: "em",
+		FirstKey: "std.egress_port", FirstKind: "exact",
+		BodyAux:  []string{"hdr.eth.type = hdr.eth.type | 16w1;"},
+		WithDrop: false, Size: 64, Pad: 2, Alt: true,
+	})
+	b.WriteString("    apply {\n")
+	emitApplies(&b, "        ", swEgrRewrite)
+	b.WriteString("        if (hdr.ipv4.isValid()) {\n")
+	emitApplies(&b, "            ", swEgrACL)
+	b.WriteString("        }\n")
+	emitApplies(&b, "        ", swEgrQueue)
+	emitApplies(&b, "        ", swEgrMisc)
+	b.WriteString(`    }
+}
+`)
+	return b.String()
+}
+
+// switchLiteRepresentative populates a typical deployment: L2, IPv4
+// routing, underlay features and two ACL stages carry entries; IPv6,
+// NAT, tunnels and multicast are present but unused.
+func switchLiteRepresentative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	ups = append(ups, chainRepresentative("Ingress", "feat", swUnderlay, 2,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{exactMatch(9, uint64(e+1))}
+		})...)
+	ups = append(ups, chainRepresentative("Ingress", "l2", swL2, 2,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{exactMatch(48, uint64(0xAA00+e)), exactMatch(12, uint64(100+e))}
+		})...)
+	ups = append(ups, chainRepresentative("Ingress", "rt", swRoute, 3,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{lpmMatch(32, uint64(0x0a000000+e<<16), 16)}
+		})...)
+	ups = append(ups, chainRepresentative("Ingress", "acl", swACL[:2], 2,
+		func(e int) []controlplane.FieldMatch {
+			return []controlplane.FieldMatch{
+				ternMatch(32, uint64(0xC0A80000+e), 0xffffffff),
+				ternMatch(32, 0, 0),
+				ternMatch(8, 6, 0xff),
+				ternMatch(16, 0, 0),
+				ternMatch(16, uint64(443+e), 0xffff),
+			}
+		})...)
+	return ups
+}

@@ -1,0 +1,265 @@
+package rmt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/p4/ast"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+)
+
+func TestTableReqResources(t *testing.T) {
+	exact := TableReq{
+		Name:    "t",
+		Keys:    []KeyReq{{Width: 48, Match: ast.MatchExact}},
+		Entries: 1024,
+		Actions: 2,
+	}
+	if exact.needsTCAM() {
+		t.Fatal("exact table should not need TCAM")
+	}
+	if got := exact.tcamBlocks(); got != 0 {
+		t.Fatalf("tcam = %d", got)
+	}
+	// 48+16=64 bits → 1 wide; 1024 entries → 1 deep.
+	if got := exact.sramBlocks(); got != 1 {
+		t.Fatalf("sram = %d, want 1", got)
+	}
+
+	tern := TableReq{
+		Name:    "acl",
+		Keys:    []KeyReq{{Width: 32, Match: ast.MatchTernary}, {Width: 32, Match: ast.MatchLPM}},
+		Entries: 1024,
+	}
+	if !tern.needsTCAM() {
+		t.Fatal("ternary table needs TCAM")
+	}
+	// 64 bits → 2 wide (44b blocks); 1024 entries → 2 deep = 4 blocks.
+	if got := tern.tcamBlocks(); got != 4 {
+		t.Fatalf("tcam = %d, want 4", got)
+	}
+
+	withData := exact
+	withData.ActionDataBits = 9
+	if got := withData.sramBlocks(); got != 2 {
+		t.Fatalf("sram with action data = %d, want 2", got)
+	}
+
+	zero := TableReq{Name: "z"}
+	if zero.entries() != DefaultTableSize {
+		t.Fatal("default size not applied")
+	}
+}
+
+func TestAllocateRespectsDependencies(t *testing.T) {
+	dev := Tofino2()
+	tables := []TableReq{
+		{Name: "a", Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}}, Entries: 16, Actions: 1},
+		{Name: "b", Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}}, Entries: 16, Actions: 1, Deps: []string{"a"}},
+		{Name: "c", Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}}, Entries: 16, Actions: 1, Deps: []string{"b"}},
+		{Name: "d", Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}}, Entries: 16, Actions: 1}, // independent
+	}
+	al, err := Allocate(dev, tables, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.StagesUsed != 3 {
+		t.Fatalf("stages = %d, want 3 (chain a→b→c)", al.StagesUsed)
+	}
+	if al.TableStage["d"] != 0 {
+		t.Fatalf("independent table should pack into stage 0, got %d", al.TableStage["d"])
+	}
+	if !al.Feasible {
+		t.Fatal("should be feasible")
+	}
+}
+
+func TestAllocateStagePressure(t *testing.T) {
+	dev := Tofino2()
+	// More independent tables than TablesPerStage forces a second stage.
+	var tables []TableReq
+	for i := 0; i < dev.TablesPerStage+1; i++ {
+		tables = append(tables, TableReq{
+			Name: string(rune('a' + i)), Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}},
+			Entries: 16, Actions: 1,
+		})
+	}
+	al, err := Allocate(dev, tables, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.StagesUsed != 2 {
+		t.Fatalf("stages = %d, want 2", al.StagesUsed)
+	}
+}
+
+func TestAllocateInfeasible(t *testing.T) {
+	dev := Tofino2()
+	var tables []TableReq
+	prev := ""
+	for i := 0; i < dev.Stages+3; i++ {
+		name := string(rune('A' + i))
+		req := TableReq{Name: name, Keys: []KeyReq{{Width: 8, Match: ast.MatchExact}}, Entries: 16, Actions: 1}
+		if prev != "" {
+			req.Deps = []string{prev}
+		}
+		tables = append(tables, req)
+		prev = name
+	}
+	al, err := Allocate(dev, tables, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Feasible {
+		t.Fatal("a chain longer than the pipeline must be infeasible")
+	}
+	if al.StagesUsed != dev.Stages+3 {
+		t.Fatalf("stages = %d", al.StagesUsed)
+	}
+
+	// PHV overflow is also infeasible.
+	al, err = Allocate(dev, tables[:1], dev.PHVBits+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Feasible {
+		t.Fatal("PHV overflow must be infeasible")
+	}
+}
+
+func TestAllocateUnknownDep(t *testing.T) {
+	_, err := Allocate(Tofino2(), []TableReq{{Name: "x", Deps: []string{"ghost"}}}, 0)
+	if err == nil || !strings.Contains(err.Error(), "unplaced") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+const chainSrc = `
+header ipv4_t { bit<32> dst; bit<8> ttl; }
+struct headers { ipv4_t ipv4; }
+struct metadata { bit<8> cls; bit<9> port; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.ipv4); transition accept; }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set_cls(bit<8> c) { meta.cls = c; }
+    action set_port(bit<9> p) { meta.port = p; }
+    action fwd() { std.egress_port = meta.port; }
+    table classify {
+        key = { hdr.ipv4.dst: lpm; }
+        actions = { set_cls; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+    table route {
+        key = { meta.cls: exact; }
+        actions = { set_port; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    table out_table {
+        key = { meta.port: exact; }
+        actions = { fwd; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    table stats {
+        key = { hdr.ipv4.ttl: exact; }
+        actions = { NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    apply {
+        classify.apply();
+        route.apply();
+        out_table.apply();
+        stats.apply();
+    }
+}
+`
+
+func TestRequirementsDependencyChain(t *testing.T) {
+	prog, err := parser.Parse("chain", chainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, phv, err := Requirements(prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 4 {
+		t.Fatalf("tables = %d", len(reqs))
+	}
+	byName := map[string]TableReq{}
+	for _, r := range reqs {
+		byName[r.Name] = r
+	}
+	if deps := byName["Ingress.route"].Deps; len(deps) != 1 || deps[0] != "Ingress.classify" {
+		t.Fatalf("route deps = %v", deps)
+	}
+	if deps := byName["Ingress.out_table"].Deps; len(deps) != 1 || deps[0] != "Ingress.route" {
+		t.Fatalf("out_table deps = %v", deps)
+	}
+	if deps := byName["Ingress.stats"].Deps; len(deps) != 0 {
+		t.Fatalf("stats deps = %v (reads only packet fields)", deps)
+	}
+	if byName["Ingress.classify"].ActionDataBits != 8 {
+		t.Fatalf("classify action data bits = %d", byName["Ingress.classify"].ActionDataBits)
+	}
+	// PHV: ipv4 (40 bits) + metadata (8+9).
+	if phv != 40+17 {
+		t.Fatalf("phv = %d", phv)
+	}
+
+	al, err := Allocate(Tofino2(), reqs, phv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// classify→route→out_table is a 3-chain; stats packs alongside.
+	if al.StagesUsed != 3 {
+		t.Fatalf("stages = %d, want 3\n%v", al.StagesUsed, al.TableStage)
+	}
+}
+
+func TestRequirementsGuardDependency(t *testing.T) {
+	src := `
+struct metadata { bit<8> a; bit<8> b; }
+control C(inout metadata meta, inout standard_metadata_t std) {
+    action seta(bit<8> v) { meta.a = v; }
+    action setb() { meta.b = 8w1; }
+    table first {
+        key = { meta.b: exact; }
+        actions = { seta; NoAction; }
+        default_action = NoAction;
+    }
+    table second {
+        key = { meta.b: exact; }
+        actions = { setb; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        first.apply();
+        if (meta.a == 8w1) {
+            second.apply();
+        }
+    }
+}
+`
+	prog, _ := parser.Parse("guard", src)
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _, err := Requirements(prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps := reqs[1].Deps; len(deps) != 1 || deps[0] != "C.first" {
+		t.Fatalf("guarded table deps = %v, want [C.first]", deps)
+	}
+}

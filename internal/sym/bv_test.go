@@ -1,0 +1,190 @@
+package sym
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a BV to the unsigned big.Int it denotes.
+func toBig(v BV) *big.Int {
+	out := new(big.Int).SetUint64(v.Hi)
+	out.Lsh(out, 64)
+	return out.Or(out, new(big.Int).SetUint64(v.Lo))
+}
+
+// fromBig truncates a big.Int into a width-w BV.
+func fromBig(w uint16, x *big.Int) BV {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	m.Sub(m, big.NewInt(1))
+	t := new(big.Int).And(x, m)
+	lo := new(big.Int).And(t, new(big.Int).SetUint64(^uint64(0))).Uint64()
+	hi := new(big.Int).Rsh(t, 64).Uint64()
+	return BV{Hi: hi, Lo: lo, W: w}
+}
+
+var testWidths = []uint16{1, 7, 8, 16, 31, 32, 48, 63, 64, 65, 100, 127, 128}
+
+func randBV(r *rand.Rand, w uint16) BV {
+	return NewBV2(w, r.Uint64(), r.Uint64())
+}
+
+func TestBVTruncateInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, w := range testWidths {
+		for i := 0; i < 200; i++ {
+			v := randBV(r, w)
+			if got := toBig(v); got.BitLen() > int(w) {
+				t.Fatalf("width %d: value %s exceeds width (bitlen %d)", w, v, got.BitLen())
+			}
+		}
+	}
+}
+
+func TestBVArithmeticAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	mod := func(w uint16) *big.Int {
+		return new(big.Int).Lsh(big.NewInt(1), uint(w))
+	}
+	for _, w := range testWidths {
+		for i := 0; i < 300; i++ {
+			a, b := randBV(r, w), randBV(r, w)
+			ba, bb := toBig(a), toBig(b)
+
+			if got, want := a.Add(b), fromBig(w, new(big.Int).Add(ba, bb)); got != want {
+				t.Fatalf("w=%d add(%s,%s) = %s, want %s", w, a, b, got, want)
+			}
+			sub := new(big.Int).Sub(ba, bb)
+			sub.Mod(sub, mod(w))
+			if got, want := a.Sub(b), fromBig(w, sub); got != want {
+				t.Fatalf("w=%d sub(%s,%s) = %s, want %s", w, a, b, got, want)
+			}
+			if got, want := a.And(b), fromBig(w, new(big.Int).And(ba, bb)); got != want {
+				t.Fatalf("w=%d and mismatch", w)
+			}
+			if got, want := a.Or(b), fromBig(w, new(big.Int).Or(ba, bb)); got != want {
+				t.Fatalf("w=%d or mismatch", w)
+			}
+			if got, want := a.Xor(b), fromBig(w, new(big.Int).Xor(ba, bb)); got != want {
+				t.Fatalf("w=%d xor mismatch", w)
+			}
+			if got, want := a.Ult(b), ba.Cmp(bb) < 0; got != want {
+				t.Fatalf("w=%d ult(%s,%s) = %v, want %v", w, a, b, got, want)
+			}
+			n := uint(r.Intn(int(w) + 10))
+			shl := new(big.Int).Lsh(ba, n)
+			if got, want := a.Shl(n), fromBig(w, shl); got != want {
+				t.Fatalf("w=%d shl %d mismatch: %s vs %s", w, n, got, want)
+			}
+			if got, want := a.Lshr(n), fromBig(w, new(big.Int).Rsh(ba, n)); got != want {
+				t.Fatalf("w=%d lshr %d mismatch", w, n)
+			}
+		}
+	}
+}
+
+func TestBVNotIsComplement(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		for _, w := range testWidths {
+			v := NewBV2(w, hi, lo)
+			if !v.Or(v.Not()).IsAllOnes() {
+				return false
+			}
+			if !v.And(v.Not()).IsZero() {
+				return false
+			}
+			if v.Not().Not() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBVConcatExtractRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		wa := uint16(1 + r.Intn(64))
+		wb := uint16(1 + r.Intn(64))
+		a, b := randBV(r, wa), randBV(r, wb)
+		c := a.Concat(b)
+		if c.W != wa+wb {
+			t.Fatalf("concat width %d, want %d", c.W, wa+wb)
+		}
+		if got := c.Extract(wa+wb-1, wb); got != a {
+			t.Fatalf("high extract %s, want %s", got, a)
+		}
+		if got := c.Extract(wb-1, 0); got != b {
+			t.Fatalf("low extract %s, want %s", got, b)
+		}
+	}
+}
+
+func TestBVExtractMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		w := testWidths[r.Intn(len(testWidths))]
+		v := randBV(r, w)
+		lo := uint16(r.Intn(int(w)))
+		hi := lo + uint16(r.Intn(int(w-lo)))
+		got := v.Extract(hi, lo)
+		want := fromBig(hi-lo+1, new(big.Int).Rsh(toBig(v), uint(lo)))
+		if got != want {
+			t.Fatalf("extract [%d:%d] of %s = %s, want %s", hi, lo, v, got, want)
+		}
+	}
+}
+
+func TestBVBoundsPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBV(0, 1) },
+		func() { NewBV(129, 1) },
+		func() { NewBV(8, 1).Extract(8, 0) },
+		func() { NewBV(8, 1).Extract(2, 3) },
+		func() { NewBV(64, 1).Concat(NewBV(65, 1)) },
+		func() { NewBV(8, 1).Add(NewBV(9, 1)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBVHelpers(t *testing.T) {
+	if !Bool(true).IsTrue() || Bool(false).IsTrue() {
+		t.Fatal("Bool encoding broken")
+	}
+	if AllOnes(1) != Bool(true) {
+		t.Fatal("width-1 all-ones should be true")
+	}
+	v := NewBV(16, 0x800)
+	if v.String() != "16w0x800" {
+		t.Fatalf("String() = %q", v.String())
+	}
+	if v.Uint64() != 0x800 {
+		t.Fatal("Uint64 mismatch")
+	}
+	if !v.Bit(11) || v.Bit(10) || v.Bit(200) {
+		t.Fatal("Bit() wrong")
+	}
+	if v.PopCount() != 1 {
+		t.Fatal("PopCount wrong")
+	}
+	wide := NewBV2(128, 0xff, 0)
+	if !wide.Bit(64) || wide.PopCount() != 8 {
+		t.Fatal("high-limb bit accessors wrong")
+	}
+	if v.ZeroExtend(32).W != 32 || v.ZeroExtend(32).Uint64() != 0x800 {
+		t.Fatal("ZeroExtend wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package sym
+
+import "fmt"
+
+// Env is a concrete assignment of values to variables, keyed by the
+// hash-consed variable node.
+type Env map[*Expr]BV
+
+// Eval computes the concrete value of e under env. Every variable
+// reachable from e must be assigned, otherwise Eval returns an error.
+// Eval is the ground-truth oracle for the simplifier's property tests and
+// the workhorse of the heuristic solver.
+func Eval(e *Expr, env Env) (BV, error) {
+	memo := make(map[*Expr]BV, 64)
+	return eval(e, env, memo)
+}
+
+func eval(e *Expr, env Env, memo map[*Expr]BV) (BV, error) {
+	if v, ok := memo[e]; ok {
+		return v, nil
+	}
+	var v BV
+	switch e.Op {
+	case OpConst:
+		v = e.Val
+	case OpVar:
+		val, ok := env[e]
+		if !ok {
+			return BV{}, fmt.Errorf("sym: unassigned variable %s", e)
+		}
+		if val.W != e.Width {
+			return BV{}, fmt.Errorf("sym: assignment width %d for %s (want %d)", val.W, e, e.Width)
+		}
+		v = val
+	case OpNot:
+		a, err := eval(e.A, env, memo)
+		if err != nil {
+			return BV{}, err
+		}
+		v = a.Not()
+	case OpExtract:
+		a, err := eval(e.A, env, memo)
+		if err != nil {
+			return BV{}, err
+		}
+		v = a.Extract(e.Hi, e.Lo)
+	case OpIte:
+		c, err := eval(e.A, env, memo)
+		if err != nil {
+			return BV{}, err
+		}
+		if c.IsTrue() {
+			v, err = eval(e.B, env, memo)
+		} else {
+			v, err = eval(e.C, env, memo)
+		}
+		if err != nil {
+			return BV{}, err
+		}
+	default:
+		a, err := eval(e.A, env, memo)
+		if err != nil {
+			return BV{}, err
+		}
+		bb, err := eval(e.B, env, memo)
+		if err != nil {
+			return BV{}, err
+		}
+		switch e.Op {
+		case OpAnd:
+			v = a.And(bb)
+		case OpOr:
+			v = a.Or(bb)
+		case OpXor:
+			v = a.Xor(bb)
+		case OpAdd:
+			v = a.Add(bb)
+		case OpSub:
+			v = a.Sub(bb)
+		case OpShl:
+			if bb.Hi != 0 || bb.Lo >= uint64(a.W) {
+				v = BV{W: a.W}
+			} else {
+				v = a.Shl(uint(bb.Lo))
+			}
+		case OpLshr:
+			if bb.Hi != 0 || bb.Lo >= uint64(a.W) {
+				v = BV{W: a.W}
+			} else {
+				v = a.Lshr(uint(bb.Lo))
+			}
+		case OpConcat:
+			v = a.Concat(bb)
+		case OpEq:
+			v = Bool(a.Eq(bb))
+		case OpUlt:
+			v = Bool(a.Ult(bb))
+		default:
+			return BV{}, fmt.Errorf("sym: unknown op %v", e.Op)
+		}
+	}
+	memo[e] = v
+	return v, nil
+}
+
+// MustEval is Eval for callers that have already ensured the environment
+// is total; it panics on error.
+func MustEval(e *Expr, env Env) BV {
+	v, err := Eval(e, env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

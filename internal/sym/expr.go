@@ -1,0 +1,230 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies the operator at the root of an expression node.
+type Op uint8
+
+// Operators. Booleans are width-1 bitvectors, so there is a single sort:
+// OpAnd on width 1 is logical conjunction, OpNot is logical negation, and
+// comparison operators (OpEq, OpUlt) always produce width-1 results.
+const (
+	OpConst   Op = iota // a literal bitvector
+	OpVar               // a free variable (data- or control-plane)
+	OpNot               // bitwise complement
+	OpAnd               // bitwise and
+	OpOr                // bitwise or
+	OpXor               // bitwise xor
+	OpAdd               // addition mod 2^W
+	OpSub               // subtraction mod 2^W
+	OpShl               // left shift by constant-or-expression amount
+	OpLshr              // logical right shift
+	OpConcat            // bit concatenation (a is most significant)
+	OpExtract           // bit slice [Hi:Lo]
+	OpEq                // equality, width-1 result
+	OpUlt               // unsigned less-than, width-1 result
+	OpIte               // if-then-else; A is the width-1 condition
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpVar: "var", OpNot: "~", OpAnd: "&", OpOr: "|",
+	OpXor: "^", OpAdd: "+", OpSub: "-", OpShl: "<<", OpLshr: ">>",
+	OpConcat: "++", OpExtract: "extract", OpEq: "==", OpUlt: "<",
+	OpIte: "ite",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// VarClass distinguishes the two runtime-dependent variable kinds the
+// paper identifies (§2): data-plane variables come from packet input and
+// may take any value; control-plane variables are placeholders that a
+// control-plane assignment substitutes away.
+type VarClass uint8
+
+const (
+	// DataVar is a data-plane variable, written @name@ in the paper.
+	DataVar VarClass = iota
+	// CtrlVar is a control-plane variable, written |name| in the paper.
+	CtrlVar
+)
+
+func (c VarClass) String() string {
+	if c == CtrlVar {
+		return "ctrl"
+	}
+	return "data"
+}
+
+// Expr is a node in a hash-consed expression DAG. Two structurally equal
+// expressions built by the same Builder are the same pointer, so pointer
+// comparison is semantic-equality-modulo-simplification and maps keyed on
+// *Expr implement memoization. Expr values are immutable after creation.
+type Expr struct {
+	Op    Op
+	Width uint16 // result width in bits
+	Val   BV     // OpConst only
+	Name  string // OpVar only
+	Class VarClass
+	A     *Expr // first operand (condition for OpIte)
+	B     *Expr // second operand (then-branch for OpIte)
+	C     *Expr // third operand (else-branch for OpIte)
+	Hi    uint16
+	Lo    uint16 // OpExtract bounds
+
+	id uint64 // dense id assigned by the Builder, for deterministic ordering
+}
+
+// ID returns the builder-assigned dense id of the node. IDs increase in
+// creation order and are stable within a Builder, which makes them usable
+// as deterministic sort keys.
+func (e *Expr) ID() uint64 { return e.id }
+
+// IsConst reports whether e is a literal.
+func (e *Expr) IsConst() bool { return e.Op == OpConst }
+
+// IsTrue reports whether e is the width-1 constant 1.
+func (e *Expr) IsTrue() bool { return e.Op == OpConst && e.Val.IsTrue() }
+
+// IsFalse reports whether e is the width-1 constant 0.
+func (e *Expr) IsFalse() bool {
+	return e.Op == OpConst && e.Width == 1 && e.Val.IsZero()
+}
+
+// String renders the expression in a compact prefix/infix mix. Control
+// variables print as |name| and data variables as @name@, matching the
+// paper's Fig. 5 notation.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	e.write(&sb, 0)
+	return sb.String()
+}
+
+const maxPrintDepth = 24
+
+func (e *Expr) write(sb *strings.Builder, depth int) {
+	if depth > maxPrintDepth {
+		sb.WriteString("…")
+		return
+	}
+	switch e.Op {
+	case OpConst:
+		sb.WriteString(e.Val.String())
+	case OpVar:
+		if e.Class == CtrlVar {
+			fmt.Fprintf(sb, "|%s|", e.Name)
+		} else {
+			fmt.Fprintf(sb, "@%s@", e.Name)
+		}
+	case OpNot:
+		sb.WriteString("~")
+		e.A.write(sb, depth+1)
+	case OpExtract:
+		e.A.write(sb, depth+1)
+		fmt.Fprintf(sb, "[%d:%d]", e.Hi, e.Lo)
+	case OpIte:
+		sb.WriteString("(")
+		e.A.write(sb, depth+1)
+		sb.WriteString(" ? ")
+		e.B.write(sb, depth+1)
+		sb.WriteString(" : ")
+		e.C.write(sb, depth+1)
+		sb.WriteString(")")
+	default:
+		sb.WriteString("(")
+		e.A.write(sb, depth+1)
+		sb.WriteString(" " + e.Op.String() + " ")
+		e.B.write(sb, depth+1)
+		sb.WriteString(")")
+	}
+}
+
+// exprKey is the structural identity used for hash-consing.
+type exprKey struct {
+	op      Op
+	width   uint16
+	hi, lo  uint16
+	valHi   uint64
+	valLo   uint64
+	class   VarClass
+	name    string
+	a, b, c *Expr
+}
+
+// Builder creates and owns hash-consed expressions. A Builder is not safe
+// for concurrent use; each analysis owns its own Builder. The zero value
+// is not usable — call NewBuilder.
+type Builder struct {
+	nodes  map[exprKey]*Expr
+	nextID uint64
+
+	// Substitution memo (see Subst): epoch-marked, indexed by node id.
+	subVal   []*Expr
+	subMark  []uint32
+	subEpoch uint32
+}
+
+// NewBuilder returns an empty expression arena.
+func NewBuilder() *Builder {
+	return &Builder{nodes: make(map[exprKey]*Expr, 1024)}
+}
+
+// NumNodes returns how many distinct nodes the builder has interned; it
+// is the measure of expression complexity the benchmarks report.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+func (b *Builder) intern(k exprKey) *Expr {
+	if e, ok := b.nodes[k]; ok {
+		return e
+	}
+	e := &Expr{
+		Op: k.op, Width: k.width, Hi: k.hi, Lo: k.lo,
+		Val:  BV{Hi: k.valHi, Lo: k.valLo, W: k.width},
+		Name: k.name, Class: k.class,
+		A: k.a, B: k.b, C: k.c,
+		id: b.nextID,
+	}
+	if k.op != OpConst {
+		e.Val = BV{}
+	}
+	b.nextID++
+	b.nodes[k] = e
+	return e
+}
+
+// Const returns the literal node for v.
+func (b *Builder) Const(v BV) *Expr {
+	return b.intern(exprKey{op: OpConst, width: v.W, valHi: v.Hi, valLo: v.Lo})
+}
+
+// ConstUint returns the width-w literal for lo.
+func (b *Builder) ConstUint(w uint16, lo uint64) *Expr { return b.Const(NewBV(w, lo)) }
+
+// True returns the width-1 constant 1.
+func (b *Builder) True() *Expr { return b.Const(Bool(true)) }
+
+// False returns the width-1 constant 0.
+func (b *Builder) False() *Expr { return b.Const(Bool(false)) }
+
+// Var returns the variable node named name with the given class and
+// width. The same (class, name, width) triple always yields the same
+// node.
+func (b *Builder) Var(class VarClass, name string, w uint16) *Expr {
+	if w < 1 || w > MaxWidth {
+		panic(fmt.Sprintf("sym: invalid variable width %d for %q", w, name))
+	}
+	return b.intern(exprKey{op: OpVar, width: w, class: class, name: name})
+}
+
+// Data returns the data-plane variable @name@ of width w.
+func (b *Builder) Data(name string, w uint16) *Expr { return b.Var(DataVar, name, w) }
+
+// Ctrl returns the control-plane variable |name| of width w.
+func (b *Builder) Ctrl(name string, w uint16) *Expr { return b.Var(CtrlVar, name, w) }

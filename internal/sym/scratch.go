@@ -1,0 +1,192 @@
+package sym
+
+import "sort"
+
+// scratch holds the Solver's reusable per-node state: evaluation memos
+// and visited marks indexed by the Builder's dense node IDs. Epoch
+// counters avoid clearing between queries, which matters because the
+// incremental engine evaluates thousands of probe assignments per
+// update.
+type scratch struct {
+	vals     []BV
+	valMark  []uint32
+	valEpoch uint32
+
+	seen      []uint32
+	seenEpoch uint32
+}
+
+func (sc *scratch) ensure(id uint64) {
+	if int(id) < len(sc.vals) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(sc.vals) {
+		n = 2 * len(sc.vals)
+	}
+	vals := make([]BV, n)
+	copy(vals, sc.vals)
+	sc.vals = vals
+	vm := make([]uint32, n)
+	copy(vm, sc.valMark)
+	sc.valMark = vm
+	sn := make([]uint32, n)
+	copy(sn, sc.seen)
+	sc.seen = sn
+}
+
+// eval computes e under env with epoch-memoized reuse. It reports false
+// when a variable is unassigned.
+func (sc *scratch) eval(e *Expr, env Env) (BV, bool) {
+	sc.valEpoch++
+	sc.ensure(0)
+	return sc.evalRec(e, env)
+}
+
+func (sc *scratch) evalRec(e *Expr, env Env) (BV, bool) {
+	id := e.id
+	sc.ensure(id)
+	if sc.valMark[id] == sc.valEpoch {
+		return sc.vals[id], true
+	}
+	var v BV
+	switch e.Op {
+	case OpConst:
+		v = e.Val
+	case OpVar:
+		val, ok := env[e]
+		if !ok || val.W != e.Width {
+			return BV{}, false
+		}
+		v = val
+	case OpNot:
+		a, ok := sc.evalRec(e.A, env)
+		if !ok {
+			return BV{}, false
+		}
+		v = a.Not()
+	case OpExtract:
+		a, ok := sc.evalRec(e.A, env)
+		if !ok {
+			return BV{}, false
+		}
+		v = a.Extract(e.Hi, e.Lo)
+	case OpIte:
+		c, ok := sc.evalRec(e.A, env)
+		if !ok {
+			return BV{}, false
+		}
+		if c.IsTrue() {
+			v, ok = sc.evalRec(e.B, env)
+		} else {
+			v, ok = sc.evalRec(e.C, env)
+		}
+		if !ok {
+			return BV{}, false
+		}
+	default:
+		a, ok := sc.evalRec(e.A, env)
+		if !ok {
+			return BV{}, false
+		}
+		b, ok := sc.evalRec(e.B, env)
+		if !ok {
+			return BV{}, false
+		}
+		switch e.Op {
+		case OpAnd:
+			v = a.And(b)
+		case OpOr:
+			v = a.Or(b)
+		case OpXor:
+			v = a.Xor(b)
+		case OpAdd:
+			v = a.Add(b)
+		case OpSub:
+			v = a.Sub(b)
+		case OpShl:
+			if b.Hi != 0 || b.Lo >= uint64(a.W) {
+				v = BV{W: a.W}
+			} else {
+				v = a.Shl(uint(b.Lo))
+			}
+		case OpLshr:
+			if b.Hi != 0 || b.Lo >= uint64(a.W) {
+				v = BV{W: a.W}
+			} else {
+				v = a.Lshr(uint(b.Lo))
+			}
+		case OpConcat:
+			v = a.Concat(b)
+		case OpEq:
+			v = Bool(a.Eq(b))
+		case OpUlt:
+			v = Bool(a.Ult(b))
+		default:
+			return BV{}, false
+		}
+	}
+	sc.valMark[id] = sc.valEpoch
+	sc.vals[id] = v
+	return v, true
+}
+
+// vars collects every variable node reachable from e, sorted by id.
+func (sc *scratch) vars(e *Expr) []*Expr {
+	sc.seenEpoch++
+	var out []*Expr
+	var walk func(*Expr)
+	walk = func(n *Expr) {
+		if n == nil {
+			return
+		}
+		sc.ensure(n.id)
+		if sc.seen[n.id] == sc.seenEpoch {
+			return
+		}
+		sc.seen[n.id] = sc.seenEpoch
+		if n.Op == OpVar {
+			out = append(out, n)
+			return
+		}
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+	}
+	walk(e)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// harvest collects per-variable candidate values from comparisons,
+// without allocating a visited map.
+func (sc *scratch) harvest(e *Expr, add func(v *Expr, val BV)) {
+	sc.seenEpoch++
+	var walk func(*Expr)
+	walk = func(n *Expr) {
+		if n == nil {
+			return
+		}
+		sc.ensure(n.id)
+		if sc.seen[n.id] == sc.seenEpoch {
+			return
+		}
+		sc.seen[n.id] = sc.seenEpoch
+		if n.Op == OpEq || n.Op == OpUlt {
+			va, cb := n.A, n.B
+			if va.Op == OpConst {
+				va, cb = cb, va
+			}
+			if va.Op == OpVar && cb.Op == OpConst {
+				add(va, cb.Val)
+				one := NewBV(cb.Val.W, 1)
+				add(va, cb.Val.Add(one))
+				add(va, cb.Val.Sub(one))
+			}
+		}
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+	}
+	walk(e)
+}

@@ -1,0 +1,347 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rawNode is an unsimplified specification of an expression, used as the
+// ground truth in the soundness property test: the simplifier may rewrite
+// however it likes, but the built expression must evaluate identically to
+// the raw tree under every assignment.
+type rawNode struct {
+	op     Op
+	w      uint16
+	val    BV
+	name   string
+	class  VarClass
+	hi, lo uint16
+	kids   []*rawNode
+}
+
+func (n *rawNode) build(b *Builder) *Expr {
+	switch n.op {
+	case OpConst:
+		return b.Const(n.val)
+	case OpVar:
+		return b.Var(n.class, n.name, n.w)
+	case OpNot:
+		return b.Not(n.kids[0].build(b))
+	case OpExtract:
+		return b.Extract(n.kids[0].build(b), n.hi, n.lo)
+	case OpIte:
+		return b.Ite(n.kids[0].build(b), n.kids[1].build(b), n.kids[2].build(b))
+	}
+	x, y := n.kids[0].build(b), n.kids[1].build(b)
+	switch n.op {
+	case OpAnd:
+		return b.And(x, y)
+	case OpOr:
+		return b.Or(x, y)
+	case OpXor:
+		return b.Xor(x, y)
+	case OpAdd:
+		return b.Add(x, y)
+	case OpSub:
+		return b.Sub(x, y)
+	case OpShl:
+		return b.Shl(x, y)
+	case OpLshr:
+		return b.Lshr(x, y)
+	case OpConcat:
+		return b.Concat(x, y)
+	case OpEq:
+		return b.Eq(x, y)
+	case OpUlt:
+		return b.Ult(x, y)
+	}
+	panic("unreachable")
+}
+
+// eval computes the raw tree's value directly from BV semantics.
+func (n *rawNode) eval(env map[string]BV) BV {
+	switch n.op {
+	case OpConst:
+		return n.val
+	case OpVar:
+		return env[n.name]
+	case OpNot:
+		return n.kids[0].eval(env).Not()
+	case OpExtract:
+		return n.kids[0].eval(env).Extract(n.hi, n.lo)
+	case OpIte:
+		if n.kids[0].eval(env).IsTrue() {
+			return n.kids[1].eval(env)
+		}
+		return n.kids[2].eval(env)
+	}
+	x, y := n.kids[0].eval(env), n.kids[1].eval(env)
+	switch n.op {
+	case OpAnd:
+		return x.And(y)
+	case OpOr:
+		return x.Or(y)
+	case OpXor:
+		return x.Xor(y)
+	case OpAdd:
+		return x.Add(y)
+	case OpSub:
+		return x.Sub(y)
+	case OpShl:
+		if y.Hi != 0 || y.Lo >= uint64(x.W) {
+			return BV{W: x.W}
+		}
+		return x.Shl(uint(y.Lo))
+	case OpLshr:
+		if y.Hi != 0 || y.Lo >= uint64(x.W) {
+			return BV{W: x.W}
+		}
+		return x.Lshr(uint(y.Lo))
+	case OpConcat:
+		return x.Concat(y)
+	case OpEq:
+		return Bool(x.Eq(y))
+	case OpUlt:
+		return Bool(x.Ult(y))
+	}
+	panic("unreachable")
+}
+
+// genRaw builds a random expression of the requested width. Variables are
+// drawn from a small pool per width so sharing (and therefore the
+// identity rules) gets exercised.
+func genRaw(r *rand.Rand, w uint16, depth int) *rawNode {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &rawNode{op: OpConst, w: w, val: NewBV2(w, r.Uint64(), r.Uint64())}
+		}
+		names := []string{"a", "b", "c"}
+		cls := DataVar
+		if r.Intn(3) == 0 {
+			cls = CtrlVar
+		}
+		return &rawNode{op: OpVar, w: w, name: names[r.Intn(len(names))] + widthTag(w), class: cls}
+	}
+	switch r.Intn(12) {
+	case 0:
+		return &rawNode{op: OpNot, w: w, kids: []*rawNode{genRaw(r, w, depth-1)}}
+	case 1:
+		return &rawNode{op: OpAnd, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 2:
+		return &rawNode{op: OpOr, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 3:
+		return &rawNode{op: OpXor, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 4:
+		return &rawNode{op: OpAdd, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 5:
+		return &rawNode{op: OpSub, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 6:
+		return &rawNode{op: OpShl, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 7:
+		return &rawNode{op: OpLshr, w: w, kids: []*rawNode{genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 8:
+		// Extract width w from a wider inner expression.
+		if w < MaxWidth {
+			extra := uint16(1 + r.Intn(int(MaxWidth-w)))
+			innerW := w + extra
+			lo := uint16(r.Intn(int(extra) + 1))
+			inner := genRaw(r, innerW, depth-1)
+			return &rawNode{op: OpExtract, w: w, hi: lo + w - 1, lo: lo, kids: []*rawNode{inner}}
+		}
+		return genRaw(r, w, depth-1)
+	case 9:
+		return &rawNode{op: OpIte, w: w, kids: []*rawNode{genRaw(r, 1, depth-1), genRaw(r, w, depth-1), genRaw(r, w, depth-1)}}
+	case 10:
+		if w == 1 {
+			w2 := uint16(1 + r.Intn(16))
+			return &rawNode{op: OpEq, w: 1, kids: []*rawNode{genRaw(r, w2, depth-1), genRaw(r, w2, depth-1)}}
+		}
+		return genRaw(r, w, depth-1)
+	default:
+		if w == 1 {
+			w2 := uint16(1 + r.Intn(16))
+			return &rawNode{op: OpUlt, w: 1, kids: []*rawNode{genRaw(r, w2, depth-1), genRaw(r, w2, depth-1)}}
+		}
+		return genRaw(r, w, depth-1)
+	}
+}
+
+func widthTag(w uint16) string { return "_" + NewBV(8, uint64(w%251)+1).String() }
+
+// collectRawVars gathers name→width of every variable in the tree.
+func collectRawVars(n *rawNode, out map[string]uint16) {
+	if n.op == OpVar {
+		out[n.name] = n.w
+	}
+	for _, k := range n.kids {
+		collectRawVars(k, out)
+	}
+}
+
+// TestSimplifierPreservesSemantics is the core soundness property: for
+// random expression trees and random assignments, the hash-consed,
+// aggressively simplified DAG evaluates exactly like the raw tree.
+func TestSimplifierPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	widths := []uint16{1, 1, 8, 16, 48, 64, 100, 128}
+	for trial := 0; trial < 400; trial++ {
+		w := widths[r.Intn(len(widths))]
+		raw := genRaw(r, w, 4)
+		b := NewBuilder()
+		built := raw.build(b)
+		if built.Width != w {
+			t.Fatalf("trial %d: built width %d, want %d", trial, built.Width, w)
+		}
+		names := map[string]uint16{}
+		collectRawVars(raw, names)
+		for round := 0; round < 20; round++ {
+			strEnv := make(map[string]BV, len(names))
+			env := make(Env, len(names))
+			for name, vw := range names {
+				v := NewBV2(vw, r.Uint64(), r.Uint64())
+				strEnv[name] = v
+				for _, cls := range []VarClass{DataVar, CtrlVar} {
+					env[b.Var(cls, name, vw)] = v
+				}
+			}
+			want := raw.eval(strEnv)
+			got, err := Eval(built, env)
+			if err != nil {
+				t.Fatalf("trial %d: eval error: %v (expr %s)", trial, err, built)
+			}
+			if got != want {
+				t.Fatalf("trial %d round %d: simplified %s evaluates to %s, raw gives %s",
+					trial, round, built, got, want)
+			}
+		}
+	}
+}
+
+func TestHashConsingDeduplicates(t *testing.T) {
+	b := NewBuilder()
+	x := b.Data("x", 8)
+	y := b.Data("y", 8)
+	e1 := b.Add(x, y)
+	e2 := b.Add(y, x) // commutative normalization
+	if e1 != e2 {
+		t.Fatal("x+y and y+x should intern to the same node")
+	}
+	if b.Data("x", 8) != x {
+		t.Fatal("same variable should intern to the same node")
+	}
+	if b.Data("x", 16) == x {
+		t.Fatal("different width must be a different node")
+	}
+	if b.Ctrl("x", 8) == x {
+		t.Fatal("different class must be a different node")
+	}
+}
+
+func TestSimplifierAlgebra(t *testing.T) {
+	b := NewBuilder()
+	x := b.Data("x", 16)
+	y := b.Data("y", 16)
+	zero := b.ConstUint(16, 0)
+	ones := b.Const(AllOnes(16))
+	cond := b.Data("c", 1)
+
+	cases := []struct {
+		got, want *Expr
+		name      string
+	}{
+		{b.And(x, zero), zero, "x&0"},
+		{b.And(x, ones), x, "x&ones"},
+		{b.And(x, x), x, "x&x"},
+		{b.And(x, b.Not(x)), zero, "x&~x"},
+		{b.Or(x, zero), x, "x|0"},
+		{b.Or(x, ones), ones, "x|ones"},
+		{b.Or(x, b.Not(x)), ones, "x|~x"},
+		{b.Xor(x, x), zero, "x^x"},
+		{b.Xor(x, zero), x, "x^0"},
+		{b.Xor(x, ones), b.Not(x), "x^ones"},
+		{b.Add(x, zero), x, "x+0"},
+		{b.Sub(x, zero), x, "x-0"},
+		{b.Sub(x, x), zero, "x-x"},
+		{b.Not(b.Not(x)), x, "~~x"},
+		{b.Shl(x, zero), x, "x<<0"},
+		{b.Shl(x, b.ConstUint(16, 16)), zero, "x<<16"},
+		{b.Lshr(x, b.ConstUint(16, 99)), zero, "x>>99"},
+		{b.Eq(x, x), b.True(), "x==x"},
+		{b.Ult(x, x), b.False(), "x<x"},
+		{b.Ult(x, zero), b.False(), "x<0"},
+		{b.Ite(b.True(), x, y), x, "ite(true)"},
+		{b.Ite(b.False(), x, y), y, "ite(false)"},
+		{b.Ite(cond, x, x), x, "ite same branches"},
+		{b.Ite(cond, b.True(), b.False()), cond, "ite(c,1,0)"},
+		{b.Ite(cond, b.False(), b.True()), b.Not(cond), "ite(c,0,1)"},
+		{b.Ite(b.Not(cond), x, y), b.Ite(cond, y, x), "ite(~c,x,y)"},
+		{b.Extract(x, 15, 0), x, "full slice"},
+		{b.Extract(b.Concat(y, x), 15, 0), x, "slice of concat low"},
+		{b.Extract(b.Concat(y, x), 31, 16), y, "slice of concat high"},
+		{b.And(x, b.And(x, y)), b.And(x, y), "absorption"},
+		{b.AndAll(), b.True(), "empty conjunction"},
+		{b.OrAll(), b.False(), "empty disjunction"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestEqOfIteFolding checks the table-chain folding rule the paper's
+// Fig. 5b depends on: a constant compared against a constant-branched ite
+// reduces to the branch condition.
+func TestEqOfIteFolding(t *testing.T) {
+	b := NewBuilder()
+	key := b.Data("h.eth.dst", 48)
+	entry := b.ConstUint(48, 0xDEADBEEF)
+	actSet := b.ConstUint(8, 1)
+	actNoop := b.ConstUint(8, 0)
+	// |t.action| after one entry: ite(key == 0xDEADBEEF, set, noop)
+	actionExpr := b.Ite(b.Eq(key, entry), actSet, actNoop)
+
+	if got := b.Eq(actionExpr, actSet); got != b.Eq(key, entry) {
+		t.Fatalf("eq-of-ite should fold to the match condition, got %s", got)
+	}
+	if got := b.Eq(actionExpr, actNoop); got != b.Not(b.Eq(key, entry)) {
+		t.Fatalf("eq-of-ite else case should fold to negated match, got %s", got)
+	}
+	if got := b.Eq(actionExpr, b.ConstUint(8, 7)); !got.IsFalse() {
+		t.Fatalf("comparison with unreachable action should fold to false, got %s", got)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	b := NewBuilder()
+	e := b.Ite(b.Eq(b.Data("k", 8), b.ConstUint(8, 3)), b.Ctrl("t.p", 8), b.ConstUint(8, 0))
+	want := "((@k@ == 8w0x3) ? |t.p| : 8w0x0)"
+	if e.String() != want {
+		t.Fatalf("String() = %q, want %q", e.String(), want)
+	}
+}
+
+func TestSizeAndVars(t *testing.T) {
+	b := NewBuilder()
+	x := b.Data("x", 8)
+	p := b.Ctrl("p", 8)
+	e := b.Add(b.And(x, p), b.And(x, p)) // shared subterm
+	if Size(e) != 4 {                    // x, p, and, add
+		t.Fatalf("Size = %d, want 4", Size(e))
+	}
+	if cv := CtrlVars(e); len(cv) != 1 || cv[0] != p {
+		t.Fatalf("CtrlVars = %v", cv)
+	}
+	if dv := DataVars(e); len(dv) != 1 || dv[0] != x {
+		t.Fatalf("DataVars = %v", dv)
+	}
+	if !HasCtrlVars(e) {
+		t.Fatal("HasCtrlVars should be true")
+	}
+	if HasCtrlVars(x) {
+		t.Fatal("HasCtrlVars(x) should be false")
+	}
+	if len(AllVars(e)) != 2 {
+		t.Fatal("AllVars should report both")
+	}
+}

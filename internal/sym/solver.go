@@ -1,0 +1,376 @@
+package sym
+
+// Verdict is the answer of a satisfiability query.
+type Verdict uint8
+
+const (
+	// Unsat means no assignment of the free variables makes the formula
+	// true. Unsat answers are proofs (constant-false after
+	// simplification, or exhaustive enumeration of a small domain).
+	Unsat Verdict = iota
+	// Sat means a witness assignment was found.
+	Sat
+	// Unknown means neither a witness nor an exhaustive refutation was
+	// found within budget. Callers must treat Unknown conservatively:
+	// code that "may be executable" stays, a variable that "may vary" is
+	// not replaced by a constant, and a verdict that "may have changed"
+	// triggers recompilation. That keeps the specializer sound even when
+	// the solver gives up.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver answers executability (satisfiability) and constant-ness queries
+// over simplified expressions. It is a deliberately small decision
+// procedure: Flay's queries arise from substituting concrete control-
+// plane assignments into match-key expressions, which the simplifier
+// already folds to constants in the overwhelmingly common case; the
+// solver handles the residue with candidate-point probing and exhaustive
+// search over small domains.
+type Solver struct {
+	// MaxProbes bounds the number of candidate assignments tried before
+	// answering Unknown. The default (solverDefaultProbes) is used when
+	// zero.
+	MaxProbes int
+	// ExhaustiveBits is the largest total free-variable bit-width for
+	// which an exhaustive (and therefore Unsat-capable) search runs. The
+	// default is solverDefaultExhaustiveBits when zero.
+	ExhaustiveBits int
+
+	rng uint64
+	sc  scratch
+}
+
+const (
+	solverDefaultProbes         = 1024
+	solverDefaultExhaustiveBits = 16
+	solverRandomProbes          = 128
+	maxCandidatesPerVar         = 12
+)
+
+// NewSolver returns a Solver with default budgets and a fixed
+// deterministic probe sequence.
+func NewSolver() *Solver {
+	return &Solver{rng: 0x9e3779b97f4a7c15}
+}
+
+func (s *Solver) next() uint64 {
+	// xorshift64*: deterministic, dependency-free probe source.
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (s *Solver) probes() int {
+	if s.MaxProbes > 0 {
+		return s.MaxProbes
+	}
+	return solverDefaultProbes
+}
+
+func (s *Solver) exhaustiveBits() int {
+	if s.ExhaustiveBits > 0 {
+		return s.ExhaustiveBits
+	}
+	return solverDefaultExhaustiveBits
+}
+
+// Check reports whether the width-1 expression e is satisfiable over its
+// free variables.
+func (s *Solver) Check(e *Expr) Verdict {
+	v, _ := s.CheckWitness(e, nil)
+	return v
+}
+
+// CheckWitness is Check with witness support: when the result is Sat it
+// returns a satisfying assignment, and a witness from a previous query
+// (hint) is tried first. Incremental callers exploit this: after a
+// control-plane update, the witness that proved a point live usually
+// still does, turning the query into a single evaluation (the paper's
+// observation that most updates "just increase the likelihood for an
+// already existing data-plane program path to be taken").
+func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
+	if e.Width != 1 {
+		panic("sym: Check requires a width-1 expression")
+	}
+	if e.IsTrue() {
+		return Sat, Env{}
+	}
+	if e.IsFalse() {
+		return Unsat, nil
+	}
+	vars := s.sc.vars(e)
+	if len(vars) == 0 {
+		// Simplification leaves closed terms constant; a non-constant
+		// closed term would be a simplifier bug.
+		if v, ok := s.sc.eval(e, nil); !ok || !v.IsTrue() {
+			return Unknown, nil
+		}
+		return Sat, Env{}
+	}
+	if len(hint) > 0 {
+		if out, ok := s.sc.eval(e, hint); ok && out.IsTrue() {
+			return Sat, hint
+		}
+	}
+
+	// Exhaustive search decides small domains exactly.
+	totalBits := 0
+	for _, v := range vars {
+		totalBits += int(v.Width)
+		if totalBits > s.exhaustiveBits() {
+			totalBits = -1
+			break
+		}
+	}
+	if totalBits >= 0 {
+		if env := s.exhaustive(e, vars); env != nil {
+			return Sat, env
+		}
+		return Unsat, nil
+	}
+
+	// Candidate-point probing: boundary values plus constants harvested
+	// from comparisons, then deterministic pseudo-random assignments.
+	cands := s.candidates(e, vars)
+	if env := s.probeCombos(e, vars, cands); env != nil {
+		return Sat, env
+	}
+	env := make(Env, len(vars))
+	for i := 0; i < solverRandomProbes; i++ {
+		for _, v := range vars {
+			env[v] = NewBV2(v.Width, s.next(), s.next())
+		}
+		if out, ok := s.sc.eval(e, env); ok && out.IsTrue() {
+			return Sat, copyEnv(env)
+		}
+	}
+	return Unknown, nil
+}
+
+func copyEnv(env Env) Env {
+	out := make(Env, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// exhaustive enumerates every assignment of vars (total width small) and
+// returns a satisfying assignment, or nil when none exists.
+func (s *Solver) exhaustive(e *Expr, vars []*Expr) Env {
+	env := make(Env, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			out, ok := s.sc.eval(e, env)
+			return ok && out.IsTrue()
+		}
+		v := vars[i]
+		n := uint64(1) << v.Width
+		for x := uint64(0); x < n; x++ {
+			env[v] = NewBV(v.Width, x)
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return env
+	}
+	return nil
+}
+
+// candidates harvests, per variable, the interesting values: zero,
+// all-ones, one, and every constant the variable is compared against
+// (plus neighbours, for strict inequalities).
+func (s *Solver) candidates(e *Expr, vars []*Expr) map[*Expr][]BV {
+	out := make(map[*Expr][]BV, len(vars))
+	add := func(v *Expr, val BV) {
+		if val.W != v.Width {
+			return
+		}
+		for _, have := range out[v] {
+			if have == val {
+				return
+			}
+		}
+		if len(out[v]) < maxCandidatesPerVar {
+			out[v] = append(out[v], val)
+		}
+	}
+	for _, v := range vars {
+		add(v, BV{W: v.Width})
+		add(v, AllOnes(v.Width))
+		add(v, NewBV(v.Width, 1))
+	}
+	s.sc.harvest(e, add)
+	return out
+}
+
+// probeCombos tries the cartesian product of per-variable candidates,
+// capped by the probe budget. It returns a satisfying assignment or
+// nil.
+func (s *Solver) probeCombos(e *Expr, vars []*Expr, cands map[*Expr][]BV) Env {
+	budget := s.probes()
+	total := 1
+	for _, v := range vars {
+		total *= len(cands[v])
+		if total > budget {
+			total = -1
+			break
+		}
+	}
+	env := make(Env, len(vars))
+	if total > 0 {
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == len(vars) {
+				out, ok := s.sc.eval(e, env)
+				return ok && out.IsTrue()
+			}
+			for _, val := range cands[vars[i]] {
+				env[vars[i]] = val
+				if rec(i + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0) {
+			return env
+		}
+		return nil
+	}
+	// Too many combinations: sample them.
+	for i := 0; i < budget; i++ {
+		for _, v := range vars {
+			cs := cands[v]
+			env[v] = cs[int(s.next()%uint64(len(cs)))]
+		}
+		if out, ok := s.sc.eval(e, env); ok && out.IsTrue() {
+			return copyEnv(env)
+		}
+	}
+	return nil
+}
+
+// ConstResult is the answer of a constant-ness query.
+type ConstResult struct {
+	// Known reports whether the query was decided at all.
+	Known bool
+	// IsConst is meaningful only when Known; it reports whether the
+	// expression evaluates to the same value under every assignment.
+	IsConst bool
+	// Val holds that value when Known && IsConst.
+	Val BV
+}
+
+// ConstValue decides whether e denotes a single value regardless of its
+// free variables — the paper's "can we replace this program variable with
+// a constant?" query. The decision is conservative: only a simplifier-
+// produced literal or an exhaustive check yields IsConst=true, while a
+// pair of differing probe evaluations yields a definite IsConst=false.
+func (s *Solver) ConstValue(e *Expr) ConstResult {
+	if e.Op == OpConst {
+		return ConstResult{Known: true, IsConst: true, Val: e.Val}
+	}
+	vars := s.sc.vars(e)
+	if len(vars) == 0 {
+		v, ok := s.sc.eval(e, nil)
+		if !ok {
+			return ConstResult{}
+		}
+		return ConstResult{Known: true, IsConst: true, Val: v}
+	}
+
+	// Find two differing evaluations to refute constant-ness fast.
+	var first BV
+	haveFirst := false
+	tryEnv := func(env Env) (done bool, res ConstResult) {
+		out, ok := s.sc.eval(e, env)
+		if !ok {
+			return false, ConstResult{}
+		}
+		if !haveFirst {
+			first, haveFirst = out, true
+			return false, ConstResult{}
+		}
+		if out != first {
+			return true, ConstResult{Known: true, IsConst: false}
+		}
+		return false, ConstResult{}
+	}
+
+	cands := s.candidates(e, vars)
+	env := make(Env, len(vars))
+	for probe := 0; probe < 64; probe++ {
+		for _, v := range vars {
+			cs := cands[v]
+			if probe < len(cs) {
+				env[v] = cs[probe%len(cs)]
+			} else {
+				env[v] = NewBV2(v.Width, s.next(), s.next())
+			}
+		}
+		if done, res := tryEnv(env); done {
+			return res
+		}
+	}
+
+	// No refutation found; only an exhaustive pass can certify.
+	totalBits := 0
+	for _, v := range vars {
+		totalBits += int(v.Width)
+		if totalBits > s.exhaustiveBits() {
+			return ConstResult{}
+		}
+	}
+	same := true
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			out, ok := s.sc.eval(e, env)
+			if !ok {
+				return false
+			}
+			if !haveFirst {
+				first, haveFirst = out, true
+				return true
+			}
+			if out != first {
+				same = false
+				return false
+			}
+			return true
+		}
+		v := vars[i]
+		n := uint64(1) << v.Width
+		for x := uint64(0); x < n; x++ {
+			env[v] = NewBV(v.Width, x)
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	if same && haveFirst {
+		return ConstResult{Known: true, IsConst: true, Val: first}
+	}
+	return ConstResult{Known: true, IsConst: false}
+}

@@ -1,0 +1,158 @@
+package sym
+
+import "sort"
+
+// Subst rewrites e by replacing every variable that appears as a key in
+// env with its mapped expression. The rewrite is bottom-up through the
+// smart constructors, so the result is fully simplified: substituting a
+// control-plane assignment into a data-plane expression *is* evaluating a
+// specialization query (paper §4.1).
+//
+// Variables absent from env are left in place. The memo makes the cost
+// proportional to the number of distinct DAG nodes, not the tree size.
+func (b *Builder) Subst(e *Expr, env map[*Expr]*Expr) *Expr {
+	if len(env) == 0 {
+		return e
+	}
+	// Epoch-marked memo indexed by dense node id: no per-call map.
+	b.subEpoch++
+	return b.subst(e, env)
+}
+
+func (b *Builder) substEnsure(id uint64) {
+	if int(id) < len(b.subVal) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(b.subVal) {
+		n = 2 * len(b.subVal)
+	}
+	vals := make([]*Expr, n)
+	copy(vals, b.subVal)
+	b.subVal = vals
+	marks := make([]uint32, n)
+	copy(marks, b.subMark)
+	b.subMark = marks
+}
+
+func (b *Builder) subst(e *Expr, env map[*Expr]*Expr) *Expr {
+	id := e.id
+	b.substEnsure(id)
+	if b.subMark[id] == b.subEpoch {
+		return b.subVal[id]
+	}
+	var r *Expr
+	switch e.Op {
+	case OpConst:
+		r = e
+	case OpVar:
+		if repl, ok := env[e]; ok {
+			r = repl
+		} else {
+			r = e
+		}
+	case OpNot:
+		r = b.Not(b.subst(e.A, env))
+	case OpAnd:
+		r = b.And(b.subst(e.A, env), b.subst(e.B, env))
+	case OpOr:
+		r = b.Or(b.subst(e.A, env), b.subst(e.B, env))
+	case OpXor:
+		r = b.Xor(b.subst(e.A, env), b.subst(e.B, env))
+	case OpAdd:
+		r = b.Add(b.subst(e.A, env), b.subst(e.B, env))
+	case OpSub:
+		r = b.Sub(b.subst(e.A, env), b.subst(e.B, env))
+	case OpShl:
+		r = b.Shl(b.subst(e.A, env), b.subst(e.B, env))
+	case OpLshr:
+		r = b.Lshr(b.subst(e.A, env), b.subst(e.B, env))
+	case OpConcat:
+		r = b.Concat(b.subst(e.A, env), b.subst(e.B, env))
+	case OpExtract:
+		r = b.Extract(b.subst(e.A, env), e.Hi, e.Lo)
+	case OpEq:
+		r = b.Eq(b.subst(e.A, env), b.subst(e.B, env))
+	case OpUlt:
+		r = b.Ult(b.subst(e.A, env), b.subst(e.B, env))
+	case OpIte:
+		r = b.Ite(b.subst(e.A, env), b.subst(e.B, env), b.subst(e.C, env))
+	default:
+		panic("sym: unknown op in subst")
+	}
+	// The smart constructors above may have grown the arena past the
+	// point this node was checked; re-ensure before writing.
+	b.substEnsure(id)
+	b.subMark[id] = b.subEpoch
+	b.subVal[id] = r
+	return r
+}
+
+// Vars returns every distinct variable node reachable from e, in
+// deterministic (creation-id) order, optionally filtered by class.
+func Vars(e *Expr, class VarClass, includeAll bool) []*Expr {
+	seen := make(map[*Expr]bool, 32)
+	var out []*Expr
+	var walk func(*Expr)
+	walk = func(n *Expr) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == OpVar && (includeAll || n.Class == class) {
+			out = append(out, n)
+		}
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+	}
+	walk(e)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CtrlVars returns the control-plane variables appearing in e. The taint
+// map of the incremental specializer is built from this (paper §4.1:
+// "Flay maintains a map which associates a control-plane variable with
+// the set of program points it can influence").
+func CtrlVars(e *Expr) []*Expr { return Vars(e, CtrlVar, false) }
+
+// DataVars returns the data-plane variables appearing in e.
+func DataVars(e *Expr) []*Expr { return Vars(e, DataVar, false) }
+
+// AllVars returns every variable appearing in e.
+func AllVars(e *Expr) []*Expr { return Vars(e, DataVar, true) }
+
+// HasCtrlVars reports whether any control-plane placeholder remains in e.
+func HasCtrlVars(e *Expr) bool {
+	seen := make(map[*Expr]bool, 32)
+	var walk func(*Expr) bool
+	walk = func(n *Expr) bool {
+		if n == nil || seen[n] {
+			return false
+		}
+		seen[n] = true
+		if n.Op == OpVar && n.Class == CtrlVar {
+			return true
+		}
+		return walk(n.A) || walk(n.B) || walk(n.C)
+	}
+	return walk(e)
+}
+
+// Size returns the number of distinct DAG nodes reachable from e.
+func Size(e *Expr) int {
+	seen := make(map[*Expr]bool, 64)
+	var walk func(*Expr)
+	walk = func(n *Expr) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(n.A)
+		walk(n.B)
+		walk(n.C)
+	}
+	walk(e)
+	return len(seen)
+}

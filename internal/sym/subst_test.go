@@ -1,0 +1,102 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSubstCommutesWithEval: substituting constants then evaluating the
+// rest equals evaluating everything at once.
+func TestSubstCommutesWithEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		raw := genRaw(r, 1, 4)
+		b := NewBuilder()
+		e := raw.build(b)
+		vars := AllVars(e)
+		if len(vars) == 0 {
+			continue
+		}
+		// Substitute a random half of the variables with constants.
+		env := make(map[*Expr]*Expr)
+		full := make(Env)
+		for _, v := range vars {
+			val := NewBV2(v.Width, r.Uint64(), r.Uint64())
+			full[v] = val
+			if r.Intn(2) == 0 {
+				env[v] = b.Const(val)
+			}
+		}
+		sub := b.Subst(e, env)
+		got, err := Eval(sub, full)
+		if err != nil {
+			t.Fatalf("eval after subst: %v", err)
+		}
+		want, err := Eval(e, full)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: subst changed semantics: %s vs %s\nexpr %s\nsub  %s",
+				trial, got, want, e, sub)
+		}
+	}
+}
+
+func TestSubstAllCtrlVarsYieldsConstant(t *testing.T) {
+	b := NewBuilder()
+	key := b.Data("key", 32)
+	cfg := b.Ctrl("t.configured", 1)
+	act := b.Ctrl("t.action", 8)
+	// egress = t.configured && t.action == set ? 1 : 0 — Fig. 5a shape.
+	egress := b.Ite(b.And(cfg, b.Eq(act, b.ConstUint(8, 1))), b.ConstUint(9, 1), b.ConstUint(9, 0))
+
+	// Empty table: configured = false. Must fold to 0 regardless of key.
+	env := map[*Expr]*Expr{cfg: b.False(), act: b.ConstUint(8, 0)}
+	got := b.Subst(egress, env)
+	if !got.IsConst() || got.Val.Uint64() != 0 {
+		t.Fatalf("empty-table substitution should fold to 0, got %s", got)
+	}
+
+	// One entry: action is key-dependent. Result keeps the data var.
+	env = map[*Expr]*Expr{
+		cfg: b.True(),
+		act: b.Ite(b.Eq(key, b.ConstUint(32, 0xD00D)), b.ConstUint(8, 1), b.ConstUint(8, 0)),
+	}
+	got = b.Subst(egress, env)
+	if got.IsConst() {
+		t.Fatalf("one-entry substitution should stay symbolic, got %s", got)
+	}
+	if len(CtrlVars(got)) != 0 {
+		t.Fatalf("all ctrl vars should be gone, got %s", got)
+	}
+	if dv := DataVars(got); len(dv) != 1 || dv[0] != key {
+		t.Fatalf("expected only the key data var, got %v", dv)
+	}
+}
+
+func TestSubstEmptyEnvIsIdentity(t *testing.T) {
+	b := NewBuilder()
+	e := b.Add(b.Data("x", 8), b.ConstUint(8, 3))
+	if b.Subst(e, nil) != e {
+		t.Fatal("empty substitution must return the same node")
+	}
+}
+
+func TestSubstSharedNodesVisitedOnce(t *testing.T) {
+	// Build a deep chain of shared nodes; without memoization this would
+	// be exponential.
+	b := NewBuilder()
+	x := b.Data("x", 64)
+	e := x
+	for i := 0; i < 60; i++ {
+		e = b.Add(e, e) // e := 2e, heavily shared DAG
+	}
+	sub := b.Subst(e, map[*Expr]*Expr{x: b.ConstUint(64, 1)})
+	if !sub.IsConst() {
+		t.Fatalf("expected constant, got op %v", sub.Op)
+	}
+	if got := sub.Val.Uint64(); got != 1<<60 {
+		t.Fatalf("got %#x, want %#x", got, uint64(1)<<60)
+	}
+}

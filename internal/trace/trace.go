@@ -1,0 +1,171 @@
+// Package trace generates control-plane update traces with the temporal
+// structure of the paper's Fig. 1: different input classes change at
+// very different rates — data-plane source code over days, control-plane
+// policy over hours, routing/NAT/forwarding state in frequent bursts
+// ("changes happening at once quickly followed by a long quiescence",
+// §1, citing SWIFT/B4-style churn).
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is an input class from Fig. 1.
+type Class uint8
+
+const (
+	// PolicyChange: encapsulation/BGP policy/BFD configuration — rare
+	// (hours to days).
+	PolicyChange Class = iota
+	// RoutingBurst: routing table updates — bursts of hundreds of rules
+	// within seconds, then quiescence.
+	RoutingBurst
+	// NATChurn: NAT/firewall entries — steady churn (seconds).
+	NATChurn
+)
+
+var classNames = [...]string{"policy", "routing-burst", "nat-churn"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Event is one control-plane update occurrence.
+type Event struct {
+	At    time.Duration
+	Class Class
+	// Burst tags events belonging to the same burst.
+	Burst int
+}
+
+// Profile shapes a generated trace.
+type Profile struct {
+	// PolicyInterval separates policy changes (default 6h).
+	PolicyInterval time.Duration
+	// BurstInterval separates routing bursts (default 90s quiescence).
+	BurstInterval time.Duration
+	// BurstSize is the number of updates per routing burst (default
+	// 300; the paper cites bursts of hundreds of rules in a few
+	// seconds).
+	BurstSize int
+	// BurstSpread is the wall time over which a burst's updates arrive
+	// (default 2s).
+	BurstSpread time.Duration
+	// NATInterval separates NAT churn updates (default 5s).
+	NATInterval time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.PolicyInterval == 0 {
+		p.PolicyInterval = 6 * time.Hour
+	}
+	if p.BurstInterval == 0 {
+		p.BurstInterval = 90 * time.Second
+	}
+	if p.BurstSize == 0 {
+		p.BurstSize = 300
+	}
+	if p.BurstSpread == 0 {
+		p.BurstSpread = 2 * time.Second
+	}
+	if p.NATInterval == 0 {
+		p.NATInterval = 5 * time.Second
+	}
+	return p
+}
+
+// Generate produces the merged, time-ordered event sequence for a span
+// of wall time. Deterministic: jitter comes from a fixed xorshift
+// stream.
+func Generate(span time.Duration, p Profile) []Event {
+	p = p.withDefaults()
+	rng := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x9e3779b97f4a7c15
+	}
+	jitter := func(base time.Duration) time.Duration {
+		if base <= 0 {
+			return 0
+		}
+		return time.Duration(next() % uint64(base/4))
+	}
+
+	var events []Event
+	for at := p.PolicyInterval; at < span; at += p.PolicyInterval + jitter(p.PolicyInterval) {
+		events = append(events, Event{At: at, Class: PolicyChange})
+	}
+	burst := 0
+	for at := p.BurstInterval; at < span; at += p.BurstInterval + jitter(p.BurstInterval) {
+		burst++
+		for i := 0; i < p.BurstSize; i++ {
+			off := time.Duration(uint64(i) * uint64(p.BurstSpread) / uint64(p.BurstSize))
+			events = append(events, Event{At: at + off, Class: RoutingBurst, Burst: burst})
+		}
+	}
+	for at := p.NATInterval; at < span; at += p.NATInterval + jitter(p.NATInterval) {
+		events = append(events, Event{At: at, Class: NATChurn})
+	}
+	sortEvents(events)
+	return events
+}
+
+func sortEvents(evs []Event) {
+	// Insertion sort is fine at trace sizes; keeps the package
+	// dependency-free.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].At > evs[j].At; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}
+
+// RateSummary describes a class's update rate in a trace, for the
+// Fig. 1 report.
+type RateSummary struct {
+	Class  Class
+	Events int
+	// MeanGap is the average inter-update gap.
+	MeanGap time.Duration
+	// MaxBurst is the largest number of events sharing a burst.
+	MaxBurst int
+}
+
+func (r RateSummary) String() string {
+	return fmt.Sprintf("%-14s %6d events, mean gap %12v, max burst %4d",
+		r.Class, r.Events, r.MeanGap, r.MaxBurst)
+}
+
+// Summarize computes per-class rates over a trace spanning span.
+func Summarize(events []Event, span time.Duration) []RateSummary {
+	counts := map[Class]int{}
+	bursts := map[Class]map[int]int{}
+	for _, e := range events {
+		counts[e.Class]++
+		if bursts[e.Class] == nil {
+			bursts[e.Class] = map[int]int{}
+		}
+		bursts[e.Class][e.Burst]++
+	}
+	var out []RateSummary
+	for _, c := range []Class{PolicyChange, RoutingBurst, NATChurn} {
+		n := counts[c]
+		rs := RateSummary{Class: c, Events: n}
+		if n > 0 {
+			rs.MeanGap = span / time.Duration(n)
+		}
+		for id, cnt := range bursts[c] {
+			if id != 0 && cnt > rs.MaxBurst {
+				rs.MaxBurst = cnt
+			}
+		}
+		out = append(out, rs)
+	}
+	return out
+}

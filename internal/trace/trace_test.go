@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateOrderingAndClasses(t *testing.T) {
+	span := 30 * time.Minute
+	evs := Generate(span, Profile{})
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].At > evs[i].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	counts := map[Class]int{}
+	for _, e := range evs {
+		if e.At >= span {
+			t.Fatalf("event beyond span: %v", e.At)
+		}
+		counts[e.Class]++
+	}
+	// Fig. 1 shape: routing bursts dominate, NAT churn is steady,
+	// policy changes are rare (none expected inside 30 minutes with the
+	// 6h default interval).
+	if counts[PolicyChange] != 0 {
+		t.Fatalf("policy changes inside 30min: %d", counts[PolicyChange])
+	}
+	if counts[RoutingBurst] < 10*counts[NATChurn] {
+		t.Fatalf("bursts should dominate: routing=%d nat=%d", counts[RoutingBurst], counts[NATChurn])
+	}
+}
+
+func TestBurstStructure(t *testing.T) {
+	evs := Generate(10*time.Minute, Profile{BurstSize: 250})
+	byBurst := map[int]int{}
+	for _, e := range evs {
+		if e.Class == RoutingBurst {
+			byBurst[e.Burst]++
+		}
+	}
+	if len(byBurst) < 3 {
+		t.Fatalf("expected several bursts, got %d", len(byBurst))
+	}
+	for id, n := range byBurst {
+		if n != 250 {
+			t.Fatalf("burst %d has %d events, want 250", id, n)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	span := time.Hour
+	evs := Generate(span, Profile{})
+	sums := Summarize(evs, span)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	var routing, nat RateSummary
+	for _, s := range sums {
+		switch s.Class {
+		case RoutingBurst:
+			routing = s
+		case NATChurn:
+			nat = s
+		}
+	}
+	if routing.MaxBurst < 100 {
+		t.Fatalf("routing max burst = %d", routing.MaxBurst)
+	}
+	if nat.MeanGap <= routing.MeanGap {
+		t.Fatalf("NAT churn should be slower than burst traffic: %v vs %v", nat.MeanGap, routing.MeanGap)
+	}
+	for _, s := range sums {
+		if s.String() == "" {
+			t.Fatal("empty summary string")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(20*time.Minute, Profile{})
+	b := Generate(20*time.Minute, Profile{})
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
