@@ -1,0 +1,28 @@
+# goflay build/test tiers. The module is stdlib-only; everything here
+# is plain go toolchain invocations.
+
+GO ?= go
+
+.PHONY: all build test race bench tier1
+
+all: tier1
+
+# Tier-1: the baseline gate every change must keep green.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: vet plus the full suite under the race detector. The
+# equivalence suite in internal/core doubles as the concurrency
+# soundness proof of the parallel batch engine, so this tier is slow
+# (minutes) but load-bearing.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

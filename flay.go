@@ -127,6 +127,10 @@ type Options struct {
 	// Quality selects specialization aggressiveness (default
 	// QualityFull).
 	Quality Quality
+	// Workers bounds the point re-evaluation worker pool: 1 forces
+	// serial evaluation, >1 sets the pool size, and <=0 (the default)
+	// uses GOMAXPROCS.
+	Workers int
 }
 
 // Pipeline is a live program + configuration pair under incremental
@@ -144,6 +148,7 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 		SkipParser:          opts.SkipParser,
 		OverapproxThreshold: opts.OverapproxThreshold,
 		Quality:             opts.Quality,
+		Workers:             opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -153,15 +158,31 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 
 // Apply processes one control-plane update and returns Flay's decision.
 // Rejected updates leave all state unchanged.
+//
+// A Pipeline is safe for concurrent use: Apply/ApplyBatch serialize
+// against each other, and Statistics, SpecializedProgram and Compile
+// may run concurrently with them from other goroutines.
 func (p *Pipeline) Apply(u *Update) *Decision { return p.spec.Apply(u) }
 
-// ApplyAll processes a batch and returns the per-update decisions.
+// ApplyAll processes a batch one update at a time and returns the
+// per-update decisions. It is the sequential baseline; ApplyBatch is
+// the coalescing fast path with identical end state.
 func (p *Pipeline) ApplyAll(updates []*Update) []*Decision {
 	out := make([]*Decision, len(updates))
 	for i, u := range updates {
 		out[i] = p.spec.Apply(u)
 	}
 	return out
+}
+
+// ApplyBatch processes a batch of updates as one atomic configuration
+// transition: per-target assignments are recompiled once and the union
+// of tainted program points is re-evaluated in a single parallel pass,
+// instead of once per update. The resulting engine state is identical
+// to ApplyAll on the same slice; decisions are attributed per target
+// group (see core.Specializer.ApplyBatch).
+func (p *Pipeline) ApplyBatch(updates []*Update) []*Decision {
+	return p.spec.ApplyBatch(updates)
 }
 
 // Statistics returns engine counters (points, update timings,

@@ -2,6 +2,7 @@ package goflay_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	goflay "repro"
@@ -86,6 +87,72 @@ func TestApplyAllAndRejection(t *testing.T) {
 	}
 	if !strings.Contains(pipe.OriginalSource(), "port_table") {
 		t.Fatal("original source must keep the table")
+	}
+}
+
+// TestPipelineConcurrentUse drives one Pipeline from several
+// goroutines at once — an updater streaming batches while monitors
+// read statistics and render the specialized program — the deployment
+// shape the RWMutex-guarded engine exists for. Run under -race.
+func TestPipelineConcurrentUse(t *testing.T) {
+	p := progs.Fig3()
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(i int) *goflay.Update {
+		return &goflay.Update{
+			Kind:  goflay.InsertEntry,
+			Table: "Ingress.eth_table",
+			Entry: &goflay.TableEntry{
+				Matches: []goflay.FieldMatch{{
+					Kind:  goflay.MatchTernary,
+					Value: goflay.NewBV(48, uint64(0x100+i)),
+					Mask:  goflay.NewBV2(48, 0, 0xFFFFFFFFFFFF),
+				}},
+				Action: "set",
+				Params: []goflay.BV{goflay.NewBV(16, uint64(i))},
+			},
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := pipe.Statistics()
+				if st.Forwarded+st.Recompilations+st.Rejected != st.Updates {
+					t.Errorf("torn stats read: %+v", st)
+					return
+				}
+				pipe.SpecializedSource()
+			}
+		}()
+	}
+	const batches, perBatch = 10, 8
+	for b := 0; b < batches; b++ {
+		var batch []*goflay.Update
+		for i := 0; i < perBatch; i++ {
+			batch = append(batch, entry(b*perBatch+i))
+		}
+		for _, d := range pipe.ApplyBatch(batch) {
+			if d.Kind == goflay.Rejected {
+				t.Errorf("unexpected rejection: %s", d)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := pipe.Statistics()
+	if st.Updates != batches*perBatch || st.Batches != batches {
+		t.Fatalf("stats after concurrent run: %+v", st)
 	}
 }
 

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/controlplane"
+)
+
+// ApplyBatch processes a slice of control-plane updates as one atomic
+// configuration transition, the batched-Write shape of a P4Runtime
+// controller. It is the coalescing counterpart of Apply: updates are
+// applied to the configuration in arrival order (rejecting exactly the
+// updates sequential Apply would reject), then grouped by target so
+// each touched object's assignment is recompiled once, and the
+// deduplicated union of tainted program points is re-evaluated in a
+// single (parallel) pass instead of once per update.
+//
+// The end state — configuration, environment, verdicts, installed
+// implementations, specialized program — is identical to applying the
+// same updates one at a time with Apply. Decisions are attributed at
+// batch granularity: updates sharing a target share one verdict-change
+// set, so if anything the group touched changed behaviour, every
+// accepted update of the group reports Recompile; if nothing changed,
+// every one reports Forward. Relative to sequential decisions this
+// preserves (a) all-Forward batches exactly, (b) "some update required
+// recompilation" per group, and (c) single-update batches exactly;
+// intermediate verdict flips that cancel within one batch are
+// deliberately not observable (that is the point of coalescing).
+//
+// A nil or empty slice is a no-op that still counts one batch.
+func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Batches++
+	if len(updates) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	s.stats.BatchedUpdates += len(updates)
+	decisions := make([]*Decision, len(updates))
+
+	// Phase 1: run every update through configuration validation in
+	// arrival order — entry sequence numbers (and with them the entry
+	// ordering of the specialized source) depend on it — and group the
+	// accepted ones by target.
+	type group struct {
+		decisions []*Decision
+		rejected  bool
+	}
+	groups := make(map[string]*group)
+	var order []string
+	accepted := 0
+	for i, u := range updates {
+		d := &Decision{Update: u}
+		decisions[i] = d
+		s.stats.Updates++
+		if err := s.Cfg.Apply(u); err != nil {
+			s.stats.Rejected++
+			d.Kind = Rejected
+			d.Err = err
+			d.Elapsed = time.Since(t0)
+			continue
+		}
+		accepted++
+		target := u.Target()
+		g := groups[target]
+		if g == nil {
+			g = &group{}
+			groups[target] = g
+			order = append(order, target)
+		}
+		g.decisions = append(g.decisions, d)
+	}
+	if accepted > 0 {
+		// Sequential Apply would run one evaluation pass per accepted
+		// update; the batch runs exactly one.
+		s.stats.Coalesced += accepted - 1
+	}
+
+	finish := func() []*Decision {
+		elapsed := time.Since(t0)
+		for _, d := range decisions {
+			if d.Kind != Rejected {
+				d.Elapsed = elapsed
+			}
+		}
+		s.stats.UpdateTime += elapsed
+		return decisions
+	}
+
+	// With specialization disabled no valid update can invalidate the
+	// installed (original) program.
+	if s.quality == QualityNone {
+		for _, d := range decisions {
+			if d.Kind != Rejected {
+				d.Kind = Forward
+				s.stats.Forwarded++
+			}
+		}
+		return finish()
+	}
+
+	// Phase 2: recompile each touched target's assignment once,
+	// regardless of how many updates of the batch hit it.
+	live := make([]string, 0, len(order))
+	for _, target := range order {
+		g := groups[target]
+		if err := s.recompileTarget(target); err != nil {
+			// Unreachable for updates the configuration accepted, but
+			// mirror Apply's rejection path.
+			g.rejected = true
+			for _, d := range g.decisions {
+				d.Kind = Rejected
+				d.Err = err
+				s.stats.Rejected++
+			}
+			continue
+		}
+		live = append(live, target)
+	}
+
+	// Phase 3: one re-evaluation over the deduplicated union of every
+	// point the batch taints, fanned out over the worker pool.
+	te := time.Now()
+	changedIDs := s.reevalPoints(s.An.PointsOfTargets(live))
+	s.stats.EvalTime += time.Since(te)
+	changedSet := make(map[int]bool, len(changedIDs))
+	for _, id := range changedIDs {
+		changedSet[id] = true
+	}
+
+	// Phase 4: attribute the outcome per target group.
+	for _, target := range order {
+		g := groups[target]
+		if g.rejected {
+			continue
+		}
+		tpts := s.An.PointsOf(target)
+		var gchanged []int
+		for _, p := range tpts {
+			if changedSet[p.ID] {
+				gchanged = append(gchanged, p.ID)
+			}
+		}
+		gd := &Decision{}
+		changedImpls := s.changedImpls(target, gd)
+		if len(gchanged) == 0 && len(changedImpls) == 0 {
+			for _, d := range g.decisions {
+				d.Kind = Forward
+				d.AffectedPoints = len(tpts)
+				s.stats.Forwarded++
+			}
+			continue
+		}
+		comps := map[string]bool{}
+		for name, impl := range changedImpls {
+			comps[name] = true
+			s.impls[name] = impl
+		}
+		for _, id := range gchanged {
+			p := s.An.Points[id]
+			switch {
+			case p.Table != "":
+				comps[p.Table] = true
+				s.impls[p.Table] = s.idealImpl(p.Table)
+			case p.ParserState != "":
+				comps[p.Control+".parser"] = true
+			default:
+				comps[p.Control] = true
+			}
+		}
+		components := make([]string, 0, len(comps))
+		for c := range comps {
+			components = append(components, c)
+		}
+		sortStrings(components)
+		for _, d := range g.decisions {
+			d.Kind = Recompile
+			d.AffectedPoints = len(tpts)
+			d.ChangedPoints = gchanged
+			d.Components = components
+			d.ImplementationChange = gd.ImplementationChange
+			s.stats.Recompilations++
+		}
+	}
+	return finish()
+}

@@ -1,0 +1,238 @@
+// Equivalence suite for the parallel batched update engine: the
+// parallel evaluation path and the coalescing batch path must be
+// observationally identical to the sequential engine — same per-update
+// decisions, same verdicts, byte-identical specialized source — for
+// every catalog program, across fuzzer-generated update streams. Run
+// under -race this doubles as the concurrency soundness proof of the
+// worker pool.
+//
+// The suite lives in an external test package because it drives the
+// engine through internal/progs (which imports core).
+package core_test
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/p4/ast"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// equivSeeds is the number of fuzzer seeds per program. The container
+// this suite grew up on is single-core, so the parallel engine is
+// forced to a pool of parallelWorkers regardless of GOMAXPROCS.
+const (
+	equivSeeds      = 3
+	parallelWorkers = 4
+	streamLen       = 48
+	chunkSize       = 7
+)
+
+func loadEngine(t *testing.T, p *progs.Program, workers int) *core.Specializer {
+	t.Helper()
+	s, err := p.LoadWith(core.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: load: %v", p.Name, err)
+	}
+	return s
+}
+
+func makeStream(t *testing.T, s *core.Specializer, seed uint64) []*controlplane.Update {
+	t.Helper()
+	stream, err := fuzz.New(s.An, seed).Stream(streamLen)
+	if err != nil {
+		t.Fatalf("stream(seed %d): %v", seed, err)
+	}
+	return stream
+}
+
+func source(s *core.Specializer) string { return ast.Print(s.SpecializedProgram()) }
+
+// sameDecision asserts full observable equality of two decisions for
+// the same update (everything except wall-clock timing).
+func sameDecision(t *testing.T, i int, a, b *core.Decision) {
+	t.Helper()
+	if a.Kind != b.Kind {
+		t.Fatalf("update %d (%s): kind %s vs %s", i, a.Update, a.Kind, b.Kind)
+	}
+	if a.AffectedPoints != b.AffectedPoints {
+		t.Fatalf("update %d (%s): affected %d vs %d", i, a.Update, a.AffectedPoints, b.AffectedPoints)
+	}
+	if !slices.Equal(a.ChangedPoints, b.ChangedPoints) {
+		t.Fatalf("update %d (%s): changed points %v vs %v", i, a.Update, a.ChangedPoints, b.ChangedPoints)
+	}
+	if !slices.Equal(a.Components, b.Components) {
+		t.Fatalf("update %d (%s): components %v vs %v", i, a.Update, a.Components, b.Components)
+	}
+	if a.ImplementationChange != b.ImplementationChange {
+		t.Fatalf("update %d (%s): impl change %q vs %q", i, a.Update, a.ImplementationChange, b.ImplementationChange)
+	}
+}
+
+// sameEndState asserts the two engines ended in indistinguishable
+// states: identical per-point verdicts, identical installed entry
+// counts, and byte-identical specialized source.
+func sameEndState(t *testing.T, a, b *core.Specializer) {
+	t.Helper()
+	for id := 0; id < a.Statistics().Points; id++ {
+		if va, vb := a.Verdict(id), b.Verdict(id); va != vb {
+			t.Fatalf("point %d: verdict %s vs %s", id, va, vb)
+		}
+	}
+	for _, table := range a.An.TableOrder {
+		if na, nb := a.Cfg.NumEntries(table), b.Cfg.NumEntries(table); na != nb {
+			t.Fatalf("table %s: %d vs %d entries", table, na, nb)
+		}
+	}
+	if sa, sb := source(a), source(b); sa != sb {
+		t.Fatalf("specialized source diverged:\n--- engine A ---\n%s\n--- engine B ---\n%s", sa, sb)
+	}
+}
+
+// TestParallelMatchesSerial replays the same fuzzer update stream
+// through a Workers:1 engine and a pooled engine, asserting identical
+// per-update decisions and end states. Verdicts are deliberately
+// schedule- and RNG-independent (Dead and Const need exhaustive
+// certificates; probe luck only moves within Live), so this equality is
+// exact, not statistical.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		t.Run(p.Name, func(t *testing.T) {
+			for seed := uint64(1); seed <= equivSeeds; seed++ {
+				serial := loadEngine(t, p, 1)
+				par := loadEngine(t, p, parallelWorkers)
+				for i, u := range makeStream(t, serial, seed) {
+					sameDecision(t, i, serial.Apply(u), par.Apply(u))
+				}
+				sameEndState(t, serial, par)
+				ss, sp := serial.Statistics(), par.Statistics()
+				if ss.Forwarded != sp.Forwarded || ss.Recompilations != sp.Recompilations || ss.Rejected != sp.Rejected {
+					t.Fatalf("seed %d: outcome counters diverged: %+v vs %+v", seed, ss, sp)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSequential chunks the same stream through ApplyBatch
+// on a pooled engine and through per-update Apply on a serial engine.
+// The end states must be identical; decisions are attributed at batch
+// granularity, so the per-update checks are the batch theorems:
+//
+//  1. rejections match exactly, update for update;
+//  2. a chunk whose sequential decisions all forward must batch to
+//     all-Forward (no false recompilations);
+//  3. a chunk with any batched Recompile must contain at least one
+//     sequential Recompile (coalescing may hide transient changes, but
+//     never invents one).
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		t.Run(p.Name, func(t *testing.T) {
+			for seed := uint64(1); seed <= equivSeeds; seed++ {
+				seq := loadEngine(t, p, 1)
+				bat := loadEngine(t, p, parallelWorkers)
+				stream := makeStream(t, seq, seed)
+				for start := 0; start < len(stream); start += chunkSize {
+					chunk := stream[start:min(start+chunkSize, len(stream))]
+					seqDs := make([]*core.Decision, len(chunk))
+					for i, u := range chunk {
+						seqDs[i] = seq.Apply(u)
+					}
+					batDs := bat.ApplyBatch(chunk)
+					if len(batDs) != len(chunk) {
+						t.Fatalf("chunk at %d: %d decisions for %d updates", start, len(batDs), len(chunk))
+					}
+					seqRecompiled, batRecompiled := false, false
+					for i := range chunk {
+						if (seqDs[i].Kind == core.Rejected) != (batDs[i].Kind == core.Rejected) {
+							t.Fatalf("update %d: rejection mismatch: %s vs %s", start+i, seqDs[i], batDs[i])
+						}
+						seqRecompiled = seqRecompiled || seqDs[i].Kind == core.Recompile
+						batRecompiled = batRecompiled || batDs[i].Kind == core.Recompile
+					}
+					if batRecompiled && !seqRecompiled {
+						t.Fatalf("chunk at %d: batch recompiled but sequential engine only forwarded", start)
+					}
+					if !seqRecompiled && batRecompiled {
+						t.Fatalf("chunk at %d: all-forward chunk must batch to all-Forward", start)
+					}
+				}
+				sameEndState(t, seq, bat)
+			}
+		})
+	}
+}
+
+// TestTraceReplayBatchedPerBurst replays a generated control-plane
+// workload (internal/trace: routing bursts amid NAT churn and policy
+// changes) through both engines, batching exactly the way a real
+// controller would: each routing burst becomes one ApplyBatch call,
+// isolated events stay singletons. End states must match.
+func TestTraceReplayBatchedPerBurst(t *testing.T) {
+	events := trace.Generate(8*time.Minute, trace.Profile{
+		BurstInterval: 90 * time.Second,
+		BurstSize:     12,
+		NATInterval:   5 * time.Second,
+	})
+	for _, name := range []string{"fig3", "scion"} {
+		t.Run(name, func(t *testing.T) {
+			p, err := progs.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := loadEngine(t, p, 1)
+			bat := loadEngine(t, p, parallelWorkers)
+			stream, err := fuzz.New(seq.An, 99).Stream(len(events))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(events); {
+				j := i + 1
+				if events[i].Class == trace.RoutingBurst {
+					for j < len(events) && events[j].Class == trace.RoutingBurst && events[j].Burst == events[i].Burst {
+						j++
+					}
+				}
+				for _, u := range stream[i:j] {
+					seq.Apply(u)
+				}
+				bat.ApplyBatch(stream[i:j])
+				i = j
+			}
+			sameEndState(t, seq, bat)
+			st := bat.Statistics()
+			if st.BatchedUpdates != len(events) {
+				t.Fatalf("batched updates = %d, want %d", st.BatchedUpdates, len(events))
+			}
+			if st.Forwarded+st.Recompilations+st.Rejected != st.Updates {
+				t.Fatalf("outcome partition broken: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSingletonBatchExact: a batch of one update must be exactly the
+// sequential decision — same kind, same changed points, same
+// components — for a whole stream, on every catalog program.
+func TestSingletonBatchExact(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		t.Run(p.Name, func(t *testing.T) {
+			seq := loadEngine(t, p, 1)
+			bat := loadEngine(t, p, parallelWorkers)
+			for i, u := range makeStream(t, seq, 17) {
+				sd := seq.Apply(u)
+				bds := bat.ApplyBatch([]*controlplane.Update{u})
+				if len(bds) != 1 {
+					t.Fatalf("update %d: singleton batch returned %d decisions", i, len(bds))
+				}
+				sameDecision(t, i, sd, bds[0])
+			}
+			sameEndState(t, seq, bat)
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataplane"
+	"repro/internal/sym"
+)
+
+// The parallel update-analysis engine. The paper's headline requirement
+// is that update analysis stays on the control-plane fast path (µs–ms
+// per update, Tbl. 3); when an update — or a coalesced batch — taints
+// many program points, the point re-evaluations are independent of each
+// other (points are hermetic by the state-merging construction, §4.1),
+// so they fan out across a bounded worker pool sharded by program point.
+//
+// Sharing discipline:
+//
+//   - the hash-consing Builder is shared (interning locks internally;
+//     pointer identity must stay global or the per-point substitution
+//     cache would stop working);
+//   - each worker owns an evalShard: a Solver (probe scratch + RNG) and
+//     a substitution memo, so symbolic evaluation never shares mutable
+//     scratch;
+//   - every point is claimed by exactly one worker, so the per-point
+//     caches (verdict, substituted-expression pointer, liveness witness)
+//     are written race-free without further locking.
+//
+// Verdicts are deliberately schedule- and RNG-independent, which is what
+// makes the parallel path observationally identical to the sequential
+// one (the equivalence suite in equiv_test.go holds it to that): Dead
+// needs an exhaustive refutation and Const an exhaustive (or literal)
+// certificate — both deterministic — while Sat-vs-Unknown probe luck
+// only moves within the Live verdict.
+
+// evalShard is one worker's private evaluation state.
+type evalShard struct {
+	solver *sym.Solver
+	sub    sym.SubstScratch
+}
+
+// minParallelPoints is the fan-out threshold: below it, goroutine and
+// scheduling overhead outweighs the per-point work (most single-table
+// updates taint a handful of points and stay on the serial path).
+const minParallelPoints = 8
+
+// effectiveWorkers resolves the configured worker count against the
+// machine and the work at hand.
+func (s *Specializer) effectiveWorkers(points int) int {
+	w := s.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if points < minParallelPoints {
+		return 1
+	}
+	if w > points {
+		w = points
+	}
+	return w
+}
+
+// shard returns the i-th worker's scratch state, growing the pool on
+// first use. Shards are only ever handed out under the engine's write
+// lock, and workers of one evaluation receive distinct shards.
+func (s *Specializer) shard(i int) *evalShard {
+	for len(s.shards) <= i {
+		s.shards = append(s.shards, &evalShard{solver: sym.NewSolver()})
+	}
+	return s.shards[i]
+}
+
+// reevalPoints re-evaluates the given points (deduplicated, in ID
+// order), installs the new verdicts, and returns the IDs of the points
+// whose verdict changed, in ascending order. With an effective worker
+// count above one the points fan out over the pool; each point is
+// claimed by exactly one worker via an atomic cursor.
+func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
+	w := s.effectiveWorkers(len(pts))
+	if w <= 1 {
+		sh := s.shard(0)
+		var changed []int
+		for _, p := range pts {
+			if s.evalInto(sh, p) {
+				changed = append(changed, p.ID)
+			}
+		}
+		return changed
+	}
+	changed := make([]bool, len(pts))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		sh := s.shard(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(pts) {
+					return
+				}
+				changed[k] = s.evalInto(sh, pts[k])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []int
+	for k, c := range changed {
+		if c {
+			out = append(out, pts[k].ID)
+		}
+	}
+	return out
+}
+
+// evalInto re-evaluates one point with the shard's scratch state and
+// installs the result; it reports whether the verdict changed.
+func (s *Specializer) evalInto(sh *evalShard, p *dataplane.Point) bool {
+	v := s.evalPointWith(sh, p)
+	if v == s.verdicts[p.ID] {
+		return false
+	}
+	s.verdicts[p.ID] = v
+	return true
+}

@@ -13,6 +13,8 @@ import (
 // narrowing, empty-table removal, select-case pruning and parser-tail
 // pruning (paper §3, §4.1). The original program is never mutated.
 func (s *Specializer) SpecializedProgram() *ast.Program {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.quality == QualityNone {
 		return s.Prog
 	}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/controlplane"
@@ -164,9 +165,14 @@ type Options struct {
 	// Quality selects the specialization aggressiveness (default
 	// QualityFull).
 	Quality Quality
+	// Workers bounds the point re-evaluation worker pool: 1 forces
+	// serial evaluation, >1 sets the pool size, and <=0 (the default)
+	// uses GOMAXPROCS.
+	Workers int
 }
 
-// Stats aggregates engine counters.
+// Stats aggregates engine counters. The three outcome counters
+// partition Updates: Updates == Forwarded + Recompilations + Rejected.
 type Stats struct {
 	Points         int
 	Tables         int
@@ -177,21 +183,49 @@ type Stats struct {
 	Recompilations int
 	Rejected       int
 	UpdateTime     time.Duration // cumulative update-analysis time
+
+	// Batch engine counters (ApplyBatch).
+	Batches        int // ApplyBatch invocations
+	BatchedUpdates int // updates processed through ApplyBatch
+	// Coalesced counts updates that shared a per-target assignment
+	// recompile + point re-evaluation with at least one other update of
+	// the same batch — i.e. evaluation passes the batch engine elided.
+	Coalesced int
+
+	// Parallel evaluation counters.
+	EvalTime time.Duration // cumulative wall time re-evaluating points
+	Workers  int           // configured worker count (0 = GOMAXPROCS)
 }
 
 // Specializer is the incremental specializing compiler.
+//
+// A Specializer is safe for concurrent use: mutating entry points
+// (Apply, ApplyBatch, Preload, ReevaluateAll) serialize behind a write
+// lock, while read-only entry points (Statistics, Verdict,
+// SpecializedProgram) share a read lock — a controller may stream
+// updates from one goroutine while monitoring and compilation run from
+// others. Point re-evaluation inside a mutating call fans out over the
+// worker pool in parallel.go.
 type Specializer struct {
 	Prog *ast.Program
 	Info *typecheck.Info
 	An   *dataplane.Analysis
 	Cfg  *controlplane.Config
 
-	solver   *sym.Solver
+	// mu guards every field below as well as Cfg and the Builder's
+	// single-threaded substitution memo.
+	mu sync.RWMutex
+
 	env      controlplane.Env
 	verdicts []Verdict
 	impls    map[string]*tableImpl
 	stats    Stats
 	quality  Quality
+
+	// workers is the configured evaluation pool bound (Options.Workers);
+	// shards holds the per-worker scratch states, grown lazily.
+	workers int
+	shards  []*evalShard
 
 	// pointSub caches each point's last substituted expression (a
 	// hash-consed pointer): when an update's substitution yields the
@@ -221,9 +255,9 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		Info:    info,
 		An:      an,
 		Cfg:     cfg,
-		solver:  sym.NewSolver(),
 		impls:   make(map[string]*tableImpl),
 		quality: opts.Quality,
+		workers: opts.Workers,
 	}
 	t1 := time.Now()
 	env, _, err := cfg.CompileEnv(an.Builder)
@@ -234,9 +268,10 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 	s.verdicts = make([]Verdict, len(an.Points))
 	s.pointSub = make([]*sym.Expr, len(an.Points))
 	s.witnesses = make([]sym.Env, len(an.Points))
-	for _, p := range an.Points {
-		s.verdicts[p.ID] = s.evalPoint(p)
-	}
+	// Initial preprocessing: every point's verdict under the empty
+	// assignment, fanned out over the worker pool (the changed-IDs
+	// return is irrelevant against zero-valued verdicts).
+	s.reevalPoints(an.Points)
 	for name := range an.Tables {
 		s.impls[name] = s.idealImpl(name)
 	}
@@ -245,6 +280,7 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		Tables:         len(an.Tables),
 		AnalysisTime:   analysisTime,
 		PreprocessTime: time.Since(t1),
+		Workers:        opts.Workers,
 	}
 	return s, nil
 }
@@ -262,8 +298,13 @@ func NewFromSource(name, src string, opts Options) (*Specializer, error) {
 	return New(prog, info, opts)
 }
 
-// Stats returns a copy of the engine counters.
-func (s *Specializer) Statistics() Stats { return s.stats }
+// Statistics returns a copy of the engine counters. It may be called
+// concurrently with Apply/ApplyBatch from other goroutines.
+func (s *Specializer) Statistics() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
 
 // ReevaluateAll recomputes every program point's verdict from scratch,
 // bypassing the taint map and the per-point caches. It exists as the
@@ -273,17 +314,16 @@ func (s *Specializer) Statistics() Stats { return s.stats }
 // It returns the number of points whose verdict differs from the cached
 // one (always zero when the engine is consistent).
 func (s *Specializer) ReevaluateAll() int {
-	changed := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, p := range s.An.Points {
 		s.pointSub[p.ID] = nil
 		s.witnesses[p.ID] = nil
-		v := s.evalPoint(p)
-		if v != s.verdicts[p.ID] {
-			s.verdicts[p.ID] = v
-			changed++
-		}
 	}
-	return changed
+	t0 := time.Now()
+	changed := s.reevalPoints(s.An.Points)
+	s.stats.EvalTime += time.Since(t0)
+	return len(changed)
 }
 
 // Preload installs a batch of updates as initial configuration state,
@@ -295,6 +335,8 @@ func (s *Specializer) ReevaluateAll() int {
 // timed. The first invalid update aborts with an error; already-applied
 // updates stay applied (their verdicts are still refreshed).
 func (s *Specializer) Preload(updates []*controlplane.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	targets := make(map[string]bool)
 	var firstErr error
 	for _, u := range updates {
@@ -304,34 +346,16 @@ func (s *Specializer) Preload(updates []*controlplane.Update) error {
 		}
 		targets[u.Target()] = true
 	}
-	b := s.An.Builder
-	pointSet := make(map[int]bool)
+	names := make([]string, 0, len(targets))
 	for target := range targets {
-		switch {
-		case s.An.Tables[target] != nil:
-			te, _, err := s.Cfg.CompileTable(b, target)
-			if err != nil {
-				return err
-			}
-			for k, v := range te {
-				s.env[k] = v
-			}
-		case s.An.Registers[target] != nil:
-			for k, v := range s.Cfg.CompileRegister(b, target) {
-				s.env[k] = v
-			}
-		default:
-			for k, v := range s.Cfg.CompileValueSet(b, target) {
-				s.env[k] = v
-			}
-		}
-		for _, p := range s.An.PointsOf(target) {
-			pointSet[p.ID] = true
+		names = append(names, target)
+		if err := s.recompileTarget(target); err != nil {
+			return err
 		}
 	}
-	for id := range pointSet {
-		s.verdicts[id] = s.evalPoint(s.An.Points[id])
-	}
+	t0 := time.Now()
+	s.reevalPoints(s.An.PointsOfTargets(names))
+	s.stats.EvalTime += time.Since(t0)
 	for target := range targets {
 		if _, ok := s.An.Tables[target]; ok {
 			s.impls[target] = s.idealImpl(target)
@@ -340,17 +364,49 @@ func (s *Specializer) Preload(updates []*controlplane.Update) error {
 	return firstErr
 }
 
-// Verdict returns the current verdict of a point.
-func (s *Specializer) Verdict(id int) Verdict { return s.verdicts[id] }
+// recompileTarget recompiles the environment fragment of one touched
+// object — the assignment of its control-plane variables — leaving the
+// rest of the environment untouched. Dispatch is by the object's schema
+// class; a successfully applied update always targets a known object.
+func (s *Specializer) recompileTarget(target string) error {
+	b := s.An.Builder
+	switch {
+	case s.An.Tables[target] != nil:
+		te, _, err := s.Cfg.CompileTable(b, target)
+		if err != nil {
+			return err
+		}
+		for k, v := range te {
+			s.env[k] = v
+		}
+	case s.An.Registers[target] != nil:
+		for k, v := range s.Cfg.CompileRegister(b, target) {
+			s.env[k] = v
+		}
+	default:
+		for k, v := range s.Cfg.CompileValueSet(b, target) {
+			s.env[k] = v
+		}
+	}
+	return nil
+}
 
-// evalPoint substitutes the full control-plane assignment into a point
-// and answers its specialization query. Hash-consing makes the
+// Verdict returns the current verdict of a point.
+func (s *Specializer) Verdict(id int) Verdict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.verdicts[id]
+}
+
+// evalPointWith substitutes the full control-plane assignment into a
+// point and answers its specialization query, using the given worker
+// shard's solver and substitution memo. Hash-consing makes the
 // substituted expression a canonical pointer, so an unchanged pointer
 // means an unchanged verdict; liveness witnesses from previous queries
 // are retried first.
-func (s *Specializer) evalPoint(p *dataplane.Point) Verdict {
+func (s *Specializer) evalPointWith(sh *evalShard, p *dataplane.Point) Verdict {
 	b := s.An.Builder
-	sub := b.Subst(p.Expr, s.env)
+	sub := b.SubstWith(&sh.sub, p.Expr, s.env)
 	if s.pointSub[p.ID] == sub && sub != nil {
 		return s.verdicts[p.ID]
 	}
@@ -358,7 +414,7 @@ func (s *Specializer) evalPoint(p *dataplane.Point) Verdict {
 	switch p.Kind {
 	case dataplane.PointIfBranch, dataplane.PointActionReach,
 		dataplane.PointTableReach, dataplane.PointSelectCase:
-		verdict, witness := s.solver.CheckWitness(sub, s.witnesses[p.ID])
+		verdict, witness := sh.solver.CheckWitness(sub, s.witnesses[p.ID])
 		if verdict == sym.Unsat {
 			return Verdict{Kind: VerdictDead}
 		}
@@ -367,7 +423,7 @@ func (s *Specializer) evalPoint(p *dataplane.Point) Verdict {
 		}
 		return Verdict{Kind: VerdictLive}
 	case dataplane.PointAssignValue, dataplane.PointTableAction:
-		res := s.solver.ConstValue(sub)
+		res := sh.solver.ConstValue(sub)
 		if res.Known && res.IsConst {
 			return Verdict{Kind: VerdictConst, Val: res.Val}
 		}
@@ -381,6 +437,12 @@ func (s *Specializer) evalPoint(p *dataplane.Point) Verdict {
 // taint map, re-evaluate only the affected points, and decide Forward
 // vs Recompile (paper Fig. 2).
 func (s *Specializer) Apply(u *controlplane.Update) *Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(u)
+}
+
+func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 	t0 := time.Now()
 	d := &Decision{Update: u}
 	s.stats.Updates++
@@ -405,40 +467,21 @@ func (s *Specializer) Apply(u *controlplane.Update) *Decision {
 
 	// Recompile the assignment for the touched object only; the rest of
 	// the environment is unchanged.
-	b := s.An.Builder
-	switch u.Kind {
-	case controlplane.SetValueSet:
-		for k, v := range s.Cfg.CompileValueSet(b, target) {
-			s.env[k] = v
-		}
-	case controlplane.FillRegister:
-		for k, v := range s.Cfg.CompileRegister(b, target) {
-			s.env[k] = v
-		}
-	default:
-		te, _, err := s.Cfg.CompileTable(b, target)
-		if err != nil {
-			s.stats.Rejected++
-			d.Kind = Rejected
-			d.Err = err
-			d.Elapsed = time.Since(t0)
-			return d
-		}
-		for k, v := range te {
-			s.env[k] = v
-		}
+	if err := s.recompileTarget(target); err != nil {
+		s.stats.Rejected++
+		d.Kind = Rejected
+		d.Err = err
+		d.Elapsed = time.Since(t0)
+		return d
 	}
 
-	// Taint lookup → affected points → re-query.
+	// Taint lookup → affected points → re-query, fanned out over the
+	// worker pool when the update taints enough points.
 	pts := s.An.PointsOf(target)
 	d.AffectedPoints = len(pts)
-	for _, p := range pts {
-		v := s.evalPoint(p)
-		if v != s.verdicts[p.ID] {
-			s.verdicts[p.ID] = v
-			d.ChangedPoints = append(d.ChangedPoints, p.ID)
-		}
-	}
+	te := time.Now()
+	d.ChangedPoints = s.reevalPoints(pts)
+	s.stats.EvalTime += time.Since(te)
 
 	// Implementation-assumption check: a narrowed implementation may be
 	// invalidated by an update even when no query verdict flips (the

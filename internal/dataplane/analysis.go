@@ -202,12 +202,41 @@ func (a *Analysis) PointsOf(qualified string) []*Point {
 		}
 	}
 	// IDs arrive unordered from the map; sort by ID.
+	sortPoints(out)
+	return out
+}
+
+// PointsOfTargets returns the union of PointsOf over the given qualified
+// names, deduplicated, in ID order. The batch update engine routes a
+// whole coalesced batch through this single taint lookup.
+func (a *Analysis) PointsOfTargets(names []string) []*Point {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	seen := make(map[int]bool)
+	var out []*Point
+	for v, ids := range a.Taint {
+		if !want[a.VarOwner[v]] {
+			continue
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, a.Points[id])
+			}
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+func sortPoints(out []*Point) {
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
 			out[j-1], out[j] = out[j], out[j-1]
 		}
 	}
-	return out
 }
 
 // Options configures the analysis.

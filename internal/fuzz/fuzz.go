@@ -6,6 +6,7 @@ package fuzz
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/controlplane"
 	"repro/internal/dataplane"
@@ -18,6 +19,9 @@ type Generator struct {
 	rng uint64
 	// seen tracks generated match keys per table so entries are unique.
 	seen map[string]map[string]bool
+	// live tracks entries Stream has inserted and not yet deleted, so
+	// modify/delete updates always reference an existing entry.
+	live map[string][]*controlplane.TableEntry
 }
 
 // New returns a generator over the program's schemas.
@@ -25,7 +29,12 @@ func New(an *dataplane.Analysis, seed uint64) *Generator {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &Generator{an: an, rng: seed, seen: make(map[string]map[string]bool)}
+	return &Generator{
+		an:   an,
+		rng:  seed,
+		seen: make(map[string]map[string]bool),
+		live: make(map[string][]*controlplane.TableEntry),
+	}
 }
 
 func (g *Generator) next() uint64 {
@@ -101,6 +110,129 @@ func (g *Generator) Entry(table string) (*controlplane.TableEntry, error) {
 		return e, nil
 	}
 	return nil, fmt.Errorf("fuzz: could not generate a unique entry for %s", table)
+}
+
+// Stream generates n valid updates mixed across every update kind the
+// program's schemas support: entry inserts dominate, with modifies and
+// deletes of previously streamed entries, default-action changes, and
+// value-set/register writes when the program declares any. Every update
+// is valid against a configuration that has seen the stream's prefix,
+// so replaying a stream through a fresh engine never rejects — which is
+// what the batched-vs-sequential equivalence suite needs (a stream is
+// the same worklist no matter how it is chunked). Deterministic per
+// seed.
+func (g *Generator) Stream(n int) ([]*controlplane.Update, error) {
+	tables := g.an.TableOrder
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("fuzz: program has no tables")
+	}
+	var regs []string
+	for name := range g.an.Registers {
+		regs = append(regs, name)
+	}
+	sort.Strings(regs)
+	var vsets []string
+	for name := range g.an.ValueSets {
+		vsets = append(vsets, name)
+	}
+	sort.Strings(vsets)
+
+	out := make([]*controlplane.Update, 0, n)
+	insert := func(table string) error {
+		e, err := g.Entry(table)
+		if err != nil {
+			return err
+		}
+		g.live[table] = append(g.live[table], e)
+		out = append(out, &controlplane.Update{
+			Kind: controlplane.InsertEntry, Table: table, Entry: e,
+		})
+		return nil
+	}
+	for len(out) < n {
+		table := tables[g.next()%uint64(len(tables))]
+		roll := g.next() % 100
+		switch {
+		case roll < 55:
+			if err := insert(table); err != nil {
+				return nil, err
+			}
+		case roll < 70: // modify a streamed entry: same key, fresh action
+			cur := g.live[table]
+			if len(cur) == 0 {
+				if err := insert(table); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			old := cur[g.next()%uint64(len(cur))]
+			ti := g.an.Tables[table]
+			ai := ti.Actions[g.next()%uint64(len(ti.Actions))]
+			e := &controlplane.TableEntry{
+				Priority: old.Priority,
+				Matches:  old.Matches,
+				Action:   ai.Name,
+			}
+			for _, pw := range ai.ParamWidths {
+				e.Params = append(e.Params, g.bv(pw))
+			}
+			out = append(out, &controlplane.Update{
+				Kind: controlplane.ModifyEntry, Table: table, Entry: e,
+			})
+		case roll < 80: // delete a streamed entry
+			cur := g.live[table]
+			if len(cur) == 0 {
+				if err := insert(table); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			i := int(g.next() % uint64(len(cur)))
+			e := cur[i]
+			g.live[table] = append(cur[:i:i], cur[i+1:]...)
+			out = append(out, &controlplane.Update{
+				Kind: controlplane.DeleteEntry, Table: table, Entry: e,
+			})
+		case roll < 90: // change the default action
+			ti := g.an.Tables[table]
+			ai := ti.Actions[g.next()%uint64(len(ti.Actions))]
+			call := controlplane.ActionCall{Name: ai.Name}
+			for _, pw := range ai.ParamWidths {
+				call.Params = append(call.Params, g.bv(pw))
+			}
+			out = append(out, &controlplane.Update{
+				Kind: controlplane.SetDefault, Table: table, Default: call,
+			})
+		case roll < 95 && len(vsets) > 0: // rewrite a value set
+			vi := g.an.ValueSets[vsets[g.next()%uint64(len(vsets))]]
+			k := 1
+			if vi.Decl.Size > 1 {
+				k = 1 + int(g.next()%uint64(vi.Decl.Size))
+			}
+			members := make([]controlplane.ValueSetMember, k)
+			for i := range members {
+				members[i].Value = g.bv(vi.Width)
+				if g.next()%4 == 0 {
+					members[i].Mask = g.bv(vi.Width)
+				}
+			}
+			out = append(out, &controlplane.Update{
+				Kind: controlplane.SetValueSet, ValueSet: vi.Name, Members: members,
+			})
+		case roll >= 95 && len(regs) > 0: // fill a register uniformly
+			name := regs[g.next()%uint64(len(regs))]
+			out = append(out, &controlplane.Update{
+				Kind:     controlplane.FillRegister,
+				Register: name,
+				Fill:     g.bv(g.an.Registers[name].Width),
+			})
+		default:
+			if err := insert(table); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
 }
 
 // Updates generates n unique insert updates for the table.

@@ -84,3 +84,56 @@ func TestFuzzBurstAgainstSpecializer(t *testing.T) {
 		t.Fatal("not all updates processed")
 	}
 }
+
+// TestStreamReplaysWithoutRejection: every update of a mixed stream
+// must be valid against a configuration that has seen the stream's
+// prefix, for several seeds — the property the batched-vs-sequential
+// equivalence suite builds on.
+func TestStreamReplaysWithoutRejection(t *testing.T) {
+	p := progs.Scion()
+	for seed := uint64(1); seed <= 4; seed++ {
+		s, err := p.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := New(s.An, seed).Stream(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[controlplane.UpdateKind]int{}
+		for i, u := range stream {
+			kinds[u.Kind]++
+			if d := s.Apply(u); d.Kind == core.Rejected {
+				t.Fatalf("seed %d update %d (%s) rejected: %v", seed, i, u, d.Err)
+			}
+		}
+		if kinds[controlplane.InsertEntry] == 0 || len(kinds) < 3 {
+			t.Fatalf("seed %d: stream not mixed enough: %v", seed, kinds)
+		}
+	}
+}
+
+// TestStreamDeterministic: the same seed yields the same stream.
+func TestStreamDeterministic(t *testing.T) {
+	p := progs.Fig3()
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(s.An, 7).Stream(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(s.An, 7).Stream(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("update %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sym
+
+import (
+	"sync"
+	"testing"
+)
+
+// buildDeepExpr constructs a moderately deep expression over nv
+// control-plane variables, exercising every constructor the specializer
+// reaches during substitution.
+func buildDeepExpr(b *Builder, nv int) (*Expr, []*Expr) {
+	vars := make([]*Expr, nv)
+	for i := range vars {
+		vars[i] = b.Ctrl(string(rune('a'+i%26))+string(rune('0'+i/26)), 16)
+	}
+	e := b.ConstUint(16, 7)
+	for i, v := range vars {
+		e = b.Add(b.Xor(e, v), b.ConstUint(16, uint64(i+1)))
+		e = b.Ite(b.Ult(v, b.ConstUint(16, 1000)), e, b.Sub(e, v))
+	}
+	cond := b.True()
+	for i := 0; i+1 < len(vars); i += 2 {
+		cond = b.And(cond, b.Or(b.Eq(vars[i], vars[i+1]), b.Ult(vars[i], b.ConstUint(16, 42))))
+	}
+	return b.Concat(b.Ite(cond, e, b.Not(e)), b.Extract(e, 7, 0)), vars
+}
+
+// TestConcurrentInternSameNodes: goroutines racing to intern the same
+// structural expressions must all receive the identical node pointers
+// (hash-consing stays global under concurrency).
+func TestConcurrentInternSameNodes(t *testing.T) {
+	b := NewBuilder()
+	const workers = 8
+	results := make([]*Expr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, _ := buildDeepExpr(b, 12)
+			results[w] = e
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d interned a different node: %p vs %p", w, results[w], results[0])
+		}
+	}
+}
+
+// TestConcurrentSubstWith: concurrent substitution through a shared
+// Builder with per-goroutine scratch must agree pointer-for-pointer with
+// the single-threaded Subst path.
+func TestConcurrentSubstWith(t *testing.T) {
+	b := NewBuilder()
+	e, vars := buildDeepExpr(b, 12)
+
+	// A family of environments, some partial, some total.
+	envs := make([]map[*Expr]*Expr, 16)
+	for i := range envs {
+		env := make(map[*Expr]*Expr)
+		for j, v := range vars {
+			if (i+j)%3 == 0 {
+				continue // leave some variables symbolic
+			}
+			env[v] = b.ConstUint(16, uint64(i*31+j*7))
+		}
+		envs[i] = env
+	}
+	want := make([]*Expr, len(envs))
+	for i, env := range envs {
+		want[i] = b.Subst(e, env)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*len(envs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc SubstScratch
+			for i, env := range envs {
+				if got := b.SubstWith(&sc, e, env); got != want[i] {
+					errs <- "substitution diverged from single-threaded result"
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestConcurrentSubstDisjointExprs: workers substituting into different
+// expressions concurrently (the parallel point-evaluation pattern) — the
+// race detector is the main assertion here.
+func TestConcurrentSubstDisjointExprs(t *testing.T) {
+	b := NewBuilder()
+	const n = 24
+	exprs := make([]*Expr, n)
+	env := make(map[*Expr]*Expr)
+	for i := range exprs {
+		e, vars := buildDeepExpr(b, 4+i%5)
+		exprs[i] = e
+		for j, v := range vars {
+			if j%2 == 0 {
+				env[v] = b.ConstUint(16, uint64(i+j))
+			}
+		}
+	}
+	want := make([]*Expr, n)
+	for i, e := range exprs {
+		want[i] = b.Subst(e, env)
+	}
+	var wg sync.WaitGroup
+	got := make([]*Expr, n)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sc SubstScratch
+			for i := w; i < n; i += 6 {
+				got[i] = b.SubstWith(&sc, exprs[i], env)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("expr %d: concurrent substitution diverged", i)
+		}
+	}
+}

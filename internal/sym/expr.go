@@ -3,6 +3,7 @@ package sym
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Op identifies the operator at the root of an expression node.
@@ -158,17 +159,21 @@ type exprKey struct {
 	a, b, c *Expr
 }
 
-// Builder creates and owns hash-consed expressions. A Builder is not safe
-// for concurrent use; each analysis owns its own Builder. The zero value
-// is not usable — call NewBuilder.
+// Builder creates and owns hash-consed expressions. Interning is guarded
+// by an internal mutex, so goroutines may build expressions through the
+// same Builder concurrently (the parallel update-analysis engine relies
+// on this: hash-consing must stay global or pointer identity — and with
+// it every memo keyed on *Expr — would break across workers). All other
+// per-traversal state is external: concurrent substitution goes through
+// SubstWith with one SubstScratch per goroutine. The zero value is not
+// usable — call NewBuilder.
 type Builder struct {
+	mu     sync.Mutex
 	nodes  map[exprKey]*Expr
 	nextID uint64
 
-	// Substitution memo (see Subst): epoch-marked, indexed by node id.
-	subVal   []*Expr
-	subMark  []uint32
-	subEpoch uint32
+	// Substitution memo for the single-threaded Subst entry point.
+	sub SubstScratch
 }
 
 // NewBuilder returns an empty expression arena.
@@ -178,9 +183,15 @@ func NewBuilder() *Builder {
 
 // NumNodes returns how many distinct nodes the builder has interned; it
 // is the measure of expression complexity the benchmarks report.
-func (b *Builder) NumNodes() int { return len(b.nodes) }
+func (b *Builder) NumNodes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.nodes)
+}
 
 func (b *Builder) intern(k exprKey) *Expr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if e, ok := b.nodes[k]; ok {
 		return e
 	}

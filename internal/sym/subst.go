@@ -2,6 +2,35 @@ package sym
 
 import "sort"
 
+// SubstScratch holds the per-traversal memo of a substitution: result
+// and epoch-mark arrays indexed by the Builder's dense node ids. The
+// zero value is ready to use. A SubstScratch may not be shared between
+// concurrently substituting goroutines; give each worker its own and
+// they can all rewrite through the same Builder (interning has its own
+// lock, and substitution results are hash-consed so every worker arrives
+// at the identical node pointers).
+type SubstScratch struct {
+	val   []*Expr
+	mark  []uint32
+	epoch uint32
+}
+
+func (sc *SubstScratch) ensure(id uint64) {
+	if int(id) < len(sc.val) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(sc.val) {
+		n = 2 * len(sc.val)
+	}
+	vals := make([]*Expr, n)
+	copy(vals, sc.val)
+	sc.val = vals
+	marks := make([]uint32, n)
+	copy(marks, sc.mark)
+	sc.mark = marks
+}
+
 // Subst rewrites e by replacing every variable that appears as a key in
 // env with its mapped expression. The rewrite is bottom-up through the
 // smart constructors, so the result is fully simplified: substituting a
@@ -10,36 +39,30 @@ import "sort"
 //
 // Variables absent from env are left in place. The memo makes the cost
 // proportional to the number of distinct DAG nodes, not the tree size.
+// Subst uses the Builder's own memo and is therefore single-threaded;
+// concurrent callers use SubstWith with per-goroutine scratch.
 func (b *Builder) Subst(e *Expr, env map[*Expr]*Expr) *Expr {
+	return b.SubstWith(&b.sub, e, env)
+}
+
+// SubstWith is Subst with caller-owned memo state, the concurrency-safe
+// entry point: any number of goroutines may substitute through the same
+// Builder as long as each brings its own SubstScratch and no goroutine
+// mutates env during the calls.
+func (b *Builder) SubstWith(sc *SubstScratch, e *Expr, env map[*Expr]*Expr) *Expr {
 	if len(env) == 0 {
 		return e
 	}
 	// Epoch-marked memo indexed by dense node id: no per-call map.
-	b.subEpoch++
-	return b.subst(e, env)
+	sc.epoch++
+	return b.subst(sc, e, env)
 }
 
-func (b *Builder) substEnsure(id uint64) {
-	if int(id) < len(b.subVal) {
-		return
-	}
-	n := int(id) + 1
-	if n < 2*len(b.subVal) {
-		n = 2 * len(b.subVal)
-	}
-	vals := make([]*Expr, n)
-	copy(vals, b.subVal)
-	b.subVal = vals
-	marks := make([]uint32, n)
-	copy(marks, b.subMark)
-	b.subMark = marks
-}
-
-func (b *Builder) subst(e *Expr, env map[*Expr]*Expr) *Expr {
+func (b *Builder) subst(sc *SubstScratch, e *Expr, env map[*Expr]*Expr) *Expr {
 	id := e.id
-	b.substEnsure(id)
-	if b.subMark[id] == b.subEpoch {
-		return b.subVal[id]
+	sc.ensure(id)
+	if sc.mark[id] == sc.epoch {
+		return sc.val[id]
 	}
 	var r *Expr
 	switch e.Op {
@@ -52,39 +75,39 @@ func (b *Builder) subst(e *Expr, env map[*Expr]*Expr) *Expr {
 			r = e
 		}
 	case OpNot:
-		r = b.Not(b.subst(e.A, env))
+		r = b.Not(b.subst(sc, e.A, env))
 	case OpAnd:
-		r = b.And(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.And(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpOr:
-		r = b.Or(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Or(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpXor:
-		r = b.Xor(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Xor(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpAdd:
-		r = b.Add(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Add(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpSub:
-		r = b.Sub(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Sub(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpShl:
-		r = b.Shl(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Shl(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpLshr:
-		r = b.Lshr(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Lshr(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpConcat:
-		r = b.Concat(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Concat(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpExtract:
-		r = b.Extract(b.subst(e.A, env), e.Hi, e.Lo)
+		r = b.Extract(b.subst(sc, e.A, env), e.Hi, e.Lo)
 	case OpEq:
-		r = b.Eq(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Eq(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpUlt:
-		r = b.Ult(b.subst(e.A, env), b.subst(e.B, env))
+		r = b.Ult(b.subst(sc, e.A, env), b.subst(sc, e.B, env))
 	case OpIte:
-		r = b.Ite(b.subst(e.A, env), b.subst(e.B, env), b.subst(e.C, env))
+		r = b.Ite(b.subst(sc, e.A, env), b.subst(sc, e.B, env), b.subst(sc, e.C, env))
 	default:
 		panic("sym: unknown op in subst")
 	}
 	// The smart constructors above may have grown the arena past the
 	// point this node was checked; re-ensure before writing.
-	b.substEnsure(id)
-	b.subMark[id] = b.subEpoch
-	b.subVal[id] = r
+	sc.ensure(id)
+	sc.mark[id] = sc.epoch
+	sc.val[id] = r
 	return r
 }
 
