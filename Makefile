@@ -3,9 +3,25 @@
 
 GO ?= go
 
-.PHONY: all build test race bench tier1
+# Coverage floor for the engine packages gated by `make cover`.
+COVER_MIN ?= 70
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs
+
+# Seconds of native fuzzing per target in the `make race` smoke.
+FUZZ_SMOKE ?= 5s
+
+.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1
 
 all: tier1
+
+help:
+	@echo "goflay make targets:"
+	@echo "  tier1       build + test (the baseline gate; default)"
+	@echo "  race        vet + race-detector suite + fuzz smoke (slow, load-bearing)"
+	@echo "  cover       per-package coverage, fails under $(COVER_MIN)% for core/sym/obs"
+	@echo "  bench       run the Go benchmarks"
+	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
+	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver)"
 
 # Tier-1: the baseline gate every change must keep green.
 tier1: build test
@@ -16,13 +32,45 @@ build:
 test:
 	$(GO) test ./...
 
-# Race tier: vet plus the full suite under the race detector. The
-# equivalence suite in internal/core doubles as the concurrency
-# soundness proof of the parallel batch engine, so this tier is slow
-# (minutes) but load-bearing.
-race:
+# Race tier: vet plus the full suite under the race detector, plus a
+# short native-fuzz smoke of the frontend and the solver. The
+# equivalence suites in internal/core double as the concurrency
+# soundness proof of the parallel batch engine and the audit capture
+# path, so this tier is slow (minutes) but load-bearing.
+race: fuzz-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
+	$(GO) test -run='^$$' -fuzz=FuzzSolver -fuzztime=$(FUZZ_SMOKE) ./internal/sym
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json: the machine-readable evaluation artifact. Runs the burst
+# section with the metrics registry and audit trail enabled; flaybench
+# cross-checks their accounting against the engine's Statistics and
+# exits non-zero on any mismatch.
+bench-json:
+	$(GO) run ./cmd/flaybench -only burst,batch -json -o BENCH_flay.json
+
+# cover: enforce the coverage floor on the engine packages. Written
+# for a POSIX shell (no pipefail): the summary goes to a temp file and
+# the gate parses it afterwards.
+cover:
+	@tmp=$$(mktemp); \
+	$(GO) test -cover $(COVER_PKGS) > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	cat $$tmp; \
+	fail=0; \
+	while read -r line; do \
+		case "$$line" in \
+		*"coverage: "*) \
+			pct=$${line##*coverage: }; pct=$${pct%%.*}; \
+			if [ "$$pct" -lt "$(COVER_MIN)" ]; then \
+				echo "FAIL: coverage $$pct% < $(COVER_MIN)%: $$line"; fail=1; \
+			fi ;; \
+		esac; \
+	done < $$tmp; \
+	rm -f $$tmp; \
+	exit $$fail

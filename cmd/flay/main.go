@@ -15,6 +15,7 @@
 //	-threshold N        overapproximation threshold (-1 = precise mode)
 //	-target tofino|bmv2 device backend for compile
 //	-representative     install the catalog entry's representative config first
+//	-audit FILE         dump the decision audit trail as JSONL ("-" = stdout)
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	threshold := flag.Int("threshold", 0, "overapproximation threshold (0 = default 100, negative = precise)")
 	target := flag.String("target", "tofino", "device backend (tofino|bmv2)")
 	representative := flag.Bool("representative", false, "install the catalog representative configuration first")
+	auditPath := flag.String("audit", "", `dump the decision audit trail as JSONL to FILE ("-" = stdout)`)
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -62,6 +64,9 @@ func main() {
 	opts := goflay.Options{
 		SkipParser:          *skipParser,
 		OverapproxThreshold: *threshold,
+	}
+	if *auditPath != "" {
+		opts.Audit = goflay.NewAuditTrail(0)
 	}
 	if catalogEntry != nil && catalogEntry.SkipParser {
 		opts.SkipParser = true
@@ -124,9 +129,39 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	if *auditPath != "" {
+		if err := dumpAudit(pipe.Audit(), *auditPath); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// dumpAudit writes the pipeline's decision audit trail as JSONL — one
+// record per control-plane update the engine decided.
+func dumpAudit(trail *goflay.AuditTrail, path string) error {
+	if path == "-" {
+		return trail.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trail.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flay: audit trail (%d records) written to %s\n", trail.Len(), path)
+	return nil
 }
 
 func runDemo(pipe *goflay.Pipeline, p *progs.Program) {
+	if p.Representative == nil {
+		fatal("catalog:%s has no representative configuration", p.Name)
+	}
 	fmt.Printf("replaying the representative configuration for %s...\n", p.Name)
 	forwarded, recompiled := 0, 0
 	t0 := time.Now()
@@ -178,5 +213,6 @@ flags:
   -threshold N      overapproximation threshold (negative = precise mode)
   -target T         tofino (default) or bmv2
   -representative   install the catalog representative configuration first
+  -audit FILE       dump the decision audit trail as JSONL ("-" = stdout)
 `)
 }

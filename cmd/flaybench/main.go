@@ -7,14 +7,22 @@
 //
 // Usage:
 //
-//	flaybench [-only section] [-full]
+//	flaybench [-only sections] [-full] [-json] [-o FILE]
 //
 // Sections: table1, table2, table3, fig1, fig3, fig5, stages, burst,
-// batch, ablation. -full extends Table 3 to 10000 installed entries
-// (slow in precise mode, as in the paper).
+// batch, ablation. -only takes a comma-separated list ("-only
+// burst,batch"). -full extends Table 3 to 10000 installed entries
+// (slow in precise mode, as in the paper). -json additionally writes a
+// machine-readable report (default BENCH_flay.json, override with -o;
+// "-" writes to stdout): per-section wall times plus, for the burst
+// section, the engine's metrics snapshot, per-update latency quantiles
+// and the audit trail's decision tally — each cross-checked exactly
+// against the engine's own Statistics. Any verification failure exits
+// non-zero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/devcompiler"
+	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/p4/parser"
 	"repro/internal/p4/typecheck"
@@ -36,9 +45,41 @@ import (
 	"repro/internal/trace"
 )
 
+// benchReport is the -json artifact (BENCH_flay.json).
+type benchReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Sections   []sectionReport `json:"sections"`
+	Burst      *burstReport    `json:"burst,omitempty"`
+}
+
+type sectionReport struct {
+	Name      string `json:"name"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// burstReport is the observability cross-check: the latency quantiles
+// come from the core.update_ns histogram, the decision tally from the
+// audit trail, and both must agree exactly with Stats.
+type burstReport struct {
+	Updates        int            `json:"updates"`
+	Forwarded      int            `json:"forwarded"`
+	Recompilations int            `json:"recompilations"`
+	Rejected       int            `json:"rejected"`
+	Decisions      map[string]int `json:"audit_decisions"`
+	UpdateP50NS    int64          `json:"update_p50_ns"`
+	UpdateP95NS    int64          `json:"update_p95_ns"`
+	UpdateP99NS    int64          `json:"update_p99_ns"`
+	HistCount      int64          `json:"update_hist_count"`
+	Metrics        obs.Snapshot   `json:"metrics"`
+}
+
+var rep = &benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
 func main() {
-	only := flag.String("only", "", "run a single section (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|ablation)")
+	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|ablation)")
 	full := flag.Bool("full", false, "extend Table 3 to 10000 entries (slow in precise mode)")
+	jsonOut := flag.Bool("json", false, "write a machine-readable report (see -o)")
+	outPath := flag.String("o", "BENCH_flay.json", `report path for -json ("-" = stdout)`)
 	flag.Parse()
 
 	sections := []struct {
@@ -56,19 +97,62 @@ func main() {
 		{"batch", batchSection},
 		{"ablation", ablation},
 	}
-	ran := false
+	want := make(map[string]bool)
+	if *only != "" {
+		known := make(map[string]bool, len(sections))
+		for _, s := range sections {
+			known[s.name] = true
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "unknown section %q\n", name)
+				os.Exit(2)
+			}
+			want[name] = true
+		}
+		if len(want) == 0 {
+			fmt.Fprintf(os.Stderr, "-only %q selects no sections\n", *only)
+			os.Exit(2)
+		}
+	}
 	for _, s := range sections {
-		if *only != "" && s.name != *only {
+		if len(want) > 0 && !want[s.name] {
 			continue
 		}
-		ran = true
+		t0 := time.Now()
 		s.run(*full)
+		rep.Sections = append(rep.Sections, sectionReport{
+			Name:      s.name,
+			ElapsedMS: time.Since(t0).Milliseconds(),
+		})
 		fmt.Println()
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown section %q\n", *only)
-		os.Exit(2)
+	if *jsonOut {
+		if err := writeReport(*outPath); err != nil {
+			log.Fatal(err)
+		}
 	}
+}
+
+func writeReport(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
 }
 
 func header(title string) {
@@ -365,10 +449,18 @@ func stages(bool) {
 
 // ---------------------------------------------------------------------------
 
+// burst runs with the full observability layer enabled — metrics
+// registry and audit trail — and then proves the layer's accounting
+// against the engine's own Statistics: the audit trail's decision
+// tally and the update-latency histogram's population must match the
+// engine counters exactly. A mismatch is a bug in the observability
+// layer and exits non-zero.
 func burst(bool) {
 	header("§4.2: burst of 1000 fuzzer-generated IPv4 entries (SCION)")
 	p := progs.Scion()
-	s, err := p.Load()
+	reg := obs.NewRegistry()
+	trail := obs.NewTrail(0)
+	s, err := p.LoadWith(core.Options{Metrics: reg, Audit: trail})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -390,7 +482,50 @@ func burst(bool) {
 	el := time.Since(t0)
 	fmt.Printf("1000 updates in %v (%v/update): %d forwarded, %d recompiled\n",
 		el.Round(time.Millisecond), (el / 1000).Round(time.Microsecond), forwarded, recompiled)
-	fmt.Println("(the batch is recognised as semantics-preserving; past the 100-entry")
+
+	st := s.Statistics()
+	hist := reg.Histogram("core.update_ns").Snapshot()
+	decisions := trail.CountByDecision()
+	fmt.Printf("\nobservability cross-check (%d updates total incl. representative config):\n", st.Updates)
+	fmt.Printf("  update latency p50=%v p95=%v p99=%v\n",
+		time.Duration(hist.P50).Round(time.Microsecond),
+		time.Duration(hist.P95).Round(time.Microsecond),
+		time.Duration(hist.P99).Round(time.Microsecond))
+	fmt.Printf("  audit trail: %d forward, %d recompile, %d rejected\n",
+		decisions["forward"], decisions["recompile"], decisions["rejected"])
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "burst verification failed: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if trail.Total() != int64(st.Updates) {
+		fail("audit trail holds %d records, engine processed %d updates", trail.Total(), st.Updates)
+	}
+	if decisions["forward"] != st.Forwarded || decisions["recompile"] != st.Recompilations || decisions["rejected"] != st.Rejected {
+		fail("audit tally %v, engine counters forwarded=%d recompiled=%d rejected=%d",
+			decisions, st.Forwarded, st.Recompilations, st.Rejected)
+	}
+	if hist.Count != int64(st.Updates) {
+		fail("latency histogram holds %d samples, engine processed %d updates", hist.Count, st.Updates)
+	}
+	if got := reg.Counter("core.updates").Value(); got != int64(st.Updates) {
+		fail("core.updates counter %d, engine processed %d", got, st.Updates)
+	}
+	fmt.Println("  cross-check: metrics, histogram and audit trail agree with Statistics")
+
+	rep.Burst = &burstReport{
+		Updates:        st.Updates,
+		Forwarded:      st.Forwarded,
+		Recompilations: st.Recompilations,
+		Rejected:       st.Rejected,
+		Decisions:      decisions,
+		UpdateP50NS:    hist.P50,
+		UpdateP95NS:    hist.P95,
+		UpdateP99NS:    hist.P99,
+		HistCount:      hist.Count,
+		Metrics:        reg.Snapshot(),
+	}
+	fmt.Println("\n(the batch is recognised as semantics-preserving; past the 100-entry")
 	fmt.Println("threshold the table is overapproximated and updates become ~constant-time)")
 }
 

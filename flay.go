@@ -28,6 +28,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devcompiler"
+	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/rmt"
 	"repro/internal/sym"
@@ -53,6 +54,46 @@ type (
 	// BV is a bitvector value (match keys, masks, action parameters).
 	BV = sym.BV
 )
+
+// Re-exported observability vocabulary (the internal/obs package made
+// public). A Pipeline carries nil instruments by default — fully
+// disabled, with zero allocation on the update path — and Options
+// switches each one on independently.
+type (
+	// Trace records structured spans (parse → dataflow → taint → query
+	// → pass) with parent/child links and integer attributes.
+	Trace = obs.Trace
+	// Span is one recorded region of pipeline work.
+	Span = obs.Span
+	// SpanID identifies a span within a Trace (0 = none).
+	SpanID = obs.SpanID
+	// Metrics is a named-instrument registry (counters, gauges,
+	// bounded-memory latency histograms).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot summarizes one histogram (count/sum/min/max and
+	// p50/p95/p99).
+	HistogramSnapshot = obs.HistogramSnapshot
+	// AuditTrail is the decision audit trail: one AuditRecord per
+	// control-plane update the engine decided.
+	AuditTrail = obs.Trail
+	// AuditRecord is one specialization verdict, made inspectable.
+	AuditRecord = obs.AuditRecord
+	// PointChange is one program point whose verdict flipped during an
+	// update.
+	PointChange = obs.PointChange
+)
+
+// NewTrace returns an empty span tracer.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewAuditTrail returns an audit trail keeping at most limit records;
+// limit <= 0 keeps every record.
+func NewAuditTrail(limit int) *AuditTrail { return obs.NewTrail(limit) }
 
 // Update kinds.
 const (
@@ -131,13 +172,25 @@ type Options struct {
 	// serial evaluation, >1 sets the pool size, and <=0 (the default)
 	// uses GOMAXPROCS.
 	Workers int
+
+	// Tracer, when non-nil, records a span per pipeline stage and per
+	// update. Metrics, when non-nil, resolves the engine's counters,
+	// gauges and latency histograms. Audit, when non-nil, receives the
+	// decision audit trail. Each defaults to nil (disabled, no update-
+	// path allocation).
+	Tracer  *Trace
+	Metrics *Metrics
+	Audit   *AuditTrail
 }
 
 // Pipeline is a live program + configuration pair under incremental
 // specialization.
 type Pipeline struct {
-	spec   *core.Specializer
-	target Target
+	spec    *core.Specializer
+	target  Target
+	tracer  *Trace
+	metrics *Metrics
+	audit   *AuditTrail
 }
 
 // Open parses, type-checks and analyzes a program, then runs the
@@ -149,11 +202,20 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 		OverapproxThreshold: opts.OverapproxThreshold,
 		Quality:             opts.Quality,
 		Workers:             opts.Workers,
+		Trace:               opts.Tracer,
+		Metrics:             opts.Metrics,
+		Audit:               opts.Audit,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{spec: s, target: opts.Target}, nil
+	return &Pipeline{
+		spec:    s,
+		target:  opts.Target,
+		tracer:  opts.Tracer,
+		metrics: opts.Metrics,
+		audit:   opts.Audit,
+	}, nil
 }
 
 // Apply processes one control-plane update and returns Flay's decision.
@@ -188,6 +250,18 @@ func (p *Pipeline) ApplyBatch(updates []*Update) []*Decision {
 // Statistics returns engine counters (points, update timings,
 // forward/recompile counts).
 func (p *Pipeline) Statistics() Stats { return p.spec.Statistics() }
+
+// Tracer returns the span tracer the pipeline was opened with, or nil
+// when tracing is disabled.
+func (p *Pipeline) Tracer() *Trace { return p.tracer }
+
+// Metrics returns the metrics registry the pipeline was opened with, or
+// nil when metrics are disabled.
+func (p *Pipeline) Metrics() *Metrics { return p.metrics }
+
+// Audit returns the decision audit trail the pipeline was opened with,
+// or nil when auditing is disabled.
+func (p *Pipeline) Audit() *AuditTrail { return p.audit }
 
 // Tables lists the program's qualified table names in apply order.
 func (p *Pipeline) Tables() []string {

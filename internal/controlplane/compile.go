@@ -103,9 +103,11 @@ func (c *Config) CompileTable(b *sym.Builder, table string) (Env, CompileStats, 
 	}
 	env := make(Env)
 	stats := CompileStats{Installed: len(c.tables[table])}
+	c.met.compiles.Inc()
 
 	if stats.Installed > c.threshold() {
 		stats.Overapproximate = true
+		c.met.overapprox.Inc()
 		env[ti.ActionVar] = b.Data(ti.Name+".$action.any", 8)
 		env[ti.HitVar] = b.Data(ti.Name+".$hit.any", 1)
 		for _, ai := range ti.Actions {
@@ -118,6 +120,7 @@ func (c *Config) CompileTable(b *sym.Builder, table string) (Env, CompileStats, 
 
 	active, eclipsed := c.ActiveEntries(table)
 	stats.Eclipsed = eclipsed
+	c.met.eclipsed.Add(int64(eclipsed))
 
 	// Miss behaviour: the default action (possibly overridden).
 	defIdx := ti.DefaultIndex
@@ -192,6 +195,7 @@ func (c *Config) entryCond(b *sym.Builder, ti *dataplane.TableInfo, e *TableEntr
 // (which is what lets the §3 parser specializations remove branches).
 func (c *Config) CompileValueSet(b *sym.Builder, name string) Env {
 	env := make(Env)
+	c.met.vsCompiles.Inc()
 	members := c.valueSets[name]
 	for _, vi := range c.Analysis.ValueSets {
 		if vi.Name != name {
@@ -220,6 +224,7 @@ func (c *Config) CompileValueSet(b *sym.Builder, name string) Env {
 // different data-plane-written value).
 func (c *Config) CompileRegister(b *sym.Builder, name string) Env {
 	env := make(Env)
+	c.met.rgCompiles.Inc()
 	ri, ok := c.Analysis.Registers[name]
 	if !ok {
 		return env

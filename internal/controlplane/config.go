@@ -127,6 +127,10 @@ type Config struct {
 	valueSets map[string][]ValueSetMember
 	regFills  map[string]sym.BV
 	seq       int
+
+	// met holds the optional observability instruments (SetObserver);
+	// the zero value is disabled.
+	met cpMetrics
 }
 
 // NewConfig returns an empty configuration (every table empty, every
@@ -247,6 +251,17 @@ func (u *Update) String() string {
 // objects, schema mismatches, duplicate inserts, missing entries) are
 // rejected with an error and leave the configuration unchanged.
 func (c *Config) Apply(u *Update) error {
+	err := c.applyInner(u)
+	if err != nil {
+		c.met.rejects.Inc()
+		return err
+	}
+	c.met.applies.Inc()
+	c.observeEntries()
+	return nil
+}
+
+func (c *Config) applyInner(u *Update) error {
 	switch u.Kind {
 	case InsertEntry, ModifyEntry, DeleteEntry:
 		ti, ok := c.Analysis.Tables[u.Table]

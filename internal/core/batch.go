@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/obs"
 )
 
 // ApplyBatch processes a slice of control-plane updates as one atomic
@@ -32,12 +33,27 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Batches++
+	s.met.batches.Inc()
 	if len(updates) == 0 {
 		return nil
 	}
+	batchNo := s.stats.Batches
 	t0 := time.Now()
 	s.stats.BatchedUpdates += len(updates)
+	s.met.batchedUpdates.Add(int64(len(updates)))
 	decisions := make([]*Decision, len(updates))
+	seqs := make([]int, len(updates))
+	bsp := s.trace.Start("batch", 0)
+	defer s.trace.End(bsp)
+	s.trace.Attr(bsp, "updates", int64(len(updates)))
+
+	// Per-decision point changes and the worker count of the one
+	// evaluation pass, recorded for the audit trail.
+	var changesOf map[*Decision][]obs.PointChange
+	if s.audit != nil {
+		changesOf = make(map[*Decision][]obs.PointChange)
+	}
+	workersUsed := 0
 
 	// Phase 1: run every update through configuration validation in
 	// arrival order — entry sequence numbers (and with them the entry
@@ -54,6 +70,8 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 		d := &Decision{Update: u}
 		decisions[i] = d
 		s.stats.Updates++
+		seqs[i] = s.stats.Updates
+		s.met.updates.Inc()
 		if err := s.Cfg.Apply(u); err != nil {
 			s.stats.Rejected++
 			d.Kind = Rejected
@@ -75,6 +93,7 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 		// Sequential Apply would run one evaluation pass per accepted
 		// update; the batch runs exactly one.
 		s.stats.Coalesced += accepted - 1
+		s.met.coalesced.Add(int64(accepted - 1))
 	}
 
 	finish := func() []*Decision {
@@ -85,6 +104,17 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 			}
 		}
 		s.stats.UpdateTime += elapsed
+		for i, d := range decisions {
+			s.met.decisionCounter(d.Kind).Inc()
+			s.met.updateNS.ObserveDuration(d.Elapsed)
+			if s.audit != nil {
+				workers := 0
+				if d.Kind != Rejected {
+					workers = workersUsed
+				}
+				s.audit.Append(auditRecord(d, seqs[i], batchNo, workers, changesOf[d]))
+			}
+		}
 		return decisions
 	}
 
@@ -102,6 +132,7 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 
 	// Phase 2: recompile each touched target's assignment once,
 	// regardless of how many updates of the batch hit it.
+	csp := s.trace.Start("assign-compile", bsp)
 	live := make([]string, 0, len(order))
 	for _, target := range order {
 		g := groups[target]
@@ -118,15 +149,32 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 		}
 		live = append(live, target)
 	}
+	s.trace.End(csp)
 
 	// Phase 3: one re-evaluation over the deduplicated union of every
 	// point the batch taints, fanned out over the worker pool.
+	allPts := s.An.PointsOfTargets(live)
+	workersUsed = s.effectiveWorkers(len(allPts))
 	te := time.Now()
-	changedIDs := s.reevalPoints(s.An.PointsOfTargets(live))
-	s.stats.EvalTime += time.Since(te)
+	qsp := s.trace.Start("query", bsp)
+	changedIDs := s.reevalPoints(allPts)
+	s.trace.Attr(qsp, "points", int64(len(allPts)))
+	s.trace.Attr(qsp, "changed", int64(len(changedIDs)))
+	s.trace.End(qsp)
+	evalElapsed := time.Since(te)
+	s.stats.EvalTime += evalElapsed
+	s.met.evalNS.ObserveDuration(evalElapsed)
 	changedSet := make(map[int]bool, len(changedIDs))
 	for _, id := range changedIDs {
 		changedSet[id] = true
+	}
+	// Index the pass's point changes for per-update attribution.
+	var chByPoint map[int]obs.PointChange
+	if s.audit != nil {
+		chByPoint = make(map[int]obs.PointChange, len(s.lastChanges))
+		for _, ch := range s.lastChanges {
+			chByPoint[ch.Point] = ch
+		}
 	}
 
 	// Phase 4: attribute the outcome per target group.
@@ -174,6 +222,13 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 			components = append(components, c)
 		}
 		sortStrings(components)
+		var gchanges []obs.PointChange
+		if s.audit != nil {
+			gchanges = make([]obs.PointChange, 0, len(gchanged))
+			for _, id := range gchanged {
+				gchanges = append(gchanges, chByPoint[id])
+			}
+		}
 		for _, d := range g.decisions {
 			d.Kind = Recompile
 			d.AffectedPoints = len(tpts)
@@ -181,6 +236,9 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 			d.Components = components
 			d.ImplementationChange = gd.ImplementationChange
 			s.stats.Recompilations++
+			if s.audit != nil {
+				changesOf[d] = gchanges
+			}
 		}
 	}
 	return finish()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 	"repro/internal/sym"
 )
 
@@ -67,7 +68,10 @@ func (s *Specializer) effectiveWorkers(points int) int {
 // lock, and workers of one evaluation receive distinct shards.
 func (s *Specializer) shard(i int) *evalShard {
 	for len(s.shards) <= i {
-		s.shards = append(s.shards, &evalShard{solver: sym.NewSolver()})
+		solver := sym.NewSolver()
+		// All shards share one atomic SolverMetrics (nil when disabled).
+		solver.Metrics = s.symMet
+		s.shards = append(s.shards, &evalShard{solver: solver})
 	}
 	return s.shards[i]
 }
@@ -79,21 +83,39 @@ func (s *Specializer) shard(i int) *evalShard {
 // claimed by exactly one worker via an atomic cursor.
 func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 	w := s.effectiveWorkers(len(pts))
+	s.met.pointsEvaluated.Add(int64(len(pts)))
+	capture := s.audit != nil
+	s.lastChanges = s.lastChanges[:0]
 	if w <= 1 {
 		sh := s.shard(0)
 		var changed []int
 		for _, p := range pts {
-			if s.evalInto(sh, p) {
+			old, now, ch := s.evalInto(sh, p)
+			if ch {
 				changed = append(changed, p.ID)
+				if capture {
+					s.lastChanges = append(s.lastChanges, obs.PointChange{
+						Point: p.ID, Query: queryName(p.Kind),
+						Old: old.String(), New: now.String(),
+					})
+				}
 			}
 		}
+		s.met.pointsChanged.Add(int64(len(changed)))
 		return changed
 	}
 	changed := make([]bool, len(pts))
+	// Per-index change slots: each k is claimed by exactly one worker,
+	// so the slots are written race-free. Allocated only when auditing.
+	var slots []obs.PointChange
+	if capture {
+		slots = make([]obs.PointChange, len(pts))
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		sh := s.shard(i)
+		worker := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -102,7 +124,14 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 				if k >= len(pts) {
 					return
 				}
-				changed[k] = s.evalInto(sh, pts[k])
+				old, now, ch := s.evalInto(sh, pts[k])
+				changed[k] = ch
+				if ch && capture {
+					slots[k] = obs.PointChange{
+						Point: pts[k].ID, Query: queryName(pts[k].Kind),
+						Old: old.String(), New: now.String(), Worker: worker,
+					}
+				}
 			}
 		}()
 	}
@@ -111,18 +140,24 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 	for k, c := range changed {
 		if c {
 			out = append(out, pts[k].ID)
+			if capture {
+				s.lastChanges = append(s.lastChanges, slots[k])
+			}
 		}
 	}
+	s.met.pointsChanged.Add(int64(len(out)))
 	return out
 }
 
 // evalInto re-evaluates one point with the shard's scratch state and
-// installs the result; it reports whether the verdict changed.
-func (s *Specializer) evalInto(sh *evalShard, p *dataplane.Point) bool {
-	v := s.evalPointWith(sh, p)
-	if v == s.verdicts[p.ID] {
-		return false
+// installs the result; it returns the previous and new verdicts and
+// whether they differ.
+func (s *Specializer) evalInto(sh *evalShard, p *dataplane.Point) (old, now Verdict, changed bool) {
+	now = s.evalPointWith(sh, p)
+	old = s.verdicts[p.ID]
+	if now == old {
+		return old, now, false
 	}
-	s.verdicts[p.ID] = v
-	return true
+	s.verdicts[p.ID] = now
+	return old, now, true
 }

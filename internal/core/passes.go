@@ -15,6 +15,8 @@ import (
 func (s *Specializer) SpecializedProgram() *ast.Program {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	sp := s.trace.Start("pass", 0)
+	defer s.trace.End(sp)
 	if s.quality == QualityNone {
 		return s.Prog
 	}

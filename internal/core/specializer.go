@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/p4/parser"
 	"repro/internal/p4/typecheck"
@@ -169,6 +170,16 @@ type Options struct {
 	// serial evaluation, >1 sets the pool size, and <=0 (the default)
 	// uses GOMAXPROCS.
 	Workers int
+
+	// Trace, when set, records structured spans for every pipeline stage
+	// (parse → dataflow → taint → query → pass). Metrics, when set,
+	// resolves the engine's counters, gauges and latency histograms.
+	// Audit, when set, receives one AuditRecord per decided update. All
+	// three default to nil — fully disabled, with no allocation on the
+	// update path.
+	Trace   *obs.Trace
+	Metrics *obs.Registry
+	Audit   *obs.Trail
 }
 
 // Stats aggregates engine counters. The three outcome counters
@@ -227,6 +238,16 @@ type Specializer struct {
 	workers int
 	shards  []*evalShard
 
+	// Observability (all fields are nil-safe; nil means disabled).
+	trace  *obs.Trace
+	audit  *obs.Trail
+	met    coreMetrics
+	symMet *sym.SolverMetrics
+	// lastChanges is the scratch buffer reevalPoints fills with the
+	// point-level verdict flips of the last pass, in point-ID order. It
+	// is only populated when the audit trail is enabled.
+	lastChanges []obs.PointChange
+
 	// pointSub caches each point's last substituted expression (a
 	// hash-consed pointer): when an update's substitution yields the
 	// same node, the verdict cannot have changed and the query is
@@ -241,8 +262,15 @@ type Specializer struct {
 // data-plane analysis and the initial specialization pass under the
 // empty (device-spec) configuration.
 func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, error) {
+	root := opts.Trace.Start("open", 0)
+	defer opts.Trace.End(root)
 	t0 := time.Now()
-	an, err := dataplane.Analyze(prog, info, dataplane.Options{SkipParser: opts.SkipParser})
+	an, err := dataplane.Analyze(prog, info, dataplane.Options{
+		SkipParser: opts.SkipParser,
+		Trace:      opts.Trace,
+		Parent:     root,
+		Metrics:    opts.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +278,7 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 
 	cfg := controlplane.NewConfig(an)
 	cfg.OverapproxThreshold = opts.OverapproxThreshold
+	cfg.SetObserver(opts.Metrics)
 	s := &Specializer{
 		Prog:    prog,
 		Info:    info,
@@ -258,8 +287,13 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		impls:   make(map[string]*tableImpl),
 		quality: opts.Quality,
 		workers: opts.Workers,
+		trace:   opts.Trace,
+		audit:   opts.Audit,
+		met:     newCoreMetrics(opts.Metrics),
+		symMet:  sym.NewSolverMetrics(opts.Metrics),
 	}
 	t1 := time.Now()
+	sp := s.trace.Start("preprocess", root)
 	env, _, err := cfg.CompileEnv(an.Builder)
 	if err != nil {
 		return nil, err
@@ -275,6 +309,10 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 	for name := range an.Tables {
 		s.impls[name] = s.idealImpl(name)
 	}
+	s.trace.Attr(sp, "points", int64(len(an.Points)))
+	s.trace.End(sp)
+	s.met.points.Set(int64(len(an.Points)))
+	s.met.tables.Set(int64(len(an.Tables)))
 	s.stats = Stats{
 		Points:         len(an.Points),
 		Tables:         len(an.Tables),
@@ -287,11 +325,15 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 
 // NewFromSource parses, checks and analyzes a program in one call.
 func NewFromSource(name, src string, opts Options) (*Specializer, error) {
+	sp := opts.Trace.Start("parse", 0)
 	prog, err := parser.Parse(name, src)
+	opts.Trace.End(sp)
 	if err != nil {
 		return nil, err
 	}
+	sp = opts.Trace.Start("typecheck", 0)
 	info, err := typecheck.Check(prog)
+	opts.Trace.End(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +450,7 @@ func (s *Specializer) evalPointWith(sh *evalShard, p *dataplane.Point) Verdict {
 	b := s.An.Builder
 	sub := b.SubstWith(&sh.sub, p.Expr, s.env)
 	if s.pointSub[p.ID] == sub && sub != nil {
+		s.met.substSkips.Inc()
 		return s.verdicts[p.ID]
 	}
 	s.pointSub[p.ID] = sub
@@ -446,6 +489,24 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 	t0 := time.Now()
 	d := &Decision{Update: u}
 	s.stats.Updates++
+	seq := s.stats.Updates
+	s.met.updates.Inc()
+	s.lastChanges = s.lastChanges[:0]
+	sp := s.trace.Start("update", 0)
+	defer func() {
+		s.trace.Attr(sp, "seq", int64(seq))
+		s.trace.Attr(sp, "decision", int64(d.Kind))
+		s.trace.End(sp)
+		s.met.decisionCounter(d.Kind).Inc()
+		s.met.updateNS.ObserveDuration(d.Elapsed)
+		if s.audit != nil {
+			workers := 0
+			if d.AffectedPoints > 0 {
+				workers = s.effectiveWorkers(d.AffectedPoints)
+			}
+			s.audit.Append(auditRecord(d, seq, 0, workers, s.lastChanges))
+		}
+	}()
 	if err := s.Cfg.Apply(u); err != nil {
 		s.stats.Rejected++
 		d.Kind = Rejected
@@ -467,7 +528,10 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 
 	// Recompile the assignment for the touched object only; the rest of
 	// the environment is unchanged.
-	if err := s.recompileTarget(target); err != nil {
+	csp := s.trace.Start("assign-compile", sp)
+	err := s.recompileTarget(target)
+	s.trace.End(csp)
+	if err != nil {
 		s.stats.Rejected++
 		d.Kind = Rejected
 		d.Err = err
@@ -480,8 +544,14 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 	pts := s.An.PointsOf(target)
 	d.AffectedPoints = len(pts)
 	te := time.Now()
+	qsp := s.trace.Start("query", sp)
 	d.ChangedPoints = s.reevalPoints(pts)
-	s.stats.EvalTime += time.Since(te)
+	s.trace.Attr(qsp, "points", int64(len(pts)))
+	s.trace.Attr(qsp, "changed", int64(len(d.ChangedPoints)))
+	s.trace.End(qsp)
+	evalElapsed := time.Since(te)
+	s.stats.EvalTime += evalElapsed
+	s.met.evalNS.ObserveDuration(evalElapsed)
 
 	// Implementation-assumption check: a narrowed implementation may be
 	// invalidated by an update even when no query verdict flips (the

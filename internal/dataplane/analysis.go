@@ -9,6 +9,7 @@ package dataplane
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/p4/typecheck"
 	"repro/internal/sym"
@@ -246,6 +247,13 @@ type Options struct {
 	// paper's accommodation for large programs (switch.p4): "we added an
 	// option to skip parser analysis" (§4.2).
 	SkipParser bool
+
+	// Trace, when set, records "dataflow" and "taint" spans under Parent.
+	// Metrics, when set, receives the analysis-shape gauges (point,
+	// table and taint-edge counts). Both default to disabled.
+	Trace   *obs.Trace
+	Parent  obs.SpanID
+	Metrics *obs.Registry
 }
 
 // Error is an analysis error.

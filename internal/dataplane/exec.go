@@ -31,10 +31,30 @@ func Analyze(prog *ast.Program, info *typecheck.Info, opts Options) (*Analysis, 
 		VarOwner:      make(map[*sym.Expr]string),
 		SkippedParser: opts.SkipParser,
 	}
+	sp := opts.Trace.Start("dataflow", opts.Parent)
 	if err := a.run(); err != nil {
+		opts.Trace.End(sp)
 		return nil, err
 	}
+	opts.Trace.Attr(sp, "points", int64(len(a.an.Points)))
+	opts.Trace.Attr(sp, "tables", int64(len(a.an.Tables)))
+	opts.Trace.End(sp)
+
+	sp = opts.Trace.Start("taint", opts.Parent)
 	a.buildTaint()
+	edges := 0
+	for _, ids := range a.an.Taint {
+		edges += len(ids)
+	}
+	opts.Trace.Attr(sp, "vars", int64(len(a.an.Taint)))
+	opts.Trace.Attr(sp, "edges", int64(edges))
+	opts.Trace.End(sp)
+
+	opts.Metrics.Gauge("dp.points").Set(int64(len(a.an.Points)))
+	opts.Metrics.Gauge("dp.tables").Set(int64(len(a.an.Tables)))
+	opts.Metrics.Gauge("dp.taint_vars").Set(int64(len(a.an.Taint)))
+	opts.Metrics.Gauge("dp.taint_edges").Set(int64(edges))
+	opts.Metrics.Gauge("dp.expr_nodes").Set(int64(a.b.NumNodes()))
 	return a.an, nil
 }
 

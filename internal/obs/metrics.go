@@ -1,0 +1,377 @@
+// Package obs is goflay's observability layer: a stdlib-only metrics
+// registry (counters, gauges, bounded-memory latency histograms), a
+// structured span tracer, and the specialization decision audit trail.
+//
+// Everything in the package is nil-tolerant by design: a nil *Counter,
+// *Gauge, *Histogram, *Trace or *Trail accepts every write as a no-op
+// without allocating, so instrumented hot paths (core.Apply, the solver)
+// need neither branches nor indirection when observability is disabled —
+// disabled observability is the zero value. Enabled instruments are safe
+// for concurrent use.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Max raises the gauge to n if n is larger (a high-water mark).
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value (zero for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucketing: values 0..subCount-1 are exact; above that each
+// power of two splits into subCount sub-buckets, so the relative
+// quantile error is bounded by 1/subCount (6.25%) while the whole
+// histogram stays a fixed ~8 KiB regardless of sample count — the
+// bounded-memory property a per-update latency recorder needs.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+	histBuckets  = (64 - histSubBits + 1) * histSubCount
+)
+
+// Histogram is a fixed-size log-linear histogram of non-negative int64
+// samples (typically latencies in nanoseconds).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid when count > 0
+	max    atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // >= histSubBits
+	sub := (u >> (uint(e) - histSubBits)) & (histSubCount - 1)
+	return (e-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// bucketMid returns a representative (midpoint) value for a bucket.
+func bucketMid(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	oct := idx >> histSubBits
+	sub := idx & (histSubCount - 1)
+	lower := uint64(histSubCount+sub) << uint(oct-1)
+	width := uint64(1) << uint(oct-1)
+	return int64(lower + width/2)
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		h.min.Store(v)
+		h.max.Store(v)
+		return
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of samples (zero for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples (zero for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1) of the
+// recorded samples, or 0 when the histogram is empty. Concurrent
+// observers may move the answer slightly; every read is atomic, so the
+// snapshot is race-free. The exact recorded min and max clamp the
+// estimate so tails never exceed observed extremes.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the desired sample.
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := bucketMid(i)
+			if mn := h.min.Load(); v < mn {
+				v = mn
+			}
+			if mx := h.max.Load(); v > mx {
+				v = mx
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and live for the registry's lifetime; the same
+// name always returns the same instrument. A nil registry hands out nil
+// instruments, which absorb writes for free — so "metrics disabled" is
+// simply "no registry".
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (write-absorbing) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time dump of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot as sorted "name value" lines — the
+// human-readable dump `flay analyze -metrics` prints.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	lines := make(map[string]string)
+	for name, v := range s.Counters {
+		names = append(names, name)
+		lines[name] = fmt.Sprintf("%-40s %d", name, v)
+	}
+	for name, v := range s.Gauges {
+		names = append(names, name)
+		lines[name] = fmt.Sprintf("%-40s %d", name, v)
+	}
+	for name, h := range s.Histograms {
+		names = append(names, name)
+		lines[name] = fmt.Sprintf("%-40s count=%d p50=%d p95=%d p99=%d max=%d",
+			name, h.Count, h.P50, h.P95, h.P99, h.Max)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintln(w, lines[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders a stable JSON object.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}

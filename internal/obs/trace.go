@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a Trace. The zero SpanID means "no
+// span" and is what every operation on a nil Trace returns, so span IDs
+// can be threaded through call chains unconditionally.
+type SpanID int64
+
+// Attr is one integer-valued span attribute. Attributes are integers on
+// purpose: every quantity the pipeline wants to attach (point counts,
+// sequence numbers, worker ids, byte sizes) is a number, and keeping the
+// value unboxed keeps enabled-path tracing cheap.
+type Attr struct {
+	Key string `json:"k"`
+	Val int64  `json:"v"`
+}
+
+// Span is one completed (or in-flight, when EndNS is zero) region of
+// pipeline work. Start/end are nanoseconds since the trace epoch, so
+// spans from one trace order and nest without wall-clock arithmetic.
+type Span struct {
+	ID      SpanID `json:"id"`
+	Parent  SpanID `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Trace collects structured spans: parse → dataflow → taint → query →
+// pass, with parent/child links and per-span attributes. A nil *Trace is
+// the disabled tracer: Start returns 0 and every other method is a
+// zero-allocation no-op, which is what the engine embeds by default.
+type Trace struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+	index map[SpanID]int // span id -> slot in spans
+	next  SpanID
+}
+
+// NewTrace returns an empty trace whose epoch is now.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now(), index: make(map[SpanID]int)}
+}
+
+// Start opens a span under parent (0 for a root span) and returns its
+// id. On a nil trace it returns 0 without allocating.
+func (t *Trace) Start(name string, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	t.index[id] = len(t.spans)
+	t.spans = append(t.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		StartNS: time.Since(t.epoch).Nanoseconds(),
+	})
+	return id
+}
+
+// End closes the span. Unknown (including zero) ids are ignored, so the
+// nil-trace zero id flows through harmlessly.
+func (t *Trace) End(id SpanID) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.index[id]; ok {
+		t.spans[i].EndNS = time.Since(t.epoch).Nanoseconds()
+	}
+}
+
+// Attr attaches an integer attribute to an open or closed span.
+func (t *Trace) Attr(id SpanID, key string, val int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.index[id]; ok {
+		t.spans[i].Attrs = append(t.spans[i].Attrs, Attr{Key: key, Val: val})
+	}
+}
+
+// Spans returns a copy of all recorded spans in start order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].Attrs = append([]Attr(nil), out[i].Attrs...)
+	}
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// WriteJSONL dumps every span as one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	for _, sp := range t.Spans() {
+		line, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/p4/ast"
+	"repro/internal/p4/typecheck"
+)
+
+// FuzzP4Parse is the frontend's native fuzz target: arbitrary input
+// must never panic the parser or the type checker, and any program
+// that makes it through both must survive a print → reparse → print
+// round trip with the printer as a fixpoint. That last property is
+// what the whole pipeline leans on — the specializer's output is
+// ast.Print of a rewritten tree, and it must remain a valid program.
+func FuzzP4Parse(f *testing.F) {
+	f.Add(fig3Src)
+	f.Add(fig5Src)
+	f.Add(`const bit<8> K = 8w7;`)
+	f.Add(`
+header h_t { bit<16> v; }
+struct headers { h_t h; }
+struct metadata { bit<8> a; }
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action a(bit<8> x) { meta.a = x; }
+    table t {
+        key = { hdr.h.v: exact; }
+        actions = { a; NoAction; }
+        default_action = NoAction;
+    }
+    apply { t.apply(); }
+}
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.p4", src)
+		if err != nil {
+			return // rejecting malformed input is the expected outcome
+		}
+		if _, err := typecheck.Check(prog); err != nil {
+			return // parses but ill-typed: also fine
+		}
+		printed := ast.Print(prog)
+		reparsed, err := Parse("fuzz-reprint.p4", printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\noriginal:\n%s\nprinted:\n%s", err, src, printed)
+		}
+		if _, err := typecheck.Check(reparsed); err != nil {
+			t.Fatalf("printed program does not re-typecheck: %v\nprinted:\n%s", err, printed)
+		}
+		if again := ast.Print(reparsed); again != printed {
+			t.Fatalf("printer is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}

@@ -51,6 +51,9 @@ func Fig3() *Program {
 		Source:     fig3Source,
 		Target:     devcompiler.TargetTofino,
 		BurstTable: "Ingress.eth_table",
+		// The five updates of the figure double as the program's
+		// representative configuration (the `flay demo` walkthrough).
+		Representative: Fig3Updates,
 	}
 }
 

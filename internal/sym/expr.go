@@ -80,13 +80,20 @@ type Expr struct {
 	Hi    uint16
 	Lo    uint16 // OpExtract bounds
 
-	id uint64 // dense id assigned by the Builder, for deterministic ordering
+	id    uint64 // dense id assigned by the Builder, for deterministic ordering
+	depth uint32 // 1 + max child depth, assigned at intern time
 }
 
 // ID returns the builder-assigned dense id of the node. IDs increase in
 // creation order and are stable within a Builder, which makes them usable
 // as deterministic sort keys.
 func (e *Expr) ID() uint64 { return e.id }
+
+// Depth returns the expression's DAG depth (a leaf is depth 1). It is
+// computed incrementally at construction, so reading it is free — the
+// observability layer uses it to report how deep the post-simplification
+// residue reaching the solver is.
+func (e *Expr) Depth() int { return int(e.depth) }
 
 // IsConst reports whether e is a literal.
 func (e *Expr) IsConst() bool { return e.Op == OpConst }
@@ -195,12 +202,18 @@ func (b *Builder) intern(k exprKey) *Expr {
 	if e, ok := b.nodes[k]; ok {
 		return e
 	}
+	depth := uint32(0)
+	for _, ch := range [...]*Expr{k.a, k.b, k.c} {
+		if ch != nil && ch.depth > depth {
+			depth = ch.depth
+		}
+	}
 	e := &Expr{
 		Op: k.op, Width: k.width, Hi: k.hi, Lo: k.lo,
 		Val:  BV{Hi: k.valHi, Lo: k.valLo, W: k.width},
 		Name: k.name, Class: k.class,
 		A: k.a, B: k.b, C: k.c,
-		id: b.nextID,
+		id: b.nextID, depth: depth + 1,
 	}
 	if k.op != OpConst {
 		e.Val = BV{}

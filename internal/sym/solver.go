@@ -46,6 +46,11 @@ type Solver struct {
 	// which an exhaustive (and therefore Unsat-capable) search runs. The
 	// default is solverDefaultExhaustiveBits when zero.
 	ExhaustiveBits int
+	// Metrics, when set, counts how queries decide (witness-cache hits,
+	// exhaustive decisions, probe luck, Unknowns). Nil disables
+	// accounting at zero cost. Shared across solvers safely: the
+	// underlying instruments are atomic.
+	Metrics *SolverMetrics
 
 	rng uint64
 	sc  scratch
@@ -106,6 +111,7 @@ func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
 	if e.Width != 1 {
 		panic("sym: Check requires a width-1 expression")
 	}
+	s.Metrics.query(e)
 	if e.IsTrue() {
 		return Sat, Env{}
 	}
@@ -117,14 +123,17 @@ func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
 		// Simplification leaves closed terms constant; a non-constant
 		// closed term would be a simplifier bug.
 		if v, ok := s.sc.eval(e, nil); !ok || !v.IsTrue() {
+			s.Metrics.unknown()
 			return Unknown, nil
 		}
 		return Sat, Env{}
 	}
 	if len(hint) > 0 {
 		if out, ok := s.sc.eval(e, hint); ok && out.IsTrue() {
+			s.Metrics.witnessHit()
 			return Sat, hint
 		}
+		s.Metrics.witnessMiss()
 	}
 
 	// Exhaustive search decides small domains exactly.
@@ -137,6 +146,7 @@ func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
 		}
 	}
 	if totalBits >= 0 {
+		s.Metrics.exhaustive()
 		if env := s.exhaustive(e, vars); env != nil {
 			return Sat, env
 		}
@@ -147,6 +157,7 @@ func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
 	// from comparisons, then deterministic pseudo-random assignments.
 	cands := s.candidates(e, vars)
 	if env := s.probeCombos(e, vars, cands); env != nil {
+		s.Metrics.probeSat()
 		return Sat, env
 	}
 	env := make(Env, len(vars))
@@ -155,9 +166,11 @@ func (s *Solver) CheckWitness(e *Expr, hint Env) (Verdict, Env) {
 			env[v] = NewBV2(v.Width, s.next(), s.next())
 		}
 		if out, ok := s.sc.eval(e, env); ok && out.IsTrue() {
+			s.Metrics.probeSat()
 			return Sat, copyEnv(env)
 		}
 	}
+	s.Metrics.unknown()
 	return Unknown, nil
 }
 
@@ -286,15 +299,19 @@ type ConstResult struct {
 // produced literal or an exhaustive check yields IsConst=true, while a
 // pair of differing probe evaluations yields a definite IsConst=false.
 func (s *Solver) ConstValue(e *Expr) ConstResult {
+	s.Metrics.constQuery(e)
 	if e.Op == OpConst {
+		s.Metrics.constProved()
 		return ConstResult{Known: true, IsConst: true, Val: e.Val}
 	}
 	vars := s.sc.vars(e)
 	if len(vars) == 0 {
 		v, ok := s.sc.eval(e, nil)
 		if !ok {
+			s.Metrics.constUnknown()
 			return ConstResult{}
 		}
+		s.Metrics.constProved()
 		return ConstResult{Known: true, IsConst: true, Val: v}
 	}
 
@@ -311,6 +328,7 @@ func (s *Solver) ConstValue(e *Expr) ConstResult {
 			return false, ConstResult{}
 		}
 		if out != first {
+			s.Metrics.constRefuted()
 			return true, ConstResult{Known: true, IsConst: false}
 		}
 		return false, ConstResult{}
@@ -337,6 +355,7 @@ func (s *Solver) ConstValue(e *Expr) ConstResult {
 	for _, v := range vars {
 		totalBits += int(v.Width)
 		if totalBits > s.exhaustiveBits() {
+			s.Metrics.constUnknown()
 			return ConstResult{}
 		}
 	}
@@ -370,7 +389,9 @@ func (s *Solver) ConstValue(e *Expr) ConstResult {
 	}
 	rec(0)
 	if same && haveFirst {
+		s.Metrics.constProved()
 		return ConstResult{Known: true, IsConst: true, Val: first}
 	}
+	s.Metrics.constRefuted()
 	return ConstResult{Known: true, IsConst: false}
 }
