@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
@@ -18,10 +18,10 @@ help:
 	@echo "goflay make targets:"
 	@echo "  tier1       build + test (the baseline gate; default)"
 	@echo "  race        vet + race-detector suite + fuzz smoke (slow, load-bearing)"
-	@echo "  cover       per-package coverage, fails under $(COVER_MIN)% for core/sym/obs"
+	@echo "  cover       per-package coverage, fails under $(COVER_MIN)% for core/sym/obs/controlplane"
 	@echo "  bench       run the Go benchmarks"
 	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
-	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver)"
+	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot)"
 
 # Tier-1: the baseline gate every change must keep green.
 tier1: build test
@@ -44,16 +44,18 @@ race: fuzz-smoke
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
 	$(GO) test -run='^$$' -fuzz=FuzzSolver -fuzztime=$(FUZZ_SMOKE) ./internal/sym
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZ_SMOKE) ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-json: the machine-readable evaluation artifact. Runs the burst
-# section with the metrics registry and audit trail enabled; flaybench
-# cross-checks their accounting against the engine's Statistics and
-# exits non-zero on any mismatch.
+# section with the metrics registry and audit trail enabled, plus the
+# query-cache section; flaybench cross-checks their accounting against
+# the engine's Statistics (and the cache's >50% hit-rate bar) and exits
+# non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache -json -o BENCH_flay.json
 
 # cover: enforce the coverage floor on the engine packages. Written
 # for a POSIX shell (no pipefail): the summary goes to a temp file and

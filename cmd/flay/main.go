@@ -16,6 +16,18 @@
 //	-target tofino|bmv2 device backend for compile
 //	-representative     install the catalog entry's representative config first
 //	-audit FILE         dump the decision audit trail as JSONL ("-" = stdout)
+//	-snapshot FILE      checkpoint the engine's warm state to FILE afterwards
+//	-restore FILE       warm-restart from a snapshot instead of opening a source
+//
+// With -restore the positional source argument is omitted: the
+// snapshot embeds the program, the installed configuration, the verdict
+// map and the warm query cache, so e.g.
+//
+//	flay -representative -snapshot scion.snap demo catalog:scion
+//	flay -restore scion.snap specialize
+//
+// resumes the stream without re-running the initial specialization
+// pass.
 package main
 
 import (
@@ -36,6 +48,8 @@ func main() {
 	target := flag.String("target", "tofino", "device backend (tofino|bmv2)")
 	representative := flag.Bool("representative", false, "install the catalog representative configuration first")
 	auditPath := flag.String("audit", "", `dump the decision audit trail as JSONL to FILE ("-" = stdout)`)
+	snapshotPath := flag.String("snapshot", "", "checkpoint the engine's warm state to FILE after the command")
+	restorePath := flag.String("restore", "", "warm-restart from a snapshot FILE instead of opening a source")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -55,12 +69,25 @@ func main() {
 		}
 		return
 	}
-	if len(args) != 2 {
+	var (
+		name         string
+		source       string
+		catalogEntry *progs.Program
+	)
+	switch {
+	case *restorePath != "":
+		// The snapshot embeds the program; no source argument.
+		if len(args) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		name = *restorePath
+	case len(args) == 2:
+		name, source, catalogEntry = loadSource(args[1])
+	default:
 		usage()
 		os.Exit(2)
 	}
-
-	name, source, catalogEntry := loadSource(args[1])
 	opts := goflay.Options{
 		SkipParser:          *skipParser,
 		OverapproxThreshold: *threshold,
@@ -81,7 +108,17 @@ func main() {
 	}
 
 	t0 := time.Now()
-	pipe, err := goflay.Open(name, source, opts)
+	var pipe *goflay.Pipeline
+	var err error
+	if *restorePath != "" {
+		data, rerr := os.ReadFile(*restorePath)
+		if rerr != nil {
+			fatal("%v", rerr)
+		}
+		pipe, err = goflay.Restore(data, opts)
+	} else {
+		pipe, err = goflay.Open(name, source, opts)
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -134,6 +171,16 @@ func main() {
 		if err := dumpAudit(pipe.Audit(), *auditPath); err != nil {
 			fatal("%v", err)
 		}
+	}
+	if *snapshotPath != "" {
+		data, err := pipe.Snapshot()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*snapshotPath, data, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "flay: snapshot (%d bytes) written to %s\n", len(data), *snapshotPath)
 	}
 }
 
@@ -206,6 +253,7 @@ func fatal(format string, args ...any) {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage: flay [flags] <analyze|specialize|compile|demo> (<file.p4> | catalog:<name>)
+       flay -restore FILE [flags] <analyze|specialize|compile>
        flay list
 
 flags:
@@ -214,5 +262,7 @@ flags:
   -target T         tofino (default) or bmv2
   -representative   install the catalog representative configuration first
   -audit FILE       dump the decision audit trail as JSONL ("-" = stdout)
+  -snapshot FILE    checkpoint the engine's warm state to FILE afterwards
+  -restore FILE     warm-restart from a snapshot (no source argument)
 `)
 }

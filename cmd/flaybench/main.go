@@ -10,7 +10,7 @@
 //	flaybench [-only sections] [-full] [-json] [-o FILE]
 //
 // Sections: table1, table2, table3, fig1, fig3, fig5, stages, burst,
-// batch, ablation. -only takes a comma-separated list ("-only
+// batch, cache, ablation. -only takes a comma-separated list ("-only
 // burst,batch"). -full extends Table 3 to 10000 installed entries
 // (slow in precise mode, as in the paper). -json additionally writes a
 // machine-readable report (default BENCH_flay.json, override with -o;
@@ -50,6 +50,7 @@ type benchReport struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Sections   []sectionReport `json:"sections"`
 	Burst      *burstReport    `json:"burst,omitempty"`
+	Cache      *cacheReport    `json:"cache,omitempty"`
 }
 
 type sectionReport struct {
@@ -73,10 +74,27 @@ type burstReport struct {
 	Metrics        obs.Snapshot   `json:"metrics"`
 }
 
+// cacheReport records the taint-keyed query cache's effect on the
+// burst workload, plus the snapshot warm-restart comparison. The hit
+// rate and the byte-identical end state are verified before the report
+// is emitted; a failure exits non-zero.
+type cacheReport struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	HitRate       float64 `json:"hit_rate"`
+	NoCacheMS     int64   `json:"nocache_ms"`
+	CacheMS       int64   `json:"cache_ms"`
+	Speedup       float64 `json:"speedup"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	RestoreMS     float64 `json:"restore_ms"`
+	FreshMS       float64 `json:"fresh_ms"`
+}
+
 var rep = &benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 func main() {
-	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|ablation)")
+	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|cache|ablation)")
 	full := flag.Bool("full", false, "extend Table 3 to 10000 entries (slow in precise mode)")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report (see -o)")
 	outPath := flag.String("o", "BENCH_flay.json", `report path for -json ("-" = stdout)`)
@@ -95,6 +113,7 @@ func main() {
 		{"stages", stages},
 		{"burst", burst},
 		{"batch", batchSection},
+		{"cache", cacheSection},
 		{"ablation", ablation},
 	}
 	want := make(map[string]bool)
@@ -589,6 +608,114 @@ func batchSection(bool) {
 }
 
 func goflaySpec(s *core.Specializer) string { return ast.Print(s.SpecializedProgram()) }
+
+// ---------------------------------------------------------------------------
+
+// cacheSection measures the taint-keyed specialization-query cache on
+// the Fig. 1-style SCION burst: the same representative-config + 1000
+// fuzzer-entry stream is run with the cache disabled and enabled, the
+// two end states are verified byte-identical, and the cached run must
+// achieve a >50% hit rate (the acceptance bar). It then snapshots the
+// warm engine and compares a warm restore against a fresh open +
+// representative replay.
+func cacheSection(bool) {
+	header("Query cache: taint-keyed memoization + warm-start snapshot (SCION burst)")
+	p := progs.Scion()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cache verification failed: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	run := func(nocache bool) (*core.Specializer, time.Duration) {
+		s, err := p.LoadWith(core.Options{NoCache: nocache})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.ApplyRepresentative(s); err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < 1000; i++ {
+			if s.Apply(progs.ScionBurstEntry(i)).Kind == core.Rejected {
+				log.Fatalf("burst entry %d rejected", i)
+			}
+		}
+		return s, time.Since(t0)
+	}
+
+	cold, coldTime := run(true)
+	warm, warmTime := run(false)
+	st := warm.Statistics()
+	queries := st.CacheHits + st.CacheMisses
+	if queries == 0 {
+		fail("cached run issued no cache queries")
+	}
+	rate := float64(st.CacheHits) / float64(queries)
+	fmt.Printf("cache off:  1000 × Apply      %12v  (%v/update)\n",
+		coldTime.Round(time.Millisecond), (coldTime / 1000).Round(time.Microsecond))
+	fmt.Printf("cache on:   1000 × Apply      %12v  (%v/update)\n",
+		warmTime.Round(time.Millisecond), (warmTime / 1000).Round(time.Microsecond))
+	fmt.Printf("speedup:    %.1f×\n", float64(coldTime)/float64(warmTime))
+	fmt.Printf("\nhits=%d misses=%d evictions=%d  hit rate %.1f%%\n",
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, 100*rate)
+
+	if goflaySpec(cold) != goflaySpec(warm) {
+		fail("cached and uncached specialized programs diverged")
+	}
+	if rate <= 0.5 {
+		fail("hit rate %.1f%% is below the 50%% acceptance bar", 100*rate)
+	}
+	fmt.Println("cross-check: end states byte-identical, hit rate above the 50% bar")
+
+	// Warm-start: snapshot the warm engine, then compare restoring it
+	// against rebuilding the same state from source.
+	snap, err := warm.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	restored, err := core.Restore(snap, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	restoreTime := time.Since(t0)
+	t0 = time.Now()
+	fresh, err := p.LoadWith(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.ApplyRepresentative(fresh); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if fresh.Apply(progs.ScionBurstEntry(i)).Kind == core.Rejected {
+			log.Fatalf("burst entry %d rejected", i)
+		}
+	}
+	freshTime := time.Since(t0)
+	if goflaySpec(restored) != goflaySpec(warm) {
+		fail("restored specialized program diverged from the snapshotted engine")
+	}
+	fmt.Printf("\nsnapshot:   %d bytes\n", len(snap))
+	fmt.Printf("restore:    %12v  (vs %v rebuilding from source, %.1f×)\n",
+		restoreTime.Round(time.Microsecond), freshTime.Round(time.Millisecond),
+		float64(freshTime)/float64(restoreTime))
+
+	rep.Cache = &cacheReport{
+		Hits:          st.CacheHits,
+		Misses:        st.CacheMisses,
+		Evictions:     st.CacheEvictions,
+		HitRate:       rate,
+		NoCacheMS:     coldTime.Milliseconds(),
+		CacheMS:       warmTime.Milliseconds(),
+		Speedup:       float64(coldTime) / float64(warmTime),
+		SnapshotBytes: len(snap),
+		RestoreMS:     float64(restoreTime.Microseconds()) / 1000,
+		FreshMS:       float64(freshTime.Microseconds()) / 1000,
+	}
+	fmt.Println("\n(hits replay memoized verdicts without substituting or querying the")
+	fmt.Println("solver; past the overapproximation threshold the burst table's")
+	fmt.Println("fingerprint stabilizes and tainted points hit on every update)")
+}
 
 // ---------------------------------------------------------------------------
 

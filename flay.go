@@ -172,6 +172,11 @@ type Options struct {
 	// serial evaluation, >1 sets the pool size, and <=0 (the default)
 	// uses GOMAXPROCS.
 	Workers int
+	// NoCache disables the taint-keyed specialization-query cache. The
+	// cache is on by default and changes no observable decision — it
+	// only skips redundant solver work — so this switch exists for
+	// ablation measurements and differential testing.
+	NoCache bool
 
 	// Tracer, when non-nil, records a span per pipeline stage and per
 	// update. Metrics, when non-nil, resolves the engine's counters,
@@ -202,9 +207,43 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 		OverapproxThreshold: opts.OverapproxThreshold,
 		Quality:             opts.Quality,
 		Workers:             opts.Workers,
+		NoCache:             opts.NoCache,
 		Trace:               opts.Tracer,
 		Metrics:             opts.Metrics,
 		Audit:               opts.Audit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		spec:    s,
+		target:  opts.Target,
+		tracer:  opts.Tracer,
+		metrics: opts.Metrics,
+		audit:   opts.Audit,
+	}, nil
+}
+
+// Snapshot serializes the pipeline's complete warm state — program,
+// installed configuration, verdict map, liveness witnesses and query
+// cache — to portable bytes. Restore rebuilds an equivalent pipeline
+// from them, skipping the initial specialization pass; replaying the
+// remaining update stream on the restored pipeline yields exactly the
+// decisions the uninterrupted run would have produced.
+func (p *Pipeline) Snapshot() ([]byte, error) { return p.spec.Snapshot() }
+
+// Restore rebuilds a pipeline from Snapshot bytes. The snapshot
+// dictates the verdict-shaping options (quality, overapproximation
+// threshold, parser skipping); runtime options — Target, Workers,
+// NoCache, observability — come from opts. Corrupted or truncated
+// input yields an error, never a panic.
+func Restore(data []byte, opts Options) (*Pipeline, error) {
+	s, err := core.Restore(data, core.Options{
+		Workers: opts.Workers,
+		NoCache: opts.NoCache,
+		Trace:   opts.Tracer,
+		Metrics: opts.Metrics,
+		Audit:   opts.Audit,
 	})
 	if err != nil {
 		return nil, err

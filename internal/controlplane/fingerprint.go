@@ -1,0 +1,39 @@
+package controlplane
+
+import "repro/internal/sym"
+
+// Assignment fingerprints. The specialization-query cache (internal/
+// core) keys every cached verdict on the control-plane assignment slice
+// the point depends on; a fingerprint condenses one compiled fragment —
+// the Env a single table/value-set/register compiles to — into a 64-bit
+// value that is stable across runs and engines. Stability comes from
+// hashing canonical node hashes (sym.Canon), never builder-assigned
+// ids, and from combining the pairs with XOR so map iteration order
+// cannot leak in.
+
+// EnvFingerprint condenses a compiled assignment fragment into a 64-bit
+// fingerprint. Two fragments binding the same placeholders to
+// structurally equal expressions fingerprint identically in every run;
+// because each (placeholder, value) pair is avalanche-mixed before the
+// order-independent XOR combine, any single changed binding flips the
+// result with overwhelming probability.
+//
+// Past the overapproximation threshold a table's fragment degenerates
+// to the deterministic "*any*" assignment, so burst inserts into an
+// already-overapproximated table keep the fingerprint — and with it
+// every dependent cache entry — stable. That is precisely the paper's
+// Fig. 1 churn regime, and where the cache earns its keep.
+func EnvFingerprint(env Env) uint64 {
+	// Non-zero seed so an empty fragment has a well-defined fingerprint
+	// distinct from the zero value of a missing one.
+	acc := uint64(0x9e3779b97f4a7c15)
+	for k, v := range env {
+		ck, cv := k.Canon(), v.Canon()
+		h := sym.Mix64(ck.Lo + 0xa0761d6478bd642f)
+		h = sym.Mix64(h ^ ck.Hi)
+		h = sym.Mix64(h ^ cv.Lo)
+		h = sym.Mix64(h ^ cv.Hi)
+		acc ^= h
+	}
+	return acc
+}

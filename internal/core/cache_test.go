@@ -1,0 +1,151 @@
+// White-box unit tests for the query cache: way management, LRU
+// displacement, and the precision of taint-driven eviction — an update
+// to one target must not disturb entries of points it does not taint.
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sym"
+)
+
+func ck(hi, lo, dep uint64) cacheKey {
+	return cacheKey{expr: sym.Canon{Hi: hi, Lo: lo}, dep: dep}
+}
+
+var (
+	vDead = Verdict{Kind: VerdictDead}
+	vLive = Verdict{Kind: VerdictLive}
+)
+
+func TestQueryCacheLookupStore(t *testing.T) {
+	c := newQueryCache(3)
+	if _, ok := c.lookup(1, ck(1, 2, 3)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if c.store(1, ck(1, 2, 3), vDead, nil) {
+		t.Fatal("store into an empty way displaced an entry")
+	}
+	e, ok := c.lookup(1, ck(1, 2, 3))
+	if !ok || e.verdict != vDead {
+		t.Fatalf("lookup after store: ok=%v entry=%+v", ok, e)
+	}
+	// Same expression, different dependency fingerprint: distinct key.
+	if _, ok := c.lookup(1, ck(1, 2, 4)); ok {
+		t.Fatal("different dep fingerprint must miss")
+	}
+	// Point isolation: point 2 never saw the key.
+	if _, ok := c.lookup(2, ck(1, 2, 3)); ok {
+		t.Fatal("other point must miss")
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", h, m)
+	}
+	// Re-store under the same key refreshes in place.
+	if c.store(1, ck(1, 2, 3), vLive, nil) {
+		t.Fatal("refresh displaced an entry")
+	}
+	if e, _ := c.lookup(1, ck(1, 2, 3)); e.verdict != vLive {
+		t.Fatalf("refresh did not update the verdict: %+v", e)
+	}
+	if got := c.size.Load(); got != 1 {
+		t.Fatalf("size=%d, want 1", got)
+	}
+}
+
+func TestQueryCacheLRUDisplacement(t *testing.T) {
+	c := newQueryCache(1)
+	for i := uint64(0); i < cacheWays; i++ {
+		c.store(0, ck(i, i, i), vLive, nil)
+	}
+	// Touch key 0 so key 1 becomes the least recently used.
+	c.lookup(0, ck(0, 0, 0))
+	if !c.store(0, ck(99, 99, 99), vDead, nil) {
+		t.Fatal("store past the way bound must displace")
+	}
+	if _, ok := c.lookup(0, ck(1, 1, 1)); ok {
+		t.Fatal("LRU entry survived displacement")
+	}
+	if _, ok := c.lookup(0, ck(0, 0, 0)); !ok {
+		t.Fatal("recently used entry was displaced")
+	}
+	if got := c.size.Load(); got != cacheWays {
+		t.Fatalf("size=%d, want %d (displacement is size-neutral)", got, cacheWays)
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Fatalf("evictions=%d, want 1", got)
+	}
+}
+
+func TestQueryCacheEvictExcept(t *testing.T) {
+	c := newQueryCache(2)
+	c.store(0, ck(1, 1, 10), vLive, nil)
+	c.store(0, ck(1, 1, 20), vDead, nil)
+	c.store(1, ck(2, 2, 10), vLive, nil)
+
+	if n := c.evictExcept(0, 20); n != 1 {
+		t.Fatalf("evicted %d entries, want 1", n)
+	}
+	if _, ok := c.lookup(0, ck(1, 1, 10)); ok {
+		t.Fatal("stale fingerprint survived eviction")
+	}
+	if _, ok := c.lookup(0, ck(1, 1, 20)); !ok {
+		t.Fatal("current fingerprint was evicted")
+	}
+	// Precision: point 1 was not named and must be untouched.
+	if _, ok := c.lookup(1, ck(2, 2, 10)); !ok {
+		t.Fatal("eviction leaked onto an unrelated point")
+	}
+	if got := c.size.Load(); got != 2 {
+		t.Fatalf("size=%d, want 2", got)
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Fatalf("evictions=%d, want 1", got)
+	}
+}
+
+// TestEvictStalePrecision drives the engine-level invalidation on the
+// Fig. 3 program: after the initial pass warms the cache, an update to
+// eth_table must evict only the entries of points the table taints.
+// Points outside the taint set keep their entries.
+func TestEvictStalePrecision(t *testing.T) {
+	s := newSpec(t, fig3Src, Options{})
+	if s.cache.size.Load() == 0 {
+		t.Fatal("initial pass left the cache empty")
+	}
+	tainted := make(map[int]bool)
+	for _, p := range s.An.PointsOf(tbl) {
+		tainted[p.ID] = true
+	}
+	before := make(map[int]int)
+	for id := range s.cache.points {
+		before[id] = len(s.cache.points[id])
+	}
+	// Force a fingerprint change and the taint-routed eviction.
+	d := s.Apply(insert(ternaryEntry(0x1, 0x0, "set", sym.NewBV(16, 0x800))))
+	if d.Kind == Rejected {
+		t.Fatalf("insert rejected: %v", d.Err)
+	}
+	for id := range s.cache.points {
+		if !tainted[id] && len(s.cache.points[id]) < before[id] {
+			t.Fatalf("point %d is not tainted by %s but lost cache entries (%d -> %d)",
+				id, tbl, before[id], len(s.cache.points[id]))
+		}
+	}
+}
+
+// TestNoCacheOptionDisables pins the ablation switch: with NoCache the
+// engine must never allocate or consult a cache.
+func TestNoCacheOptionDisables(t *testing.T) {
+	s := newSpec(t, fig3Src, Options{NoCache: true})
+	if s.cache != nil {
+		t.Fatal("NoCache engine allocated a cache")
+	}
+	if d := s.Apply(insert(ternaryEntry(0x1, 0x0, "set", sym.NewBV(16, 0x800)))); d.Kind == Rejected {
+		t.Fatalf("insert rejected: %v", d.Err)
+	}
+	st := s.Statistics()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEvictions != 0 {
+		t.Fatalf("NoCache engine reports cache counters: %+v", st)
+	}
+}

@@ -23,11 +23,16 @@ type coreMetrics struct {
 	pointsChanged   *obs.Counter // verdict flips observed
 	substSkips      *obs.Counter // pointer-equal substitutions (query skipped)
 
+	cacheHits      *obs.Counter // query-cache hits (no substitution, no solver)
+	cacheMisses    *obs.Counter // query-cache misses
+	cacheEvictions *obs.Counter // entries invalidated by taint or way pressure
+
 	updateNS *obs.Histogram // per-update analysis latency, ns
 	evalNS   *obs.Histogram // per-pass point re-evaluation latency, ns
 
-	points *obs.Gauge // program points under management
-	tables *obs.Gauge // tables under management
+	points       *obs.Gauge // program points under management
+	tables       *obs.Gauge // tables under management
+	cacheEntries *obs.Gauge // live query-cache entries
 }
 
 // newCoreMetrics resolves the engine instruments from a registry; a nil
@@ -47,10 +52,14 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		pointsEvaluated: r.Counter("core.points_evaluated"),
 		pointsChanged:   r.Counter("core.points_changed"),
 		substSkips:      r.Counter("core.subst_skips"),
+		cacheHits:       r.Counter("core.cache_hits"),
+		cacheMisses:     r.Counter("core.cache_misses"),
+		cacheEvictions:  r.Counter("core.cache_evictions"),
 		updateNS:        r.Histogram("core.update_ns"),
 		evalNS:          r.Histogram("core.eval_ns"),
 		points:          r.Gauge("core.points"),
 		tables:          r.Gauge("core.tables"),
+		cacheEntries:    r.Gauge("core.cache_entries"),
 	}
 }
 

@@ -84,6 +84,9 @@ func (s *Specializer) shard(i int) *evalShard {
 func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 	w := s.effectiveWorkers(len(pts))
 	s.met.pointsEvaluated.Add(int64(len(pts)))
+	if s.cache != nil {
+		defer func() { s.met.cacheEntries.Set(s.cache.size.Load()) }()
+	}
 	capture := s.audit != nil
 	s.lastChanges = s.lastChanges[:0]
 	if w <= 1 {

@@ -1,0 +1,169 @@
+// Snapshot round-trip suite: Snapshot followed by Restore must yield an
+// engine indistinguishable from the one that was saved — same installed
+// configuration, same per-point verdicts, same specialized source, same
+// outcome counters — on every catalog program, and the pair must then
+// process further updates identically. FuzzSnapshot feeds the loader
+// corrupted, truncated and mutated bytes: Restore must reject them with
+// an error, never panic, because snapshots cross process and machine
+// boundaries.
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/p4/ast"
+	"repro/internal/progs"
+)
+
+// TestSnapshotRoundTrip saves each catalog engine mid-stream and
+// verifies the restored engine equals the original field for field,
+// then replays the rest of the stream through both.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, p := range progs.Catalog() {
+		t.Run(p.Name, func(t *testing.T) {
+			s, err := p.LoadWith(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := makeStream(t, s, 11)
+			half := len(stream) / 2
+			for _, u := range stream[:half] {
+				s.Apply(u)
+			}
+
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			r, err := core.Restore(snap, core.Options{})
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+
+			// State equality at the restore point.
+			sameEndState(t, s, r)
+			if !reflect.DeepEqual(s.Cfg.State(), r.Cfg.State()) {
+				t.Fatal("installed configuration diverged across the round trip")
+			}
+			ss, rs := s.Statistics(), r.Statistics()
+			if ss.Updates != rs.Updates || ss.Forwarded != rs.Forwarded ||
+				ss.Recompilations != rs.Recompilations || ss.Rejected != rs.Rejected {
+				t.Fatalf("outcome counters diverged: %+v vs %+v", ss, rs)
+			}
+			if ss.Points != rs.Points || ss.Tables != rs.Tables {
+				t.Fatalf("analysis shape diverged: %+v vs %+v", ss, rs)
+			}
+
+			// A second snapshot of the restored engine must describe the
+			// same engine state (timings and cache warmth may differ, so
+			// compare via a second restore, not byte equality).
+			snap2, err := r.Snapshot()
+			if err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			}
+			r2, err := core.Restore(snap2, core.Options{})
+			if err != nil {
+				t.Fatalf("re-restore: %v", err)
+			}
+			sameEndState(t, r, r2)
+
+			// Replaying the remainder must keep the pair in lockstep.
+			for i, u := range stream[half:] {
+				sameDecision(t, half+i, s.Apply(u), r.Apply(u))
+			}
+			sameEndState(t, s, r)
+		})
+	}
+}
+
+// TestSnapshotRejectsTampering pins the integrity check: flipping any
+// single byte of a valid snapshot must fail restore (the payload is
+// checksummed), as must truncation at every section boundary class.
+func TestSnapshotRejectsTampering(t *testing.T) {
+	snap := fig3Snapshot(t)
+	if _, err := core.Restore(nil, core.Options{}); err == nil {
+		t.Fatal("restore of nil input succeeded")
+	}
+	for _, n := range []int{0, 1, 4, 11, 12, len(snap) / 2, len(snap) - 9, len(snap) - 1} {
+		if n >= len(snap) {
+			continue
+		}
+		if _, err := core.Restore(snap[:n], core.Options{}); err == nil {
+			t.Fatalf("restore of %d-byte truncation succeeded", n)
+		}
+	}
+	// Flip one byte in each region: magic, early payload, late payload,
+	// checksum.
+	for _, off := range []int{0, 13, len(snap) / 2, len(snap) - 4} {
+		mut := bytes.Clone(snap)
+		mut[off] ^= 0x40
+		if _, err := core.Restore(mut, core.Options{}); err == nil {
+			t.Fatalf("restore of snapshot with byte %d flipped succeeded", off)
+		}
+	}
+}
+
+func fig3Snapshot(t *testing.T) []byte {
+	t.Helper()
+	p := progs.Fig3()
+	s, err := p.LoadWith(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range progs.Fig3Updates() {
+		s.Apply(u)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// FuzzSnapshot throws arbitrary bytes at the loader. The contract under
+// test: Restore returns an error for anything that is not a valid
+// snapshot and never panics; when a mutation happens to survive the
+// checksum (the fuzzer can recompute it), the restored engine must
+// still be fully usable.
+func FuzzSnapshot(f *testing.F) {
+	p := progs.Fig3()
+	s, err := p.LoadWith(core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, u := range progs.Fig3Updates() {
+		s.Apply(u)
+	}
+	valid, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("goflay-snap\x01"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-8])
+	mut := bytes.Clone(valid)
+	mut[len(mut)/2] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := core.Restore(data, core.Options{})
+		if err != nil {
+			return // rejected, as it should be for junk
+		}
+		// The loader accepted it: the engine must be coherent enough to
+		// answer every read-only query and keep processing updates.
+		st := r.Statistics()
+		if st.Points <= 0 {
+			t.Fatalf("restored engine reports %d points", st.Points)
+		}
+		_ = ast.Print(r.SpecializedProgram())
+		for _, u := range progs.Fig3Updates() {
+			r.Apply(u)
+		}
+	})
+}

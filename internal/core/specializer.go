@@ -170,6 +170,11 @@ type Options struct {
 	// serial evaluation, >1 sets the pool size, and <=0 (the default)
 	// uses GOMAXPROCS.
 	Workers int
+	// NoCache disables the taint-keyed specialization-query cache
+	// (cache.go). The cache is on by default; the cache-differential
+	// suite and the flaybench ablation turn it off to prove and measure
+	// equivalence.
+	NoCache bool
 
 	// Trace, when set, records structured spans for every pipeline stage
 	// (parse → dataflow → taint → query → pass). Metrics, when set,
@@ -206,6 +211,14 @@ type Stats struct {
 	// Parallel evaluation counters.
 	EvalTime time.Duration // cumulative wall time re-evaluating points
 	Workers  int           // configured worker count (0 = GOMAXPROCS)
+
+	// Specialization-query cache counters (zero when the cache is
+	// disabled). Hits are queries answered without substitution or
+	// solver work; evictions count entries invalidated by the taint map
+	// or displaced by the per-point way bound.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // Specializer is the incremental specializing compiler.
@@ -222,6 +235,11 @@ type Specializer struct {
 	Info *typecheck.Info
 	An   *dataplane.Analysis
 	Cfg  *controlplane.Config
+
+	// source is the program text the engine was opened from
+	// (NewFromSource); snapshots embed it so Restore can re-run the
+	// deterministic front half of the pipeline.
+	source string
 
 	// mu guards every field below as well as Cfg and the Builder's
 	// single-threaded substitution memo.
@@ -256,6 +274,14 @@ type Specializer struct {
 	// witnesses caches per-point satisfying assignments; re-evaluating
 	// a cached witness is usually all it takes to re-prove liveness.
 	witnesses []sym.Env
+
+	// The taint-keyed specialization-query cache (cache.go): cache is
+	// nil when disabled; pointDeps holds each point's sorted dependency
+	// targets and targetFp the current assignment fingerprint per
+	// target, which together form the cache key's dependency half.
+	cache     *queryCache
+	pointDeps [][]string
+	targetFp  map[string]uint64
 }
 
 // New builds a Specializer from parsed+checked inputs: it runs the
@@ -292,16 +318,14 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		met:     newCoreMetrics(opts.Metrics),
 		symMet:  sym.NewSolverMetrics(opts.Metrics),
 	}
+	if !opts.NoCache {
+		s.cache = newQueryCache(len(an.Points))
+	}
 	t1 := time.Now()
 	sp := s.trace.Start("preprocess", root)
-	env, _, err := cfg.CompileEnv(an.Builder)
-	if err != nil {
+	if err := s.initState(); err != nil {
 		return nil, err
 	}
-	s.env = env
-	s.verdicts = make([]Verdict, len(an.Points))
-	s.pointSub = make([]*sym.Expr, len(an.Points))
-	s.witnesses = make([]sym.Env, len(an.Points))
 	// Initial preprocessing: every point's verdict under the empty
 	// assignment, fanned out over the worker pool (the changed-IDs
 	// return is irrelevant against zero-valued verdicts).
@@ -337,7 +361,46 @@ func NewFromSource(name, src string, opts Options) (*Specializer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New(prog, info, opts)
+	s, err := New(prog, info, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.source = src
+	return s, nil
+}
+
+// initState allocates the per-point state and compiles the full
+// control-plane environment one target at a time, seeding each target's
+// assignment fingerprint (New and Restore share it).
+func (s *Specializer) initState() error {
+	an := s.An
+	s.env = make(controlplane.Env)
+	s.targetFp = make(map[string]uint64, len(an.Tables))
+	s.pointDeps = buildPointDeps(an)
+	s.verdicts = make([]Verdict, len(an.Points))
+	s.pointSub = make([]*sym.Expr, len(an.Points))
+	s.witnesses = make([]sym.Env, len(an.Points))
+	for name := range an.Tables {
+		if err := s.recompileTarget(name); err != nil {
+			return err
+		}
+	}
+	seenVS := make(map[string]bool)
+	for _, vi := range an.ValueSets {
+		if seenVS[vi.Name] {
+			continue
+		}
+		seenVS[vi.Name] = true
+		if err := s.recompileTarget(vi.Name); err != nil {
+			return err
+		}
+	}
+	for name := range an.Registers {
+		if err := s.recompileTarget(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Statistics returns a copy of the engine counters. It may be called
@@ -345,7 +408,13 @@ func NewFromSource(name, src string, opts Options) (*Specializer, error) {
 func (s *Specializer) Statistics() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+		st.CacheEvictions = s.cache.evictions.Load()
+	}
+	return st
 }
 
 // ReevaluateAll recomputes every program point's verdict from scratch,
@@ -362,9 +431,16 @@ func (s *Specializer) ReevaluateAll() int {
 		s.pointSub[p.ID] = nil
 		s.witnesses[p.ID] = nil
 	}
+	// The ablation baseline must not be rescued by the query cache:
+	// disable it for the duration of the pass. Entries left behind stay
+	// valid (their keys are exact), so re-enabling it afterwards is
+	// sound.
+	cache := s.cache
+	s.cache = nil
 	t0 := time.Now()
 	changed := s.reevalPoints(s.An.Points)
 	s.stats.EvalTime += time.Since(t0)
+	s.cache = cache
 	return len(changed)
 }
 
@@ -410,24 +486,31 @@ func (s *Specializer) Preload(updates []*controlplane.Update) error {
 // object — the assignment of its control-plane variables — leaving the
 // rest of the environment untouched. Dispatch is by the object's schema
 // class; a successfully applied update always targets a known object.
+// The fragment's fingerprint is refreshed, and when it changed, the
+// taint map evicts the query-cache entries it invalidates (cache.go).
 func (s *Specializer) recompileTarget(target string) error {
 	b := s.An.Builder
+	var frag controlplane.Env
 	switch {
 	case s.An.Tables[target] != nil:
 		te, _, err := s.Cfg.CompileTable(b, target)
 		if err != nil {
 			return err
 		}
-		for k, v := range te {
-			s.env[k] = v
-		}
+		frag = te
 	case s.An.Registers[target] != nil:
-		for k, v := range s.Cfg.CompileRegister(b, target) {
-			s.env[k] = v
-		}
+		frag = s.Cfg.CompileRegister(b, target)
 	default:
-		for k, v := range s.Cfg.CompileValueSet(b, target) {
-			s.env[k] = v
+		frag = s.Cfg.CompileValueSet(b, target)
+	}
+	for k, v := range frag {
+		s.env[k] = v
+	}
+	fp := controlplane.EnvFingerprint(frag)
+	if old, ok := s.targetFp[target]; !ok || old != fp {
+		s.targetFp[target] = fp
+		if ok {
+			s.evictStale(target)
 		}
 	}
 	return nil
@@ -440,20 +523,60 @@ func (s *Specializer) Verdict(id int) Verdict {
 	return s.verdicts[id]
 }
 
-// evalPointWith substitutes the full control-plane assignment into a
-// point and answers its specialization query, using the given worker
-// shard's solver and substitution memo. Hash-consing makes the
+// evalPointWith answers one point's specialization query using the
+// given worker shard's solver and substitution memo. Three layers
+// short-circuit, cheapest first: the taint-keyed query cache replays a
+// memoized verdict without substituting at all; hash-consing makes the
 // substituted expression a canonical pointer, so an unchanged pointer
-// means an unchanged verdict; liveness witnesses from previous queries
-// are retried first.
+// means an unchanged verdict; and liveness witnesses from previous
+// queries are retried before the solver searches.
 func (s *Specializer) evalPointWith(sh *evalShard, p *dataplane.Point) Verdict {
+	var key cacheKey
+	if s.cache != nil {
+		key = cacheKey{expr: p.Expr.Canon(), dep: s.depFp(p.ID)}
+		if e, ok := s.cache.lookup(p.ID, key); ok {
+			s.met.cacheHits.Inc()
+			if e.witness != nil {
+				s.witnesses[p.ID] = e.witness
+			}
+			// The hit skipped substitution, so the substituted-pointer
+			// memo no longer describes the installed verdict; drop it
+			// rather than let a later pointer-equal substitution pair a
+			// stale pointer with a cache-era verdict.
+			s.pointSub[p.ID] = nil
+			return e.verdict
+		}
+		s.met.cacheMisses.Inc()
+	}
 	b := s.An.Builder
 	sub := b.SubstWith(&sh.sub, p.Expr, s.env)
 	if s.pointSub[p.ID] == sub && sub != nil {
 		s.met.substSkips.Inc()
-		return s.verdicts[p.ID]
+		v := s.verdicts[p.ID]
+		s.storeCached(p.ID, key, v)
+		return v
 	}
 	s.pointSub[p.ID] = sub
+	v := s.queryPoint(sh, p, sub)
+	s.storeCached(p.ID, key, v)
+	return v
+}
+
+// storeCached memoizes a freshly computed verdict together with the
+// point's current liveness witness (a hint only — it cannot change the
+// replayed verdict, just speed up later re-proofs).
+func (s *Specializer) storeCached(id int, key cacheKey, v Verdict) {
+	if s.cache == nil {
+		return
+	}
+	if s.cache.store(id, key, v, s.witnesses[id]) {
+		s.met.cacheEvictions.Inc()
+	}
+}
+
+// queryPoint answers the point's specialization query on the
+// substituted residue.
+func (s *Specializer) queryPoint(sh *evalShard, p *dataplane.Point, sub *sym.Expr) Verdict {
 	switch p.Kind {
 	case dataplane.PointIfBranch, dataplane.PointActionReach,
 		dataplane.PointTableReach, dataplane.PointSelectCase:

@@ -143,6 +143,16 @@ func FuzzSolver(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 7, 5, 2, 0, 0, 3}) // ~(v1^7) & v0
 	f.Add([]byte{0, 0, 0, 0, 10})            // v0 == v0 (tautology)
 	f.Add([]byte{0, 0, 1, 1, 8, 0, 0, 11})   // (v0<<1) < v0
+	// Shift/concat/slice edge cases: overshift to zero, shift by a
+	// symbolic amount, full- and partial-width slices, slice of a
+	// concat straddling the seam, and concat self-squaring.
+	f.Add([]byte{0, 0, 1, 7, 8, 0, 0, 10})          // (c >> v0-ish shl) == v0: overshift path
+	f.Add([]byte{0, 1, 0, 0, 8, 13, 2, 1, 2, 10})   // ((v1 << v0)[2:0]) == 2
+	f.Add([]byte{0, 1, 0, 0, 9, 0, 1, 11})          // (v1 >> v0) < v1: lshr by symbolic amount
+	f.Add([]byte{0, 0, 0, 1, 14, 13, 5, 1, 5, 10})  // concat(v1,v0)[5:0] == 5: slice across the seam
+	f.Add([]byte{0, 1, 0, 1, 14, 13, 4, 0, 1, 10})  // concat(v1,v1)[4:0] == v1: self-concat slice
+	f.Add([]byte{0, 0, 13, 0, 2, 14, 1, 3, 10})     // concat(~v0[0:0], c): width-1 slice then concat
+	f.Add([]byte{0, 1, 1, 4, 8, 1, 4, 9, 0, 1, 10}) // ((v1<<4)>>4) == v1: shift round trip losing bits
 	f.Fuzz(func(t *testing.T, program []byte) {
 		if len(program) > 96 {
 			t.Skip("cap expression size")
