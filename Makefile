@@ -5,12 +5,17 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1
+.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1 soak
+
+# Soak-run knobs: where the daemon listens and how many updates
+# flayload drives through it.
+SOAK_ADDR ?= 127.0.0.1:9444
+SOAK_N    ?= 5000
 
 all: tier1
 
@@ -21,7 +26,8 @@ help:
 	@echo "  cover       per-package coverage, fails under $(COVER_MIN)% for core/sym/obs/controlplane"
 	@echo "  bench       run the Go benchmarks"
 	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
-	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot)"
+	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot, FuzzWireDecode)"
+	@echo "  soak        build flayd+flayload, drive $(SOAK_N) updates, SIGTERM, assert clean exit + snapshot"
 
 # Tier-1: the baseline gate every change must keep green.
 tier1: build test
@@ -45,6 +51,25 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
 	$(GO) test -run='^$$' -fuzz=FuzzSolver -fuzztime=$(FUZZ_SMOKE) ./internal/sym
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZ_SMOKE) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZ_SMOKE) ./internal/wire
+
+# soak: the daemon's operational acceptance loop as a make target.
+# Builds flayd and flayload, boots the daemon with a snapshot dir,
+# drives SOAK_N updates through the wire API (mixed single + batched,
+# with 429 retry), then SIGTERMs the daemon and requires (a) exit
+# status 0 and (b) a session snapshot on disk — i.e. graceful drain
+# actually persisted the warm state.
+soak:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/flayd ./cmd/flayd; \
+	$(GO) build -o $$tmp/flayload ./cmd/flayload; \
+	$$tmp/flayd -addr $(SOAK_ADDR) -snapshot-dir $$tmp/snap & pid=$$!; \
+	$$tmp/flayload -addr $(SOAK_ADDR) -session soak -program scion -n $(SOAK_N); \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "FAIL: flayd exited non-zero after SIGTERM"; exit 1; }; \
+	test -s $$tmp/snap/soak.snap || { echo "FAIL: no snapshot after graceful shutdown"; exit 1; }; \
+	echo "soak OK: clean exit, snapshot $$(wc -c < $$tmp/snap/soak.snap) bytes"
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/server"
+)
+
+// flags builds the daemon's flag set bound to a server.Config, kept
+// separate from run so tests can exercise parsing without a listener.
+func flags() (*flag.FlagSet, *server.Config, *string) {
+	fs := flag.NewFlagSet("flayd", flag.ContinueOnError)
+	cfg := &server.Config{}
+	addr := fs.String("addr", "127.0.0.1:9444", "listen address")
+	fs.StringVar(&cfg.SnapshotDir, "snapshot-dir", "", "persist and restore session snapshots in this directory")
+	fs.DurationVar(&cfg.CoalesceWindow, "coalesce", 2*time.Millisecond, "coalescing window for concurrent writes (0 disables)")
+	fs.IntVar(&cfg.MaxBatch, "max-batch", 0, "max updates per coalesced batch (0 = default)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 0, "per-session in-flight write queue depth (0 = default)")
+	fs.IntVar(&cfg.AuditLimit, "audit-limit", 0, "audit records retained per session (0 = default, -1 = all)")
+	return fs, cfg, addr
+}

@@ -1,0 +1,202 @@
+// flayload is a closed-loop load generator for flayd: it creates (or
+// reuses) a session, drives a deterministic fuzz.Stream of control-plane
+// updates through the HTTP API as a mix of single and batched writes,
+// honors 429 backpressure with bounded retries, and reports throughput
+// plus the daemon-side latency distribution (p50/p95/p99 of the
+// engine's update and apply histograms) scraped from the server's
+// metrics endpoint.
+//
+// Usage:
+//
+//	flayload [flags]
+//
+//	-addr HOST:PORT   daemon address (default 127.0.0.1:9444)
+//	-session NAME     session to drive (default "load")
+//	-program NAME     catalog program to load when creating it (default scion)
+//	-n N              updates to send (default 1000)
+//	-seed N           fuzz stream seed (default 1)
+//	-batch N          updates per batched write (default 16)
+//	-single-every N   send every Nth chunk as single-update writes
+//	                  (0 = batches only)
+//	-workers N        concurrent closed-loop writers (default 4)
+//	-timeout DUR      overall run deadline (default 5m)
+//
+// The stream is generated locally against the same catalog program the
+// session runs, so every update is valid for the session's evolving
+// configuration when replayed in order; across concurrent workers the
+// stream is dealt round-robin, which keeps inserts unique but may
+// reorder dependent updates — flayd answers those with rejected
+// verdicts, which flayload counts and reports rather than treating as
+// failures (that is what a real controller racing itself would see).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+	"repro/internal/progs"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "flayload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flayload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9444", "daemon address")
+	session := fs.String("session", "load", "session name")
+	program := fs.String("program", "scion", "catalog program for a fresh session")
+	n := fs.Int("n", 1000, "updates to send")
+	seed := fs.Uint64("seed", 1, "fuzz stream seed")
+	batch := fs.Int("batch", 16, "updates per batched write")
+	singleEvery := fs.Int("single-every", 4, "send every Nth chunk as single-update writes (0 = batches only)")
+	workers := fs.Int("workers", 4, "concurrent closed-loop writers")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch <= 0 || *workers <= 0 || *n <= 0 {
+		return fmt.Errorf("-n, -batch and -workers must be positive")
+	}
+
+	c := client.New("http://" + *addr)
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		return err
+	}
+
+	// Create the session if it is not already live.
+	if _, err := c.Session(*session); client.IsStatus(err, 404) {
+		if _, err := c.CreateSession(wire.CreateSessionRequest{Name: *session, Catalog: *program}); err != nil {
+			return fmt.Errorf("creating session: %w", err)
+		}
+	} else if err != nil {
+		return err
+	}
+
+	// Generate the stream locally against the same program.
+	p, err := progs.ByName(*program)
+	if err != nil {
+		return err
+	}
+	local, err := p.Load()
+	if err != nil {
+		return err
+	}
+	stream, err := fuzz.New(local.An, *seed).Stream(*n)
+	if err != nil {
+		return err
+	}
+	chunks := carve(stream, *batch, *singleEvery)
+
+	fmt.Printf("flayload: %d updates -> %s as %d chunks over %d workers\n",
+		len(stream), *session, len(chunks), *workers)
+
+	var (
+		sent, retried, rejected atomic.Int64
+		wg                      sync.WaitGroup
+		errOnce                 sync.Once
+		runErr                  error
+		next                    = make(chan chunk, len(chunks))
+	)
+	for _, ch := range chunks {
+		next <- ch
+	}
+	close(next)
+
+	start := time.Now()
+	deadline := start.Add(*timeout)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ch := range next {
+				if time.Now().After(deadline) {
+					errOnce.Do(func() { runErr = fmt.Errorf("deadline %v exceeded", *timeout) })
+					return
+				}
+				resp, retries, err := c.WriteRetry(*session, ch.mode, ch.updates, 50, 5*time.Millisecond)
+				if err != nil {
+					errOnce.Do(func() { runErr = err })
+					return
+				}
+				sent.Add(int64(len(ch.updates)))
+				retried.Add(int64(retries))
+				for _, d := range resp.Decisions {
+					if d.Kind == "rejected" {
+						rejected.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	elapsed := time.Since(start)
+
+	st, err := c.Stats(*session)
+	if err != nil {
+		return err
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sent      %d updates in %v (%.0f updates/s), %d retries after 429\n",
+		sent.Load(), elapsed.Round(time.Millisecond),
+		float64(sent.Load())/elapsed.Seconds(), retried.Load())
+	fmt.Printf("verdicts  forwarded=%d recompiled=%d rejected=%d (rejected seen by this run: %d)\n",
+		st.Forwarded, st.Recompilations, st.Rejected, rejected.Load())
+	fmt.Printf("cache     hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)
+	printHist(snap, "core.update_ns", "update")
+	printHist(snap, "server.apply_ns", "apply")
+	printHist(snap, "server.write_ns", "write")
+	return nil
+}
+
+// chunk is one write request's worth of the stream.
+type chunk struct {
+	updates []*controlplane.Update
+	mode    string
+}
+
+// carve splits the stream into batched writes of size batch, turning
+// every singleEvery-th chunk into a run of single-update writes.
+func carve(stream []*controlplane.Update, batch, singleEvery int) []chunk {
+	var out []chunk
+	for i := 0; len(stream) > 0; i++ {
+		if singleEvery > 0 && i%singleEvery == singleEvery-1 {
+			out = append(out, chunk{updates: stream[:1], mode: wire.ModeSingle})
+			stream = stream[1:]
+			continue
+		}
+		n := min(batch, len(stream))
+		out = append(out, chunk{updates: stream[:n], mode: wire.ModeBatch})
+		stream = stream[n:]
+	}
+	return out
+}
+
+// printHist reports one histogram's daemon-side latency distribution.
+func printHist(snap obs.Snapshot, name, label string) {
+	h, ok := snap.Histograms[name]
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Printf("%-9s p50=%v p95=%v p99=%v (n=%d)\n", label,
+		time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99), h.Count)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/devcompiler"
 	"repro/internal/obs"
 	"repro/internal/p4/ast"
+	"repro/internal/progs"
 	"repro/internal/rmt"
 	"repro/internal/sym"
 )
@@ -223,6 +224,37 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 		audit:   opts.Audit,
 	}, nil
 }
+
+// OpenCatalog opens a pipeline over one of the evaluation catalog
+// programs (internal/progs) by name — the long-running service's way
+// of loading a program without shipping P4 source over the wire. The
+// catalog entry's parser accommodation (switch.p4 skips parser
+// analysis) is applied on top of opts.
+func OpenCatalog(name string, opts Options) (*Pipeline, error) {
+	p, err := progs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.SkipParser {
+		opts.SkipParser = true
+	}
+	return Open(p.Name, p.Source, opts)
+}
+
+// CatalogNames lists the loadable catalog program names.
+func CatalogNames() []string {
+	var out []string
+	for _, p := range progs.Catalog() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Generation counts the pipeline's state-changing updates (forwarded +
+// recompiled). A host that checkpoints sessions snapshots only when the
+// generation moved since its last snapshot; the counter survives
+// Snapshot/Restore, so it is comparable across warm restarts.
+func (p *Pipeline) Generation() uint64 { return p.spec.Generation() }
 
 // Snapshot serializes the pipeline's complete warm state — program,
 // installed configuration, verdict map, liveness witnesses and query

@@ -1,0 +1,240 @@
+// Package client is the typed Go client for flayd's HTTP/JSON API
+// (internal/wire). It is what the server's end-to-end tests and the
+// flayload generator speak — every call is one request, strictly
+// decoded, with non-2xx responses surfaced as *APIError so callers can
+// react to specific statuses (429 backpressure, 409 conflicts).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("flayd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsStatus reports whether err is an APIError with the given status.
+func IsStatus(err error, status int) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == status
+}
+
+// Client talks to one flayd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:9444"). The underlying http.Client has no timeout;
+// wrap with WithHTTPClient for one.
+func New(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// WithHTTPClient swaps the transport (timeouts, test servers).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// do runs one request; when out is non-nil the response body is
+// strictly decoded into it.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var we wire.ErrorResponse
+		msg := resp.Status
+		if err := wire.Decode(resp.Body, 1<<20, &we); err == nil && we.Error != "" {
+			msg = we.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return wire.Decode(resp.Body, 0, out)
+}
+
+// CreateSession loads a new session from a catalog name, P4 source, or
+// snapshot (see wire.CreateSessionRequest).
+func (c *Client) CreateSession(req wire.CreateSessionRequest) (wire.SessionInfo, error) {
+	var info wire.SessionInfo
+	err := c.do(http.MethodPost, "/v1/sessions", &req, &info)
+	return info, err
+}
+
+// Sessions lists the live sessions.
+func (c *Client) Sessions() ([]wire.SessionInfo, error) {
+	var list wire.SessionList
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &list)
+	return list.Sessions, err
+}
+
+// Session fetches one session's info.
+func (c *Client) Session(name string) (wire.SessionInfo, error) {
+	var info wire.SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions/"+name, nil, &info)
+	return info, err
+}
+
+// DeleteSession closes a session and deletes its snapshot.
+func (c *Client) DeleteSession(name string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+name, nil, nil)
+}
+
+// Write applies updates with the given mode (wire.ModeSingle,
+// wire.ModeBatch, or "" for the mode-by-count default), returning one
+// decision per update.
+func (c *Client) Write(name, mode string, updates []*controlplane.Update) (wire.WriteResponse, error) {
+	req := wire.WriteRequest{Mode: mode, Updates: wire.FromUpdates(updates)}
+	var resp wire.WriteResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/updates", &req, &resp)
+	return resp, err
+}
+
+// WriteRetry is Write plus bounded retries on 429 backpressure, backing
+// off linearly (attempt * step). Other errors return immediately.
+func (c *Client) WriteRetry(name, mode string, updates []*controlplane.Update, attempts int, step time.Duration) (wire.WriteResponse, int, error) {
+	retries := 0
+	for {
+		resp, err := c.Write(name, mode, updates)
+		if err == nil || !IsStatus(err, http.StatusTooManyRequests) || retries >= attempts {
+			return resp, retries, err
+		}
+		retries++
+		time.Sleep(time.Duration(retries) * step)
+	}
+}
+
+// Stats fetches the session's engine statistics.
+func (c *Client) Stats(name string) (wire.Stats, error) {
+	var st wire.Stats
+	err := c.do(http.MethodGet, "/v1/sessions/"+name+"/stats", nil, &st)
+	return st, err
+}
+
+// Audit fetches audit records with Seq > since (since 0 = everything
+// retained).
+func (c *Client) Audit(name string, since int) (wire.AuditResponse, error) {
+	var resp wire.AuditResponse
+	path := fmt.Sprintf("/v1/sessions/%s/audit?since=%d", name, since)
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// Snapshot checkpoints the session and returns the warm state.
+func (c *Client) Snapshot(name string) (wire.SnapshotResponse, error) {
+	var resp wire.SnapshotResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/snapshot", nil, &resp)
+	return resp, err
+}
+
+// Source fetches the session's specialized ("specialized" or "") or
+// original ("original") P4 source.
+func (c *Client) Source(name, which string) (string, error) {
+	path := "/v1/sessions/" + name + "/source"
+	if which != "" {
+		path += "?which=" + which
+	}
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, wire.DefaultMaxBody))
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Msg: string(data)}
+	}
+	return string(data), nil
+}
+
+// Metrics fetches the JSON metrics snapshot.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &snap)
+	return snap, err
+}
+
+// MetricsText fetches the Prometheus text exposition.
+func (c *Client) MetricsText() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, wire.DefaultMaxBody))
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Msg: string(data)}
+	}
+	return string(data), nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (wire.HealthResponse, error) {
+	var h wire.HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// WaitReady polls /healthz until the daemon answers or the deadline
+// passes — the load generator's startup handshake.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.Health(); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("client: daemon not ready after %v: %w", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -160,6 +160,18 @@ func (r *snapReader) bv() sym.BV {
 	return v
 }
 
+// Generation counts the state-changing updates the engine has applied
+// (forwarded + recompiled; rejected updates leave state untouched). A
+// session host snapshots on shutdown only when the generation moved
+// since its last checkpoint — the snapshot-on-shutdown dirtiness hook.
+// Restore preserves the counter, so generations are comparable across
+// a warm restart.
+func (s *Specializer) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(s.stats.Forwarded) + uint64(s.stats.Recompilations)
+}
+
 // Snapshot serializes the engine's complete warm state. It takes the
 // read lock, so it can run concurrently with other readers (and
 // coherently between updates).

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ ns, in, want string }{
+		{"flay", "core.update_ns", "flay_core_update_ns"},
+		{"", "core.cache-hits", "core_cache_hits"},
+		{"", "9lives", "_9lives"},
+		{"flay", "9lives", "flay_9lives"},
+		{"", "a:b", "a:b"},
+		{"", "sym.solver.calls", "sym_solver_calls"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.ns, c.in); got != c.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", c.ns, c.in, got, c.want)
+		}
+	}
+}
+
+func TestWritePromRendersEveryInstrument(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.updates").Add(42)
+	r.Counter("core.cache_hits").Add(7)
+	r.Gauge("server.sessions").Set(3)
+	h := r.Histogram("core.update_ns")
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b, "flay"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE flay_core_updates counter\nflay_core_updates 42\n",
+		"# TYPE flay_core_cache_hits counter\nflay_core_cache_hits 7\n",
+		"# TYPE flay_server_sessions gauge\nflay_server_sessions 3\n",
+		"# TYPE flay_core_update_ns summary\n",
+		"flay_core_update_ns_count 100\n",
+		"flay_core_update_ns_sum 5050000\n",
+		`flay_core_update_ns{quantile="0.5"} `,
+		`flay_core_update_ns{quantile="0.95"} `,
+		`flay_core_update_ns{quantile="0.99"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromEmptyHistogramOmitsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("core.eval_ns") // created, never observed
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "quantile") {
+		t.Fatalf("empty summary must not emit quantile lines:\n%s", out)
+	}
+	if !strings.Contains(out, "core_eval_ns_count 0\n") || !strings.Contains(out, "core_eval_ns_sum 0\n") {
+		t.Fatalf("empty summary must still emit _sum and _count:\n%s", out)
+	}
+}
+
+// promLine accepts the three line shapes the encoder may produce.
+var promLine = regexp.MustCompile(
+	`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)|` +
+		`[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="0\.\d+"\})? -?\d+)$`)
+
+func TestWritePromIsValidTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird..name-with%chars").Inc()
+	r.Gauge("1starts.with.digit").Set(-5)
+	r.Histogram("h").Observe(9)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b, "flay"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	types := map[string]bool{}
+	for _, line := range lines {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if types[name] {
+				t.Errorf("duplicate TYPE declaration for %s", name)
+			}
+			types[name] = true
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("c").Set(1)
+	r.Histogram("d").Observe(1)
+	snap := r.Snapshot()
+
+	var first strings.Builder
+	if err := snap.WriteProm(&first, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again strings.Builder
+		if err := snap.WriteProm(&again, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("non-deterministic output:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	if !strings.HasPrefix(first.String(), "# TYPE x_a counter") {
+		t.Fatalf("families not sorted by name:\n%s", first.String())
+	}
+}

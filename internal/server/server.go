@@ -1,0 +1,574 @@
+// Package server implements flayd's control plane: a session registry
+// hosting one goflay.Pipeline per named session behind a
+// P4Runtime-flavored HTTP/JSON API (internal/wire). The serving shape
+// follows runtime controllers like RBFRT and Morpheus — a long-lived
+// daemon on the control-plane update path — built entirely on net/http:
+//
+//	POST   /v1/sessions                  create/load a session
+//	GET    /v1/sessions                  list sessions
+//	GET    /v1/sessions/{name}           session info
+//	DELETE /v1/sessions/{name}           close a session (and its snapshot)
+//	POST   /v1/sessions/{name}/updates   apply updates (single or batched)
+//	GET    /v1/sessions/{name}/stats     engine statistics
+//	GET    /v1/sessions/{name}/audit     decision audit records (?since=seq)
+//	POST   /v1/sessions/{name}/snapshot  checkpoint warm state
+//	GET    /v1/sessions/{name}/source    specialized/original P4 source
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /v1/metrics                   metrics snapshot as JSON
+//	GET    /healthz                      liveness + drain state
+//
+// Writes are funneled through a per-session dispatcher with a bounded
+// queue (full queue = HTTP 429 backpressure) and an optional
+// batch-coalescing window that turns concurrent requests into one
+// ApplyBatch. Shutdown drains every queue, then snapshots every dirty
+// session into the snapshot directory; New warm-restarts from that
+// directory, so a restarted daemon resumes its sessions with audit
+// sequence continuity.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	goflay "repro"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Config tunes the daemon. The zero value serves with sane defaults
+// and no persistence.
+type Config struct {
+	// SnapshotDir, when non-empty, enables warm restarts: sessions are
+	// checkpointed there on shutdown (and on demand) and restored from
+	// there on boot. The directory is created if missing.
+	SnapshotDir string
+	// CoalesceWindow is how long the dispatcher keeps collecting
+	// concurrent write requests after the first one arrives before
+	// funneling them into one ApplyBatch. Zero disables coalescing.
+	CoalesceWindow time.Duration
+	// MaxBatch bounds the updates folded into one coalesced ApplyBatch
+	// (default 512).
+	MaxBatch int
+	// QueueDepth bounds each session's in-flight write requests; a full
+	// queue answers 429 (default 64).
+	QueueDepth int
+	// MaxBody caps request bodies (default wire.DefaultMaxBody).
+	MaxBody int64
+	// AuditLimit bounds each session's audit ring (default 4096;
+	// negative keeps every record).
+	AuditLimit int
+	// Metrics is the shared registry all sessions and the HTTP layer
+	// record into; one is created when nil.
+	Metrics *obs.Registry
+	// Logf receives operational log lines (default: drop them).
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultMaxBatch   = 512
+	defaultQueueDepth = 64
+	defaultAuditLimit = 4096
+)
+
+// Server is the session registry plus its HTTP API. Create one with
+// New, serve it (it implements http.Handler), and stop it with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	met   *obs.Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	draining bool
+}
+
+// nameRE validates session names: path- and filename-safe, no leading
+// punctuation (which also rules out "." and "..").
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// New builds a server and, when a snapshot directory is configured,
+// warm-restarts every session checkpointed in it. A snapshot that
+// fails to restore is logged and skipped (and counted on
+// server.restore_failures) rather than blocking boot.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = wire.DefaultMaxBody
+	}
+	if cfg.AuditLimit == 0 {
+		cfg.AuditLimit = defaultAuditLimit
+	} else if cfg.AuditLimit < 0 {
+		cfg.AuditLimit = 0 // obs.NewTrail: <=0 keeps everything
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		met:      cfg.Metrics,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		sessions: make(map[string]*Session),
+	}
+	s.routes()
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: snapshot dir: %w", err)
+		}
+		if err := s.restoreAll(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restoreAll warm-starts every *.snap session in the snapshot dir.
+func (s *Server) restoreAll() error {
+	entries, err := os.ReadDir(s.cfg.SnapshotDir)
+	if err != nil {
+		return fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), snapSuffix)
+		if !nameRE.MatchString(name) {
+			s.cfg.Logf("server: skipping snapshot with unusable name %q", e.Name())
+			continue
+		}
+		data, err := os.ReadFile(snapPath(s.cfg.SnapshotDir, name))
+		if err != nil {
+			s.met.Counter("server.restore_failures").Inc()
+			s.cfg.Logf("server: reading snapshot %s: %v", e.Name(), err)
+			continue
+		}
+		trail := obs.NewTrail(s.cfg.AuditLimit)
+		pipe, err := goflay.Restore(data, goflay.Options{Metrics: s.met, Audit: trail})
+		if err != nil {
+			s.met.Counter("server.restore_failures").Inc()
+			s.cfg.Logf("server: restoring snapshot %s: %v", e.Name(), err)
+			continue
+		}
+		s.sessions[name] = s.newSession(name, "(restored)", pipe, trail, true)
+		s.met.Counter("server.sessions_restored").Inc()
+		s.cfg.Logf("server: restored session %s (%d updates deep)", name, pipe.Statistics().Updates)
+	}
+	s.met.Gauge("server.sessions").Set(int64(len(s.sessions)))
+	return nil
+}
+
+// session looks up a live session.
+func (s *Server) session(name string) (*Session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[name]
+	return sess, ok
+}
+
+// addSession registers a new session; it fails while draining or when
+// the name is taken.
+func (s *Server) addSession(sess *Session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return fmt.Errorf("server: draining")
+	}
+	if _, ok := s.sessions[sess.name]; ok {
+		return fmt.Errorf("server: session %q exists", sess.name)
+	}
+	s.sessions[sess.name] = sess
+	s.met.Gauge("server.sessions").Set(int64(len(s.sessions)))
+	return nil
+}
+
+// removeSession unregisters and stops a session, deleting its snapshot
+// file so it does not resurrect on the next boot.
+func (s *Server) removeSession(name string) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[name]
+	if ok {
+		delete(s.sessions, name)
+		s.met.Gauge("server.sessions").Set(int64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sess.close()
+	if s.cfg.SnapshotDir != "" {
+		if err := os.Remove(snapPath(s.cfg.SnapshotDir, name)); err != nil && !os.IsNotExist(err) {
+			s.cfg.Logf("server: removing snapshot for %s: %v", name, err)
+		}
+	}
+	return true
+}
+
+// snapshotList returns the live sessions sorted by name.
+func (s *Server) snapshotList() []*Session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Shutdown gracefully stops the server: new writes are refused, every
+// session's queue is drained, and every dirty session is checkpointed
+// to the snapshot directory. It returns the first snapshot error (after
+// attempting all of them). The HTTP listener is the caller's to close —
+// typically before calling Shutdown, so in-flight handlers finish
+// first.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, sess := range s.snapshotList() {
+		sess.close() // drains accepted writes
+		if s.cfg.SnapshotDir == "" || !sess.dirty() {
+			continue
+		}
+		path, err := sess.persistSnapshot()
+		if err != nil {
+			s.cfg.Logf("server: %v", err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.cfg.Logf("server: snapshotted session %s -> %s", sess.name, path)
+	}
+	return firstErr
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.Counter("server.http_requests").Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsText)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/updates", s.handleUpdates)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/audit", s.handleAudit)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/source", s.handleSource)
+}
+
+func (s *Server) info(sess *Session) wire.SessionInfo {
+	return wire.SessionInfo{
+		Name:       sess.name,
+		Program:    sess.program,
+		Tables:     sess.pipe.Tables(),
+		Stats:      wire.FromStats(sess.pipe.Statistics()),
+		Restored:   sess.restored,
+		Dirty:      sess.dirty(),
+		AuditTotal: sess.audit.Total(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n, draining := len(s.sessions), s.draining
+	s.mu.RUnlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, wire.HealthResponse{
+		Status:   status,
+		Version:  wire.Version,
+		Sessions: n,
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.met.Snapshot().WriteProm(w, "flay"); err != nil {
+		s.cfg.Logf("server: writing /metrics: %v", err)
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateSessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !nameRE.MatchString(req.Name) {
+		s.errorf(w, http.StatusBadRequest, "invalid session name %q (want %s)", req.Name, nameRE)
+		return
+	}
+	quality, _ := wire.ParseQuality(req.Quality) // validated above
+	trail := obs.NewTrail(s.cfg.AuditLimit)
+	opts := goflay.Options{
+		SkipParser:          req.SkipParser,
+		OverapproxThreshold: req.OverapproxThreshold,
+		Quality:             quality,
+		Workers:             req.Workers,
+		NoCache:             req.NoCache,
+		Metrics:             s.met,
+		Audit:               trail,
+	}
+	var (
+		pipe    *goflay.Pipeline
+		program string
+		err     error
+	)
+	start := time.Now()
+	switch {
+	case req.Catalog != "":
+		program = "catalog:" + req.Catalog
+		pipe, err = goflay.OpenCatalog(req.Catalog, opts)
+	case req.Source != "":
+		program = "source:" + req.Name
+		pipe, err = goflay.Open(req.Name, req.Source, opts)
+	default:
+		program = "snapshot:" + req.Name
+		pipe, err = goflay.Restore(req.Snapshot, opts)
+	}
+	if err != nil {
+		s.errorf(w, http.StatusUnprocessableEntity, "loading session: %v", err)
+		return
+	}
+	sess := s.newSession(req.Name, program, pipe, trail, len(req.Snapshot) > 0)
+	if err := s.addSession(sess); err != nil {
+		sess.close()
+		s.errorf(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.cfg.Logf("server: session %s loaded %s in %v", req.Name, program, time.Since(start).Round(time.Millisecond))
+	writeJSON(w, http.StatusCreated, s.info(sess))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var list wire.SessionList
+	for _, sess := range s.snapshotList() {
+		list.Sessions = append(list.Sessions, s.info(sess))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// named resolves the {name} path segment to a session or answers 404.
+func (s *Server) named(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	name := r.PathValue("name")
+	sess, ok := s.session(name)
+	if !ok {
+		s.errorf(w, http.StatusNotFound, "no session %q", name)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.named(w, r); ok {
+		writeJSON(w, http.StatusOK, s.info(sess))
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.removeSession(name) {
+		s.errorf(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		s.errorf(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req wire.WriteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	updates, err := req.ToUpdates()
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wr := &writeReq{updates: updates, batch: req.Batch(), resp: make(chan writeResult, 1)}
+	start := time.Now()
+	if err := sess.submit(wr); err != nil {
+		status := http.StatusServiceUnavailable
+		if err == ErrQueueFull {
+			status = http.StatusTooManyRequests
+		}
+		s.errorf(w, status, "%v", err)
+		return
+	}
+	res, err := sess.wait(wr)
+	if err != nil {
+		s.errorf(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.met.Counter("server.write_requests").Inc()
+	s.met.Counter("server.write_updates").Add(int64(len(updates)))
+	s.met.Histogram("server.write_ns").ObserveDuration(time.Since(start))
+	out := wire.WriteResponse{Coalesced: res.coalesced, Decisions: make([]wire.Decision, len(res.decisions))}
+	for i, d := range res.decisions {
+		out.Decisions[i] = wire.FromDecision(d)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.named(w, r); ok {
+		writeJSON(w, http.StatusOK, wire.FromStats(sess.pipe.Statistics()))
+	}
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	since, okQ := intQuery(w, s, r, "since", 0)
+	if !okQ {
+		return
+	}
+	limit, okQ := intQuery(w, s, r, "limit", 0)
+	if !okQ {
+		return
+	}
+	recs := sess.audit.Records()
+	if since > 0 {
+		i := sort.Search(len(recs), func(i int) bool { return recs[i].Seq > since })
+		recs = recs[i:]
+	}
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	writeJSON(w, http.StatusOK, wire.AuditResponse{
+		Records: recs,
+		Total:   sess.audit.Total(),
+		Dropped: sess.audit.Dropped(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	data, err := sess.pipe.Snapshot()
+	if err != nil {
+		s.errorf(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	resp := wire.SnapshotResponse{Name: sess.name, Bytes: len(data), Snapshot: data}
+	if s.cfg.SnapshotDir != "" {
+		path, err := sess.persistSnapshot()
+		if err != nil {
+			s.errorf(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp.Path = path
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	var src string
+	switch which := r.URL.Query().Get("which"); which {
+	case "", "specialized":
+		src = sess.pipe.SpecializedSource()
+	case "original":
+		src = sess.pipe.OriginalSource()
+	default:
+		s.errorf(w, http.StatusBadRequest, "unknown source %q (want specialized|original)", which)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, src)
+}
+
+// decode strictly parses the request body, answering 400/413 itself.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := wire.Decode(r.Body, s.cfg.MaxBody, v)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, wire.ErrTooLarge):
+		s.errorf(w, http.StatusRequestEntityTooLarge, "%v", err)
+	default:
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+	}
+	return false
+}
+
+func intQuery(w http.ResponseWriter, s *Server, r *http.Request, key string, def int) (int, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		s.errorf(w, http.StatusBadRequest, "invalid %s=%q", key, raw)
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.Counter("server.http_errors").Inc()
+	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

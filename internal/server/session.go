@@ -1,0 +1,269 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	goflay "repro"
+	"repro/internal/controlplane"
+	"repro/internal/obs"
+)
+
+// Submission errors the HTTP layer maps to statuses.
+var (
+	// ErrQueueFull is backpressure: the session's bounded in-flight
+	// queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: session queue full")
+	// ErrSessionClosed marks a write against a closing session (503).
+	ErrSessionClosed = errors.New("server: session closed")
+)
+
+// writeReq is one write request in flight between an HTTP handler and
+// the session's dispatcher.
+type writeReq struct {
+	updates []*controlplane.Update
+	// batch requests ApplyBatch semantics; otherwise the updates are
+	// applied one at a time.
+	batch bool
+	// resp is buffered (capacity 1) so the dispatcher never blocks
+	// handing a result back, even if the requester gave up.
+	resp chan writeResult
+}
+
+type writeResult struct {
+	decisions []*goflay.Decision
+	// coalesced is set when the request shared an ApplyBatch with at
+	// least one other request.
+	coalesced bool
+}
+
+// Session hosts one named Pipeline behind a single dispatcher
+// goroutine. Every write is funneled through a bounded queue: the
+// dispatcher applies requests in arrival order, optionally coalescing
+// requests that arrive within the configured window into one
+// ApplyBatch, which recompiles per-target assignments once and
+// re-evaluates the union of tainted points in a single parallel pass.
+// Reads (stats, audit, snapshot, source) go straight to the engine,
+// which is internally RWMutex-guarded, so they never queue behind
+// writes.
+type Session struct {
+	name    string
+	program string
+	// restored marks a session warm-started from the snapshot dir.
+	restored bool
+
+	pipe  *goflay.Pipeline
+	audit *obs.Trail
+	srv   *Server
+
+	queue chan *writeReq
+	stop  chan struct{} // closed by close(); dispatcher drains and exits
+	done  chan struct{} // closed when the dispatcher has exited
+
+	// snapGen is the engine generation captured by the last snapshot;
+	// genNever means no snapshot has been taken yet. snapMu serializes
+	// checkpoints (the HTTP snapshot handler can race shutdown).
+	snapMu  sync.Mutex
+	snapGen uint64
+}
+
+// genNever marks a session that has never been snapshotted, so the
+// shutdown path persists it even if it took no updates (otherwise a
+// freshly created idle session would not survive a restart).
+const genNever = ^uint64(0)
+
+func (s *Server) newSession(name, program string, pipe *goflay.Pipeline, audit *obs.Trail, restored bool) *Session {
+	sess := &Session{
+		name:     name,
+		program:  program,
+		restored: restored,
+		pipe:     pipe,
+		audit:    audit,
+		srv:      s,
+		queue:    make(chan *writeReq, s.cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		snapGen:  genNever,
+	}
+	if restored {
+		// The on-disk snapshot is exactly this state; don't rewrite it
+		// on shutdown unless updates arrive.
+		sess.snapGen = pipe.Generation()
+	}
+	go sess.dispatch()
+	return sess
+}
+
+// submit enqueues a write without blocking: a full queue is
+// backpressure, reported to the caller as ErrQueueFull rather than
+// letting requests pile up unboundedly inside the daemon.
+func (sess *Session) submit(req *writeReq) error {
+	select {
+	case <-sess.stop:
+		return ErrSessionClosed
+	default:
+	}
+	select {
+	case sess.queue <- req:
+		return nil
+	default:
+		sess.srv.met.Counter("server.queue_full").Inc()
+		return ErrQueueFull
+	}
+}
+
+// wait blocks until the dispatcher answers req (or the session shuts
+// down underneath it).
+func (sess *Session) wait(req *writeReq) (writeResult, error) {
+	select {
+	case res := <-req.resp:
+		return res, nil
+	case <-sess.done:
+		// The dispatcher may have served the request while we were
+		// racing with shutdown; prefer the result if it is there.
+		select {
+		case res := <-req.resp:
+			return res, nil
+		default:
+			return writeResult{}, ErrSessionClosed
+		}
+	}
+}
+
+// dispatch is the session's single writer loop.
+func (sess *Session) dispatch() {
+	defer close(sess.done)
+	for {
+		select {
+		case req := <-sess.queue:
+			sess.serve(sess.collect(req))
+		case <-sess.stop:
+			// Drain whatever was accepted before the stop signal so
+			// "graceful" means no accepted update is dropped.
+			for {
+				select {
+				case req := <-sess.queue:
+					sess.serve([]*writeReq{req})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect implements the coalescing window: after the first request of
+// a round arrives, the dispatcher keeps accepting requests for up to
+// CoalesceWindow (bounded by MaxBatch updates) and funnels them into
+// one ApplyBatch. A zero window disables coalescing — every request is
+// served alone, preserving exact single/batch attribution.
+func (sess *Session) collect(first *writeReq) []*writeReq {
+	reqs := []*writeReq{first}
+	window := sess.srv.cfg.CoalesceWindow
+	if window <= 0 {
+		return reqs
+	}
+	n := len(first.updates)
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	for n < sess.srv.cfg.MaxBatch {
+		select {
+		case r := <-sess.queue:
+			reqs = append(reqs, r)
+			n += len(r.updates)
+		case <-timer.C:
+			return reqs
+		case <-sess.stop:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// serve applies one round of requests and distributes decisions back.
+// A lone single-mode request keeps sequential Apply semantics; anything
+// else — an explicit batch, or several coalesced requests regardless of
+// their modes — goes through ApplyBatch as one atomic configuration
+// transition, with the decision slice split back per request in order.
+func (sess *Session) serve(reqs []*writeReq) {
+	met := sess.srv.met
+	start := time.Now()
+	if len(reqs) == 1 && !reqs[0].batch {
+		ds := sess.pipe.ApplyAll(reqs[0].updates)
+		met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
+		reqs[0].resp <- writeResult{decisions: ds}
+		return
+	}
+	var all []*controlplane.Update
+	for _, r := range reqs {
+		all = append(all, r.updates...)
+	}
+	ds := sess.pipe.ApplyBatch(all)
+	met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
+	coalesced := len(reqs) > 1
+	if coalesced {
+		met.Counter("server.coalesced_requests").Add(int64(len(reqs)))
+	}
+	off := 0
+	for _, r := range reqs {
+		r.resp <- writeResult{decisions: ds[off : off+len(r.updates)], coalesced: coalesced}
+		off += len(r.updates)
+	}
+}
+
+// close stops the dispatcher and waits for it to drain. Idempotent.
+func (sess *Session) close() {
+	select {
+	case <-sess.stop:
+	default:
+		close(sess.stop)
+	}
+	<-sess.done
+}
+
+// dirty reports whether the engine state moved past the last snapshot.
+func (sess *Session) dirty() bool {
+	sess.snapMu.Lock()
+	defer sess.snapMu.Unlock()
+	return sess.pipe.Generation() != sess.snapGen
+}
+
+// snapPath is the session's snapshot file under dir.
+func snapPath(dir, name string) string {
+	return filepath.Join(dir, name+snapSuffix)
+}
+
+const snapSuffix = ".snap"
+
+// persistSnapshot checkpoints the session's warm state to the snapshot
+// directory (atomically: temp file + rename) and records the
+// generation, so an unchanged session is not rewritten next time.
+func (sess *Session) persistSnapshot() (string, error) {
+	dir := sess.srv.cfg.SnapshotDir
+	if dir == "" {
+		return "", nil
+	}
+	sess.snapMu.Lock()
+	defer sess.snapMu.Unlock()
+	gen := sess.pipe.Generation()
+	data, err := sess.pipe.Snapshot()
+	if err != nil {
+		return "", fmt.Errorf("snapshot %s: %w", sess.name, err)
+	}
+	path := snapPath(dir, sess.name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("snapshot %s: %w", sess.name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("snapshot %s: %w", sess.name, err)
+	}
+	sess.snapGen = gen
+	sess.srv.met.Counter("server.snapshots_written").Inc()
+	return path, nil
+}
