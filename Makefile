@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
@@ -41,11 +41,15 @@ test:
 # Race tier: vet plus the full suite under the race detector, plus a
 # short native-fuzz smoke of the frontend and the solver. The
 # equivalence suites in internal/core double as the concurrency
-# soundness proof of the parallel batch engine and the audit capture
-# path, so this tier is slow (minutes) but load-bearing.
+# soundness proof of the parallel batch engine, the audit capture path
+# and the degrade/promote matrix, so this tier is slow (minutes) but
+# load-bearing. The explicit timeout covers single-core machines,
+# where the race detector gets no parallelism to hide behind and
+# internal/core alone can exceed go test's 10m default.
+RACE_TIMEOUT ?= 30m
 race: fuzz-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
@@ -76,11 +80,12 @@ bench:
 
 # bench-json: the machine-readable evaluation artifact. Runs the burst
 # section with the metrics registry and audit trail enabled, plus the
-# query-cache section; flaybench cross-checks their accounting against
-# the engine's Statistics (and the cache's >50% hit-rate bar) and exits
-# non-zero on any mismatch.
+# query-cache and adaptive-precision sections; flaybench cross-checks
+# their accounting against the engine's Statistics (the cache's >50%
+# hit-rate bar, the precision section's p99-under-deadline and
+# zero-unsound-verdict bars) and exits non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch,cache -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision -json -o BENCH_flay.json
 
 # cover: enforce the coverage floor on the engine packages. Written
 # for a POSIX shell (no pipefail): the summary goes to a temp file and

@@ -10,7 +10,7 @@
 //	flaybench [-only sections] [-full] [-json] [-o FILE]
 //
 // Sections: table1, table2, table3, fig1, fig3, fig5, stages, burst,
-// batch, cache, ablation. -only takes a comma-separated list ("-only
+// batch, cache, precision, ablation. -only takes a comma-separated list ("-only
 // burst,batch"). -full extends Table 3 to 10000 installed entries
 // (slow in precise mode, as in the paper). -json additionally writes a
 // machine-readable report (default BENCH_flay.json, override with -o;
@@ -22,12 +22,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,10 +49,11 @@ import (
 
 // benchReport is the -json artifact (BENCH_flay.json).
 type benchReport struct {
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Sections   []sectionReport `json:"sections"`
-	Burst      *burstReport    `json:"burst,omitempty"`
-	Cache      *cacheReport    `json:"cache,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Sections   []sectionReport  `json:"sections"`
+	Burst      *burstReport     `json:"burst,omitempty"`
+	Cache      *cacheReport     `json:"cache,omitempty"`
+	Precision  *precisionReport `json:"precision,omitempty"`
 }
 
 type sectionReport struct {
@@ -91,10 +94,35 @@ type cacheReport struct {
 	FreshMS       float64 `json:"fresh_ms"`
 }
 
+// precisionReport records the adaptive-precision deadline experiment:
+// a 10000-entry ACL burst driven with a per-update latency budget on a
+// never-statically-overapproximating engine. The cross-checks (at least
+// one degradation, p99 under the budget, zero unsound degraded
+// verdicts from both the differential check and promotion) run before
+// the report is emitted; a failure exits non-zero.
+type precisionReport struct {
+	Entries         int    `json:"entries"`
+	DeadlineMS      int64  `json:"deadline_ms"`
+	Degradations    int    `json:"degradations"`
+	Promotions      int    `json:"promotions"`
+	DegradedTables  int    `json:"degraded_tables_at_peak"`
+	P50NS           int64  `json:"update_p50_ns"`
+	P95NS           int64  `json:"update_p95_ns"`
+	P99NS           int64  `json:"update_p99_ns"`
+	MaxNS           int64  `json:"update_max_ns"`
+	BaselineEntries int    `json:"baseline_entries"`
+	BaselineP99NS   int64  `json:"baseline_p99_ns"`
+	BaselineMaxNS   int64  `json:"baseline_max_ns"`
+	DiffChecked     int    `json:"diff_checked"`
+	Unsound         int    `json:"unsound"`
+	AuditDegrades   int    `json:"audit_degrades"`
+	AuditPromotes   int    `json:"audit_promotes"`
+}
+
 var rep = &benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 func main() {
-	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|cache|ablation)")
+	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|cache|precision|ablation)")
 	full := flag.Bool("full", false, "extend Table 3 to 10000 entries (slow in precise mode)")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report (see -o)")
 	outPath := flag.String("o", "BENCH_flay.json", `report path for -json ("-" = stdout)`)
@@ -114,6 +142,7 @@ func main() {
 		{"burst", burst},
 		{"batch", batchSection},
 		{"cache", cacheSection},
+		{"precision", precisionSection},
 		{"ablation", ablation},
 	}
 	want := make(map[string]bool)
@@ -715,6 +744,162 @@ func cacheSection(bool) {
 	fmt.Println("\n(hits replay memoized verdicts without substituting or querying the")
 	fmt.Println("solver; past the overapproximation threshold the burst table's")
 	fmt.Println("fingerprint stabilizes and tainted points hit on every update)")
+}
+
+// ---------------------------------------------------------------------------
+
+// precisionSection exercises the adaptive precision controller on the
+// paper's worst-case workload (Table 3): the middleblock Pre-Ingress
+// ACL with static overapproximation disabled, so precise update cost
+// grows linearly with installed entries. A 10000-entry burst driven
+// with a 50ms per-update budget must keep p99 under the budget by
+// degrading the table mid-flight — soundly, which the differential
+// check and a final promotion both verify (zero unsound degraded
+// verdicts). A short no-deadline baseline shows the latency growth the
+// controller is defending against.
+func precisionSection(bool) {
+	header("Adaptive precision: 10000-entry ACL burst under a 50ms deadline (middleblock)")
+	const (
+		entries  = 10000
+		baseline = 300 // no-deadline arm, truncated: precise cost is O(entries) per update
+		budget   = 50 * time.Millisecond
+	)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "precision verification failed: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	quantile := func(sorted []time.Duration, q float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(q*float64(len(sorted)-1)+0.5)]
+	}
+	p := progs.Middleblock()
+	opts := func(reg *obs.Registry, trail *obs.Trail) core.Options {
+		return core.Options{
+			OverapproxThreshold: -1, // never overapproximate statically
+			RepairInterval:      -1, // no background repair: promotion is explicit below
+			Metrics:             reg, Audit: trail,
+		}
+	}
+
+	// Baseline arm: no deadline, precise forever. Truncated to
+	// `baseline` entries — the full 10k precise run is the quadratic
+	// blowup this section exists to avoid.
+	base, err := p.LoadWith(opts(nil, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseLat := make([]time.Duration, 0, baseline)
+	for i := 0; i < baseline; i++ {
+		d := base.Apply(progs.MiddleblockACLEntry(i))
+		if d.Kind == core.Rejected {
+			log.Fatalf("baseline entry %d rejected: %v", i, d.Err)
+		}
+		baseLat = append(baseLat, d.Elapsed)
+	}
+	sortDurations(baseLat)
+	basep99, basemax := quantile(baseLat, 0.99), baseLat[len(baseLat)-1]
+	fmt.Printf("no deadline (first %d entries, precise): p99=%v max=%v — unbounded growth\n",
+		baseline, basep99.Round(10*time.Microsecond), basemax.Round(10*time.Microsecond))
+
+	// Deadline arm: the full burst, each update under a 50ms budget.
+	reg := obs.NewRegistry()
+	trail := obs.NewTrail(0)
+	s, err := p.LoadWith(opts(reg, trail))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat := make([]time.Duration, 0, entries)
+	degradedVerdicts := 0
+	t0 := time.Now()
+	for i := 0; i < entries; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		d := s.ApplyCtx(ctx, progs.MiddleblockACLEntry(i))
+		cancel()
+		if d.Kind == core.Rejected {
+			log.Fatalf("deadline entry %d rejected: %v", i, d.Err)
+		}
+		if d.Degraded {
+			degradedVerdicts++
+		}
+		lat = append(lat, d.Elapsed)
+	}
+	el := time.Since(t0)
+	st := s.Statistics()
+	peakDegraded := st.DegradedTables
+	sortDurations(lat)
+	p50, p95, p99 := quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99)
+	max := lat[len(lat)-1]
+	fmt.Printf("50ms deadline (%d entries):             p50=%v p95=%v p99=%v max=%v (%v total)\n",
+		entries, p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+		p99.Round(10*time.Microsecond), max.Round(10*time.Microsecond), el.Round(time.Millisecond))
+	fmt.Printf("degradations=%d degraded_tables=%d degraded_verdicts=%d (%.1f%% of burst)\n",
+		st.Degradations, peakDegraded, degradedVerdicts, 100*float64(degradedVerdicts)/entries)
+
+	// Soundness: every degraded verdict re-run precisely must agree
+	// (conservative flips allowed, unsound ones counted — must be zero),
+	// both via the background differential check and a full promotion.
+	checked, unsound, err := s.DifferentialCheck()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("differential check: %d degraded verdicts re-run precisely, %d unsound\n", checked, unsound)
+	promoteUnsound, err := s.PromoteAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("promotion: all tables restored to precise, %d unsound flips\n", promoteUnsound)
+
+	decisions := trail.CountByDecision()
+	if st.Degradations < 1 {
+		fail("no degradations on a %d-entry precise burst under a %v budget", entries, budget)
+	}
+	if p99 >= budget {
+		fail("p99 %v did not stay under the %v budget", p99, budget)
+	}
+	if unsound != 0 || promoteUnsound != 0 {
+		fail("unsound degraded verdicts: differential=%d promotion=%d (must be zero)", unsound, promoteUnsound)
+	}
+	if checked == 0 {
+		fail("differential check examined no points despite %d degradations", st.Degradations)
+	}
+	if decisions["degrade"] < 1 || decisions["promote"] < 1 {
+		fail("audit trail tally %v lacks degrade/promote records", decisions)
+	}
+	if got := reg.Counter("core.degradations").Value(); got != int64(st.Degradations) {
+		fail("core.degradations counter %d, engine stats %d", got, st.Degradations)
+	}
+	if len(s.DegradedTables()) != 0 {
+		fail("tables still degraded after PromoteAll: %v", s.DegradedTables())
+	}
+	fmt.Println("cross-check: p99 under budget, audit + metrics agree, zero unsound verdicts")
+
+	rep.Precision = &precisionReport{
+		Entries:         entries,
+		DeadlineMS:      budget.Milliseconds(),
+		Degradations:    st.Degradations,
+		Promotions:      s.Statistics().Promotions,
+		DegradedTables:  peakDegraded,
+		P50NS:           p50.Nanoseconds(),
+		P95NS:           p95.Nanoseconds(),
+		P99NS:           p99.Nanoseconds(),
+		MaxNS:           max.Nanoseconds(),
+		BaselineEntries: baseline,
+		BaselineP99NS:   basep99.Nanoseconds(),
+		BaselineMaxNS:   basemax.Nanoseconds(),
+		DiffChecked:     checked,
+		Unsound:         unsound + promoteUnsound,
+		AuditDegrades:   decisions["degrade"],
+		AuditPromotes:   decisions["promote"],
+	}
+	fmt.Println("\n(the controller degrades the ACL to the overapproximated assignment the")
+	fmt.Println("moment its EWMA cost projection no longer fits the budget, so the burst")
+	fmt.Println("stays milliseconds-class; promotion restores full precision afterwards)")
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 }
 
 // ---------------------------------------------------------------------------

@@ -18,5 +18,7 @@ func flags() (*flag.FlagSet, *server.Config, *string) {
 	fs.IntVar(&cfg.MaxBatch, "max-batch", 0, "max updates per coalesced batch (0 = default)")
 	fs.IntVar(&cfg.QueueDepth, "queue", 0, "per-session in-flight write queue depth (0 = default)")
 	fs.IntVar(&cfg.AuditLimit, "audit-limit", 0, "audit records retained per session (0 = default, -1 = all)")
+	fs.DurationVar(&cfg.PressureDeadline, "pressure-deadline", 50*time.Millisecond,
+		"latency budget attached to writes once a session queue is half full, degrading precision before 429s (0 disables)")
 	return fs, cfg, addr
 }

@@ -20,6 +20,11 @@
 //	                  (0 = batches only)
 //	-workers N        concurrent closed-loop writers (default 4)
 //	-timeout DUR      overall run deadline (default 5m)
+//	-report DUR       print interval throughput + latency snapshots
+//	                  every DUR while running (0 = final report only)
+//	-deadline DUR     per-write latency budget; the daemon may degrade
+//	                  table precision to honor it, and flayload reports
+//	                  the degradation rate alongside p50/p95/p99
 //
 // The stream is generated locally against the same catalog program the
 // session runs, so every update is valid for the session's evolving
@@ -64,6 +69,8 @@ func run(args []string) error {
 	singleEvery := fs.Int("single-every", 4, "send every Nth chunk as single-update writes (0 = batches only)")
 	workers := fs.Int("workers", 4, "concurrent closed-loop writers")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+	report := fs.Duration("report", 0, "interval between progress reports (0 = final report only)")
+	writeDeadline := fs.Duration("deadline", 0, "per-write latency budget (0 = none); the daemon may degrade precision to honor it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,11 +111,11 @@ func run(args []string) error {
 		len(stream), *session, len(chunks), *workers)
 
 	var (
-		sent, retried, rejected atomic.Int64
-		wg                      sync.WaitGroup
-		errOnce                 sync.Once
-		runErr                  error
-		next                    = make(chan chunk, len(chunks))
+		sent, retried, rejected, degraded atomic.Int64
+		wg                                sync.WaitGroup
+		errOnce                           sync.Once
+		runErr                            error
+		next                              = make(chan chunk, len(chunks))
 	)
 	for _, ch := range chunks {
 		next <- ch
@@ -117,6 +124,46 @@ func run(args []string) error {
 
 	start := time.Now()
 	deadline := start.Add(*timeout)
+
+	// Interval reporter (satellite of the deadline work): scrape the
+	// metrics endpoint every -report tick so a long run shows evolving
+	// latency distributions and degradation counts instead of a single
+	// post-mortem snapshot.
+	reportDone := make(chan struct{})
+	reportStopped := make(chan struct{})
+	if *report > 0 {
+		go func() {
+			defer close(reportStopped)
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			var lastSent int64
+			last := start
+			for {
+				select {
+				case <-reportDone:
+					return
+				case now := <-tick.C:
+					cur := sent.Load()
+					snap, err := c.Metrics()
+					if err != nil {
+						fmt.Printf("[%6s] metrics scrape failed: %v\n",
+							time.Since(start).Round(time.Second), err)
+						continue
+					}
+					rate := float64(cur-lastSent) / now.Sub(last).Seconds()
+					fmt.Printf("[%6s] sent=%d (+%.0f/s) retries=%d degraded=%d repairs=%d\n",
+						time.Since(start).Round(time.Second), cur, rate, retried.Load(),
+						snap.Counters["core.degradations"], snap.Counters["core.promotions"])
+					printHist(snap, "core.update_ns", "  update")
+					printHist(snap, "server.apply_ns", "  apply")
+					lastSent, last = cur, now
+				}
+			}
+		}()
+	} else {
+		close(reportStopped)
+	}
+
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -126,7 +173,7 @@ func run(args []string) error {
 					errOnce.Do(func() { runErr = fmt.Errorf("deadline %v exceeded", *timeout) })
 					return
 				}
-				resp, retries, err := c.WriteRetry(*session, ch.mode, ch.updates, 50, 5*time.Millisecond)
+				resp, retries, err := c.WriteRetryDeadline(*session, ch.mode, ch.updates, *writeDeadline, 50, 5*time.Millisecond)
 				if err != nil {
 					errOnce.Do(func() { runErr = err })
 					return
@@ -137,11 +184,16 @@ func run(args []string) error {
 					if d.Kind == "rejected" {
 						rejected.Add(1)
 					}
+					if d.Precision == "degraded" {
+						degraded.Add(1)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	close(reportDone)
+	<-reportStopped
 	if runErr != nil {
 		return runErr
 	}
@@ -162,6 +214,14 @@ func run(args []string) error {
 	fmt.Printf("verdicts  forwarded=%d recompiled=%d rejected=%d (rejected seen by this run: %d)\n",
 		st.Forwarded, st.Recompilations, st.Rejected, rejected.Load())
 	fmt.Printf("cache     hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)
+	if *writeDeadline > 0 || degraded.Load() > 0 || st.Degradations > 0 {
+		rate := float64(0)
+		if s := sent.Load(); s > 0 {
+			rate = 100 * float64(degraded.Load()) / float64(s)
+		}
+		fmt.Printf("precision degraded_verdicts=%d (%.1f%% of sent) degradations=%d promotions=%d degraded_tables=%d unsound=%d\n",
+			degraded.Load(), rate, st.Degradations, st.Promotions, st.DegradedTables, st.UnsoundDegraded)
+	}
 	printHist(snap, "core.update_ns", "update")
 	printHist(snap, "server.apply_ns", "apply")
 	printHist(snap, "server.write_ns", "write")

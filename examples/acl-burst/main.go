@@ -33,7 +33,7 @@ func main() {
 // measure installs n Pre-Ingress ACL entries and times the analysis of
 // the (n+1)-th update.
 func measure(p *progs.Program, n, threshold int) time.Duration {
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{OverapproxThreshold: threshold})
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.WithOverapproxThreshold(threshold))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	p := progs.Fig3()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{})
+	pipe, err := goflay.Open(p.Name, p.Source)
 	if err != nil {
 		log.Fatal(err)
 	}

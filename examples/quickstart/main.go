@@ -36,7 +36,7 @@ control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t 
 `
 
 func main() {
-	pipe, err := goflay.Open("quickstart", source, goflay.Options{})
+	pipe, err := goflay.Open("quickstart", source)
 	if err != nil {
 		log.Fatal(err)
 	}

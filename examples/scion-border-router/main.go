@@ -17,7 +17,7 @@ import (
 
 func main() {
 	p := progs.Scion()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Target: goflay.TargetTofino})
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.WithTarget(goflay.TargetTofino))
 	if err != nil {
 		log.Fatal(err)
 	}

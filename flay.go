@@ -10,7 +10,7 @@
 // (the common case) or whether the affected components must be
 // respecialized and recompiled.
 //
-//	pipe, err := goflay.Open("router", source, goflay.Options{})
+//	pipe, err := goflay.Open("router", source, goflay.WithWorkers(4))
 //	d := pipe.Apply(&goflay.Update{
 //		Kind:  goflay.InsertEntry,
 //		Table: "Ingress.route",
@@ -20,19 +20,55 @@
 //		report, _ := pipe.Compile()
 //		install(pipe.SpecializedSource(), report)
 //	}
+//
+// Latency-sensitive callers hand Apply a budget instead of a bare
+// update: ApplyCtx with a context deadline lets the adaptive precision
+// controller degrade a table to the conservative overapproximated
+// assignment when the precise analysis would miss the deadline (see
+// DESIGN.md §4.11). Failures classify with errors.Is against the
+// package sentinels (ErrUnknownTable, ErrClosed, ErrDeadlineExceeded,
+// ErrSnapshotCorrupt, ErrBackpressure) rather than string matching.
 package goflay
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devcompiler"
+	"repro/internal/flayerr"
 	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/progs"
 	"repro/internal/rmt"
 	"repro/internal/sym"
+)
+
+// Typed sentinel errors. Every error the pipeline (and the flayd
+// client) returns for one of these conditions satisfies
+// errors.Is(err, sentinel), across process boundaries: internal/wire
+// maps each sentinel to a machine-readable error code plus HTTP status,
+// and internal/client maps responses back.
+var (
+	// ErrUnknownTable: an update or query named a table (or value set /
+	// register target) the program does not declare.
+	ErrUnknownTable = flayerr.ErrUnknownTable
+	// ErrClosed: the pipeline, session or server has shut down. No state
+	// was modified.
+	ErrClosed = flayerr.ErrClosed
+	// ErrDeadlineExceeded: the call's latency budget expired before the
+	// work was attempted. Also satisfies
+	// errors.Is(err, context.DeadlineExceeded).
+	ErrDeadlineExceeded = flayerr.ErrDeadlineExceeded
+	// ErrSnapshotCorrupt: Restore rejected the snapshot bytes
+	// (truncation, checksum mismatch, or fields inconsistent with the
+	// embedded program).
+	ErrSnapshotCorrupt = flayerr.ErrSnapshotCorrupt
+	// ErrBackpressure: a bounded queue was full and the write was shed
+	// (HTTP 429 on the wire).
+	ErrBackpressure = flayerr.ErrBackpressure
 )
 
 // Re-exported control-plane vocabulary. The aliases make the full
@@ -155,7 +191,100 @@ const (
 	QualityNone        = core.QualityNone
 )
 
+// Option configures Open, OpenCatalog and Restore. Options are built
+// with the With* constructors:
+//
+//	pipe, err := goflay.Open(name, src,
+//		goflay.WithWorkers(4), goflay.WithMetrics(reg))
+//
+// The legacy Options struct also implements Option (it replaces the
+// whole accumulated configuration, so pass it first if mixing forms).
+type Option interface {
+	applyOption(*Options)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) applyOption(o *Options) { f(o) }
+
+// WithSkipParser skips parser analysis (the paper does this for
+// switch.p4).
+func WithSkipParser() Option {
+	return optionFunc(func(o *Options) { o.SkipParser = true })
+}
+
+// WithOverapproxThreshold sets the per-table entry count past which the
+// table's assignment is overapproximated (default 100; negative
+// disables overapproximation entirely).
+func WithOverapproxThreshold(n int) Option {
+	return optionFunc(func(o *Options) { o.OverapproxThreshold = n })
+}
+
+// WithTarget selects the device backend for Compile (default Tofino).
+func WithTarget(t Target) Option {
+	return optionFunc(func(o *Options) { o.Target = t })
+}
+
+// WithQuality selects specialization aggressiveness (default
+// QualityFull).
+func WithQuality(q Quality) Option {
+	return optionFunc(func(o *Options) { o.Quality = q })
+}
+
+// WithWorkers bounds the point re-evaluation worker pool: 1 forces
+// serial evaluation, >1 sets the pool size, and <=0 (the default) uses
+// GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *Options) { o.Workers = n })
+}
+
+// WithNoCache disables the taint-keyed specialization-query cache (for
+// ablation measurements and differential testing).
+func WithNoCache() Option {
+	return optionFunc(func(o *Options) { o.NoCache = true })
+}
+
+// WithRepairInterval paces the adaptive precision controller's
+// background repair goroutine: after d of quiescence, degraded tables
+// are differentially checked and promoted back to precise. Zero selects
+// the default (100ms); negative disables background repair (promotion
+// then only happens through PromoteAll).
+func WithRepairInterval(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.RepairInterval = d })
+}
+
+// WithTracer records a span per pipeline stage and per update.
+func WithTracer(t *Trace) Option {
+	return optionFunc(func(o *Options) { o.Tracer = t })
+}
+
+// WithMetrics resolves the engine's counters, gauges and latency
+// histograms in the given registry.
+func WithMetrics(m *Metrics) Option {
+	return optionFunc(func(o *Options) { o.Metrics = m })
+}
+
+// WithAudit routes the decision audit trail to the given trail.
+func WithAudit(a *AuditTrail) Option {
+	return optionFunc(func(o *Options) { o.Audit = a })
+}
+
+// resolveOptions folds a variadic option list into one Options value.
+func resolveOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt.applyOption(&o)
+	}
+	return o
+}
+
 // Options configures Open.
+//
+// Deprecated: Options predates the functional Option form; new code
+// should pass With* options directly. The struct keeps every positional
+// Open(name, source, Options{...}) call site compiling: it implements
+// Option by replacing the entire accumulated configuration with itself.
 type Options struct {
 	// SkipParser skips parser analysis (useful for very large programs;
 	// the paper does this for switch.p4).
@@ -178,6 +307,10 @@ type Options struct {
 	// only skips redundant solver work — so this switch exists for
 	// ablation measurements and differential testing.
 	NoCache bool
+	// RepairInterval paces the adaptive precision controller's
+	// background repair goroutine (see WithRepairInterval). Zero selects
+	// the default (100ms); negative disables background repair.
+	RepairInterval time.Duration
 
 	// Tracer, when non-nil, records a span per pipeline stage and per
 	// update. Metrics, when non-nil, resolves the engine's counters,
@@ -188,6 +321,11 @@ type Options struct {
 	Metrics *Metrics
 	Audit   *AuditTrail
 }
+
+// applyOption lets the deprecated struct form participate in the
+// variadic Option API: the struct value replaces the accumulated
+// configuration wholesale.
+func (o Options) applyOption(dst *Options) { *dst = o }
 
 // Pipeline is a live program + configuration pair under incremental
 // specialization.
@@ -202,26 +340,31 @@ type Pipeline struct {
 // Open parses, type-checks and analyzes a program, then runs the
 // initial specialization pass under the empty (device-default)
 // configuration.
-func Open(name, source string, opts Options) (*Pipeline, error) {
+func Open(name, source string, opts ...Option) (*Pipeline, error) {
+	return open(name, source, resolveOptions(opts))
+}
+
+func open(name, source string, o Options) (*Pipeline, error) {
 	s, err := core.NewFromSource(name, source, core.Options{
-		SkipParser:          opts.SkipParser,
-		OverapproxThreshold: opts.OverapproxThreshold,
-		Quality:             opts.Quality,
-		Workers:             opts.Workers,
-		NoCache:             opts.NoCache,
-		Trace:               opts.Tracer,
-		Metrics:             opts.Metrics,
-		Audit:               opts.Audit,
+		SkipParser:          o.SkipParser,
+		OverapproxThreshold: o.OverapproxThreshold,
+		Quality:             o.Quality,
+		Workers:             o.Workers,
+		NoCache:             o.NoCache,
+		RepairInterval:      o.RepairInterval,
+		Trace:               o.Tracer,
+		Metrics:             o.Metrics,
+		Audit:               o.Audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
 		spec:    s,
-		target:  opts.Target,
-		tracer:  opts.Tracer,
-		metrics: opts.Metrics,
-		audit:   opts.Audit,
+		target:  o.Target,
+		tracer:  o.Tracer,
+		metrics: o.Metrics,
+		audit:   o.Audit,
 	}, nil
 }
 
@@ -230,15 +373,16 @@ func Open(name, source string, opts Options) (*Pipeline, error) {
 // of loading a program without shipping P4 source over the wire. The
 // catalog entry's parser accommodation (switch.p4 skips parser
 // analysis) is applied on top of opts.
-func OpenCatalog(name string, opts Options) (*Pipeline, error) {
+func OpenCatalog(name string, opts ...Option) (*Pipeline, error) {
 	p, err := progs.ByName(name)
 	if err != nil {
 		return nil, err
 	}
+	o := resolveOptions(opts)
 	if p.SkipParser {
-		opts.SkipParser = true
+		o.SkipParser = true
 	}
-	return Open(p.Name, p.Source, opts)
+	return open(p.Name, p.Source, o)
 }
 
 // CatalogNames lists the loadable catalog program names.
@@ -268,24 +412,27 @@ func (p *Pipeline) Snapshot() ([]byte, error) { return p.spec.Snapshot() }
 // dictates the verdict-shaping options (quality, overapproximation
 // threshold, parser skipping); runtime options — Target, Workers,
 // NoCache, observability — come from opts. Corrupted or truncated
-// input yields an error, never a panic.
-func Restore(data []byte, opts Options) (*Pipeline, error) {
+// input yields an error satisfying errors.Is(err, ErrSnapshotCorrupt),
+// never a panic.
+func Restore(data []byte, opts ...Option) (*Pipeline, error) {
+	o := resolveOptions(opts)
 	s, err := core.Restore(data, core.Options{
-		Workers: opts.Workers,
-		NoCache: opts.NoCache,
-		Trace:   opts.Tracer,
-		Metrics: opts.Metrics,
-		Audit:   opts.Audit,
+		Workers:        o.Workers,
+		NoCache:        o.NoCache,
+		RepairInterval: o.RepairInterval,
+		Trace:          o.Tracer,
+		Metrics:        o.Metrics,
+		Audit:          o.Audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
 		spec:    s,
-		target:  opts.Target,
-		tracer:  opts.Tracer,
-		metrics: opts.Metrics,
-		audit:   opts.Audit,
+		target:  o.Target,
+		tracer:  o.Tracer,
+		metrics: o.Metrics,
+		audit:   o.Audit,
 	}, nil
 }
 
@@ -316,6 +463,67 @@ func (p *Pipeline) ApplyAll(updates []*Update) []*Decision {
 // group (see core.Specializer.ApplyBatch).
 func (p *Pipeline) ApplyBatch(updates []*Update) []*Decision {
 	return p.spec.ApplyBatch(updates)
+}
+
+// ApplyCtx is Apply with a latency budget: when ctx carries a deadline
+// and the projected precise analysis cost of the update does not fit
+// the remaining budget, the adaptive precision controller degrades the
+// target table to the conservative overapproximated assignment instead
+// of blowing the deadline. The decision then reports Degraded=true, and
+// a background repair goroutine promotes the table back to precise
+// during the next quiescent period. A context already done on entry
+// yields a Rejected decision satisfying
+// errors.Is(d.Err, ErrDeadlineExceeded).
+func (p *Pipeline) ApplyCtx(ctx context.Context, u *Update) *Decision {
+	return p.spec.ApplyCtx(ctx, u)
+}
+
+// ApplyAllCtx is ApplyAll under one shared latency budget: each update
+// runs through ApplyCtx against the same context.
+func (p *Pipeline) ApplyAllCtx(ctx context.Context, updates []*Update) []*Decision {
+	out := make([]*Decision, len(updates))
+	for i, u := range updates {
+		out[i] = p.spec.ApplyCtx(ctx, u)
+	}
+	return out
+}
+
+// ApplyBatchCtx is ApplyBatch with a latency budget: the controller
+// projects the precise cost of every target the batch touches and
+// degrades the most expensive ones until the projection fits the
+// remaining budget.
+func (p *Pipeline) ApplyBatchCtx(ctx context.Context, updates []*Update) []*Decision {
+	return p.spec.ApplyBatchCtx(ctx, updates)
+}
+
+// Close releases the pipeline's background resources (the precision
+// repair goroutine). Updates applied after Close are rejected with
+// ErrClosed; read-only accessors keep working. Close is idempotent.
+func (p *Pipeline) Close() { p.spec.Close() }
+
+// DegradedTables lists the tables currently pinned to the
+// overapproximated assignment by the adaptive precision controller,
+// sorted by name.
+func (p *Pipeline) DegradedTables() []string { return p.spec.DegradedTables() }
+
+// Degrade pins a table to the overapproximated assignment now — the
+// operator-facing form of what the deadline policy does mid-flight.
+// Unknown tables yield an error satisfying
+// errors.Is(err, ErrUnknownTable).
+func (p *Pipeline) Degrade(table string) error { return p.spec.Degrade(table) }
+
+// PromoteAll promotes every degraded table back to the precise
+// assignment now, returning the number of unsound degraded verdicts
+// observed while re-proving (zero on a healthy engine: degraded
+// verdicts are conservative, never wrong).
+func (p *Pipeline) PromoteAll() (unsound int, err error) { return p.spec.PromoteAll() }
+
+// DifferentialCheck re-runs the specialization queries of every point
+// tainted by a degraded table against the precise assignment, without
+// modifying any state, and reports how many installed degraded verdicts
+// disagree unsoundly with the precise answer (must be zero).
+func (p *Pipeline) DifferentialCheck() (checked, unsound int, err error) {
+	return p.spec.DifferentialCheck()
 }
 
 // Statistics returns engine counters (points, update timings,

@@ -1,19 +1,24 @@
 // Package client is the typed Go client for flayd's HTTP/JSON API
 // (internal/wire). It is what the server's end-to-end tests and the
 // flayload generator speak — every call is one request, strictly
-// decoded, with non-2xx responses surfaced as *APIError so callers can
-// react to specific statuses (429 backpressure, 409 conflicts).
+// decoded, with non-2xx responses surfaced as *APIError. An APIError
+// carries the server's machine-readable error code and unwraps to the
+// matching goflay sentinel, so errors.Is(err, goflay.ErrBackpressure)
+// and friends classify failures across the HTTP boundary without
+// string matching.
 package client
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/flayerr"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -22,16 +27,27 @@ import (
 type APIError struct {
 	Status int
 	Msg    string
+	// Code is the server's machine-readable error classification
+	// (wire.Code*), empty when the server did not classify.
+	Code string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("flayd: HTTP %d: %s", e.Status, e.Msg)
 }
 
-// IsStatus reports whether err is an APIError with the given status.
+// Unwrap maps the wire code back to the goflay sentinel it stands for,
+// making errors.Is work through an APIError. Unclassified errors unwrap
+// to nil.
+func (e *APIError) Unwrap() error {
+	return wire.SentinelOf(e.Code)
+}
+
+// IsStatus reports whether err is (or wraps) an APIError with the given
+// status.
 func IsStatus(err error, status int) bool {
-	ae, ok := err.(*APIError)
-	return ok && ae.Status == status
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == status
 }
 
 // Client talks to one flayd instance.
@@ -82,7 +98,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		if err := wire.Decode(resp.Body, 1<<20, &we); err == nil && we.Error != "" {
 			msg = we.Error
 		}
-		return &APIError{Status: resp.StatusCode, Msg: msg}
+		return &APIError{Status: resp.StatusCode, Msg: msg, Code: we.Code}
 	}
 	if out == nil {
 		return nil
@@ -121,18 +137,38 @@ func (c *Client) DeleteSession(name string) error {
 // wire.ModeBatch, or "" for the mode-by-count default), returning one
 // decision per update.
 func (c *Client) Write(name, mode string, updates []*controlplane.Update) (wire.WriteResponse, error) {
+	return c.WriteDeadline(name, mode, updates, 0)
+}
+
+// WriteDeadline is Write with a per-request latency budget: deadline
+// (rounded up to a whole millisecond, 0 = none) travels as the wire
+// deadline_ms field, and the server's engine may degrade table
+// precision to honor it — affected decisions come back with
+// Precision == "degraded".
+func (c *Client) WriteDeadline(name, mode string, updates []*controlplane.Update, deadline time.Duration) (wire.WriteResponse, error) {
 	req := wire.WriteRequest{Mode: mode, Updates: wire.FromUpdates(updates)}
+	if deadline > 0 {
+		req.DeadlineMS = int64((deadline + time.Millisecond - 1) / time.Millisecond)
+	}
 	var resp wire.WriteResponse
 	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/updates", &req, &resp)
 	return resp, err
 }
 
 // WriteRetry is Write plus bounded retries on 429 backpressure, backing
-// off linearly (attempt * step). Other errors return immediately.
+// off linearly (attempt * step). Other errors return immediately; after
+// the last attempt the 429's *APIError is returned, satisfying
+// errors.Is(err, goflay.ErrBackpressure).
 func (c *Client) WriteRetry(name, mode string, updates []*controlplane.Update, attempts int, step time.Duration) (wire.WriteResponse, int, error) {
+	return c.WriteRetryDeadline(name, mode, updates, 0, attempts, step)
+}
+
+// WriteRetryDeadline is WriteRetry with a per-request latency budget
+// (see WriteDeadline).
+func (c *Client) WriteRetryDeadline(name, mode string, updates []*controlplane.Update, deadline time.Duration, attempts int, step time.Duration) (wire.WriteResponse, int, error) {
 	retries := 0
 	for {
-		resp, err := c.Write(name, mode, updates)
+		resp, err := c.WriteDeadline(name, mode, updates, deadline)
 		if err == nil || !IsStatus(err, http.StatusTooManyRequests) || retries >= attempts {
 			return resp, retries, err
 		}
@@ -226,14 +262,18 @@ func (c *Client) Health() (wire.HealthResponse, error) {
 }
 
 // WaitReady polls /healthz until the daemon answers or the deadline
-// passes — the load generator's startup handshake.
+// passes — the load generator's startup handshake. A daemon that never
+// becomes ready yields an error satisfying
+// errors.Is(err, goflay.ErrDeadlineExceeded) (the last health-check
+// failure stays in the message).
 func (c *Client) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		if _, err := c.Health(); err == nil {
 			return nil
 		} else if time.Now().After(deadline) {
-			return fmt.Errorf("client: daemon not ready after %v: %w", timeout, err)
+			return fmt.Errorf("client: daemon not ready after %v (%v): %w",
+				timeout, err, flayerr.ErrDeadlineExceeded)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

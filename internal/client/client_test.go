@@ -1,0 +1,214 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/flayerr"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// writeWireError answers with a classified wire.ErrorResponse, the way
+// flayd's errorErr helper does.
+func writeWireError(w http.ResponseWriter, status int, msg, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: msg, Code: code})
+}
+
+// testUpdates is a minimal valid insert, enough to survive the wire
+// round trip.
+func testUpdates() []*controlplane.Update {
+	return []*controlplane.Update{{
+		Kind:  controlplane.InsertEntry,
+		Table: "acl",
+		Entry: &controlplane.TableEntry{
+			Action: "drop",
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchExact, Value: sym.NewBV(8, 1)},
+			},
+		},
+	}}
+}
+
+// TestWaitReadyNeverReady pins the startup-handshake timeout path: a
+// daemon that never answers /healthz healthily must yield a typed
+// deadline error within bounded time, not hang.
+func TestWaitReadyNeverReady(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeWireError(w, http.StatusServiceUnavailable, "warming up", "")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	start := time.Now()
+	err := c.WaitReady(200 * time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against a never-ready daemon")
+	}
+	if !errors.Is(err, flayerr.ErrDeadlineExceeded) {
+		t.Fatalf("WaitReady error = %v, want errors.Is ErrDeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("WaitReady took %v, want bounded by ~timeout", elapsed)
+	}
+}
+
+// TestWaitReadyUnreachable covers the connection-refused variant of the
+// same path (no HTTP response at all).
+func TestWaitReadyUnreachable(t *testing.T) {
+	c := New("http://127.0.0.1:1") // reserved port: connect always fails
+	err := c.WaitReady(150 * time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against an unreachable daemon")
+	}
+	if !errors.Is(err, flayerr.ErrDeadlineExceeded) {
+		t.Fatalf("WaitReady error = %v, want errors.Is ErrDeadlineExceeded", err)
+	}
+}
+
+// TestWriteRetrySustainedBackpressure pins the retry loop against a
+// server that answers 429 forever: the client must make exactly
+// attempts retries, return the typed backpressure error, and not hang.
+func TestWriteRetrySustainedBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeWireError(w, http.StatusTooManyRequests, "session queue full", wire.CodeBackpressure)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	const attempts = 3
+	done := make(chan struct{})
+	var resp wire.WriteResponse
+	var retries int
+	var err error
+	go func() {
+		defer close(done)
+		resp, retries, err = c.WriteRetry("s", wire.ModeSingle, testUpdates(), attempts, time.Millisecond)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WriteRetry hung under sustained 429s")
+	}
+
+	if err == nil {
+		t.Fatalf("WriteRetry succeeded, want 429 error (resp %+v)", resp)
+	}
+	if !IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("WriteRetry error = %v, want status 429", err)
+	}
+	if !errors.Is(err, flayerr.ErrBackpressure) {
+		t.Fatalf("WriteRetry error = %v, want errors.Is ErrBackpressure", err)
+	}
+	if retries != attempts {
+		t.Fatalf("retries = %d, want %d", retries, attempts)
+	}
+	if got := calls.Load(); got != attempts+1 {
+		t.Fatalf("server saw %d calls, want %d (1 initial + %d retries)", got, attempts+1, attempts)
+	}
+}
+
+// TestAPIErrorUnwrapsSentinels pins the code→sentinel mapping through
+// the client: each classified ErrorResponse must satisfy errors.Is for
+// its goflay sentinel after the HTTP round trip.
+func TestAPIErrorUnwrapsSentinels(t *testing.T) {
+	cases := []struct {
+		code     string
+		status   int
+		sentinel error
+	}{
+		{wire.CodeUnknownTable, http.StatusBadRequest, flayerr.ErrUnknownTable},
+		{wire.CodeClosed, http.StatusServiceUnavailable, flayerr.ErrClosed},
+		{wire.CodeDeadlineExceeded, http.StatusGatewayTimeout, flayerr.ErrDeadlineExceeded},
+		{wire.CodeSnapshotCorrupt, http.StatusUnprocessableEntity, flayerr.ErrSnapshotCorrupt},
+		{wire.CodeBackpressure, http.StatusTooManyRequests, flayerr.ErrBackpressure},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				writeWireError(w, tc.status, tc.code, tc.code)
+			}))
+			defer srv.Close()
+
+			_, err := New(srv.URL).Stats("s")
+			if err == nil {
+				t.Fatal("Stats succeeded, want error")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want errors.Is %v", err, tc.sentinel)
+			}
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Code != tc.code || ae.Status != tc.status {
+				t.Fatalf("APIError = %+v, want code %q status %d", ae, tc.code, tc.status)
+			}
+		})
+	}
+}
+
+// TestAPIErrorUnclassified: errors without a wire code still behave
+// (Unwrap nil, no false sentinel matches).
+func TestAPIErrorUnclassified(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Stats("s")
+	if err == nil {
+		t.Fatal("Stats succeeded, want error")
+	}
+	if !IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("err = %v, want status 500", err)
+	}
+	for _, sentinel := range []error{
+		flayerr.ErrUnknownTable, flayerr.ErrClosed, flayerr.ErrDeadlineExceeded,
+		flayerr.ErrSnapshotCorrupt, flayerr.ErrBackpressure,
+	} {
+		if errors.Is(err, sentinel) {
+			t.Fatalf("unclassified err matched sentinel %v", sentinel)
+		}
+	}
+}
+
+// TestWriteDeadlineWire pins the deadline_ms encoding: sub-millisecond
+// budgets round up, zero means absent.
+func TestWriteDeadlineWire(t *testing.T) {
+	var got atomic.Int64
+	got.Store(-1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req wire.WriteRequest
+		if err := wire.Decode(r.Body, wire.DefaultMaxBody, &req); err != nil {
+			writeWireError(w, http.StatusBadRequest, err.Error(), "")
+			return
+		}
+		got.Store(req.DeadlineMS)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(wire.WriteResponse{})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	if _, err := c.WriteDeadline("s", wire.ModeSingle, testUpdates(), 1500*time.Microsecond); err != nil {
+		t.Fatalf("WriteDeadline: %v", err)
+	}
+	if ms := got.Load(); ms != 2 {
+		t.Fatalf("deadline_ms = %d, want 2 (1.5ms rounded up)", ms)
+	}
+	if _, err := c.Write("s", wire.ModeSingle, testUpdates()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if ms := got.Load(); ms != 0 {
+		t.Fatalf("deadline_ms = %d, want 0 when no budget set", ms)
+	}
+}

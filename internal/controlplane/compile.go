@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataplane"
+	"repro/internal/flayerr"
 	"repro/internal/sym"
 	"sort"
 )
@@ -94,18 +95,31 @@ type Env = map[*sym.Expr]*sym.Expr
 // CompileTable builds the control-plane assignment for one table: the
 // selector, hit and parameter placeholders become expressions over the
 // table's key expressions (Fig. 5b). Past the overapproximation
-// threshold, placeholders become fresh unconstrained data variables —
-// the paper's "*any*" assignment.
+// threshold — or while the table is pinned by ForceOverapprox —
+// placeholders become fresh unconstrained data variables — the paper's
+// "*any*" assignment.
 func (c *Config) CompileTable(b *sym.Builder, table string) (Env, CompileStats, error) {
+	return c.compileTable(b, table, c.Overapproximated(table))
+}
+
+// CompileTablePrecise builds the assignment the table would have
+// without any ForceOverapprox pin — the reference the adaptive
+// precision controller's differential check compares degraded verdicts
+// against. The static entry-count threshold still applies.
+func (c *Config) CompileTablePrecise(b *sym.Builder, table string) (Env, CompileStats, error) {
+	return c.compileTable(b, table, len(c.tables[table]) > c.threshold())
+}
+
+func (c *Config) compileTable(b *sym.Builder, table string, overapprox bool) (Env, CompileStats, error) {
 	ti, ok := c.Analysis.Tables[table]
 	if !ok {
-		return nil, CompileStats{}, fmt.Errorf("controlplane: unknown table %s", table)
+		return nil, CompileStats{}, fmt.Errorf("controlplane: %w %s", flayerr.ErrUnknownTable, table)
 	}
 	env := make(Env)
 	stats := CompileStats{Installed: len(c.tables[table])}
 	c.met.compiles.Inc()
 
-	if stats.Installed > c.threshold() {
+	if overapprox {
 		stats.Overapproximate = true
 		c.met.overapprox.Inc()
 		env[ti.ActionVar] = b.Data(ti.Name+".$action.any", 8)

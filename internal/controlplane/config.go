@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataplane"
+	"repro/internal/flayerr"
 	"repro/internal/p4/ast"
 	"repro/internal/sym"
 )
@@ -128,6 +129,11 @@ type Config struct {
 	regFills  map[string]sym.BV
 	seq       int
 
+	// forced marks tables pinned to the overapproximated ("*any*")
+	// assignment regardless of their entry count — the adaptive
+	// precision controller's degradation switch (core deadline.go).
+	forced map[string]bool
+
 	// met holds the optional observability instruments (SetObserver);
 	// the zero value is disabled.
 	met cpMetrics
@@ -158,6 +164,33 @@ func (c *Config) threshold() int {
 	default:
 		return DefaultOverapproxThreshold
 	}
+}
+
+// ForceOverapprox pins (on) or unpins (off) a table to the
+// overapproximated assignment, independent of the entry-count
+// threshold. It only changes how CompileTable renders the table; the
+// installed entries are untouched, so unpinning restores the precise
+// assignment exactly.
+func (c *Config) ForceOverapprox(table string, on bool) {
+	if on {
+		if c.forced == nil {
+			c.forced = make(map[string]bool)
+		}
+		c.forced[table] = true
+		return
+	}
+	delete(c.forced, table)
+}
+
+// ForcedOverapprox reports whether a table is pinned to the
+// overapproximated assignment by ForceOverapprox.
+func (c *Config) ForcedOverapprox(table string) bool { return c.forced[table] }
+
+// Overapproximated reports whether CompileTable will render the table's
+// assignment as "*any*": either its entry count exceeds the threshold,
+// or the precision controller pinned it.
+func (c *Config) Overapproximated(table string) bool {
+	return c.forced[table] || len(c.tables[table]) > c.threshold()
 }
 
 // Entries returns the installed entries of a table (not the active set;
@@ -266,7 +299,7 @@ func (c *Config) applyInner(u *Update) error {
 	case InsertEntry, ModifyEntry, DeleteEntry:
 		ti, ok := c.Analysis.Tables[u.Table]
 		if !ok {
-			return fmt.Errorf("controlplane: unknown table %s", u.Table)
+			return fmt.Errorf("controlplane: %w %s", flayerr.ErrUnknownTable, u.Table)
 		}
 		if u.Entry == nil {
 			return fmt.Errorf("controlplane: %s on %s without an entry", u.Kind, u.Table)
@@ -308,7 +341,7 @@ func (c *Config) applyInner(u *Update) error {
 	case SetDefault:
 		ti, ok := c.Analysis.Tables[u.Table]
 		if !ok {
-			return fmt.Errorf("controlplane: unknown table %s", u.Table)
+			return fmt.Errorf("controlplane: %w %s", flayerr.ErrUnknownTable, u.Table)
 		}
 		ai := actionInfo(ti, u.Default.Name)
 		if ai == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/controlplane"
@@ -30,8 +31,19 @@ import (
 //
 // A nil or empty slice is a no-op that still counts one batch.
 func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
+	return s.ApplyBatchCtx(context.Background(), updates)
+}
+
+// ApplyBatchCtx is ApplyBatch with a latency budget: when ctx carries a
+// deadline, the adaptive precision controller (deadline.go) projects
+// the precise analysis cost of every target the batch touches and
+// degrades the most expensive degradable ones until the projected total
+// fits the remaining budget. A context already done on entry rejects
+// every update without touching any state.
+func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane.Update) []*Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.lastApply.Store(time.Now().UnixNano())
 	s.stats.Batches++
 	s.met.batches.Inc()
 	if len(updates) == 0 {
@@ -39,6 +51,26 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 	}
 	batchNo := s.stats.Batches
 	t0 := time.Now()
+	if err := s.admit(ctx); err != nil {
+		// Admission failed: every update is rejected before any
+		// configuration state is touched.
+		decisions := make([]*Decision, len(updates))
+		s.stats.BatchedUpdates += len(updates)
+		s.met.batchedUpdates.Add(int64(len(updates)))
+		for i, u := range updates {
+			s.stats.Updates++
+			s.met.updates.Inc()
+			s.stats.Rejected++
+			d := &Decision{Update: u, Kind: Rejected, Err: err, Elapsed: time.Since(t0)}
+			decisions[i] = d
+			s.met.decisionCounter(Rejected).Inc()
+			s.met.updateNS.ObserveDuration(d.Elapsed)
+			if s.audit != nil {
+				s.audit.Append(auditRecord(d, s.stats.Updates, batchNo, 0, nil))
+			}
+		}
+		return decisions
+	}
 	s.stats.BatchedUpdates += len(updates)
 	s.met.batchedUpdates.Add(int64(len(updates)))
 	decisions := make([]*Decision, len(updates))
@@ -130,8 +162,14 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 		return finish()
 	}
 
+	// Deadline policy (deadline.go): degrade the most expensive
+	// degradable targets until the batch's projected precise cost fits
+	// the remaining budget, before any assignment is compiled.
+	s.shedForBatch(ctx, order)
+
 	// Phase 2: recompile each touched target's assignment once,
 	// regardless of how many updates of the batch hit it.
+	tc := time.Now()
 	csp := s.trace.Start("assign-compile", bsp)
 	live := make([]string, 0, len(order))
 	for _, target := range order {
@@ -164,6 +202,17 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 	evalElapsed := time.Since(te)
 	s.stats.EvalTime += evalElapsed
 	s.met.evalNS.ObserveDuration(evalElapsed)
+	// Feed the cost estimator: the pass's per-point cost stands in for
+	// each precisely compiled target (degraded and statically
+	// overapproximated targets ran the flat path and are skipped).
+	if n := len(allPts); n > 0 {
+		per := float64(time.Since(tc).Nanoseconds()) / float64(n)
+		for _, target := range live {
+			if !s.Cfg.Overapproximated(target) {
+				s.observePerPoint(target, per)
+			}
+		}
+	}
 	changedSet := make(map[int]bool, len(changedIDs))
 	for _, id := range changedIDs {
 		changedSet[id] = true
@@ -182,6 +231,11 @@ func (s *Specializer) ApplyBatch(updates []*controlplane.Update) []*Decision {
 		g := groups[target]
 		if g.rejected {
 			continue
+		}
+		if _, deg := s.degraded[target]; deg {
+			for _, d := range g.decisions {
+				d.Degraded = true
+			}
 		}
 		tpts := s.An.PointsOf(target)
 		var gchanged []int

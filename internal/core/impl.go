@@ -173,8 +173,8 @@ func actionIsNop(ai *dataplane.ActionInfo) bool {
 func (s *Specializer) idealMatchKinds(table string) []ast.MatchKind {
 	ti := s.An.Tables[table]
 	kinds := append([]ast.MatchKind(nil), ti.KeyMatch...)
-	if s.Cfg.NumEntries(table) > s.Cfg.Threshold() {
-		return kinds // overapproximated: keep the declaration
+	if s.Cfg.Overapproximated(table) {
+		return kinds // overapproximated (or degraded): keep the declaration
 	}
 	active, _ := s.Cfg.ActiveEntries(table)
 	if len(active) == 0 {

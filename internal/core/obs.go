@@ -33,6 +33,13 @@ type coreMetrics struct {
 	points       *obs.Gauge // program points under management
 	tables       *obs.Gauge // tables under management
 	cacheEntries *obs.Gauge // live query-cache entries
+
+	// Adaptive precision controller (deadline.go).
+	degradations    *obs.Counter // tables degraded to overapproximation
+	promotions      *obs.Counter // tables promoted back to precise
+	unsoundDegraded *obs.Counter // unsound degraded verdicts (must stay 0)
+	diffChecks      *obs.Counter // differential-check passes completed
+	degradedTables  *obs.Gauge   // currently degraded tables
 }
 
 // newCoreMetrics resolves the engine instruments from a registry; a nil
@@ -60,6 +67,11 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		points:          r.Gauge("core.points"),
 		tables:          r.Gauge("core.tables"),
 		cacheEntries:    r.Gauge("core.cache_entries"),
+		degradations:    r.Counter("core.degradations"),
+		promotions:      r.Counter("core.promotions"),
+		unsoundDegraded: r.Counter("core.unsound_degraded"),
+		diffChecks:      r.Counter("core.diff_checks"),
+		degradedTables:  r.Gauge("core.degraded_tables"),
 	}
 }
 
@@ -101,6 +113,9 @@ func auditRecord(d *Decision, seq, batch, workers int, changes []obs.PointChange
 		ImplChange: d.ImplementationChange,
 		ElapsedNS:  d.Elapsed.Nanoseconds(),
 		Workers:    workers,
+	}
+	if d.Degraded {
+		rec.Precision = "degraded"
 	}
 	if d.Err != nil {
 		rec.Err = d.Err.Error()

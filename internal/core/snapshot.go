@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/dataplane"
+	"repro/internal/flayerr"
 	"repro/internal/p4/parser"
 	"repro/internal/p4/typecheck"
 	"repro/internal/sym"
@@ -39,8 +40,10 @@ import (
 // corruption; FuzzSnapshot holds it to that.
 
 // snapMagic identifies snapshot bytes; the trailing byte is the format
-// version.
-var snapMagic = []byte("goflay-snap\x01")
+// version. Version 2 added the adaptive-precision sections: the
+// degraded-table set (after the threshold) and three more cumulative
+// counters (degradations, promotions, unsound degraded verdicts).
+var snapMagic = []byte("goflay-snap\x02")
 
 // snapMaxWitnessVars bounds decoded witness tables against hostile
 // length prefixes.
@@ -74,7 +77,8 @@ type snapReader struct {
 
 func (r *snapReader) fail(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("core: snapshot: "+format, args...)
+		r.err = fmt.Errorf("core: %w: "+format,
+			append([]any{flayerr.ErrSnapshotCorrupt}, args...)...)
 	}
 }
 
@@ -195,6 +199,16 @@ func (s *Specializer) Snapshot() ([]byte, error) {
 	w.u(uint64(s.quality))
 	w.i(int64(s.Cfg.OverapproxThreshold))
 
+	// The degraded-table set (adaptive precision controller): names with
+	// causes, sorted, so a restored engine resumes with the same tables
+	// pinned to the overapproximation and the repair loop re-armed.
+	degraded := sortedKeys(s.degraded)
+	w.n(len(degraded))
+	for _, name := range degraded {
+		w.str(name)
+		w.str(s.degraded[name])
+	}
+
 	writeConfigState(w, s.Cfg.State())
 
 	// Cumulative counters, so sequence numbers (and with them audit
@@ -206,6 +220,7 @@ func (s *Specializer) Snapshot() ([]byte, error) {
 		int64(st.Coalesced),
 		int64(st.AnalysisTime), int64(st.PreprocessTime),
 		int64(st.UpdateTime), int64(st.EvalTime),
+		int64(st.Degradations), int64(st.Promotions), s.unsound.Load(),
 	} {
 		w.i(v)
 	}
@@ -528,18 +543,19 @@ func readCache(r *snapReader, points int) *queryCache {
 // from opts.
 func Restore(data []byte, opts Options) (*Specializer, error) {
 	if len(data) < len(snapMagic)+8 {
-		return nil, fmt.Errorf("core: snapshot: input too short")
+		return nil, fmt.Errorf("core: %w: input too short", flayerr.ErrSnapshotCorrupt)
 	}
 	for i, b := range snapMagic {
 		if data[i] != b {
-			return nil, fmt.Errorf("core: snapshot: bad magic (not a goflay snapshot, or wrong version)")
+			return nil, fmt.Errorf("core: %w: bad magic (not a goflay snapshot, or wrong version)",
+				flayerr.ErrSnapshotCorrupt)
 		}
 	}
 	payload := data[len(snapMagic) : len(data)-8]
 	sum := fnv.New64a()
 	sum.Write(payload)
 	if got := binary.BigEndian.Uint64(data[len(data)-8:]); got != sum.Sum64() {
-		return nil, fmt.Errorf("core: snapshot: checksum mismatch (corrupted input)")
+		return nil, fmt.Errorf("core: %w: checksum mismatch", flayerr.ErrSnapshotCorrupt)
 	}
 
 	r := &snapReader{buf: payload}
@@ -548,11 +564,16 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	flags := r.u()
 	quality := Quality(r.u())
 	threshold := int(r.i())
+	ndeg := r.n()
+	degraded := make(map[string]string, ndeg)
+	for i := 0; i < ndeg && r.err == nil; i++ {
+		degraded[r.str()] = r.str()
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
 	if quality > QualityNone {
-		return nil, fmt.Errorf("core: snapshot: invalid quality %d", quality)
+		return nil, fmt.Errorf("core: %w: invalid quality %d", flayerr.ErrSnapshotCorrupt, quality)
 	}
 
 	root := opts.Trace.Start("restore", 0)
@@ -591,22 +612,38 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 		return nil, fmt.Errorf("core: snapshot: %w", err)
 	}
 
-	s := &Specializer{
-		Prog:    prog,
-		Info:    info,
-		An:      an,
-		Cfg:     cfg,
-		source:  source,
-		impls:   make(map[string]*tableImpl),
-		quality: quality,
-		workers: opts.Workers,
-		trace:   opts.Trace,
-		audit:   opts.Audit,
-		met:     newCoreMetrics(opts.Metrics),
-		symMet:  sym.NewSolverMetrics(opts.Metrics),
+	// Re-pin the degraded tables before initState so their assignments
+	// compile overapproximated — the state the saved verdicts were
+	// computed under.
+	for tname := range degraded {
+		if an.Tables[tname] == nil {
+			return nil, fmt.Errorf("core: %w: degraded table %q not in program",
+				flayerr.ErrSnapshotCorrupt, tname)
+		}
+		cfg.ForceOverapprox(tname, true)
 	}
 
-	var counters [11]int64
+	s := &Specializer{
+		Prog:     prog,
+		Info:     info,
+		An:       an,
+		Cfg:      cfg,
+		source:   source,
+		impls:    make(map[string]*tableImpl),
+		quality:  quality,
+		workers:  opts.Workers,
+		trace:    opts.Trace,
+		audit:    opts.Audit,
+		met:      newCoreMetrics(opts.Metrics),
+		symMet:   sym.NewSolverMetrics(opts.Metrics),
+		repair:   opts.RepairInterval,
+		closedCh: make(chan struct{}),
+	}
+	if len(degraded) > 0 {
+		s.degraded = degraded
+	}
+
+	var counters [14]int64
 	for i := range counters {
 		counters[i] = r.i()
 	}
@@ -625,7 +662,8 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 		return nil, r.err
 	}
 	if nv != len(an.Points) {
-		return nil, fmt.Errorf("core: snapshot: %d verdicts for %d program points", nv, len(an.Points))
+		return nil, fmt.Errorf("core: %w: %d verdicts for %d program points",
+			flayerr.ErrSnapshotCorrupt, nv, len(an.Points))
 	}
 	for i := 0; i < nv; i++ {
 		kind := VerdictKind(r.u())
@@ -634,7 +672,7 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 			return nil, r.err
 		}
 		if kind > VerdictVaries {
-			return nil, fmt.Errorf("core: snapshot: invalid verdict kind %d", kind)
+			return nil, fmt.Errorf("core: %w: invalid verdict kind %d", flayerr.ErrSnapshotCorrupt, kind)
 		}
 		s.verdicts[i] = Verdict{Kind: kind, Val: val}
 	}
@@ -650,7 +688,7 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 		s.cache = cache
 	}
 	if len(r.buf) != 0 {
-		return nil, fmt.Errorf("core: snapshot: %d trailing bytes", len(r.buf))
+		return nil, fmt.Errorf("core: %w: %d trailing bytes", flayerr.ErrSnapshotCorrupt, len(r.buf))
 	}
 
 	// Installed implementations: at rest the engine's invariant is
@@ -682,6 +720,14 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 		Coalesced:      int(counters[6]),
 		UpdateTime:     time.Duration(counters[9]),
 		EvalTime:       time.Duration(counters[10]),
+		Degradations:   int(counters[11]),
+		Promotions:     int(counters[12]),
+		DegradedTables: len(degraded),
 	}
+	s.unsound.Store(counters[13])
+	s.met.degradedTables.Set(int64(len(degraded)))
+	// A restored engine with degraded tables resumes repair where the
+	// snapshotting one left off.
+	s.ensureRepairLocked()
 	return s, nil
 }

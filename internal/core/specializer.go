@@ -8,8 +8,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/controlplane"
@@ -103,6 +105,12 @@ type Decision struct {
 	// Elapsed is the update-analysis wall time (the paper's "update
 	// analysis time", Tbl. 2/3).
 	Elapsed time.Duration
+	// Degraded marks a decision evaluated under a degraded assignment:
+	// the adaptive precision controller (deadline.go) pinned the target
+	// to the overapproximation, so the verdict is conservative rather
+	// than precise ("precision":"degraded" on the wire and in the audit
+	// trail).
+	Degraded bool
 	// Err is set for Rejected decisions.
 	Err error
 }
@@ -176,6 +184,14 @@ type Options struct {
 	// equivalence.
 	NoCache bool
 
+	// RepairInterval paces the adaptive precision controller's
+	// background repair goroutine (deadline.go): after RepairInterval of
+	// quiescence, degraded tables are differentially checked and
+	// promoted back to precise, one per tick. Zero selects the default
+	// (100ms); negative disables background repair (promotion then only
+	// happens through PromoteAll).
+	RepairInterval time.Duration
+
 	// Trace, when set, records structured spans for every pipeline stage
 	// (parse → dataflow → taint → query → pass). Metrics, when set,
 	// resolves the engine's counters, gauges and latency histograms.
@@ -219,6 +235,12 @@ type Stats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+
+	// Adaptive precision controller counters (deadline.go).
+	Degradations    int // tables degraded to overapproximation
+	Promotions      int // tables promoted back to precise
+	DegradedTables  int // tables currently degraded
+	UnsoundDegraded int // unsound degraded verdicts observed (must be 0)
 }
 
 // Specializer is the incremental specializing compiler.
@@ -282,6 +304,21 @@ type Specializer struct {
 	cache     *queryCache
 	pointDeps [][]string
 	targetFp  map[string]uint64
+
+	// Adaptive precision controller state (deadline.go). costNS is the
+	// per-target EWMA of precise analysis cost per tainted point (ns),
+	// costGlobalNS the engine-wide fallback; degraded maps each
+	// currently degraded table to its cause; repair is the configured
+	// repair interval and repairOn whether the repair goroutine is live.
+	costNS       map[string]float64
+	costGlobalNS float64
+	degraded     map[string]string
+	repair       time.Duration
+	repairOn     bool
+	unsound      atomic.Int64 // unsound degraded verdicts ever observed
+	lastApply    atomic.Int64 // unix ns of the last mutating call (quiescence)
+	closedCh     chan struct{}
+	closeOnce    sync.Once
 }
 
 // New builds a Specializer from parsed+checked inputs: it runs the
@@ -306,17 +343,19 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 	cfg.OverapproxThreshold = opts.OverapproxThreshold
 	cfg.SetObserver(opts.Metrics)
 	s := &Specializer{
-		Prog:    prog,
-		Info:    info,
-		An:      an,
-		Cfg:     cfg,
-		impls:   make(map[string]*tableImpl),
-		quality: opts.Quality,
-		workers: opts.Workers,
-		trace:   opts.Trace,
-		audit:   opts.Audit,
-		met:     newCoreMetrics(opts.Metrics),
-		symMet:  sym.NewSolverMetrics(opts.Metrics),
+		Prog:     prog,
+		Info:     info,
+		An:       an,
+		Cfg:      cfg,
+		impls:    make(map[string]*tableImpl),
+		quality:  opts.Quality,
+		workers:  opts.Workers,
+		trace:    opts.Trace,
+		audit:    opts.Audit,
+		met:      newCoreMetrics(opts.Metrics),
+		symMet:   sym.NewSolverMetrics(opts.Metrics),
+		repair:   opts.RepairInterval,
+		closedCh: make(chan struct{}),
 	}
 	if !opts.NoCache {
 		s.cache = newQueryCache(len(an.Points))
@@ -414,6 +453,8 @@ func (s *Specializer) Statistics() Stats {
 		st.CacheMisses = s.cache.misses.Load()
 		st.CacheEvictions = s.cache.evictions.Load()
 	}
+	st.DegradedTables = len(s.degraded)
+	st.UnsoundDegraded = int(s.unsound.Load())
 	return st
 }
 
@@ -601,14 +642,28 @@ func (s *Specializer) queryPoint(sh *evalShard, p *dataplane.Point, sub *sym.Exp
 
 // Apply processes one control-plane update: validate, route through the
 // taint map, re-evaluate only the affected points, and decide Forward
-// vs Recompile (paper Fig. 2).
+// vs Recompile (paper Fig. 2). Equivalent to ApplyCtx with a background
+// context (no latency budget: the analysis always runs precise).
 func (s *Specializer) Apply(u *controlplane.Update) *Decision {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(u)
+	return s.ApplyCtx(context.Background(), u)
 }
 
-func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
+// ApplyCtx is Apply with a latency budget: when ctx carries a deadline
+// and the projected precise analysis cost of the update does not fit
+// the remaining budget, the adaptive precision controller (deadline.go)
+// degrades the target table to the overapproximated assignment before
+// analysing — keeping the call under its budget at the price of a
+// conservative (never wrong) verdict. A context that is already done on
+// entry rejects the update with flayerr.ErrDeadlineExceeded (or the
+// cancellation cause) without touching any state.
+func (s *Specializer) ApplyCtx(ctx context.Context, u *controlplane.Update) *Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.lastApply.Store(time.Now().UnixNano())
+	return s.applyLocked(ctx, u)
+}
+
+func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *Decision {
 	t0 := time.Now()
 	d := &Decision{Update: u}
 	s.stats.Updates++
@@ -630,6 +685,15 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 			s.audit.Append(auditRecord(d, seq, 0, workers, s.lastChanges))
 		}
 	}()
+	// Admission: a closed engine or an already-exhausted budget rejects
+	// the update before any configuration state is touched.
+	if err := s.admit(ctx); err != nil {
+		s.stats.Rejected++
+		d.Kind = Rejected
+		d.Err = err
+		d.Elapsed = time.Since(t0)
+		return d
+	}
 	if err := s.Cfg.Apply(u); err != nil {
 		s.stats.Rejected++
 		d.Kind = Rejected
@@ -649,8 +713,19 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 		return d
 	}
 
+	// Deadline policy (deadline.go): if the projected precise analysis
+	// cost of this update does not fit the remaining budget, pin the
+	// target to the overapproximated assignment before compiling, so the
+	// expensive precise ite chain is never built.
+	pts := s.An.PointsOf(target)
+	s.maybeDegrade(ctx, target, len(pts))
+	if _, deg := s.degraded[target]; deg {
+		d.Degraded = true
+	}
+
 	// Recompile the assignment for the touched object only; the rest of
 	// the environment is unchanged.
+	tc := time.Now()
 	csp := s.trace.Start("assign-compile", sp)
 	err := s.recompileTarget(target)
 	s.trace.End(csp)
@@ -664,7 +739,6 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 
 	// Taint lookup → affected points → re-query, fanned out over the
 	// worker pool when the update taints enough points.
-	pts := s.An.PointsOf(target)
 	d.AffectedPoints = len(pts)
 	te := time.Now()
 	qsp := s.trace.Start("query", sp)
@@ -675,6 +749,12 @@ func (s *Specializer) applyLocked(u *controlplane.Update) *Decision {
 	evalElapsed := time.Since(te)
 	s.stats.EvalTime += evalElapsed
 	s.met.evalNS.ObserveDuration(evalElapsed)
+	// A precise pass (assignment compile + re-evaluation) feeds the
+	// cost estimator; degraded and statically overapproximated passes
+	// run the flat path and would poison it.
+	if !s.Cfg.Overapproximated(target) {
+		s.observeCost(target, time.Since(tc), len(pts))
+	}
 
 	// Implementation-assumption check: a narrowed implementation may be
 	// invalidated by an update even when no query verdict flips (the

@@ -35,7 +35,11 @@ type AuditRecord struct {
 	ImplChange string        `json:"impl_change,omitempty"`
 	ElapsedNS  int64         `json:"elapsed_ns"`
 	Workers    int           `json:"workers"`
-	Err        string        `json:"error,omitempty"`
+	// Precision marks decisions evaluated under a degraded
+	// (deadline-forced overapproximated) assignment, and the adaptive
+	// precision controller's own degrade/promote transition records.
+	Precision string `json:"precision,omitempty"`
+	Err       string `json:"error,omitempty"`
 }
 
 // Trail is the decision audit trail: an append-only, optionally bounded

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	goflay "repro"
 	"repro/internal/obs"
@@ -157,6 +158,43 @@ func TestCloseDrainsAcceptedWrites(t *testing.T) {
 }
 
 // TestConfigDefaults pins the zero-value Config normalization.
+// TestServeCtxEarliestDeadlineWins: a coalesced round's context must
+// carry the most impatient member's deadline; a round with no deadlines
+// gets a plain background context.
+func TestServeCtxEarliestDeadlineWins(t *testing.T) {
+	ctx, cancel := serveCtx([]*writeReq{{}, {}})
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("deadline-free round got a context deadline")
+	}
+
+	near := time.Now().Add(10 * time.Millisecond)
+	far := time.Now().Add(10 * time.Second)
+	ctx2, cancel2 := serveCtx([]*writeReq{{deadline: far}, {deadline: near}, {}})
+	defer cancel2()
+	got, ok := ctx2.Deadline()
+	if !ok || !got.Equal(near) {
+		t.Fatalf("round deadline = %v (ok=%v), want earliest %v", got, ok, near)
+	}
+}
+
+// TestPressured: the load-shedding trigger fires at half queue
+// occupancy, not before.
+func TestPressured(t *testing.T) {
+	sess := &Session{queue: make(chan *writeReq, 4)}
+	if sess.pressured() {
+		t.Fatal("empty queue reported pressure")
+	}
+	sess.queue <- &writeReq{}
+	if sess.pressured() {
+		t.Fatal("quarter-full queue reported pressure")
+	}
+	sess.queue <- &writeReq{}
+	if !sess.pressured() {
+		t.Fatal("half-full queue did not report pressure")
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	if srv.cfg.MaxBatch <= 0 || srv.cfg.QueueDepth <= 0 || srv.cfg.MaxBody <= 0 {

@@ -61,6 +61,12 @@ type Config struct {
 	// QueueDepth bounds each session's in-flight write requests; a full
 	// queue answers 429 (default 64).
 	QueueDepth int
+	// PressureDeadline, when positive, is the latency budget the server
+	// attaches to write requests that carry none while a session's
+	// queue is at least half full: the engine degrades table precision
+	// to meet it, shedding load before the queue fills and 429s start.
+	// Zero disables pressure shedding.
+	PressureDeadline time.Duration
 	// MaxBody caps request bodies (default wire.DefaultMaxBody).
 	MaxBody int64
 	// AuditLimit bounds each session's audit ring (default 4096;
@@ -163,7 +169,7 @@ func (s *Server) restoreAll() error {
 			continue
 		}
 		trail := obs.NewTrail(s.cfg.AuditLimit)
-		pipe, err := goflay.Restore(data, goflay.Options{Metrics: s.met, Audit: trail})
+		pipe, err := goflay.Restore(data, goflay.WithMetrics(s.met), goflay.WithAudit(trail))
 		if err != nil {
 			s.met.Counter("server.restore_failures").Inc()
 			s.cfg.Logf("server: restoring snapshot %s: %v", e.Name(), err)
@@ -340,14 +346,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	quality, _ := wire.ParseQuality(req.Quality) // validated above
 	trail := obs.NewTrail(s.cfg.AuditLimit)
-	opts := goflay.Options{
-		SkipParser:          req.SkipParser,
-		OverapproxThreshold: req.OverapproxThreshold,
-		Quality:             quality,
-		Workers:             req.Workers,
-		NoCache:             req.NoCache,
-		Metrics:             s.met,
-		Audit:               trail,
+	opts := []goflay.Option{
+		goflay.WithOverapproxThreshold(req.OverapproxThreshold),
+		goflay.WithQuality(quality),
+		goflay.WithWorkers(req.Workers),
+		goflay.WithMetrics(s.met),
+		goflay.WithAudit(trail),
+	}
+	if req.SkipParser {
+		opts = append(opts, goflay.WithSkipParser())
+	}
+	if req.NoCache {
+		opts = append(opts, goflay.WithNoCache())
 	}
 	var (
 		pipe    *goflay.Pipeline
@@ -358,16 +368,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case req.Catalog != "":
 		program = "catalog:" + req.Catalog
-		pipe, err = goflay.OpenCatalog(req.Catalog, opts)
+		pipe, err = goflay.OpenCatalog(req.Catalog, opts...)
 	case req.Source != "":
 		program = "source:" + req.Name
-		pipe, err = goflay.Open(req.Name, req.Source, opts)
+		pipe, err = goflay.Open(req.Name, req.Source, opts...)
 	default:
 		program = "snapshot:" + req.Name
-		pipe, err = goflay.Restore(req.Snapshot, opts)
+		pipe, err = goflay.Restore(req.Snapshot, opts...)
 	}
 	if err != nil {
-		s.errorf(w, http.StatusUnprocessableEntity, "loading session: %v", err)
+		s.errorErr(w, http.StatusUnprocessableEntity, fmt.Errorf("loading session: %w", err))
 		return
 	}
 	sess := s.newSession(req.Name, program, pipe, trail, len(req.Snapshot) > 0)
@@ -435,19 +445,31 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	wr := &writeReq{updates: updates, batch: req.Batch(), resp: make(chan writeResult, 1)}
+	// Resolve the request's latency budget: an explicit deadline_ms
+	// wins; otherwise, under queue pressure, the configured pressure
+	// deadline is attached so the engine degrades precision (shedding
+	// analysis cost) before the queue overflows into 429s.
+	var deadline time.Time
+	switch {
+	case req.DeadlineMS > 0:
+		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	case s.cfg.PressureDeadline > 0 && sess.pressured():
+		deadline = time.Now().Add(s.cfg.PressureDeadline)
+		s.met.Counter("server.pressure_deadlines").Inc()
+	}
+	wr := &writeReq{updates: updates, batch: req.Batch(), deadline: deadline, resp: make(chan writeResult, 1)}
 	start := time.Now()
 	if err := sess.submit(wr); err != nil {
 		status := http.StatusServiceUnavailable
-		if err == ErrQueueFull {
+		if errors.Is(err, ErrQueueFull) {
 			status = http.StatusTooManyRequests
 		}
-		s.errorf(w, status, "%v", err)
+		s.errorErr(w, status, err)
 		return
 	}
 	res, err := sess.wait(wr)
 	if err != nil {
-		s.errorf(w, http.StatusServiceUnavailable, "%v", err)
+		s.errorErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.met.Counter("server.write_requests").Inc()
@@ -501,7 +523,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := sess.pipe.Snapshot()
 	if err != nil {
-		s.errorf(w, http.StatusInternalServerError, "snapshot: %v", err)
+		s.errorErr(w, http.StatusInternalServerError, fmt.Errorf("snapshot: %w", err))
 		return
 	}
 	resp := wire.SnapshotResponse{Name: sess.name, Bytes: len(data), Snapshot: data}
@@ -565,6 +587,14 @@ func intQuery(w http.ResponseWriter, s *Server, r *http.Request, key string, def
 func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
 	s.met.Counter("server.http_errors").Inc()
 	writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errorErr answers with a classified error body: alongside the message,
+// the sentinel-derived machine-readable code travels so clients can
+// errors.Is across the HTTP boundary.
+func (s *Server) errorErr(w http.ResponseWriter, status int, err error) {
+	s.met.Counter("server.http_errors").Inc()
+	writeJSON(w, status, wire.ErrorResponse{Error: err.Error(), Code: wire.CodeOf(err)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,7 +1,7 @@
 package server
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,16 +10,19 @@ import (
 
 	goflay "repro"
 	"repro/internal/controlplane"
+	"repro/internal/flayerr"
 	"repro/internal/obs"
 )
 
-// Submission errors the HTTP layer maps to statuses.
+// Submission errors the HTTP layer maps to statuses. Both wrap the
+// goflay sentinels, so clients classify them with errors.Is across the
+// wire (internal/wire error codes).
 var (
 	// ErrQueueFull is backpressure: the session's bounded in-flight
 	// queue is at capacity (HTTP 429).
-	ErrQueueFull = errors.New("server: session queue full")
+	ErrQueueFull = fmt.Errorf("server: session queue full: %w", flayerr.ErrBackpressure)
 	// ErrSessionClosed marks a write against a closing session (503).
-	ErrSessionClosed = errors.New("server: session closed")
+	ErrSessionClosed = fmt.Errorf("server: session %w", flayerr.ErrClosed)
 )
 
 // writeReq is one write request in flight between an HTTP handler and
@@ -29,6 +32,10 @@ type writeReq struct {
 	// batch requests ApplyBatch semantics; otherwise the updates are
 	// applied one at a time.
 	batch bool
+	// deadline is the request's latency budget (zero = none): the
+	// dispatcher turns it into a context deadline, under which the
+	// engine may degrade table precision rather than miss it.
+	deadline time.Time
 	// resp is buffered (capacity 1) so the dispatcher never blocks
 	// handing a result back, even if the requester gave up.
 	resp chan writeResult
@@ -184,6 +191,22 @@ func (sess *Session) collect(first *writeReq) []*writeReq {
 	return reqs
 }
 
+// serveCtx resolves one round's latency budget: the earliest request
+// deadline wins (a coalesced round must honor its most impatient
+// member). The returned cancel must be called.
+func serveCtx(reqs []*writeReq) (context.Context, context.CancelFunc) {
+	var deadline time.Time
+	for _, r := range reqs {
+		if !r.deadline.IsZero() && (deadline.IsZero() || r.deadline.Before(deadline)) {
+			deadline = r.deadline
+		}
+	}
+	if deadline.IsZero() {
+		return context.Background(), func() {}
+	}
+	return context.WithDeadline(context.Background(), deadline)
+}
+
 // serve applies one round of requests and distributes decisions back.
 // A lone single-mode request keeps sequential Apply semantics; anything
 // else — an explicit batch, or several coalesced requests regardless of
@@ -192,8 +215,10 @@ func (sess *Session) collect(first *writeReq) []*writeReq {
 func (sess *Session) serve(reqs []*writeReq) {
 	met := sess.srv.met
 	start := time.Now()
+	ctx, cancel := serveCtx(reqs)
+	defer cancel()
 	if len(reqs) == 1 && !reqs[0].batch {
-		ds := sess.pipe.ApplyAll(reqs[0].updates)
+		ds := sess.pipe.ApplyAllCtx(ctx, reqs[0].updates)
 		met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
 		reqs[0].resp <- writeResult{decisions: ds}
 		return
@@ -202,7 +227,7 @@ func (sess *Session) serve(reqs []*writeReq) {
 	for _, r := range reqs {
 		all = append(all, r.updates...)
 	}
-	ds := sess.pipe.ApplyBatch(all)
+	ds := sess.pipe.ApplyBatchCtx(ctx, all)
 	met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
 	coalesced := len(reqs) > 1
 	if coalesced {
@@ -215,7 +240,9 @@ func (sess *Session) serve(reqs []*writeReq) {
 	}
 }
 
-// close stops the dispatcher and waits for it to drain. Idempotent.
+// close stops the dispatcher, waits for it to drain, and releases the
+// pipeline's background resources (the precision repair goroutine).
+// Idempotent.
 func (sess *Session) close() {
 	select {
 	case <-sess.stop:
@@ -223,6 +250,15 @@ func (sess *Session) close() {
 		close(sess.stop)
 	}
 	<-sess.done
+	sess.pipe.Close()
+}
+
+// pressured reports whether the session's write queue is at least half
+// full — the load-shedding trigger: rather than waiting for the queue
+// to fill and answering 429, the server starts attaching the configured
+// pressure deadline so the engine degrades precision first.
+func (sess *Session) pressured() bool {
+	return len(sess.queue)*2 >= cap(sess.queue)
 }
 
 // dirty reports whether the engine state moved past the last snapshot.

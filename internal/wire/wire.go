@@ -21,10 +21,12 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/flayerr"
 	"repro/internal/obs"
 )
 
@@ -148,6 +150,12 @@ type Stats struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
+
+	// Adaptive precision controller counters.
+	Degradations    int `json:"degradations,omitempty"`
+	Promotions      int `json:"promotions,omitempty"`
+	DegradedTables  int `json:"degraded_tables,omitempty"`
+	UnsoundDegraded int `json:"unsound_degraded,omitempty"`
 }
 
 // FromStats converts engine statistics to their wire form.
@@ -167,9 +175,13 @@ func FromStats(s core.Stats) Stats {
 		Coalesced:      s.Coalesced,
 		EvalNS:         s.EvalTime.Nanoseconds(),
 		Workers:        s.Workers,
-		CacheHits:      s.CacheHits,
-		CacheMisses:    s.CacheMisses,
-		CacheEvictions: s.CacheEvictions,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.CacheEvictions,
+		Degradations:    s.Degradations,
+		Promotions:      s.Promotions,
+		DegradedTables:  s.DegradedTables,
+		UnsoundDegraded: s.UnsoundDegraded,
 	}
 }
 
@@ -210,6 +222,11 @@ type WriteRequest struct {
 	Version int      `json:"version,omitempty"`
 	Mode    string   `json:"mode,omitempty"`
 	Updates []Update `json:"updates"`
+	// DeadlineMS is the request's latency budget in milliseconds
+	// (optional; 0 = none). The server turns it into a context deadline
+	// for the engine, which may degrade table precision to honor it —
+	// affected decisions come back with "precision":"degraded".
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Decision is the wire form of one core.Decision.
@@ -222,7 +239,14 @@ type Decision struct {
 	Components     []string `json:"components,omitempty"`
 	ImplChange     string   `json:"impl_change,omitempty"`
 	ElapsedNS      int64    `json:"elapsed_ns"`
-	Error          string   `json:"error,omitempty"`
+	// Precision is "degraded" when the verdict was computed under a
+	// deadline-forced overapproximated assignment (conservative, never
+	// wrong), empty for precise decisions.
+	Precision string `json:"precision,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// ErrorCode is the machine-readable classification of Error (the
+	// same code vocabulary as ErrorResponse.Code).
+	ErrorCode string `json:"error_code,omitempty"`
 }
 
 // FromDecision converts an engine decision to its wire form.
@@ -235,12 +259,16 @@ func FromDecision(d *core.Decision) Decision {
 		ImplChange:     d.ImplementationChange,
 		ElapsedNS:      d.Elapsed.Nanoseconds(),
 	}
+	if d.Degraded {
+		out.Precision = "degraded"
+	}
 	if d.Update != nil {
 		out.Target = d.Update.Target()
 		out.Update = d.Update.String()
 	}
 	if d.Err != nil {
 		out.Error = d.Err.Error()
+		out.ErrorCode = CodeOf(d.Err)
 	}
 	return out
 }
@@ -286,6 +314,61 @@ type HealthResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error classification (one of the
+	// Code* constants), empty for unclassified errors. The client maps
+	// it back to the goflay sentinel, so errors.Is works across the
+	// HTTP boundary.
+	Code string `json:"code,omitempty"`
+}
+
+// Machine-readable error codes, the wire form of the goflay sentinel
+// errors (internal/flayerr).
+const (
+	CodeUnknownTable     = "unknown_table"
+	CodeClosed           = "closed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeSnapshotCorrupt  = "snapshot_corrupt"
+	CodeBackpressure     = "backpressure"
+)
+
+// CodeOf classifies an error against the sentinel set; it returns ""
+// for errors outside the classification.
+func CodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, flayerr.ErrUnknownTable):
+		return CodeUnknownTable
+	case errors.Is(err, flayerr.ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, flayerr.ErrSnapshotCorrupt):
+		return CodeSnapshotCorrupt
+	case errors.Is(err, flayerr.ErrBackpressure):
+		return CodeBackpressure
+	case errors.Is(err, flayerr.ErrClosed):
+		return CodeClosed
+	default:
+		return ""
+	}
+}
+
+// SentinelOf is CodeOf's inverse: the sentinel a wire code stands for,
+// nil for unknown or empty codes.
+func SentinelOf(code string) error {
+	switch code {
+	case CodeUnknownTable:
+		return flayerr.ErrUnknownTable
+	case CodeClosed:
+		return flayerr.ErrClosed
+	case CodeDeadlineExceeded:
+		return flayerr.ErrDeadlineExceeded
+	case CodeSnapshotCorrupt:
+		return flayerr.ErrSnapshotCorrupt
+	case CodeBackpressure:
+		return flayerr.ErrBackpressure
+	default:
+		return nil
+	}
 }
 
 // quality spellings, matching core.Quality.String().
@@ -346,6 +429,9 @@ func (r *WriteRequest) ToUpdates() ([]*controlplane.Update, error) {
 	}
 	if len(r.Updates) == 0 {
 		return nil, fmt.Errorf("wire: write request carries no updates")
+	}
+	if r.DeadlineMS < 0 {
+		return nil, fmt.Errorf("wire: negative deadline_ms %d", r.DeadlineMS)
 	}
 	out := make([]*controlplane.Update, len(r.Updates))
 	for i := range r.Updates {
