@@ -5,17 +5,25 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz ./internal/progs
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1 soak
+.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1 soak soak-churn soak-churn-smoke
 
 # Soak-run knobs: where the daemon listens and how many updates
 # flayload drives through it.
 SOAK_ADDR ?= 127.0.0.1:9444
 SOAK_N    ?= 5000
+
+# Churn-soak knobs: per-program update budget and per-pattern cycle
+# length. The defaults are the CI-scale run (minutes); raise
+# SOAK_CHURN_UPDATES into the millions for an hours-long soak with the
+# same assertions (see EXPERIMENTS.md, "churn soak").
+SOAK_CHURN_ADDR    ?= 127.0.0.1:9446
+SOAK_CHURN_UPDATES ?= 24000
+SOAK_CHURN_CYCLE   ?= 1000
 
 all: tier1
 
@@ -28,6 +36,9 @@ help:
 	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
 	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot, FuzzWireDecode)"
 	@echo "  soak        build flayd+flayload, drive $(SOAK_N) updates, SIGTERM, assert clean exit + snapshot"
+	@echo "  soak-churn  long-horizon churn soak: flaysoak drives $(SOAK_CHURN_UPDATES) updates/program of"
+	@echo "              trace-driven churn through flayd, gating flat memory, stable p99,"
+	@echo "              audit-seq continuity and zero unsound verdicts"
 
 # Tier-1: the baseline gate every change must keep green.
 tier1: build test
@@ -47,7 +58,7 @@ test:
 # where the race detector gets no parallelism to hide behind and
 # internal/core alone can exceed go test's 10m default.
 RACE_TIMEOUT ?= 30m
-race: fuzz-smoke
+race: fuzz-smoke soak-churn-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
@@ -75,6 +86,30 @@ soak:
 	test -s $$tmp/snap/soak.snap || { echo "FAIL: no snapshot after graceful shutdown"; exit 1; }; \
 	echo "soak OK: clean exit, snapshot $$(wc -c < $$tmp/snap/soak.snap) bytes"
 
+# soak-churn: the long-horizon churn tier. Boots flayd, then flaysoak
+# replays every churn pattern against every production-shaped catalog
+# program in baseline-restoring cycles and enforces the soak gates
+# (flat heap watermark, stable interval p99, gapless audit sequences,
+# zero rejected updates, zero unsound degraded verdicts). Time-scaled:
+# the default budget finishes in CI minutes; SOAK_CHURN_UPDATES scales
+# the same run to hours.
+soak-churn:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/flayd ./cmd/flayd; \
+	$(GO) build -o $$tmp/flaysoak ./cmd/flaysoak; \
+	$$tmp/flayd -addr $(SOAK_CHURN_ADDR) & pid=$$!; \
+	$$tmp/flaysoak -addr $(SOAK_CHURN_ADDR) -updates $(SOAK_CHURN_UPDATES) -cycle $(SOAK_CHURN_CYCLE) \
+		|| { kill -TERM $$pid; wait $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "FAIL: flayd exited non-zero after SIGTERM"; exit 1; }; \
+	echo "soak-churn OK"
+
+# A seconds-scale slice of the churn soak, run as part of `make race`
+# so the soak harness itself can never rot.
+soak-churn-smoke:
+	$(MAKE) soak-churn SOAK_CHURN_UPDATES=2400 SOAK_CHURN_CYCLE=200 SOAK_CHURN_ADDR=127.0.0.1:9447
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -85,7 +120,7 @@ bench:
 # hit-rate bar, the precision section's p99-under-deadline and
 # zero-unsound-verdict bars) and exits non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn -json -o BENCH_flay.json
 
 # cover: enforce the coverage floor on the engine packages. Written
 # for a POSIX shell (no pipefail): the summary goes to a temp file and

@@ -63,7 +63,12 @@ func main() {
 		for _, p := range progs.Catalog() {
 			fmt.Printf("catalog:%-14s target=%-7s", p.Name, p.Target)
 			if p.PaperStatements > 0 {
-				fmt.Printf(" paper-stmts=%d", p.PaperStatements)
+				fmt.Printf(" paper-stmts=%-4d", p.PaperStatements)
+			} else {
+				fmt.Printf("%17s", "")
+			}
+			if p.Summary != "" {
+				fmt.Printf(" %s", p.Summary)
 			}
 			fmt.Println()
 		}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/devcompiler"
+	"repro/internal/fuzz"
 	"repro/internal/obs"
 	"repro/internal/p4/ast"
 	"repro/internal/p4/parser"
@@ -54,6 +55,7 @@ type benchReport struct {
 	Burst      *burstReport     `json:"burst,omitempty"`
 	Cache      *cacheReport     `json:"cache,omitempty"`
 	Precision  *precisionReport `json:"precision,omitempty"`
+	Churn      *churnReport     `json:"churn,omitempty"`
 }
 
 type sectionReport struct {
@@ -101,73 +103,97 @@ type cacheReport struct {
 // verdicts from both the differential check and promotion) run before
 // the report is emitted; a failure exits non-zero.
 type precisionReport struct {
-	Entries         int    `json:"entries"`
-	DeadlineMS      int64  `json:"deadline_ms"`
-	Degradations    int    `json:"degradations"`
-	Promotions      int    `json:"promotions"`
-	DegradedTables  int    `json:"degraded_tables_at_peak"`
-	P50NS           int64  `json:"update_p50_ns"`
-	P95NS           int64  `json:"update_p95_ns"`
-	P99NS           int64  `json:"update_p99_ns"`
-	MaxNS           int64  `json:"update_max_ns"`
-	BaselineEntries int    `json:"baseline_entries"`
-	BaselineP99NS   int64  `json:"baseline_p99_ns"`
-	BaselineMaxNS   int64  `json:"baseline_max_ns"`
-	DiffChecked     int    `json:"diff_checked"`
-	Unsound         int    `json:"unsound"`
-	AuditDegrades   int    `json:"audit_degrades"`
-	AuditPromotes   int    `json:"audit_promotes"`
+	Entries         int   `json:"entries"`
+	DeadlineMS      int64 `json:"deadline_ms"`
+	Degradations    int   `json:"degradations"`
+	Promotions      int   `json:"promotions"`
+	DegradedTables  int   `json:"degraded_tables_at_peak"`
+	P50NS           int64 `json:"update_p50_ns"`
+	P95NS           int64 `json:"update_p95_ns"`
+	P99NS           int64 `json:"update_p99_ns"`
+	MaxNS           int64 `json:"update_max_ns"`
+	BaselineEntries int   `json:"baseline_entries"`
+	BaselineP99NS   int64 `json:"baseline_p99_ns"`
+	BaselineMaxNS   int64 `json:"baseline_max_ns"`
+	DiffChecked     int   `json:"diff_checked"`
+	Unsound         int   `json:"unsound"`
+	AuditDegrades   int   `json:"audit_degrades"`
+	AuditPromotes   int   `json:"audit_promotes"`
 }
 
 var rep = &benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
+// benchSections is the section registry, in run order. selectSections
+// validates -only against it.
+var benchSections = []struct {
+	name string
+	run  func(full bool)
+}{
+	{"table1", table1},
+	{"fig1", fig1},
+	{"fig3", fig3},
+	{"fig5", fig5},
+	{"table2", table2},
+	{"table3", table3},
+	{"stages", stages},
+	{"burst", burst},
+	{"batch", batchSection},
+	{"cache", cacheSection},
+	{"precision", precisionSection},
+	{"churn", churnSection},
+	{"ablation", ablation},
+}
+
+func sectionNames() []string {
+	names := make([]string, len(benchSections))
+	for i, s := range benchSections {
+		names[i] = s.name
+	}
+	return names
+}
+
+// selectSections resolves the -only flag against the known section
+// names. Empty selects every section (nil map); an unknown name or a
+// selection that matches nothing is an error — silently printing
+// nothing would make a typo look like a clean run.
+func selectSections(only string, known []string) (map[string]bool, error) {
+	if only == "" {
+		return nil, nil
+	}
+	k := make(map[string]bool, len(known))
+	for _, n := range known {
+		k[n] = true
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !k[name] {
+			return nil, fmt.Errorf("unknown section %q (have %s)", name, strings.Join(known, "|"))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-only %q selects no sections", only)
+	}
+	return want, nil
+}
+
 func main() {
-	only := flag.String("only", "", "comma-separated sections to run (table1|table2|table3|fig1|fig3|fig5|stages|burst|batch|cache|precision|ablation)")
+	only := flag.String("only", "", "comma-separated sections to run ("+strings.Join(sectionNames(), "|")+")")
 	full := flag.Bool("full", false, "extend Table 3 to 10000 entries (slow in precise mode)")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report (see -o)")
 	outPath := flag.String("o", "BENCH_flay.json", `report path for -json ("-" = stdout)`)
 	flag.Parse()
 
-	sections := []struct {
-		name string
-		run  func(full bool)
-	}{
-		{"table1", table1},
-		{"fig1", fig1},
-		{"fig3", fig3},
-		{"fig5", fig5},
-		{"table2", table2},
-		{"table3", table3},
-		{"stages", stages},
-		{"burst", burst},
-		{"batch", batchSection},
-		{"cache", cacheSection},
-		{"precision", precisionSection},
-		{"ablation", ablation},
+	want, err := selectSections(*only, sectionNames())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	want := make(map[string]bool)
-	if *only != "" {
-		known := make(map[string]bool, len(sections))
-		for _, s := range sections {
-			known[s.name] = true
-		}
-		for _, name := range strings.Split(*only, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			if !known[name] {
-				fmt.Fprintf(os.Stderr, "unknown section %q\n", name)
-				os.Exit(2)
-			}
-			want[name] = true
-		}
-		if len(want) == 0 {
-			fmt.Fprintf(os.Stderr, "-only %q selects no sections\n", *only)
-			os.Exit(2)
-		}
-	}
-	for _, s := range sections {
+	for _, s := range benchSections {
 		if len(want) > 0 && !want[s.name] {
 			continue
 		}
@@ -900,6 +926,118 @@ func precisionSection(bool) {
 
 func sortDurations(ds []time.Duration) {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}
+
+// ---------------------------------------------------------------------------
+
+// churnReport records the trace-driven churn section: per program ×
+// pattern latency quantiles and throughput, with the pattern's
+// steady-state invariant and the engine's accounting verified before
+// the report is emitted.
+type churnReport struct {
+	Updates int        `json:"updates_per_pattern"`
+	Rows    []churnRow `json:"rows"`
+}
+
+type churnRow struct {
+	Program       string  `json:"program"`
+	Pattern       string  `json:"pattern"`
+	Batches       int     `json:"batches"`
+	LiveEntries   int     `json:"live_entries"`
+	P50NS         int64   `json:"update_p50_ns"`
+	P95NS         int64   `json:"update_p95_ns"`
+	P99NS         int64   `json:"update_p99_ns"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
+// churnSection replays every trace-driven churn pattern against the
+// production-shaped programs, batched the way a controller would push
+// it. Each cell cross-checks the engine's accounting (exact update
+// count, zero rejections, the pattern's declared steady-state entry
+// count) and any violation exits non-zero. The soak tier
+// (make soak-churn) runs the same patterns orders of magnitude longer
+// through flayd.
+func churnSection(bool) {
+	header("Churn: trace-driven update patterns on the production-shaped programs")
+	const n = 240
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "churn verification failed: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	quantile := func(sorted []time.Duration, q float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(q*float64(len(sorted)-1)+0.5)]
+	}
+	fmt.Printf("%-11s %-12s %8s %8s | %10s %10s %10s | %10s\n",
+		"program", "pattern", "updates", "batches", "p50", "p95", "p99", "upd/s")
+	report := &churnReport{Updates: n}
+	for _, name := range []string{"nat44", "l4lb", "tunnelterm"} {
+		p, err := progs.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kind := range fuzz.PatternKinds() {
+			s, err := p.LoadWith(core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p.ApplyRepresentative(s); err != nil {
+				log.Fatal(err)
+			}
+			before := s.Cfg.NumEntries(p.BurstTable)
+			beforeUpdates := s.Statistics().Updates
+			cs, err := fuzz.Churn(s.An, fuzz.ChurnSpec{
+				Kind: kind, Table: p.BurstTable, Updates: n, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			batches := cs.Batches()
+			lat := make([]time.Duration, 0, n)
+			t0 := time.Now()
+			for _, batch := range batches {
+				for i, d := range s.ApplyBatch(batch) {
+					if d.Kind == core.Rejected {
+						fail("%s/%s: update %s rejected: %v", name, kind, batch[i], d.Err)
+					}
+					lat = append(lat, d.Elapsed)
+				}
+			}
+			el := time.Since(t0)
+
+			st := s.Statistics()
+			if got := st.Updates - beforeUpdates; got != n {
+				fail("%s/%s: engine processed %d churn updates, want %d", name, kind, got, n)
+			}
+			if st.Rejected != 0 {
+				fail("%s/%s: %d rejections", name, kind, st.Rejected)
+			}
+			live := s.Cfg.NumEntries(p.BurstTable) - before
+			if err := cs.CheckInvariant(live); err != nil {
+				fail("%v", err)
+			}
+			sortDurations(lat)
+			p50, p95, p99 := quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99)
+			ups := float64(n) / el.Seconds()
+			fmt.Printf("%-11s %-12s %8d %8d | %10v %10v %10v | %10.0f\n",
+				name, kind, n, len(batches),
+				p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+				p99.Round(time.Microsecond), ups)
+			report.Rows = append(report.Rows, churnRow{
+				Program: name, Pattern: kind.String(),
+				Batches: len(batches), LiveEntries: live,
+				P50NS: p50.Nanoseconds(), P95NS: p95.Nanoseconds(), P99NS: p99.Nanoseconds(),
+				UpdatesPerSec: ups,
+			})
+		}
+	}
+	rep.Churn = report
+	fmt.Println("\ncross-check: per-cell update counts, zero rejections, and each")
+	fmt.Println("pattern's steady-state entry invariant verified against the engine")
+	fmt.Println("\n(diurnal/flap streams end where they began; acl-rollout only grows;")
+	fmt.Println("gc retains a small working set — the engine must track all of it exactly)")
 }
 
 // ---------------------------------------------------------------------------

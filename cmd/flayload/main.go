@@ -25,6 +25,13 @@
 //	-deadline DUR     per-write latency budget; the daemon may degrade
 //	                  table precision to honor it, and flayload reports
 //	                  the degradation rate alongside p50/p95/p99
+//	-churn PATTERN    replay a deterministic trace-driven churn pattern
+//	                  (diurnal|flapstorm|acl-rollout|gc) on the program's
+//	                  churn table instead of a mixed fuzz stream; the
+//	                  pattern's declared batches become the writes, the
+//	                  run is forced to -workers 1 (in-order replay), and
+//	                  the steady-state invariant is verified over the
+//	                  wire from the session's live entry counts
 //
 // The stream is generated locally against the same catalog program the
 // session runs, so every update is valid for the session's evolving
@@ -71,6 +78,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall run deadline")
 	report := fs.Duration("report", 0, "interval between progress reports (0 = final report only)")
 	writeDeadline := fs.Duration("deadline", 0, "per-write latency budget (0 = none); the daemon may degrade precision to honor it")
+	churnPat := fs.String("churn", "", "replay a churn pattern (diurnal|flapstorm|acl-rollout|gc) instead of a mixed fuzz stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,11 +109,46 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	stream, err := fuzz.New(local.An, *seed).Stream(*n)
-	if err != nil {
-		return err
+	var (
+		stream      []*controlplane.Update
+		chunks      []chunk
+		churn       *fuzz.ChurnStream
+		churnBefore int
+	)
+	if *churnPat != "" {
+		kind, err := fuzz.ParsePattern(*churnPat)
+		if err != nil {
+			return err
+		}
+		cs, err := fuzz.Churn(local.An, fuzz.ChurnSpec{
+			Kind: kind, Table: p.BurstTable, Updates: *n, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		churn, stream = cs, cs.Updates
+		for _, b := range cs.Batches() {
+			mode := wire.ModeBatch
+			if len(b) == 1 {
+				mode = wire.ModeSingle
+			}
+			chunks = append(chunks, chunk{updates: b, mode: mode})
+		}
+		if *workers != 1 {
+			fmt.Printf("flayload: -churn %s forces -workers 1 (patterns replay in declared order)\n", kind)
+			*workers = 1
+		}
+		info, err := c.Session(*session)
+		if err != nil {
+			return err
+		}
+		churnBefore = info.Entries[p.BurstTable]
+	} else {
+		if stream, err = fuzz.New(local.An, *seed).Stream(*n); err != nil {
+			return err
+		}
+		chunks = carve(stream, *batch, *singleEvery)
 	}
-	chunks := carve(stream, *batch, *singleEvery)
 
 	fmt.Printf("flayload: %d updates -> %s as %d chunks over %d workers\n",
 		len(stream), *session, len(chunks), *workers)
@@ -225,6 +268,21 @@ func run(args []string) error {
 	printHist(snap, "core.update_ns", "update")
 	printHist(snap, "server.apply_ns", "apply")
 	printHist(snap, "server.write_ns", "write")
+
+	if churn != nil {
+		if r := rejected.Load(); r > 0 {
+			return fmt.Errorf("churn replay saw %d rejected updates (pattern streams must replay cleanly)", r)
+		}
+		info, err := c.Session(*session)
+		if err != nil {
+			return err
+		}
+		if err := churn.CheckInvariant(info.Entries[p.BurstTable] - churnBefore); err != nil {
+			return fmt.Errorf("after replay: %w", err)
+		}
+		fmt.Printf("churn     pattern=%s batches=%d steady-state invariant holds (%+d live entries in %s)\n",
+			*churnPat, len(chunks), churn.WantLive, p.BurstTable)
+	}
 	return nil
 }
 

@@ -1,0 +1,405 @@
+// flaysoak is the long-horizon churn soak harness for flayd: it drives
+// the trace-driven churn patterns (internal/fuzz) through live sessions
+// for every production-shaped catalog program, in repeated cycles that
+// return each session to its baseline configuration (stream + drain),
+// and asserts the properties a specializing daemon must hold over
+// millions of updates:
+//
+//   - flat memory: the server's heap watermark (server.heap_alloc_bytes,
+//     sampled at every -report scrape) must not creep — after a warm-up,
+//     the max of the second half of samples must stay within
+//     -mem-growth-max of the max of the first half;
+//   - stable p99: interval p99s of client-observed write latency must
+//     not degrade — the worst of the last intervals must stay within
+//     -p99-growth-max of the median interval p99;
+//   - audit sequence continuity: audit records polled with ?since= are
+//     strictly contiguous, and any gap between polls is accounted for by
+//     ring eviction (Dropped), never silent loss; the final audit total
+//     must equal the engine's update count;
+//   - soundness: zero rejected updates, zero unsound degraded verdicts,
+//     and every pattern's steady-state invariant verified over the wire
+//     from the session's live entry counts after every cycle.
+//
+// The run is time-scaled: -updates N is the per-program update budget,
+// so CI smoke runs finish in seconds (make soak-churn-smoke) while
+// SOAK_CHURN_UPDATES=millions unlocks an hours-long soak with the same
+// assertions (see EXPERIMENTS.md, "churn soak").
+//
+// Usage:
+//
+//	flaysoak [flags]
+//
+//	-addr HOST:PORT      daemon address (default 127.0.0.1:9444)
+//	-programs LIST       catalog programs to soak (default nat44,l4lb,tunnelterm)
+//	-patterns LIST       churn patterns per cycle (default all four)
+//	-updates N           per-program update budget, drain included (default 24000)
+//	-cycle N             updates per pattern per cycle (default 1000)
+//	-seed N              base seed; each (cycle, pattern) derives its own
+//	-report DUR          heap/latency sampling interval (default 2s)
+//	-mem-growth-max F    heap watermark growth factor gate (default 1.5)
+//	-p99-growth-max F    interval-p99 growth factor gate (default 4.0)
+//	-timeout DUR         overall run deadline (default 30m)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/fuzz"
+	"repro/internal/progs"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "flaysoak: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flaysoak", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9444", "daemon address")
+	programsCSV := fs.String("programs", "nat44,l4lb,tunnelterm", "catalog programs to soak")
+	patternsCSV := fs.String("patterns", "diurnal,flapstorm,acl-rollout,gc", "churn patterns per cycle")
+	updates := fs.Int("updates", 24000, "per-program update budget (drain updates included)")
+	cycle := fs.Int("cycle", 1000, "updates per pattern per cycle")
+	seed := fs.Uint64("seed", 1, "base seed; each (cycle, pattern) derives its own")
+	report := fs.Duration("report", 2*time.Second, "heap/latency sampling interval")
+	memGrowthMax := fs.Float64("mem-growth-max", 1.5, "heap watermark growth factor gate")
+	p99GrowthMax := fs.Float64("p99-growth-max", 4.0, "interval-p99 growth factor gate")
+	timeout := fs.Duration("timeout", 30*time.Minute, "overall run deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *updates <= 0 || *cycle < 8 {
+		return fmt.Errorf("-updates must be positive and -cycle at least 8")
+	}
+	var kinds []fuzz.PatternKind
+	for _, name := range strings.Split(*patternsCSV, ",") {
+		k, err := fuzz.ParsePattern(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		kinds = append(kinds, k)
+	}
+	var programs []*progs.Program
+	for _, name := range strings.Split(*programsCSV, ",") {
+		p, err := progs.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		programs = append(programs, p)
+	}
+
+	c := client.New("http://" + *addr)
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(*timeout)
+	soak := &soakRun{c: c}
+
+	// One driver per program, all concurrent: flayd soaks under the
+	// combined churn of every session, the way a production daemon would.
+	var wg sync.WaitGroup
+	for _, p := range programs {
+		wg.Add(1)
+		go func(p *progs.Program) {
+			defer wg.Done()
+			soak.drive(p, kinds, *updates, *cycle, *seed, deadline)
+		}(p)
+	}
+
+	// Sampler: scrape the daemon's heap gauge and fold the drained write
+	// latencies into one interval p99 per tick, for the whole run.
+	samplerDone := make(chan struct{})
+	samplerStopped := make(chan struct{})
+	go func() {
+		defer close(samplerStopped)
+		tick := time.NewTicker(*report)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerDone:
+				soak.sample() // final sample so short runs still get data
+				return
+			case <-tick.C:
+				soak.sample()
+			}
+		}
+	}()
+	start := time.Now()
+	wg.Wait()
+	close(samplerDone)
+	<-samplerStopped
+	elapsed := time.Since(start)
+
+	fmt.Printf("flaysoak: %d updates across %d sessions in %v (%.0f updates/s)\n",
+		soak.sent, len(programs), elapsed.Round(time.Millisecond),
+		float64(soak.sent)/elapsed.Seconds())
+
+	soak.checkMemory(*memGrowthMax)
+	soak.checkLatency(*p99GrowthMax)
+
+	if len(soak.failures) > 0 {
+		for _, f := range soak.failures {
+			fmt.Printf("FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d soak assertions failed", len(soak.failures))
+	}
+	fmt.Println("PASS all soak assertions held")
+	return nil
+}
+
+// soakRun aggregates the run's shared state: client-observed write
+// latencies (drained into interval p99s by the sampler), heap samples,
+// the global update count, and collected assertion failures.
+type soakRun struct {
+	c *client.Client
+
+	mu        sync.Mutex
+	latencies []time.Duration // since the last sample
+	heap      []int64         // server.heap_alloc_bytes per tick
+	p99s      []time.Duration // interval p99s (qualified intervals only)
+	sent      int64
+	failures  []string
+}
+
+func (s *soakRun) fail(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures = append(s.failures, fmt.Sprintf(format, args...))
+}
+
+func (s *soakRun) recordWrite(d time.Duration, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latencies = append(s.latencies, d)
+	s.sent += int64(n)
+}
+
+// qualified is the minimum writes an interval needs for its p99 to be
+// meaningful enough to gate on.
+const qualified = 20
+
+func (s *soakRun) sample() {
+	snap, err := s.c.Metrics()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.heap = append(s.heap, snap.Gauges["server.heap_alloc_bytes"])
+	}
+	if len(s.latencies) >= qualified {
+		s.p99s = append(s.p99s, percentile(s.latencies, 0.99))
+	}
+	s.latencies = s.latencies[:0]
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	sorted := append([]time.Duration{}, ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// drive soaks one program: repeated cycles of every pattern, each
+// followed by its drain, with the steady-state invariant and audit
+// continuity checked per pattern.
+func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycleLen int, seed uint64, deadline time.Time) {
+	session := "soak-" + p.Name
+	if _, err := s.c.CreateSession(wire.CreateSessionRequest{Name: session, Catalog: p.Name}); err != nil {
+		s.fail("%s: creating session: %v", session, err)
+		return
+	}
+	local, err := p.Load()
+	if err != nil {
+		s.fail("%s: loading locally: %v", session, err)
+		return
+	}
+	info, err := s.c.Session(session)
+	if err != nil {
+		s.fail("%s: %v", session, err)
+		return
+	}
+	baseline := info.Entries[p.BurstTable]
+	lastSeen := 0
+	sent := 0
+	for cyc := 0; sent < budget; cyc++ {
+		for _, kind := range kinds {
+			if sent >= budget {
+				break
+			}
+			if time.Now().After(deadline) {
+				s.fail("%s: run deadline exceeded after %d updates", session, sent)
+				return
+			}
+			cs, err := fuzz.Churn(local.An, fuzz.ChurnSpec{
+				Kind: kind, Table: p.BurstTable, Updates: cycleLen,
+				Seed: seed + uint64(cyc)*uint64(len(kinds)) + uint64(kind),
+			})
+			if err != nil {
+				s.fail("%s: generating %s cycle %d: %v", session, kind, cyc, err)
+				return
+			}
+			for _, b := range cs.Batches() {
+				if !s.write(session, b) {
+					return
+				}
+			}
+			info, err := s.c.Session(session)
+			if err != nil {
+				s.fail("%s: %v", session, err)
+				return
+			}
+			if err := cs.CheckInvariant(info.Entries[p.BurstTable] - baseline); err != nil {
+				s.fail("%s cycle %d: %v", session, cyc, err)
+				return
+			}
+			// Drain back to baseline so live state (and the heap a
+			// leak-free engine needs for it) is flat across cycles.
+			drain := cs.Drain()
+			for i := 0; i < len(drain); i += 64 {
+				if !s.write(session, drain[i:min(i+64, len(drain))]) {
+					return
+				}
+			}
+			sent += len(cs.Updates) + len(drain)
+			if lastSeen, err = s.auditCheck(session, lastSeen); err != nil {
+				s.fail("%s cycle %d: %v", session, cyc, err)
+				return
+			}
+		}
+	}
+
+	// End-of-soak ledger: baseline state, gapless audit transcript of
+	// every update, zero rejects, zero unsound degraded verdicts.
+	info, err = s.c.Session(session)
+	if err != nil {
+		s.fail("%s: %v", session, err)
+		return
+	}
+	if got := info.Entries[p.BurstTable]; got != baseline {
+		s.fail("%s: %d entries after soak, baseline was %d", session, got, baseline)
+	}
+	st, err := s.c.Stats(session)
+	if err != nil {
+		s.fail("%s: %v", session, err)
+		return
+	}
+	if st.Rejected != 0 {
+		s.fail("%s: %d rejected updates", session, st.Rejected)
+	}
+	if st.UnsoundDegraded != 0 {
+		s.fail("%s: %d unsound degraded verdicts", session, st.UnsoundDegraded)
+	}
+	if info.AuditTotal != int64(st.Updates) {
+		s.fail("%s: audit total %d, engine processed %d", session, info.AuditTotal, st.Updates)
+	}
+	if int64(lastSeen) != info.AuditTotal {
+		s.fail("%s: last audited seq %d, audit total %d", session, lastSeen, info.AuditTotal)
+	}
+	fmt.Printf("flaysoak: %s done: %d updates, audit seq 1..%d gapless\n", session, st.Updates, lastSeen)
+}
+
+// write sends one ordered batch, honoring backpressure, and records its
+// latency. Any error or rejected verdict fails the soak.
+func (s *soakRun) write(session string, b []*controlplane.Update) bool {
+	t0 := time.Now()
+	resp, _, err := s.c.WriteRetryDeadline(session, wire.ModeBatch, b, 0, 50, 5*time.Millisecond)
+	if err != nil {
+		s.fail("%s: write: %v", session, err)
+		return false
+	}
+	s.recordWrite(time.Since(t0), len(b))
+	for i, d := range resp.Decisions {
+		if d.Kind == "rejected" {
+			s.fail("%s: update %d rejected: %s", session, i, d.Error)
+			return false
+		}
+	}
+	return true
+}
+
+// auditCheck polls ?since= and verifies sequence continuity: records in
+// a window are strictly contiguous, windows never replay, and a gap
+// between windows is legal only when the ring evicted records (Dropped
+// accounts for it). Returns the new high-water seq.
+func (s *soakRun) auditCheck(session string, lastSeen int) (int, error) {
+	resp, err := s.c.Audit(session, lastSeen)
+	if err != nil {
+		return 0, err
+	}
+	recs := resp.Records
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			return 0, fmt.Errorf("audit seq gap inside window: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+	if len(recs) == 0 {
+		return lastSeen, nil
+	}
+	if recs[0].Seq <= lastSeen {
+		return 0, fmt.Errorf("audit replayed seq %d at high water %d", recs[0].Seq, lastSeen)
+	}
+	if recs[0].Seq != lastSeen+1 && resp.Dropped == 0 {
+		return 0, fmt.Errorf("audit gap %d..%d with no ring eviction", lastSeen+1, recs[0].Seq-1)
+	}
+	return recs[len(recs)-1].Seq, nil
+}
+
+// checkMemory enforces the flat-memory gate on the heap watermark. The
+// first two samples are warm-up; with fewer than six samples overall the
+// check is informational (smoke runs are too short to gate on).
+func (s *soakRun) checkMemory(growthMax float64) {
+	heap := s.heap
+	if len(heap) < 6 {
+		fmt.Printf("flaysoak: %d heap samples (<6), flat-memory gate informational only\n", len(heap))
+		return
+	}
+	steady := heap[2:]
+	half := len(steady) / 2
+	firstMax, secondMax := int64(0), int64(0)
+	for _, h := range steady[:half] {
+		firstMax = max(firstMax, h)
+	}
+	for _, h := range steady[half:] {
+		secondMax = max(secondMax, h)
+	}
+	fmt.Printf("flaysoak: heap watermark %0.1fMB -> %0.1fMB over %d samples (gate %.2fx)\n",
+		float64(firstMax)/1e6, float64(secondMax)/1e6, len(steady), growthMax)
+	if float64(secondMax) > float64(firstMax)*growthMax {
+		s.fail("heap watermark grew %0.1fMB -> %0.1fMB (> %.2fx): not flat",
+			float64(firstMax)/1e6, float64(secondMax)/1e6, growthMax)
+	}
+}
+
+// checkLatency enforces p99 stability: the worst of the last three
+// interval p99s must stay within growthMax of the median interval p99.
+// Fewer than six qualified intervals is informational only.
+func (s *soakRun) checkLatency(growthMax float64) {
+	p99s := s.p99s
+	if len(p99s) < 6 {
+		fmt.Printf("flaysoak: %d qualified latency intervals (<6), p99 gate informational only\n", len(p99s))
+		return
+	}
+	sorted := append([]time.Duration{}, p99s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	worstTail := time.Duration(0)
+	for _, p := range p99s[len(p99s)-3:] {
+		worstTail = max(worstTail, p)
+	}
+	fmt.Printf("flaysoak: interval p99 median=%v tail-max=%v over %d intervals (gate %.2fx)\n",
+		median, worstTail, len(p99s), growthMax)
+	if float64(worstTail) > float64(median)*growthMax {
+		s.fail("p99 degraded: tail max %v vs median %v (> %.2fx)", worstTail, median, growthMax)
+	}
+}

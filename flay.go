@@ -548,7 +548,7 @@ func (p *Pipeline) Tables() []string {
 }
 
 // Entries returns the installed entry count of a table.
-func (p *Pipeline) Entries(table string) int { return p.spec.Cfg.NumEntries(table) }
+func (p *Pipeline) Entries(table string) int { return p.spec.Entries(table) }
 
 // SpecializedProgram returns the AST of the program specialized to the
 // current configuration.

@@ -1,0 +1,104 @@
+// Expression-arena garbage collection. Hash-consed nodes are immortal
+// by default: every control-plane update substitutes fresh constants
+// into the data-plane expressions, and under sustained churn the
+// Builder's intern table — and with it the engine's heap — grows with
+// update *history* instead of live *state*. The long-horizon churn soak
+// is the regression gate for this. The fix is a classic generational
+// trigger: once the arena doubles past the last live size, mark every
+// expression the engine can still reach and sweep the rest. Sweeps run
+// under the engine write lock, between evaluation passes, so nothing
+// concurrent can hold an unrooted node.
+package core
+
+import "repro/internal/sym"
+
+const (
+	// arenaSweepFactor is the growth multiple that arms the next sweep:
+	// collect when the arena exceeds factor × the last live node count.
+	arenaSweepFactor = 2
+	// arenaSweepFloor is the node count below which sweeping is never
+	// worth the mark pass.
+	arenaSweepFloor = 1 << 14
+)
+
+// arenaRoots collects every expression the engine may still compare
+// against an interned node: the analysis-time structures (points, taint
+// and ownership maps, table/value-set/register placeholders, the merged
+// final store), the current control-plane substitution environment, the
+// per-point substituted expressions and cached witnesses, and the query
+// cache's witness environments. Everything else interned since the last
+// sweep is churn residue.
+func (s *Specializer) arenaRoots() []*sym.Expr {
+	an := s.An
+	roots := make([]*sym.Expr, 0, 4*len(an.Points)+2*len(s.env))
+	for _, p := range an.Points {
+		roots = append(roots, p.Expr)
+	}
+	for v := range an.Taint {
+		roots = append(roots, v)
+	}
+	for v := range an.VarOwner {
+		roots = append(roots, v)
+	}
+	for _, e := range an.Final {
+		roots = append(roots, e)
+	}
+	for _, ti := range an.Tables {
+		roots = append(roots, ti.KeyExprs...)
+		roots = append(roots, ti.ActionVar, ti.HitVar)
+		for _, ai := range ti.Actions {
+			roots = append(roots, ai.Params...)
+		}
+	}
+	for _, vs := range an.ValueSets {
+		roots = append(roots, vs.KeyExpr, vs.MatchVar)
+	}
+	for _, ri := range an.Registers {
+		roots = append(roots, ri.ReadVars...)
+	}
+	for k, v := range s.env {
+		roots = append(roots, k, v)
+	}
+	roots = append(roots, s.pointSub...)
+	for _, w := range s.witnesses {
+		for k := range w {
+			roots = append(roots, k)
+		}
+	}
+	if s.cache != nil {
+		for _, ways := range s.cache.points {
+			for i := range ways {
+				for k := range ways[i].witness {
+					roots = append(roots, k)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// maybeSweepArena runs an arena collection when the intern table has
+// doubled past the last live size. Called with the engine write lock
+// held, at the end of every mutating call.
+func (s *Specializer) maybeSweepArena() {
+	b := s.An.Builder
+	n := b.NumNodes()
+	if s.arenaNext == 0 {
+		// First mutating call: record the post-compile baseline.
+		s.arenaNext = max(arenaSweepFloor, n*arenaSweepFactor)
+		s.met.arenaNodes.Set(int64(n))
+		return
+	}
+	if n < s.arenaNext {
+		s.met.arenaNodes.Set(int64(n))
+		return
+	}
+	swept := b.Sweep(s.arenaRoots())
+	live := b.NumNodes()
+	s.stats.ArenaSweeps++
+	s.stats.ArenaSwept += swept
+	s.met.arenaSweeps.Inc()
+	s.met.arenaSwept.Add(int64(swept))
+	s.met.arenaNodes.Set(int64(live))
+	s.arenaNext = max(arenaSweepFloor, live*arenaSweepFactor)
+}

@@ -44,6 +44,7 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.lastApply.Store(time.Now().UnixNano())
+	defer s.maybeSweepArena()
 	s.stats.Batches++
 	s.met.batches.Inc()
 	if len(updates) == 0 {

@@ -40,6 +40,10 @@ type coreMetrics struct {
 	unsoundDegraded *obs.Counter // unsound degraded verdicts (must stay 0)
 	diffChecks      *obs.Counter // differential-check passes completed
 	degradedTables  *obs.Gauge   // currently degraded tables
+
+	arenaSweeps *obs.Counter // expression-arena garbage collections
+	arenaSwept  *obs.Counter // expression nodes reclaimed by sweeps
+	arenaNodes  *obs.Gauge   // interned expression nodes
 }
 
 // newCoreMetrics resolves the engine instruments from a registry; a nil
@@ -72,6 +76,9 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		unsoundDegraded: r.Counter("core.unsound_degraded"),
 		diffChecks:      r.Counter("core.diff_checks"),
 		degradedTables:  r.Gauge("core.degraded_tables"),
+		arenaSweeps:     r.Counter("core.arena_sweeps"),
+		arenaSwept:      r.Counter("core.arena_swept"),
+		arenaNodes:      r.Gauge("core.arena_nodes"),
 	}
 }
 

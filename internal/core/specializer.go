@@ -241,6 +241,13 @@ type Stats struct {
 	Promotions      int // tables promoted back to precise
 	DegradedTables  int // tables currently degraded
 	UnsoundDegraded int // unsound degraded verdicts observed (must be 0)
+
+	// Expression-arena hygiene counters. Sustained churn interns fresh
+	// constants on every update; periodic sweeps keep the hash-consing
+	// arena proportional to live state instead of update history.
+	ArenaNodes  int // interned expression nodes right now
+	ArenaSweeps int // arena garbage collections run
+	ArenaSwept  int // nodes reclaimed across all sweeps
 }
 
 // Specializer is the incremental specializing compiler.
@@ -319,6 +326,11 @@ type Specializer struct {
 	lastApply    atomic.Int64 // unix ns of the last mutating call (quiescence)
 	closedCh     chan struct{}
 	closeOnce    sync.Once
+
+	// Expression-arena GC trigger (arena.go): the next Builder node
+	// count at which a sweep runs; 0 until the first mutating call
+	// establishes the baseline.
+	arenaNext int
 }
 
 // New builds a Specializer from parsed+checked inputs: it runs the
@@ -455,7 +467,16 @@ func (s *Specializer) Statistics() Stats {
 	}
 	st.DegradedTables = len(s.degraded)
 	st.UnsoundDegraded = int(s.unsound.Load())
+	st.ArenaNodes = s.An.Builder.NumNodes()
 	return st
+}
+
+// Entries returns the live entry count of a table. Like Statistics it
+// may be called concurrently with Apply/ApplyBatch.
+func (s *Specializer) Entries(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Cfg.NumEntries(table)
 }
 
 // ReevaluateAll recomputes every program point's verdict from scratch,
@@ -660,6 +681,7 @@ func (s *Specializer) ApplyCtx(ctx context.Context, u *controlplane.Update) *Dec
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.lastApply.Store(time.Now().UnixNano())
+	defer s.maybeSweepArena()
 	return s.applyLocked(ctx, u)
 }
 

@@ -1,0 +1,371 @@
+// Trace-driven control-plane churn generators: ControlPlaneSmith's
+// second mode. Where Stream mixes update kinds uniformly, these
+// generators reproduce the *temporal shapes* of real control-plane
+// churn that Fig. 1 argues about — diurnal connection drift, route-flap
+// storms, incremental ACL rollouts, and delete-heavy garbage
+// collection. Every pattern is deterministic per seed, emits batch
+// boundaries matching how a controller would push it, and declares a
+// steady-state invariant (the number of entries it leaves live) so
+// long-horizon soaks can assert the engine tracked it exactly.
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+)
+
+// PatternKind identifies one churn shape.
+type PatternKind uint8
+
+const (
+	// Diurnal: connection state ramps up toward a daily peak and drains
+	// back to a baseline, in repeated cycles.
+	Diurnal PatternKind = iota
+	// FlapStorm: a small set of entries is withdrawn and re-announced
+	// in rapid bursts (route flapping).
+	FlapStorm
+	// ACLRollout: an incremental policy rollout — waves of inserts that
+	// only ever grow the table.
+	ACLRollout
+	// GCSweep: delete-heavy garbage collection — a build-up phase
+	// followed by sweeps that expire most of it.
+	GCSweep
+)
+
+var patternNames = [...]string{"diurnal", "flapstorm", "acl-rollout", "gc"}
+
+func (k PatternKind) String() string {
+	if int(k) < len(patternNames) {
+		return patternNames[k]
+	}
+	return "pattern?"
+}
+
+// PatternKinds returns every churn pattern, in canonical order.
+func PatternKinds() []PatternKind {
+	return []PatternKind{Diurnal, FlapStorm, ACLRollout, GCSweep}
+}
+
+// ParsePattern maps a pattern name (as printed by String) to its kind.
+func ParsePattern(s string) (PatternKind, error) {
+	for i, n := range patternNames {
+		if n == s {
+			return PatternKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fuzz: unknown churn pattern %q (have %v)", s, patternNames)
+}
+
+// ChurnSpec configures one churn stream.
+type ChurnSpec struct {
+	Kind PatternKind
+	// Table is the churned table (typically the program's BurstTable).
+	Table string
+	// Updates is the exact stream length (minimum 8).
+	Updates int
+	// Seed makes the stream reproducible; 0 picks a fixed default.
+	Seed uint64
+}
+
+// ChurnStream is a reproducible churn workload. Updates is the full
+// ordered stream; batch boundaries partition it the way a controller
+// would push it (ramp chunks, flap bursts, rollout waves, GC sweeps).
+// Replaying the stream in order against a configuration that has seen
+// its prefix never rejects.
+type ChurnStream struct {
+	Spec    ChurnSpec
+	Updates []*controlplane.Update
+	// WantLive is the declared steady-state invariant: the number of
+	// entries the stream leaves live in Spec.Table, relative to the
+	// configuration it started from.
+	WantLive int
+	// ends[i] is the index one past batch i's last update.
+	ends []int
+	// live are the entries left installed, in insertion order.
+	live []*controlplane.TableEntry
+}
+
+// Drain returns delete updates for every entry the stream leaves live,
+// in insertion order. Replaying a stream and then its drain returns the
+// churned table to exactly its pre-churn configuration — the building
+// block long-horizon soaks use to hold steady state (and a flat heap)
+// across millions of updates without key-space collisions.
+func (cs *ChurnStream) Drain() []*controlplane.Update {
+	out := make([]*controlplane.Update, 0, len(cs.live))
+	for _, e := range cs.live {
+		out = append(out, &controlplane.Update{
+			Kind: controlplane.DeleteEntry, Table: cs.Spec.Table, Entry: e,
+		})
+	}
+	return out
+}
+
+// Batches partitions the stream at its declared batch boundaries.
+func (cs *ChurnStream) Batches() [][]*controlplane.Update {
+	var out [][]*controlplane.Update
+	start := 0
+	for _, end := range cs.ends {
+		if end > start {
+			out = append(out, cs.Updates[start:end])
+		}
+		start = end
+	}
+	if start < len(cs.Updates) {
+		out = append(out, cs.Updates[start:])
+	}
+	return out
+}
+
+// CheckInvariant verifies the steady-state invariant against the number
+// of entries the churned table gained since the stream's start (callers
+// subtract the pre-churn entry count).
+func (cs *ChurnStream) CheckInvariant(gained int) error {
+	if gained != cs.WantLive {
+		return fmt.Errorf("fuzz: %s churn on %s left %d entries, want %d",
+			cs.Spec.Kind, cs.Spec.Table, gained, cs.WantLive)
+	}
+	return nil
+}
+
+// Churn generates the churn stream described by spec against the
+// program's schemas. Deterministic per (spec, analysis).
+func Churn(an *dataplane.Analysis, spec ChurnSpec) (*ChurnStream, error) {
+	if spec.Updates < 8 {
+		return nil, fmt.Errorf("fuzz: churn needs at least 8 updates, got %d", spec.Updates)
+	}
+	if _, ok := an.Tables[spec.Table]; !ok {
+		return nil, fmt.Errorf("fuzz: unknown table %s", spec.Table)
+	}
+	c := &churner{g: New(an, spec.Seed), spec: spec}
+	var err error
+	switch spec.Kind {
+	case Diurnal:
+		err = c.diurnal()
+	case FlapStorm:
+		err = c.flapStorm()
+	case ACLRollout:
+		err = c.aclRollout()
+	case GCSweep:
+		err = c.gcSweep()
+	default:
+		return nil, fmt.Errorf("fuzz: unknown churn pattern %d", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(c.out) != spec.Updates {
+		return nil, fmt.Errorf("fuzz: %s churn emitted %d updates, want %d", spec.Kind, len(c.out), spec.Updates)
+	}
+	return &ChurnStream{Spec: spec, Updates: c.out, WantLive: len(c.live), ends: c.ends, live: c.live}, nil
+}
+
+// churner accumulates one stream with exact live-entry bookkeeping, so
+// the declared invariant holds by construction.
+type churner struct {
+	g    *Generator
+	spec ChurnSpec
+	live []*controlplane.TableEntry
+	out  []*controlplane.Update
+	ends []int
+}
+
+func (c *churner) insert() error {
+	e, err := c.g.Entry(c.spec.Table)
+	if err != nil {
+		return err
+	}
+	c.live = append(c.live, e)
+	c.out = append(c.out, &controlplane.Update{
+		Kind: controlplane.InsertEntry, Table: c.spec.Table, Entry: e,
+	})
+	return nil
+}
+
+// reinsert re-announces a previously deleted entry unchanged.
+func (c *churner) reinsert(e *controlplane.TableEntry) {
+	c.live = append(c.live, e)
+	c.out = append(c.out, &controlplane.Update{
+		Kind: controlplane.InsertEntry, Table: c.spec.Table, Entry: e,
+	})
+}
+
+func (c *churner) deleteAt(i int) *controlplane.TableEntry {
+	e := c.live[i]
+	c.live = append(c.live[:i:i], c.live[i+1:]...)
+	c.out = append(c.out, &controlplane.Update{
+		Kind: controlplane.DeleteEntry, Table: c.spec.Table, Entry: e,
+	})
+	return e
+}
+
+// modify rewrites a live entry's action parameters in place (same key,
+// same action, fresh params).
+func (c *churner) modify(i int) {
+	old := c.live[i]
+	ti := c.g.an.Tables[c.spec.Table]
+	e := &controlplane.TableEntry{Priority: old.Priority, Matches: old.Matches, Action: old.Action}
+	for _, ai := range ti.Actions {
+		if ai.Name == old.Action {
+			for _, pw := range ai.ParamWidths {
+				e.Params = append(e.Params, c.g.bv(pw))
+			}
+			break
+		}
+	}
+	c.live[i] = e
+	c.out = append(c.out, &controlplane.Update{
+		Kind: controlplane.ModifyEntry, Table: c.spec.Table, Entry: e,
+	})
+}
+
+func (c *churner) endBatch() {
+	if len(c.ends) == 0 || c.ends[len(c.ends)-1] < len(c.out) {
+		c.ends = append(c.ends, len(c.out))
+	}
+}
+
+func (c *churner) pick() int {
+	return int(c.g.next() % uint64(len(c.live)))
+}
+
+// diurnal: a baseline is installed, then cycles ramp connections up and
+// drain the same connections back down, with occasional modifies of
+// baseline entries. Leaves exactly the baseline live.
+func (c *churner) diurnal() error {
+	n := c.spec.Updates
+	base := n / 10
+	if base < 3 {
+		base = 3
+	}
+	if base > 24 {
+		base = 24
+	}
+	for i := 0; i < base; i++ {
+		if err := c.insert(); err != nil {
+			return err
+		}
+	}
+	c.endBatch()
+	remaining := n - base
+	cycles := 4
+	if remaining/cycles < 4 {
+		cycles = 1
+	}
+	per := remaining / cycles
+	for cy := 0; cy < cycles; cy++ {
+		budget := per
+		if cy == cycles-1 {
+			budget = remaining - per*(cycles-1)
+		}
+		rise := budget / 2
+		for i := 0; i < rise; i++ {
+			if err := c.insert(); err != nil {
+				return err
+			}
+			if (i+1)%8 == 0 {
+				c.endBatch()
+			}
+		}
+		c.endBatch()
+		// Drain: expire the ramp's connections newest-first.
+		for i := 0; i < rise; i++ {
+			c.deleteAt(len(c.live) - 1)
+			if (i+1)%8 == 0 {
+				c.endBatch()
+			}
+		}
+		c.endBatch()
+		// Off-peak trickle: reconfigure baseline entries.
+		for i := 0; i < budget-2*rise; i++ {
+			c.modify(c.pick())
+		}
+		c.endBatch()
+	}
+	return nil
+}
+
+// flapStorm: a set of flappers is announced, then storms withdraw and
+// re-announce them in bursts. Every flapper is live again at the end.
+func (c *churner) flapStorm() error {
+	n := c.spec.Updates
+	flappers := n / 12
+	if flappers < 3 {
+		flappers = 3
+	}
+	if flappers > 16 {
+		flappers = 16
+	}
+	for i := 0; i < flappers; i++ {
+		if err := c.insert(); err != nil {
+			return err
+		}
+	}
+	c.endBatch()
+	remaining := n - flappers
+	// Each flap is a withdraw + identical re-announce.
+	flaps := remaining / 2
+	for i := 0; i < flaps; i++ {
+		e := c.deleteAt(c.pick())
+		c.reinsert(e)
+		// Storms arrive in bursts of ~6 flaps, then a quiescent gap.
+		if (i+1)%6 == 0 {
+			c.endBatch()
+		}
+	}
+	c.endBatch()
+	// Odd remainder: one reconfiguration between storms.
+	for i := 0; i < remaining-2*flaps; i++ {
+		c.modify(c.pick())
+	}
+	c.endBatch()
+	return nil
+}
+
+// aclRollout: an incremental rollout — waves of inserts, never a
+// delete. Everything inserted stays live.
+func (c *churner) aclRollout() error {
+	n := c.spec.Updates
+	wave := 8
+	for i := 0; i < n; i++ {
+		if err := c.insert(); err != nil {
+			return err
+		}
+		if (i+1)%wave == 0 {
+			c.endBatch()
+		}
+	}
+	c.endBatch()
+	return nil
+}
+
+// gcSweep: a build-up phase inserts entries, then GC sweeps expire them
+// oldest-first in large delete-only batches, retaining a small working
+// set.
+func (c *churner) gcSweep() error {
+	n := c.spec.Updates
+	retain := n / 10
+	if retain < 2 {
+		retain = 2
+	}
+	build := (n + retain) / 2
+	deletes := n - build
+	for i := 0; i < build; i++ {
+		if err := c.insert(); err != nil {
+			return err
+		}
+		if (i+1)%8 == 0 {
+			c.endBatch()
+		}
+	}
+	c.endBatch()
+	for i := 0; i < deletes; i++ {
+		c.deleteAt(0)
+		if (i+1)%16 == 0 {
+			c.endBatch()
+		}
+	}
+	c.endBatch()
+	return nil
+}

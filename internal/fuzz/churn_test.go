@@ -1,0 +1,201 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+// churnFpr fingerprints an update deeply enough to distinguish streams
+// (Update.String only prints kind and target).
+func churnFpr(u *controlplane.Update) string {
+	return fmt.Sprintf("%s %+v", u, u.Entry)
+}
+
+func churnTarget(t *testing.T) (*progs.Program, *core.Specializer) {
+	t.Helper()
+	p, err := progs.ByName("nat44")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	p, s := churnTarget(t)
+	for _, k := range PatternKinds() {
+		spec := ChurnSpec{Kind: k, Table: p.BurstTable, Updates: 60, Seed: 11}
+		a, err := Churn(s.An, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		b, err := Churn(s.An, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(a.Updates) != len(b.Updates) || a.WantLive != b.WantLive {
+			t.Fatalf("%s: streams differ in shape", k)
+		}
+		for i := range a.Updates {
+			if churnFpr(a.Updates[i]) != churnFpr(b.Updates[i]) {
+				t.Fatalf("%s: update %d differs: %s vs %s", k, i, a.Updates[i], b.Updates[i])
+			}
+		}
+		spec.Seed = 12
+		c, err := Churn(s.An, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(a.Updates) == len(c.Updates) {
+			diff := false
+			for i := range a.Updates {
+				if churnFpr(a.Updates[i]) != churnFpr(c.Updates[i]) {
+					diff = true
+					break
+				}
+			}
+			if !diff {
+				t.Fatalf("%s: different seeds produced identical streams", k)
+			}
+		}
+	}
+}
+
+// TestChurnShapes: every pattern emits exactly the requested number of
+// updates, its batches partition the stream, and its insert/delete
+// arithmetic matches the declared steady-state invariant.
+func TestChurnShapes(t *testing.T) {
+	p, s := churnTarget(t)
+	for _, k := range PatternKinds() {
+		for _, n := range []int{8, 48, 200} {
+			cs, err := Churn(s.An, ChurnSpec{Kind: k, Table: p.BurstTable, Updates: n, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", k, n, err)
+			}
+			if len(cs.Updates) != n {
+				t.Fatalf("%s n=%d: emitted %d updates", k, n, len(cs.Updates))
+			}
+			total := 0
+			for _, b := range cs.Batches() {
+				if len(b) == 0 {
+					t.Fatalf("%s n=%d: empty batch", k, n)
+				}
+				total += len(b)
+			}
+			if total != n {
+				t.Fatalf("%s n=%d: batches cover %d of %d updates", k, n, total, n)
+			}
+			inserts, deletes := 0, 0
+			for _, u := range cs.Updates {
+				switch u.Kind {
+				case controlplane.InsertEntry:
+					inserts++
+				case controlplane.DeleteEntry:
+					deletes++
+				case controlplane.ModifyEntry:
+				default:
+					t.Fatalf("%s: unexpected update kind %v", k, u.Kind)
+				}
+			}
+			if inserts-deletes != cs.WantLive {
+				t.Fatalf("%s n=%d: %d inserts - %d deletes != WantLive %d",
+					k, n, inserts, deletes, cs.WantLive)
+			}
+			if k == ACLRollout && deletes != 0 {
+				t.Fatalf("acl-rollout must never delete, saw %d", deletes)
+			}
+			if k == GCSweep && deletes == 0 {
+				t.Fatal("gc must be delete-heavy, saw none")
+			}
+		}
+	}
+}
+
+// TestChurnReplaysWithoutRejection: replaying any pattern through a
+// live specializer (on top of the representative config) never rejects,
+// and leaves exactly WantLive extra entries in the churned table.
+func TestChurnReplaysWithoutRejection(t *testing.T) {
+	p, s := churnTarget(t)
+	if err := p.ApplyRepresentative(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range PatternKinds() {
+		before := s.Cfg.NumEntries(p.BurstTable)
+		cs, err := Churn(s.An, ChurnSpec{Kind: k, Table: p.BurstTable, Updates: 64, Seed: uint64(k) + 1})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		for i, u := range cs.Updates {
+			if d := s.Apply(u); d.Kind == core.Rejected {
+				t.Fatalf("%s update %d (%s) rejected: %v", k, i, u, d.Err)
+			}
+		}
+		if err := cs.CheckInvariant(s.Cfg.NumEntries(p.BurstTable) - before); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChurnDrainRestoresBaseline: a stream followed by its drain leaves
+// the churned table exactly where it started — the cycle contract the
+// soak harness repeats for millions of updates.
+func TestChurnDrainRestoresBaseline(t *testing.T) {
+	p, s := churnTarget(t)
+	if err := p.ApplyRepresentative(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range PatternKinds() {
+		baseline := s.Cfg.NumEntries(p.BurstTable)
+		cs, err := Churn(s.An, ChurnSpec{Kind: k, Table: p.BurstTable, Updates: 48, Seed: 21})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		drain := cs.Drain()
+		if len(drain) != cs.WantLive {
+			t.Fatalf("%s: drain has %d deletes, stream leaves %d live", k, len(drain), cs.WantLive)
+		}
+		for i, u := range append(append([]*controlplane.Update{}, cs.Updates...), drain...) {
+			if d := s.Apply(u); d.Kind == core.Rejected {
+				t.Fatalf("%s update %d (%s) rejected: %v", k, i, u, d.Err)
+			}
+		}
+		if got := s.Cfg.NumEntries(p.BurstTable); got != baseline {
+			t.Fatalf("%s: %d entries after drain, baseline was %d", k, got, baseline)
+		}
+	}
+}
+
+func TestChurnErrors(t *testing.T) {
+	p, s := churnTarget(t)
+	if _, err := Churn(s.An, ChurnSpec{Kind: Diurnal, Table: "Ingress.ghost", Updates: 40}); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+	if _, err := Churn(s.An, ChurnSpec{Kind: Diurnal, Table: p.BurstTable, Updates: 4}); err == nil {
+		t.Fatal("expected error for tiny stream")
+	}
+	if _, err := Churn(s.An, ChurnSpec{Kind: PatternKind(99), Table: p.BurstTable, Updates: 40}); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for _, k := range PatternKinds() {
+		got, err := ParsePattern(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParsePattern(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParsePattern("tidal"); err == nil {
+		t.Fatal("expected error for unknown pattern name")
+	}
+	if PatternKind(99).String() != "pattern?" {
+		t.Fatal("out-of-range pattern must print pattern?")
+	}
+}

@@ -1,0 +1,102 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/p4/ast"
+	"repro/internal/p4/parser"
+	"repro/internal/p4/typecheck"
+)
+
+// TestProductionProgramsChurn: the production-shaped programs accept
+// every churn pattern on their declared churn table — on top of the
+// representative configuration, with zero rejections, the pattern's
+// steady-state invariant intact, and a specialized program that still
+// round-trips through the frontend afterwards.
+func TestProductionProgramsChurn(t *testing.T) {
+	for _, name := range []string{"nat44", "l4lb", "tunnelterm"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, kind := range fuzz.PatternKinds() {
+				s, err := p.Load()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.ApplyRepresentative(s); err != nil {
+					t.Fatal(err)
+				}
+				before := s.Cfg.NumEntries(p.BurstTable)
+				cs, err := fuzz.Churn(s.An, fuzz.ChurnSpec{
+					Kind: kind, Table: p.BurstTable, Updates: 40, Seed: 9,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+				for i, u := range cs.Updates {
+					if d := s.Apply(u); d.Kind == core.Rejected {
+						t.Fatalf("%s update %d (%s) rejected: %v", kind, i, u, d.Err)
+					}
+				}
+				if err := cs.CheckInvariant(s.Cfg.NumEntries(p.BurstTable) - before); err != nil {
+					t.Fatal(err)
+				}
+				src := ast.Print(s.SpecializedProgram())
+				p2, err := parser.Parse(p.Name, src)
+				if err != nil {
+					t.Fatalf("%s: specialized program does not re-parse: %v", kind, err)
+				}
+				if _, err := typecheck.Check(p2); err != nil {
+					t.Fatalf("%s: specialized program does not typecheck: %v", kind, err)
+				}
+			}
+		})
+	}
+}
+
+// TestProductionEntryBuilders: the exported per-program entry builders
+// generate unique burst entries that replay cleanly on top of the
+// representative configuration (which consumes the low indices).
+func TestProductionEntryBuilders(t *testing.T) {
+	cases := []struct {
+		name  string
+		entry func(i int) *controlplane.Update
+	}{
+		{"nat44", Nat44SessionEntry},
+		{"l4lb", L4LBAffinityEntry},
+		{"tunnelterm", TunnelTermTepEntry},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Summary == "" {
+				t.Fatalf("%s: catalog entry has no summary", tc.name)
+			}
+			s, err := p.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.ApplyRepresentative(s); err != nil {
+				t.Fatal(err)
+			}
+			before := s.Cfg.NumEntries(p.BurstTable)
+			const n = 40
+			for i := 10; i < 10+n; i++ {
+				if d := s.Apply(tc.entry(i)); d.Kind == core.Rejected {
+					t.Fatalf("burst entry %d rejected: %v", i, d.Err)
+				}
+			}
+			if got := s.Cfg.NumEntries(p.BurstTable) - before; got != n {
+				t.Fatalf("burst installed %d entries, want %d (builder emitted duplicates)", got, n)
+			}
+		})
+	}
+}

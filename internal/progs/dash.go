@@ -15,6 +15,7 @@ import (
 func Dash() *Program {
 	return &Program{
 		Name:                "dash",
+		Summary:             "SONiC DASH overlay pipeline: ENI/CA-PA mapping and VXLAN paths",
 		Source:              dashSource(),
 		Target:              devcompiler.TargetBMv2,
 		PaperStatements:     509,

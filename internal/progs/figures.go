@@ -48,6 +48,7 @@ control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_
 func Fig3() *Program {
 	return &Program{
 		Name:       "fig3",
+		Summary:    "the paper's Fig. 3 running example: a two-table forwarding slice",
 		Source:     fig3Source,
 		Target:     devcompiler.TargetTofino,
 		BurstTable: "Ingress.eth_table",
@@ -117,6 +118,7 @@ control Ingress(inout headers h, inout metadata meta, inout standard_metadata_t 
 func Fig5() *Program {
 	return &Program{
 		Name:       "fig5",
+		Summary:    "the paper's Fig. 5 example: value-set parser specialization",
 		Source:     fig5Source,
 		Target:     devcompiler.TargetTofino,
 		BurstTable: "Ingress.port_table",

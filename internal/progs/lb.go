@@ -1,0 +1,250 @@
+package progs
+
+import (
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// L4LB is a production-shaped L4 load balancer: VIP classification, a
+// connection-affinity table that pins established flows to their
+// backend, a hash-bucket backend pool for new flows, backend health
+// gating, and the DIP rewrite. The affinity table is the churn target:
+// connection state arrives and expires continuously while the VIP and
+// pool configuration stays quasi-static — exactly the split Fig. 1
+// describes.
+func L4LB() *Program {
+	return &Program{
+		Name:           "l4lb",
+		Summary:        "L4 load balancer: VIP map, connection-affinity pinning, hash-bucket backend pool",
+		Source:         l4lbSource(),
+		Target:         devcompiler.TargetBMv2,
+		Representative: l4lbRepresentative,
+		BurstTable:     "Ingress.conn_affinity",
+	}
+}
+
+var l4lbMeta = []string{"vip_stats_cfg", "qos_class", "telemetry_tag"}
+
+func l4lbSource() string {
+	var b strings.Builder
+	b.WriteString(`// l4lb: L4 load balancer with connection affinity (goflay re-creation).
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header udp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<16> length;
+    bit<16> checksum;
+}
+struct headers {
+    ethernet_t eth;
+    ipv4_t ipv4;
+    udp_t l4;
+}
+struct metadata {
+`)
+	emitMetaFields(&b, "lbm", len(l4lbMeta))
+	b.WriteString(`    bit<16> vip;
+    bit<16> backend;
+    bit<32> flow_hash;
+    bit<8> bucket;
+    bit<1> pinned;
+    bit<9> out_port;
+}
+parser LbParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w17: parse_l4;
+            8w6: parse_l4;
+            default: accept;
+        }
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set_vip(bit<16> v) {
+        meta.vip = v;
+    }
+    action vip_drop() {
+        mark_to_drop(std);
+    }
+    table vip_map {
+        key = {
+            hdr.ipv4.dst: exact;
+            hdr.l4.dport: exact;
+        }
+        actions = { set_vip; vip_drop; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+    // Established flows are pinned to the backend that served their
+    // first packet; this table carries per-connection state and churns
+    // with connection arrivals/expiries.
+    action pin_backend(bit<16> b) {
+        meta.backend = b;
+        meta.pinned = 1w1;
+    }
+    table conn_affinity {
+        key = {
+            hdr.ipv4.src: exact;
+            hdr.l4.sport: exact;
+            meta.vip: exact;
+        }
+        actions = { pin_backend; NoAction; }
+        default_action = NoAction;
+        size = 4096;
+    }
+    action choose_backend(bit<16> b) {
+        meta.backend = b;
+    }
+    table backend_pool {
+        key = {
+            meta.vip: exact;
+            meta.bucket: exact;
+        }
+        actions = { choose_backend; NoAction; }
+        default_action = NoAction;
+        size = 1024;
+    }
+    action backend_down() {
+        mark_to_drop(std);
+    }
+    table backend_health {
+        key = { meta.backend: exact; }
+        actions = { backend_down; NoAction; }
+        default_action = NoAction;
+        size = 256;
+    }
+    action rewrite(bit<32> dip, bit<16> dport, bit<48> dmac, bit<9> port) {
+        hdr.ipv4.dst = dip;
+        hdr.l4.dport = dport;
+        hdr.eth.dst = dmac;
+        meta.out_port = port;
+    }
+    table backend_rewrite {
+        key = { meta.backend: exact; }
+        actions = { rewrite; NoAction; }
+        default_action = NoAction;
+        size = 256;
+    }
+`)
+	emitChain(&b, chainOpts{
+		Names: l4lbMeta, MetaPrefix: "lbm",
+		FirstKey: "meta.vip", FirstKind: "exact",
+		BodyAux:  []string{"hdr.ipv4.diffserv = hdr.ipv4.diffserv | 8w1;"},
+		WithDrop: false, Size: 64, Pad: 6, Alt: true,
+	})
+	b.WriteString(`    register<bit<32>>(1024) conn_count;
+    register<bit<32>>(1024) vip_pkts;
+    bit<32> cell;
+    apply {
+        if (hdr.ipv4.isValid()) {
+            vip_map.apply();
+            meta.flow_hash = hdr.ipv4.src ^ (16w0 ++ hdr.l4.sport) ^ (16w0 ++ meta.vip);
+            meta.bucket = meta.flow_hash[7:0];
+            conn_affinity.apply();
+            if (meta.pinned == 1w0) {
+                backend_pool.apply();
+            }
+            backend_health.apply();
+            backend_rewrite.apply();
+            conn_count.read(cell, (16w0 ++ meta.backend) & 32w0x3FF);
+            cell = cell + 32w1;
+            conn_count.write((16w0 ++ meta.backend) & 32w0x3FF, cell);
+            vip_pkts.read(cell, (16w0 ++ meta.vip) & 32w0x3FF);
+            cell = cell + 32w1;
+            vip_pkts.write((16w0 ++ meta.vip) & 32w0x3FF, cell);
+            if (hdr.ipv4.ttl == 8w0) {
+                mark_to_drop(std);
+            } else {
+                hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+                hdr.ipv4.hdr_checksum = checksum16(hdr.ipv4.src, hdr.ipv4.dst, 8w0 ++ hdr.ipv4.ttl, hdr.ipv4.total_len);
+            }
+`)
+	emitApplies(&b, "            ", l4lbMeta)
+	b.WriteString(`            std.egress_port = meta.out_port;
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// L4LBAffinityEntry builds the i-th unique connection-affinity entry.
+func L4LBAffinityEntry(i int) *controlplane.Update {
+	u := uint64(i)
+	return insertUpdate("Ingress.conn_affinity", 0,
+		[]controlplane.FieldMatch{
+			exactMatch(32, 0xC0A80000+u*2654435761%0x00ffffff),
+			exactMatch(16, 1024+u%60000),
+			exactMatch(16, 1+u%4),
+		},
+		"pin_backend", sym.NewBV(16, 1+u%8))
+}
+
+// l4lbRepresentative: two VIPs, a few pinned connections, a populated
+// backend pool and rewrites for every backend.
+func l4lbRepresentative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	for v := 0; v < 2; v++ {
+		ups = append(ups, insertUpdate("Ingress.vip_map", 0,
+			[]controlplane.FieldMatch{
+				exactMatch(32, 0x0A640000+uint64(v)),
+				exactMatch(16, 80+uint64(v)*363),
+			}, "set_vip", sym.NewBV(16, uint64(v+1))))
+	}
+	for i := 0; i < 4; i++ {
+		ups = append(ups, L4LBAffinityEntry(i))
+	}
+	for v := 1; v <= 2; v++ {
+		for bkt := 0; bkt < 4; bkt++ {
+			ups = append(ups, insertUpdate("Ingress.backend_pool", 0,
+				[]controlplane.FieldMatch{
+					exactMatch(16, uint64(v)),
+					exactMatch(8, uint64(bkt*64)),
+				}, "choose_backend", sym.NewBV(16, uint64(1+(v+bkt)%8))))
+		}
+	}
+	for be := 1; be <= 8; be++ {
+		u := uint64(be)
+		ups = append(ups, insertUpdate("Ingress.backend_rewrite", 0,
+			[]controlplane.FieldMatch{exactMatch(16, u)},
+			"rewrite",
+			sym.NewBV(32, 0x0A0A0000+u), sym.NewBV(16, 8080),
+			sym.NewBV(48, 0x02AA00000000+u), sym.NewBV(9, u%4+1)))
+	}
+	ups = append(ups, insertUpdate("Ingress.backend_health", 0,
+		[]controlplane.FieldMatch{exactMatch(16, 7)}, "backend_down"))
+	ups = append(ups, chainRepresentative("Ingress", "lbm", l4lbMeta, 2, nil)...)
+	return ups
+}

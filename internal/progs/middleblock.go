@@ -16,6 +16,7 @@ import (
 func Middleblock() *Program {
 	return &Program{
 		Name:                "middleblock",
+		Summary:             "Google middleblock.p4 model with the wide Pre-Ingress ACL (Tbl. 3)",
 		Source:              middleblockSource(),
 		Target:              devcompiler.TargetBMv2,
 		PaperStatements:     346,

@@ -1,0 +1,256 @@
+package progs
+
+import (
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// Nat44 is a production-shaped carrier-grade NAT44 slice: per-port zone
+// classification, a zone→pool mapping, port-pool allocation registers,
+// and forward/reverse per-session translation tables. The session
+// tables are what real NAT control planes churn at the Fig. 1
+// "NAT/firewall entries" rate, so nat_session_fwd is the program's
+// churn/burst target.
+func Nat44() *Program {
+	return &Program{
+		Name:           "nat44",
+		Summary:        "NAT44 gateway: zone/pool selection, port-pool registers, per-session translation",
+		Source:         nat44Source(),
+		Target:         devcompiler.TargetBMv2,
+		Representative: nat44Representative,
+		BurstTable:     "Ingress.nat_session_fwd",
+	}
+}
+
+var nat44Egr = []string{"uplink_cfg", "cpe_shaper", "export_meta"}
+
+func nat44Source() string {
+	var b strings.Builder
+	b.WriteString(`// nat44: carrier-grade NAT44 gateway (goflay re-creation).
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header udp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<16> length;
+    bit<16> checksum;
+}
+struct headers {
+    ethernet_t eth;
+    ipv4_t ipv4;
+    udp_t l4;
+}
+struct metadata {
+`)
+	emitMetaFields(&b, "nategr", len(nat44Egr))
+	b.WriteString(`    bit<16> zone;
+    bit<16> pool;
+    bit<32> pool_base;
+    bit<32> sess_hash;
+    bit<1> permit;
+    bit<1> nat_hit;
+    bit<9> out_port;
+}
+parser NatParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w17: parse_l4;
+            8w6: parse_l4;
+            default: accept;
+        }
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action set_zone(bit<16> z) {
+        meta.zone = z;
+    }
+    table nat_zone {
+        key = { std.ingress_port: exact; }
+        actions = { set_zone; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    action set_pool(bit<16> pool, bit<32> base) {
+        meta.pool = pool;
+        meta.pool_base = base;
+    }
+    table nat_pool {
+        key = { meta.zone: exact; }
+        actions = { set_pool; NoAction; }
+        default_action = NoAction;
+        size = 64;
+    }
+    action nat_permit() {
+        meta.permit = 1w1;
+    }
+    action nat_deny() {
+        mark_to_drop(std);
+    }
+    table nat_acl {
+        key = {
+            hdr.ipv4.src: ternary;
+            hdr.ipv4.dst: ternary;
+            hdr.l4.dport: ternary;
+        }
+        actions = { nat_permit; nat_deny; NoAction; }
+        default_action = NoAction;
+        size = 256;
+    }
+    // The forward session table: src ip/port → translated ip/port. This
+    // is the table NAT control planes churn continuously.
+    action snat(bit<32> nsrc, bit<16> nsport) {
+        hdr.ipv4.src = nsrc;
+        hdr.l4.sport = nsport;
+        meta.nat_hit = 1w1;
+    }
+    action session_drop() {
+        mark_to_drop(std);
+    }
+    table nat_session_fwd {
+        key = {
+            hdr.ipv4.src: exact;
+            hdr.l4.sport: exact;
+        }
+        actions = { snat; session_drop; NoAction; }
+        default_action = NoAction;
+        size = 4096;
+    }
+    action dnat(bit<32> odst, bit<16> odport) {
+        hdr.ipv4.dst = odst;
+        hdr.l4.dport = odport;
+    }
+    table nat_session_rev {
+        key = {
+            hdr.ipv4.dst: exact;
+            hdr.l4.dport: exact;
+        }
+        actions = { dnat; NoAction; }
+        default_action = NoAction;
+        size = 4096;
+    }
+    action hairpin_set(bit<9> p) {
+        meta.out_port = p;
+    }
+    table nat_hairpin {
+        key = { hdr.ipv4.dst: exact; }
+        actions = { hairpin_set; NoAction; }
+        default_action = NoAction;
+        size = 128;
+    }
+`)
+	emitChain(&b, chainOpts{
+		Names: nat44Egr, MetaPrefix: "nategr",
+		FirstKey: "meta.pool", FirstKind: "exact",
+		BodyAux:  []string{"meta.out_port = v[8:0];"},
+		WithDrop: false, Size: 64, Pad: 6, Alt: true,
+	})
+	b.WriteString(`    register<bit<32>>(1024) port_pool;
+    register<bit<32>>(2048) session_hits;
+    bit<32> cell;
+    apply {
+        nat_zone.apply();
+        nat_pool.apply();
+        if (hdr.ipv4.isValid()) {
+            nat_acl.apply();
+            nat_session_fwd.apply();
+            nat_session_rev.apply();
+            nat_hairpin.apply();
+            meta.sess_hash = hdr.ipv4.src ^ (16w0 ++ hdr.l4.sport);
+            port_pool.read(cell, (16w0 ++ meta.pool) & 32w0x3FF);
+            cell = cell + 32w1;
+            port_pool.write((16w0 ++ meta.pool) & 32w0x3FF, cell);
+            session_hits.read(cell, meta.sess_hash & 32w0x7FF);
+            cell = cell + 32w1;
+            session_hits.write(meta.sess_hash & 32w0x7FF, cell);
+            if (hdr.ipv4.ttl == 8w0) {
+                mark_to_drop(std);
+            } else {
+                hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+                hdr.ipv4.hdr_checksum = checksum16(hdr.ipv4.src, hdr.ipv4.dst, 8w0 ++ hdr.ipv4.ttl, hdr.ipv4.total_len);
+            }
+`)
+	emitApplies(&b, "            ", nat44Egr)
+	b.WriteString(`            std.egress_port = meta.out_port;
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// Nat44SessionEntry builds the i-th unique forward-session entry.
+func Nat44SessionEntry(i int) *controlplane.Update {
+	u := uint64(i)
+	return insertUpdate("Ingress.nat_session_fwd", 0,
+		[]controlplane.FieldMatch{
+			exactMatch(32, 0x0a000000+u*2654435761%0x00ffffff),
+			exactMatch(16, 1024+u%60000),
+		},
+		"snat", sym.NewBV(32, 0xC6336400+u%256), sym.NewBV(16, 20000+u%40000))
+}
+
+// nat44Representative: a small working NAT config — two zones with
+// pools, a permit ACL, a handful of sessions in both directions.
+func nat44Representative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	for z := 0; z < 2; z++ {
+		ups = append(ups, insertUpdate("Ingress.nat_zone", 0,
+			[]controlplane.FieldMatch{exactMatch(9, uint64(z+1))},
+			"set_zone", sym.NewBV(16, uint64(z+1))))
+		ups = append(ups, insertUpdate("Ingress.nat_pool", 0,
+			[]controlplane.FieldMatch{exactMatch(16, uint64(z+1))},
+			"set_pool", sym.NewBV(16, uint64(z+1)), sym.NewBV(32, 0xC6336400+uint64(z)<<8)))
+	}
+	ups = append(ups, insertUpdate("Ingress.nat_acl", 10,
+		[]controlplane.FieldMatch{
+			ternMatch(32, 0x0a000000, 0xff000000),
+			ternMatch(32, 0, 0),
+			ternMatch(16, 0, 0),
+		}, "nat_permit"))
+	for i := 0; i < 4; i++ {
+		ups = append(ups, Nat44SessionEntry(i))
+		u := uint64(i)
+		ups = append(ups, insertUpdate("Ingress.nat_session_rev", 0,
+			[]controlplane.FieldMatch{
+				exactMatch(32, 0xC6336400+u),
+				exactMatch(16, 20000+u),
+			},
+			"dnat", sym.NewBV(32, 0x0a000001+u), sym.NewBV(16, 1024+u)))
+	}
+	ups = append(ups, insertUpdate("Ingress.nat_hairpin", 0,
+		[]controlplane.FieldMatch{exactMatch(32, 0xC6336401)},
+		"hairpin_set", sym.NewBV(9, 3)))
+	ups = append(ups, chainRepresentative("Ingress", "nategr", nat44Egr, 2, nil)...)
+	return ups
+}

@@ -19,9 +19,11 @@ import (
 
 // Program is one catalog entry.
 type Program struct {
-	Name   string
-	Source string
-	Target devcompiler.Target
+	Name string
+	// Summary is a one-line description for catalog listings.
+	Summary string
+	Source  string
+	Target  devcompiler.Target
 	// SkipParser reproduces the paper's accommodation for switch.p4.
 	SkipParser bool
 
@@ -52,6 +54,7 @@ func Catalog() []*Program {
 	return []*Program{
 		Fig3(), Fig5(), Scion(), SwitchLite(), Middleblock(), Dash(),
 		Beaucoup(), ACCTurbo(), DTA(),
+		Nat44(), L4LB(), TunnelTerm(),
 	}
 }
 

@@ -34,6 +34,7 @@ const (
 func Scion() *Program {
 	return &Program{
 		Name:                "scion",
+		Summary:             "SCION border router: the paper's \u00a74.2 headline program",
 		Source:              scionSource(),
 		Target:              devcompiler.TargetTofino,
 		PaperStatements:     582,

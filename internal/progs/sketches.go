@@ -138,6 +138,7 @@ func Beaucoup() *Program {
 	})
 	return &Program{
 		Name:                "beaucoup",
+		Summary:             "Beaucoup multi-query sketching pipeline with coupon registers",
 		Source:              sketchSource("beaucoup", chains, 4),
 		Target:              devcompiler.TargetTofino,
 		PaperCompileSeconds: 22,
@@ -165,6 +166,7 @@ func ACCTurbo() *Program {
 	})
 	return &Program{
 		Name:                "accturbo",
+		Summary:             "ACCTurbo online aggregate clustering with ternary cluster tables",
 		Source:              sketchSource("accturbo", chains, 4),
 		Target:              devcompiler.TargetTofino,
 		PaperCompileSeconds: 28,
@@ -192,6 +194,7 @@ func DTA() *Program {
 	})
 	return &Program{
 		Name:                "dta",
+		Summary:             "DTA telemetry-key translation to RDMA-style destinations",
 		Source:              sketchSource("dta", chains, 3),
 		Target:              devcompiler.TargetTofino,
 		PaperCompileSeconds: 25,

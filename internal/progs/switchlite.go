@@ -19,6 +19,7 @@ import (
 func SwitchLite() *Program {
 	return &Program{
 		Name:                "switch",
+		Summary:             "switch.p4-style L2/L3 pipeline (parser skipped, as in the paper)",
 		Source:              switchLiteSource(),
 		Target:              devcompiler.TargetTofino,
 		SkipParser:          true,

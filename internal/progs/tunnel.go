@@ -1,0 +1,250 @@
+package progs
+
+import (
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/devcompiler"
+	"repro/internal/sym"
+)
+
+// TunnelTerm is a production-shaped tunnel terminator: IP-in-IPv4 and
+// IP-in-IPv6 tunnel endpoint tables, per-tunnel policy, and inner-header
+// forwarding after decap. Tunnel endpoints churn with overlay
+// provisioning (the tep_v4 table is the churn target) while the policy
+// and inner-forwarding layers change at control-plane-policy rates.
+func TunnelTerm() *Program {
+	return &Program{
+		Name:           "tunnelterm",
+		Summary:        "IPv4/IPv6 tunnel terminator: endpoint match, per-tunnel policy, inner forwarding",
+		Source:         tunnelTermSource(),
+		Target:         devcompiler.TargetBMv2,
+		Representative: tunnelTermRepresentative,
+		BurstTable:     "Ingress.tep_v4",
+	}
+}
+
+var tunnelPost = []string{"overlay_qos", "vrf_select", "mirror_cfg"}
+
+func tunnelTermSource() string {
+	var b strings.Builder
+	b.WriteString(`// tunnelterm: IPv4/IPv6 tunnel terminator (goflay re-creation).
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<128> src;
+    bit<128> dst;
+}
+struct headers {
+    ethernet_t eth;
+    ipv4_t outer4;
+    ipv6_t outer6;
+    ipv4_t inner4;
+}
+struct metadata {
+`)
+	emitMetaFields(&b, "post", len(tunnelPost))
+	b.WriteString(`    bit<16> tunnel;
+    bit<8> tclass;
+    bit<1> decap;
+    bit<9> out_port;
+}
+parser TunnelParser(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            16w0x0800: parse_outer4;
+            16w0x86DD: parse_outer6;
+            default: accept;
+        }
+    }
+    state parse_outer4 {
+        pkt.extract(hdr.outer4);
+        transition select(hdr.outer4.protocol) {
+            8w4: parse_inner4;
+            default: accept;
+        }
+    }
+    state parse_outer6 {
+        pkt.extract(hdr.outer6);
+        transition select(hdr.outer6.next_hdr) {
+            8w4: parse_inner4;
+            default: accept;
+        }
+    }
+    state parse_inner4 {
+        pkt.extract(hdr.inner4);
+        transition accept;
+    }
+}
+control Ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    // IPv4 tunnel endpoints: provisioned/withdrawn with the overlay, so
+    // this table sees continuous churn.
+    action term_v4(bit<16> t) {
+        meta.tunnel = t;
+        meta.decap = 1w1;
+    }
+    table tep_v4 {
+        key = {
+            hdr.outer4.dst: exact;
+            hdr.outer4.src: ternary;
+        }
+        actions = { term_v4; NoAction; }
+        default_action = NoAction;
+        size = 2048;
+    }
+    action term_v6(bit<16> t) {
+        meta.tunnel = t;
+        meta.decap = 1w1;
+    }
+    table tep_v6 {
+        key = { hdr.outer6.dst: ternary; }
+        actions = { term_v6; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+    action set_tclass(bit<8> tc) {
+        meta.tclass = tc;
+    }
+    action policy_drop() {
+        mark_to_drop(std);
+    }
+    table tunnel_policy {
+        key = { meta.tunnel: exact; }
+        actions = { set_tclass; policy_drop; NoAction; }
+        default_action = NoAction;
+        size = 512;
+    }
+    action acl_drop() {
+        mark_to_drop(std);
+    }
+    table inner_acl {
+        key = {
+            hdr.inner4.src: ternary;
+            hdr.inner4.protocol: ternary;
+        }
+        actions = { acl_drop; NoAction; }
+        default_action = NoAction;
+        size = 128;
+    }
+    action inner_route(bit<48> dmac, bit<9> port) {
+        hdr.eth.dst = dmac;
+        meta.out_port = port;
+    }
+    table inner_fwd {
+        key = {
+            meta.tunnel: exact;
+            hdr.inner4.dst: lpm;
+        }
+        actions = { inner_route; NoAction; }
+        default_action = NoAction;
+        size = 1024;
+    }
+`)
+	emitChain(&b, chainOpts{
+		Names: tunnelPost, MetaPrefix: "post",
+		FirstKey: "meta.tunnel", FirstKind: "exact",
+		BodyAux:  []string{"meta.out_port = v[8:0];"},
+		WithDrop: false, Size: 64, Pad: 6, Alt: true,
+	})
+	b.WriteString(`    register<bit<32>>(1024) tunnel_pkts;
+    bit<32> cell;
+    apply {
+        if (hdr.outer4.isValid()) {
+            tep_v4.apply();
+        }
+        if (hdr.outer6.isValid()) {
+            tep_v6.apply();
+        }
+        if (meta.decap == 1w1) {
+            tunnel_policy.apply();
+            tunnel_pkts.read(cell, (16w0 ++ meta.tunnel) & 32w0x3FF);
+            cell = cell + 32w1;
+            tunnel_pkts.write((16w0 ++ meta.tunnel) & 32w0x3FF, cell);
+            if (hdr.inner4.isValid()) {
+                inner_acl.apply();
+                inner_fwd.apply();
+                if (hdr.inner4.ttl == 8w0) {
+                    mark_to_drop(std);
+                } else {
+                    hdr.inner4.ttl = hdr.inner4.ttl - 8w1;
+                    hdr.inner4.diffserv = meta.tclass;
+                    hdr.inner4.hdr_checksum = checksum16(hdr.inner4.src, hdr.inner4.dst, 8w0 ++ hdr.inner4.ttl, hdr.inner4.total_len);
+                }
+            }
+`)
+	emitApplies(&b, "            ", tunnelPost)
+	b.WriteString(`            std.egress_port = meta.out_port;
+        }
+    }
+}
+`)
+	return b.String()
+}
+
+// TunnelTermTepEntry builds the i-th unique IPv4 tunnel-endpoint entry.
+func TunnelTermTepEntry(i int) *controlplane.Update {
+	u := uint64(i)
+	return insertUpdate("Ingress.tep_v4", 10+i,
+		[]controlplane.FieldMatch{
+			exactMatch(32, 0xAC100000+u*2654435761%0x000fffff),
+			ternMatch(32, 0x0a000000+u<<8, 0xffffff00),
+		},
+		"term_v4", sym.NewBV(16, 1+u%512))
+}
+
+// tunnelTermRepresentative: a handful of v4/v6 endpoints, policies for
+// the live tunnels, inner routes and a default-permit ACL.
+func tunnelTermRepresentative() []*controlplane.Update {
+	var ups []*controlplane.Update
+	for i := 0; i < 3; i++ {
+		ups = append(ups, TunnelTermTepEntry(i))
+	}
+	ups = append(ups, insertUpdate("Ingress.tep_v6", 5,
+		[]controlplane.FieldMatch{
+			{Kind: controlplane.MatchTernary,
+				Value: sym.NewBV2(128, 0x20010db800000000, 0),
+				Mask:  sym.NewBV2(128, 0xffffffff00000000, 0)},
+		}, "term_v6", sym.NewBV(16, 400)))
+	for t := 1; t <= 3; t++ {
+		u := uint64(t)
+		ups = append(ups, insertUpdate("Ingress.tunnel_policy", 0,
+			[]controlplane.FieldMatch{exactMatch(16, u)},
+			"set_tclass", sym.NewBV(8, 10*u)))
+		ups = append(ups, insertUpdate("Ingress.inner_fwd", 0,
+			[]controlplane.FieldMatch{
+				exactMatch(16, u),
+				lpmMatch(32, 0xC0A80000+u<<16, 16),
+			},
+			"inner_route", sym.NewBV(48, 0x02BB00000000+u), sym.NewBV(9, u%4+1)))
+	}
+	ups = append(ups, insertUpdate("Ingress.inner_acl", 20,
+		[]controlplane.FieldMatch{
+			ternMatch(32, 0xE0000000, 0xf0000000),
+			ternMatch(8, 0, 0),
+		}, "acl_drop"))
+	ups = append(ups, chainRepresentative("Ingress", "post", tunnelPost, 2, nil)...)
+	return ups
+}

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -293,10 +294,16 @@ func (s *Server) routes() {
 }
 
 func (s *Server) info(sess *Session) wire.SessionInfo {
+	tables := sess.pipe.Tables()
+	entries := make(map[string]int, len(tables))
+	for _, tbl := range tables {
+		entries[tbl] = sess.pipe.Entries(tbl)
+	}
 	return wire.SessionInfo{
 		Name:       sess.name,
 		Program:    sess.program,
-		Tables:     sess.pipe.Tables(),
+		Tables:     tables,
+		Entries:    entries,
 		Stats:      wire.FromStats(sess.pipe.Statistics()),
 		Restored:   sess.restored,
 		Dirty:      sess.dirty(),
@@ -320,7 +327,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sampleRuntime refreshes the process-health gauges scraped alongside
+// the engine metrics. Pull-based: sampled when a scrape arrives, so an
+// idle daemon burns no cycles and the soak harness sees values that are
+// current as of each probe.
+func (s *Server) sampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.met.Gauge("server.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	s.met.Gauge("server.heap_sys_bytes").Set(int64(ms.HeapSys))
+	s.met.Gauge("server.heap_objects").Set(int64(ms.HeapObjects))
+	s.met.Gauge("server.goroutines").Set(int64(runtime.NumGoroutine()))
+}
+
 func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	s.sampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.met.Snapshot().WriteProm(w, "flay"); err != nil {
 		s.cfg.Logf("server: writing /metrics: %v", err)
@@ -328,6 +349,7 @@ func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.sampleRuntime()
 	writeJSON(w, http.StatusOK, s.met.Snapshot())
 }
 

@@ -681,3 +681,58 @@ func TestMetricsServedUnderTraffic(t *testing.T) {
 		t.Fatalf("server.write_updates = %d, want %d", snap.Counters["server.write_updates"], len(stream))
 	}
 }
+
+// TestSessionInfoEntriesAndRuntimeGauges: session info reports per-table
+// live entry counts — the wire-level hook flayload and flaysoak use to
+// verify churn steady-state invariants — and a metrics scrape refreshes
+// the process-health gauges the soak harness watches for flat memory.
+func TestSessionInfoEntriesAndRuntimeGauges(t *testing.T) {
+	d := startDaemon(t, server.Config{})
+	if _, err := d.c.CreateSession(wire.CreateSessionRequest{Name: "e", Catalog: "nat44"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := progs.ByName("nat44")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := localEngine(t, "nat44")
+	cs, err := fuzz.Churn(local.An, fuzz.ChurnSpec{
+		Kind: fuzz.Diurnal, Table: p.BurstTable, Updates: 48, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range cs.Batches() {
+		resp, err := d.c.Write("e", wire.ModeBatch, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, dec := range resp.Decisions {
+			if dec.Kind == "rejected" {
+				t.Fatalf("churn update %d rejected: %s", i, dec.Error)
+			}
+		}
+	}
+	info, err := d.c.Session("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Entries == nil {
+		t.Fatal("session info has no entries map")
+	}
+	if got := info.Entries[p.BurstTable]; got != cs.WantLive {
+		t.Fatalf("entries[%s] = %d over the wire, churn invariant wants %d", p.BurstTable, got, cs.WantLive)
+	}
+	if len(info.Entries) != len(info.Tables) {
+		t.Fatalf("entries map covers %d tables, session has %d", len(info.Entries), len(info.Tables))
+	}
+	snap, err := d.c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"server.heap_alloc_bytes", "server.heap_sys_bytes", "server.heap_objects", "server.goroutines"} {
+		if snap.Gauges[g] <= 0 {
+			t.Fatalf("gauge %s = %d after a scrape, want > 0", g, snap.Gauges[g])
+		}
+	}
+}

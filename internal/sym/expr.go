@@ -2,6 +2,7 @@ package sym
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -195,6 +196,58 @@ func (b *Builder) NumNodes() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.nodes)
+}
+
+// Sweep removes every interned node not reachable from roots and
+// compacts the surviving nodes' dense ids (preserving their relative
+// order, so id-based sort keys stay deterministic). It is the arena's
+// garbage collector: hash-consed nodes are otherwise immortal, and a
+// long-lived engine that substitutes fresh control-plane constants on
+// every update would grow the intern table — and every id-indexed
+// scratch structure — without bound.
+//
+// The caller must guarantee exclusive use of the Builder and of every
+// retained expression for the duration of the call (the engine runs
+// Sweep under its write lock, between passes): ids are reassigned, and
+// any *Expr held outside roots becomes a stale alias that must never be
+// compared against newly interned nodes. Canons are structural and
+// exclude ids, so surviving nodes hash identically after the sweep.
+func (b *Builder) Sweep(roots []*Expr) (swept int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	live := make(map[*Expr]bool, len(b.nodes)/2)
+	stack := make([]*Expr, 0, 64)
+	for _, r := range roots {
+		if r != nil && !live[r] {
+			live[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ch := range [...]*Expr{e.A, e.B, e.C} {
+			if ch != nil && !live[ch] {
+				live[ch] = true
+				stack = append(stack, ch)
+			}
+		}
+	}
+	keep := make([]*Expr, 0, len(live))
+	for k, e := range b.nodes {
+		if !live[e] {
+			delete(b.nodes, k)
+			swept++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].id < keep[j].id })
+	for i, e := range keep {
+		e.id = uint64(i)
+	}
+	b.nextID = uint64(len(keep))
+	return swept
 }
 
 func (b *Builder) intern(k exprKey) *Expr {

@@ -161,20 +161,20 @@ type Stats struct {
 // FromStats converts engine statistics to their wire form.
 func FromStats(s core.Stats) Stats {
 	return Stats{
-		Points:         s.Points,
-		Tables:         s.Tables,
-		AnalysisNS:     s.AnalysisTime.Nanoseconds(),
-		PreprocessNS:   s.PreprocessTime.Nanoseconds(),
-		Updates:        s.Updates,
-		Forwarded:      s.Forwarded,
-		Recompilations: s.Recompilations,
-		Rejected:       s.Rejected,
-		UpdateNS:       s.UpdateTime.Nanoseconds(),
-		Batches:        s.Batches,
-		BatchedUpdates: s.BatchedUpdates,
-		Coalesced:      s.Coalesced,
-		EvalNS:         s.EvalTime.Nanoseconds(),
-		Workers:        s.Workers,
+		Points:          s.Points,
+		Tables:          s.Tables,
+		AnalysisNS:      s.AnalysisTime.Nanoseconds(),
+		PreprocessNS:    s.PreprocessTime.Nanoseconds(),
+		Updates:         s.Updates,
+		Forwarded:       s.Forwarded,
+		Recompilations:  s.Recompilations,
+		Rejected:        s.Rejected,
+		UpdateNS:        s.UpdateTime.Nanoseconds(),
+		Batches:         s.Batches,
+		BatchedUpdates:  s.BatchedUpdates,
+		Coalesced:       s.Coalesced,
+		EvalNS:          s.EvalTime.Nanoseconds(),
+		Workers:         s.Workers,
 		CacheHits:       s.CacheHits,
 		CacheMisses:     s.CacheMisses,
 		CacheEvictions:  s.CacheEvictions,
@@ -190,7 +190,10 @@ type SessionInfo struct {
 	Name    string   `json:"name"`
 	Program string   `json:"program"`
 	Tables  []string `json:"tables,omitempty"`
-	Stats   Stats    `json:"stats"`
+	// Entries maps each table to its live entry count, so clients can
+	// verify steady-state invariants (e.g. churn WantLive) over the wire.
+	Entries map[string]int `json:"entries,omitempty"`
+	Stats   Stats          `json:"stats"`
 	// Restored marks a session warm-started from a snapshot.
 	Restored bool `json:"restored,omitempty"`
 	// Dirty reports state-changing updates since the last snapshot.

@@ -2,11 +2,13 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/flayerr"
 	"repro/internal/fuzz"
 	"repro/internal/progs"
 	"repro/internal/sym"
@@ -43,12 +45,12 @@ func TestToBVRejectsMalformed(t *testing.T) {
 	cases := []BV{
 		{W: 0, Hex: ""},
 		{W: 129, Hex: strings.Repeat("0", 33)},
-		{W: 8, Hex: "0"},            // too short
-		{W: 8, Hex: "000"},          // too long
-		{W: 8, Hex: "ZZ"},           // bad digits
-		{W: 8, Hex: "FF"},           // uppercase rejected
-		{W: 1, Hex: "2"},            // bit above width
-		{W: 7, Hex: "ff"},           // bit above width
+		{W: 8, Hex: "0"},                  // too short
+		{W: 8, Hex: "000"},                // too long
+		{W: 8, Hex: "ZZ"},                 // bad digits
+		{W: 8, Hex: "FF"},                 // uppercase rejected
+		{W: 1, Hex: "2"},                  // bit above width
+		{W: 7, Hex: "ff"},                 // bit above width
 		{W: 65, Hex: "fffffffffffffffff"}, // hi bits above width
 	}
 	for _, c := range cases {
@@ -138,15 +140,15 @@ func TestToUpdateRejectsChimeras(t *testing.T) {
 	entry := &TableEntry{Action: "drop"}
 	cases := []Update{
 		{Kind: "mystery"},
-		{Kind: KindInsert},                                             // no table/entry
-		{Kind: KindInsert, Table: "t"},                                 // no entry
-		{Kind: KindInsert, Table: "t", Entry: entry, Register: "r"},    // chimera
-		{Kind: KindInsert, Table: "t", Entry: &TableEntry{}},           // no action
-		{Kind: KindSetDefault, Table: "t"},                             // no default
-		{Kind: KindSetDefault, Table: "t", Default: &ActionCall{}},     // unnamed action
-		{Kind: KindSetValueSet},                                        // no value set
-		{Kind: KindSetValueSet, ValueSet: "v", Table: "t"},             // chimera
-		{Kind: KindFillRegister, Register: "r"},                        // no fill
+		{Kind: KindInsert},             // no table/entry
+		{Kind: KindInsert, Table: "t"}, // no entry
+		{Kind: KindInsert, Table: "t", Entry: entry, Register: "r"},     // chimera
+		{Kind: KindInsert, Table: "t", Entry: &TableEntry{}},            // no action
+		{Kind: KindSetDefault, Table: "t"},                              // no default
+		{Kind: KindSetDefault, Table: "t", Default: &ActionCall{}},      // unnamed action
+		{Kind: KindSetValueSet},                                         // no value set
+		{Kind: KindSetValueSet, ValueSet: "v", Table: "t"},              // chimera
+		{Kind: KindFillRegister, Register: "r"},                         // no fill
 		{Kind: KindFillRegister, Register: "r", Fill: &bv8, Table: "t"}, // chimera
 	}
 	for i, c := range cases {
@@ -282,5 +284,62 @@ func TestFromDecisionAndStats(t *testing.T) {
 		Entry: &controlplane.TableEntry{Action: "x"}})
 	if w := FromDecision(rejected); w.Kind != "rejected" || w.Error == "" {
 		t.Fatalf("rejected decision must carry its error: %+v", w)
+	}
+}
+
+// TestErrorCodeRoundTrip pins the error classification contract: every
+// flayerr sentinel round-trips through its wire code (bare and wrapped,
+// so errors.Is works across the HTTP boundary), and everything outside
+// the sentinel set falls back to the unclassified empty code / nil
+// sentinel rather than being misclassified.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		code     string
+		sentinel error
+	}{
+		{CodeUnknownTable, flayerr.ErrUnknownTable},
+		{CodeClosed, flayerr.ErrClosed},
+		{CodeDeadlineExceeded, flayerr.ErrDeadlineExceeded},
+		{CodeSnapshotCorrupt, flayerr.ErrSnapshotCorrupt},
+		{CodeBackpressure, flayerr.ErrBackpressure},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			if got := CodeOf(tc.sentinel); got != tc.code {
+				t.Fatalf("CodeOf(sentinel) = %q, want %q", got, tc.code)
+			}
+			wrapped := fmt.Errorf("session %q: %w", "s", tc.sentinel)
+			if got := CodeOf(wrapped); got != tc.code {
+				t.Fatalf("CodeOf(wrapped) = %q, want %q", got, tc.code)
+			}
+			back := SentinelOf(tc.code)
+			if back == nil || !errors.Is(back, tc.sentinel) {
+				t.Fatalf("SentinelOf(%q) = %v, does not match the sentinel", tc.code, back)
+			}
+			// The round trip must hold both ways.
+			if got := CodeOf(back); got != tc.code {
+				t.Fatalf("CodeOf(SentinelOf(%q)) = %q", tc.code, got)
+			}
+			// No cross-talk: the code maps to exactly one sentinel.
+			for _, other := range cases {
+				if other.code != tc.code && errors.Is(back, other.sentinel) {
+					t.Fatalf("SentinelOf(%q) also matches %q", tc.code, other.code)
+				}
+			}
+		})
+	}
+
+	// Unknown-code and unclassified-error fallbacks.
+	if got := CodeOf(nil); got != "" {
+		t.Fatalf("CodeOf(nil) = %q, want empty", got)
+	}
+	if got := CodeOf(errors.New("some local failure")); got != "" {
+		t.Fatalf("CodeOf(unclassified) = %q, want empty", got)
+	}
+	if got := SentinelOf("bogus_code"); got != nil {
+		t.Fatalf("SentinelOf(bogus) = %v, want nil", got)
+	}
+	if got := SentinelOf(""); got != nil {
+		t.Fatalf("SentinelOf(\"\") = %v, want nil", got)
 	}
 }
