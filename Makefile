@@ -10,7 +10,7 @@ COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlpla
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json fuzz-smoke tier1 soak soak-churn soak-churn-smoke
+.PHONY: all help build test race bench cover bench-json bench-scaling fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke
 
 # Soak-run knobs: where the daemon listens and how many updates
 # flayload drives through it.
@@ -34,6 +34,8 @@ help:
 	@echo "  cover       per-package coverage, fails under $(COVER_MIN)% for core/sym/obs/controlplane"
 	@echo "  bench       run the Go benchmarks"
 	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
+	@echo "  bench-scaling  multicore scaling curve at GOMAXPROCS 1/4/8/16; writes BENCH_scaling.json"
+	@echo "  torture-smoke  epoch/shard concurrency torture suite, smoke slice, under -race"
 	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot, FuzzWireDecode)"
 	@echo "  soak        build flayd+flayload, drive $(SOAK_N) updates, SIGTERM, assert clean exit + snapshot"
 	@echo "  soak-churn  long-horizon churn soak: flaysoak drives $(SOAK_CHURN_UPDATES) updates/program of"
@@ -57,10 +59,18 @@ test:
 # load-bearing. The explicit timeout covers single-core machines,
 # where the race detector gets no parallelism to hide behind and
 # internal/core alone can exceed go test's 10m default.
-RACE_TIMEOUT ?= 30m
-race: fuzz-smoke soak-churn-smoke
+RACE_TIMEOUT ?= 45m
+race: fuzz-smoke soak-churn-smoke torture-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
+
+# torture-smoke: the epoch/shard concurrency torture suite's smoke
+# slice under the race detector, run first so a broken lock-free read
+# path fails fast instead of at the end of the full -race sweep. The
+# full suite (long mode, GOMAXPROCS grid) runs without -short inside
+# `make race`'s package sweep above.
+torture-smoke:
+	$(GO) test -race -short -run 'TestTortureConcurrency' ./internal/core
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
@@ -120,7 +130,16 @@ bench:
 # hit-rate bar, the precision section's p99-under-deadline and
 # zero-unsound-verdict bars) and exits non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn,scaling -json -o BENCH_flay.json
+
+# bench-scaling: the multicore scaling artifact. Re-runs the scaling
+# section (wait-free reads vs the LockedReads seed baseline under
+# write churn, with per-cell audit-continuity and replay-equivalence
+# verification) at ambient GOMAXPROCS 1, 4, 8 and 16, merged into one
+# JSON with each section stamped with the GOMAXPROCS it ran at. Fails
+# if lockfree@8 read throughput is under 3x the seed configuration.
+bench-scaling:
+	$(GO) run ./cmd/flaybench -only scaling -gomaxprocs 1,4,8,16 -json -o BENCH_scaling.json
 
 # cover: enforce the coverage floor on the engine packages. Written
 # for a POSIX shell (no pipefail): the summary goes to a temp file and

@@ -18,7 +18,12 @@
 //     must equal the engine's update count;
 //   - soundness: zero rejected updates, zero unsound degraded verdicts,
 //     and every pattern's steady-state invariant verified over the wire
-//     from the session's live entry counts after every cycle.
+//     from the session's live entry counts after every cycle;
+//   - warm restarts: once per pattern the session is snapshotted
+//     mid-churn (off its baseline) and restored locally; the snapshot
+//     must capture a prefix-consistent epoch — restore succeeds, the
+//     restored counters partition exactly, and update/entry counts
+//     match the server's published state at the snapshot boundary.
 //
 // The run is time-scaled: -updates N is the per-program update budget,
 // so CI smoke runs finish in seconds (make soak-churn-smoke) while
@@ -50,6 +55,7 @@ import (
 	"sync"
 	"time"
 
+	goflay "repro"
 	"repro/internal/client"
 	"repro/internal/controlplane"
 	"repro/internal/fuzz"
@@ -263,6 +269,13 @@ func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycl
 				s.fail("%s cycle %d: %v", session, cyc, err)
 				return
 			}
+			// Mid-churn restore gate: the session is off its baseline
+			// here (the cycle's live entries are installed, the drain
+			// has not run), the state a warm restart would actually
+			// resume from. Once per pattern is enough to gate on.
+			if cyc == 0 && !s.restoreGate(session, p) {
+				return
+			}
 			// Drain back to baseline so live state (and the heap a
 			// leak-free engine needs for it) is flat across cycles.
 			drain := cs.Drain()
@@ -307,6 +320,52 @@ func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycl
 		s.fail("%s: last audited seq %d, audit total %d", session, lastSeen, info.AuditTotal)
 	}
 	fmt.Printf("flaysoak: %s done: %d updates, audit seq 1..%d gapless\n", session, st.Updates, lastSeen)
+}
+
+// restoreGate snapshots the session mid-churn (live state off its
+// baseline) and restores it locally: the snapshot must capture a
+// prefix-consistent epoch. Restore must succeed; the restored engine
+// must publish an epoch whose counters partition exactly; and because
+// this client is the session's only writer, the restored update count
+// and live entry count must equal the server's published state at the
+// snapshot boundary — never a torn or stale cut.
+func (s *soakRun) restoreGate(session string, p *progs.Program) bool {
+	resp, err := s.c.Snapshot(session)
+	if err != nil {
+		s.fail("%s: mid-churn snapshot: %v", session, err)
+		return false
+	}
+	info, err := s.c.Session(session)
+	if err != nil {
+		s.fail("%s: %v", session, err)
+		return false
+	}
+	pipe, err := goflay.Restore(resp.Snapshot)
+	if err != nil {
+		s.fail("%s: mid-churn snapshot does not restore: %v", session, err)
+		return false
+	}
+	defer pipe.Close()
+	st := pipe.Statistics()
+	if st.Updates != st.Forwarded+st.Recompilations+st.Rejected {
+		s.fail("%s: restored counters do not partition: %+v", session, st)
+		return false
+	}
+	if pipe.Epoch() == 0 {
+		s.fail("%s: restored engine published no epoch", session)
+		return false
+	}
+	if st.Updates != info.Stats.Updates {
+		s.fail("%s: restored engine saw %d updates, server reports %d (torn snapshot boundary)",
+			session, st.Updates, info.Stats.Updates)
+		return false
+	}
+	if got, want := pipe.Entries(p.BurstTable), info.Entries[p.BurstTable]; got != want {
+		s.fail("%s: restored %s has %d entries, server reports %d",
+			session, p.BurstTable, got, want)
+		return false
+	}
+	return true
 }
 
 // write sends one ordered batch, honoring backpressure, and records its

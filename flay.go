@@ -400,6 +400,12 @@ func CatalogNames() []string {
 // Snapshot/Restore, so it is comparable across warm restarts.
 func (p *Pipeline) Generation() uint64 { return p.spec.Generation() }
 
+// Epoch returns the engine's published epoch sequence number: the
+// version of the wait-free read state. It advances on every mutating
+// call (including rejected updates), so two queries bracketed by equal
+// Epoch values observed the same consistent state.
+func (p *Pipeline) Epoch() uint64 { return p.spec.EpochSeq() }
+
 // Snapshot serializes the pipeline's complete warm state — program,
 // installed configuration, verdict map, liveness witnesses and query
 // cache — to portable bytes. Restore rebuilds an equivalent pipeline

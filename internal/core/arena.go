@@ -7,7 +7,10 @@
 // trigger: once the arena doubles past the last live size, mark every
 // expression the engine can still reach and sweep the rest. Sweeps run
 // under the engine write lock, between evaluation passes, so nothing
-// concurrent can hold an unrooted node.
+// holding the lock can see an unrooted node — and the lock-free epoch
+// readers (epoch.go) are sweep-safe by construction, because epochs
+// carry only value types (Verdict embeds a sym.BV by value), never
+// *sym.Expr pointers whose ids a sweep would reassign.
 package core
 
 import "repro/internal/sym"
@@ -83,13 +86,13 @@ func (s *Specializer) arenaRoots() []*sym.Expr {
 func (s *Specializer) maybeSweepArena() {
 	b := s.An.Builder
 	n := b.NumNodes()
-	if s.arenaNext == 0 {
+	if s.co.arenaNext == 0 {
 		// First mutating call: record the post-compile baseline.
-		s.arenaNext = max(arenaSweepFloor, n*arenaSweepFactor)
+		s.co.arenaNext = max(arenaSweepFloor, n*arenaSweepFactor)
 		s.met.arenaNodes.Set(int64(n))
 		return
 	}
-	if n < s.arenaNext {
+	if n < s.co.arenaNext {
 		s.met.arenaNodes.Set(int64(n))
 		return
 	}
@@ -100,5 +103,5 @@ func (s *Specializer) maybeSweepArena() {
 	s.met.arenaSweeps.Inc()
 	s.met.arenaSwept.Add(int64(swept))
 	s.met.arenaNodes.Set(int64(live))
-	s.arenaNext = max(arenaSweepFloor, live*arenaSweepFactor)
+	s.co.arenaNext = max(arenaSweepFloor, live*arenaSweepFactor)
 }

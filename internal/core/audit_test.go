@@ -21,7 +21,7 @@ import (
 
 // auditWorkerGrid is the worker pool sizes the suite cycles through.
 func auditWorkerGrid() []int {
-	return []int{1, parallelWorkers, runtime.GOMAXPROCS(0)}
+	return []int{1, parallelWorkers, 8, 16, runtime.GOMAXPROCS(0)}
 }
 
 func loadAudited(t *testing.T, p *progs.Program, workers int) (*core.Specializer, *obs.Trail) {
@@ -106,7 +106,8 @@ func TestAuditMatchesSequential(t *testing.T) {
 	for _, p := range progs.Catalog() {
 		t.Run(p.Name, func(t *testing.T) {
 			for seed := uint64(1); seed <= equivSeeds; seed++ {
-				workers := auditWorkerGrid()[int(seed-1)%3]
+				grid := auditWorkerGrid()
+				workers := grid[int(seed-1)%len(grid)]
 				s, trail := loadAudited(t, p, workers)
 				for i, u := range makeStream(t, s, seed) {
 					d := s.Apply(u)
@@ -142,7 +143,8 @@ func TestAuditMatchesBatch(t *testing.T) {
 	for _, p := range progs.Catalog() {
 		t.Run(p.Name, func(t *testing.T) {
 			for seed := uint64(1); seed <= equivSeeds; seed++ {
-				workers := auditWorkerGrid()[int(seed)%3]
+				grid := auditWorkerGrid()
+				workers := grid[int(seed)%len(grid)]
 				s, trail := loadAudited(t, p, workers)
 				stream := makeStream(t, s, seed)
 				seq, batch := 0, 0

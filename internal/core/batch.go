@@ -44,6 +44,7 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.lastApply.Store(time.Now().UnixNano())
+	defer s.publish() // one epoch per batch, after the sweep trigger
 	defer s.maybeSweepArena()
 	s.stats.Batches++
 	s.met.batches.Inc()
@@ -59,7 +60,7 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 		s.stats.BatchedUpdates += len(updates)
 		s.met.batchedUpdates.Add(int64(len(updates)))
 		for i, u := range updates {
-			s.stats.Updates++
+			s.stats.Updates = s.co.nextSeq()
 			s.met.updates.Inc()
 			s.stats.Rejected++
 			d := &Decision{Update: u, Kind: Rejected, Err: err, Elapsed: time.Since(t0)}
@@ -102,7 +103,7 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 	for i, u := range updates {
 		d := &Decision{Update: u}
 		decisions[i] = d
-		s.stats.Updates++
+		s.stats.Updates = s.co.nextSeq()
 		seqs[i] = s.stats.Updates
 		s.met.updates.Inc()
 		if err := s.Cfg.Apply(u); err != nil {
@@ -191,7 +192,8 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 	s.trace.End(csp)
 
 	// Phase 3: one re-evaluation over the deduplicated union of every
-	// point the batch taints, fanned out over the worker pool.
+	// point the batch taints, grouped by taint-partition shard and
+	// fanned out over the worker pool (parallel.go / shard.go).
 	allPts := s.An.PointsOfTargets(live)
 	workersUsed = s.effectiveWorkers(len(allPts))
 	te := time.Now()

@@ -17,6 +17,7 @@ package core_test
 import (
 	"runtime"
 	"slices"
+	"sync"
 	"testing"
 
 	"repro/internal/controlplane"
@@ -29,10 +30,13 @@ import (
 const cacheDiffSeeds = 2
 
 // workerGrid is the engine pool sizes the differential runs over:
-// serial, a fixed pool (the container is single-core, so this forces
-// real interleaving under -race), and whatever GOMAXPROCS says.
+// serial, a mid pool, a pool matching the shard cap (single-core
+// containers still get real interleaving under -race from these), and
+// whatever GOMAXPROCS says. 8 is deliberately left to the GOMAXPROCS
+// matrices (torture_test.go) — every grid entry here multiplies the
+// two heaviest differential suites.
 func workerGrid() []int {
-	grid := []int{1, 4}
+	grid := []int{1, 4, 16}
 	if n := runtime.GOMAXPROCS(0); !slices.Contains(grid, n) {
 		grid = append(grid, n)
 	}
@@ -243,4 +247,103 @@ func TestCacheHitsOnStableFingerprints(t *testing.T) {
 		t.Fatalf("threshold-stable workload should be hit-dominated: %d hits vs %d misses",
 			st.CacheHits, st.CacheMisses)
 	}
+}
+
+// TestSnapshotUnderConcurrentBatches proves snapshot prefix
+// consistency against a live writer: snapshots are taken from a
+// separate goroutine while ApplyBatch churns the engine, and every
+// captured snapshot must (a) land exactly on a batch boundary — the
+// update count of the restored engine equals the cumulative length of
+// some schedule prefix, never a torn mid-batch state — and (b) restore
+// into an engine that, after replaying the remaining schedule suffix,
+// is observationally identical to the uninterrupted engine, with the
+// resumed audit trail continuing the sequence without a gap.
+func TestSnapshotUnderConcurrentBatches(t *testing.T) {
+	p, err := progs.ByName("nat44")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := loadEngine(t, p, 1)
+	schedule := tortureSchedule(t, p, scratch, 1, 128)
+	scratch.Close()
+
+	// boundaries[k] is the schedule index whose prefix holds k updates.
+	boundaries := make(map[int]int, len(schedule)+1)
+	boundaries[0] = 0
+	total := 0
+	for i, b := range schedule {
+		total += len(b)
+		boundaries[total] = i + 1
+	}
+
+	live, liveTrail := loadDiff(t, p, 4, false)
+	done := make(chan struct{})
+	var snaps [][]byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			data, err := live.Snapshot()
+			if err != nil {
+				t.Errorf("snapshot mid-churn: %v", err)
+				return
+			}
+			snaps = append(snaps, data)
+			runtime.Gosched()
+		}
+	}()
+	for _, batch := range schedule {
+		for i, d := range live.ApplyBatch(batch) {
+			if d.Kind == core.Rejected {
+				t.Fatalf("update %s (%d) rejected: %v", batch[i], i, d.Err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if len(snaps) == 0 {
+		t.Fatal("snapshotter captured nothing")
+	}
+
+	// Replay each distinct capture point (bounded: replays are the
+	// expensive part, the boundary check is free and runs on all).
+	liveRecs := liveTrail.Records()
+	replayed := make(map[int]bool)
+	for _, data := range snaps {
+		resumedTrail := obs.NewTrail(0)
+		resumed, err := core.Restore(data, core.Options{Workers: 4, Audit: resumedTrail})
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		k := resumed.Statistics().Updates
+		idx, ok := boundaries[k]
+		if !ok {
+			t.Fatalf("snapshot captured %d updates: not a batch boundary (torn mid-batch state)", k)
+		}
+		if replayed[k] || len(replayed) >= 4 {
+			resumed.Close()
+			continue
+		}
+		replayed[k] = true
+		for _, batch := range schedule[idx:] {
+			resumed.ApplyBatch(batch)
+		}
+		sameEndState(t, live, resumed)
+		sameStats(t, p.Name, live.Statistics(), resumed.Statistics())
+		sameAudit(t, p.Name, liveRecs[k:], resumedTrail.Records())
+		for i, r := range resumedTrail.Records() {
+			if r.Seq != k+i+1 {
+				t.Fatalf("resumed audit record %d has seq %d, want %d (continuity across restore)",
+					i, r.Seq, k+i+1)
+			}
+		}
+		resumed.Close()
+	}
+	t.Logf("checked %d snapshots (%d boundary points replayed)", len(snaps), len(replayed))
 }

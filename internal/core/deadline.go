@@ -238,6 +238,7 @@ func (s *Specializer) degradeLocked(target, cause string) {
 func (s *Specializer) Degrade(table string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	if _, ok := s.An.Tables[table]; !ok {
 		return fmt.Errorf("core: %w %s", flayerr.ErrUnknownTable, table)
 	}
@@ -313,6 +314,7 @@ func (s *Specializer) adoptImpls(target string, changed []int) {
 func (s *Specializer) PromoteAll() (unsound int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	for _, target := range sortedKeys(s.degraded) {
 		u, e := s.promoteLocked(target, causeManual)
 		unsound += u
@@ -323,11 +325,15 @@ func (s *Specializer) PromoteAll() (unsound int, err error) {
 	return unsound, err
 }
 
-// DegradedTables lists the currently degraded tables, sorted.
+// DegradedTables lists the currently degraded tables, sorted. Like the
+// other query-path readers it serves the published epoch wait-free.
 func (s *Specializer) DegradedTables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sortedKeys(s.degraded)
+	if s.lockedReads {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return sortedKeys(s.degraded)
+	}
+	return append([]string(nil), s.loadEpoch().degraded...)
 }
 
 func sortedKeys(m map[string]string) []string {
@@ -479,6 +485,7 @@ func (s *Specializer) repairLoop() {
 		if targets := sortedKeys(s.degraded); len(targets) > 0 {
 			// Errors leave the table degraded; the next tick retries.
 			_, _ = s.promoteLocked(targets[0], "quiescent")
+			s.publish()
 		}
 		if len(s.degraded) == 0 {
 			s.repairOn = false

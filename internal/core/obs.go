@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/dataplane"
 	"repro/internal/obs"
 )
@@ -44,6 +46,15 @@ type coreMetrics struct {
 	arenaSweeps *obs.Counter // expression-arena garbage collections
 	arenaSwept  *obs.Counter // expression nodes reclaimed by sweeps
 	arenaNodes  *obs.Gauge   // interned expression nodes
+
+	// Epoch/shard engine (epoch.go / shard.go).
+	epoch      *obs.Gauge     // published epoch sequence number
+	shardCount *obs.Gauge     // taint-partition shards in use
+	shardEvals []*obs.Counter // points evaluated, per shard (core.shard_evals_<i>)
+
+	// reg is retained so the per-shard counters can be resolved once
+	// the shard map is built (after the registry-bound instruments).
+	reg *obs.Registry
 }
 
 // newCoreMetrics resolves the engine instruments from a registry; a nil
@@ -79,7 +90,33 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		arenaSweeps:     r.Counter("core.arena_sweeps"),
 		arenaSwept:      r.Counter("core.arena_swept"),
 		arenaNodes:      r.Gauge("core.arena_nodes"),
+		epoch:           r.Gauge("core.epoch"),
+		shardCount:      r.Gauge("core.shards"),
+		reg:             r,
 	}
+}
+
+// initShards resolves the per-shard evaluation counters once the
+// taint-partition shard map is built. With metrics disabled it leaves
+// the slice nil; shardEval then hands out nil (absorbing) counters.
+func (m *coreMetrics) initShards(n int) {
+	m.shardCount.Set(int64(n))
+	if m.reg == nil {
+		return
+	}
+	m.shardEvals = make([]*obs.Counter, n)
+	for i := range m.shardEvals {
+		m.shardEvals[i] = m.reg.Counter(fmt.Sprintf("core.shard_evals_%d", i))
+	}
+}
+
+// shardEval picks the evaluation counter of one shard (nil-safe when
+// metrics are disabled).
+func (m *coreMetrics) shardEval(sh int) *obs.Counter {
+	if sh < len(m.shardEvals) {
+		return m.shardEvals[sh]
+	}
+	return nil
 }
 
 // queryName names the specialization query a point kind answers, the

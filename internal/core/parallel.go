@@ -79,8 +79,12 @@ func (s *Specializer) shard(i int) *evalShard {
 // reevalPoints re-evaluates the given points (deduplicated, in ID
 // order), installs the new verdicts, and returns the IDs of the points
 // whose verdict changed, in ascending order. With an effective worker
-// count above one the points fan out over the pool; each point is
-// claimed by exactly one worker via an atomic cursor.
+// count above one the pass is planned by the taint-partition shard map
+// (shard.go): points group by owning shard, shard groups chunk into
+// evaluation units, and each unit is claimed by exactly one worker via
+// an atomic cursor — so points sharing a dependency target keep cache
+// and witness locality while a single dominant partition still spreads
+// across the pool.
 func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 	w := s.effectiveWorkers(len(pts))
 	s.met.pointsEvaluated.Add(int64(len(pts)))
@@ -93,6 +97,7 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 		sh := s.shard(0)
 		var changed []int
 		for _, p := range pts {
+			s.met.shardEval(s.co.shards.ofPoint[p.ID]).Inc()
 			old, now, ch := s.evalInto(sh, p)
 			if ch {
 				changed = append(changed, p.ID)
@@ -105,11 +110,16 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 			}
 		}
 		s.met.pointsChanged.Add(int64(len(changed)))
+		if len(changed) > 0 {
+			s.verdictsDirty = true
+		}
 		return changed
 	}
+	units, shardOfUnit := s.co.shards.planUnits(pts, w)
 	changed := make([]bool, len(pts))
-	// Per-index change slots: each k is claimed by exactly one worker,
-	// so the slots are written race-free. Allocated only when auditing.
+	// Per-index change slots: each k is claimed by exactly one worker
+	// (units partition the indices), so the slots are written race-free.
+	// Allocated only when auditing.
 	var slots []obs.PointChange
 	if capture {
 		slots = make([]obs.PointChange, len(pts))
@@ -123,16 +133,19 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 		go func() {
 			defer wg.Done()
 			for {
-				k := int(cursor.Add(1)) - 1
-				if k >= len(pts) {
+				u := int(cursor.Add(1)) - 1
+				if u >= len(units) {
 					return
 				}
-				old, now, ch := s.evalInto(sh, pts[k])
-				changed[k] = ch
-				if ch && capture {
-					slots[k] = obs.PointChange{
-						Point: pts[k].ID, Query: queryName(pts[k].Kind),
-						Old: old.String(), New: now.String(), Worker: worker,
+				s.met.shardEval(shardOfUnit[u]).Add(int64(len(units[u])))
+				for _, k := range units[u] {
+					old, now, ch := s.evalInto(sh, pts[k])
+					changed[k] = ch
+					if ch && capture {
+						slots[k] = obs.PointChange{
+							Point: pts[k].ID, Query: queryName(pts[k].Kind),
+							Old: old.String(), New: now.String(), Worker: worker,
+						}
 					}
 				}
 			}
@@ -149,6 +162,9 @@ func (s *Specializer) reevalPoints(pts []*dataplane.Point) []int {
 		}
 	}
 	s.met.pointsChanged.Add(int64(len(out)))
+	if len(out) > 0 {
+		s.verdictsDirty = true
+	}
 	return out
 }
 

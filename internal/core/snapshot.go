@@ -171,9 +171,12 @@ func (r *snapReader) bv() sym.BV {
 // Restore preserves the counter, so generations are comparable across
 // a warm restart.
 func (s *Specializer) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return uint64(s.stats.Forwarded) + uint64(s.stats.Recompilations)
+	if s.lockedReads {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return uint64(s.stats.Forwarded) + uint64(s.stats.Recompilations)
+	}
+	return s.loadEpoch().generation
 }
 
 // Snapshot serializes the engine's complete warm state. It takes the
@@ -624,20 +627,21 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	}
 
 	s := &Specializer{
-		Prog:     prog,
-		Info:     info,
-		An:       an,
-		Cfg:      cfg,
-		source:   source,
-		impls:    make(map[string]*tableImpl),
-		quality:  quality,
-		workers:  opts.Workers,
-		trace:    opts.Trace,
-		audit:    opts.Audit,
-		met:      newCoreMetrics(opts.Metrics),
-		symMet:   sym.NewSolverMetrics(opts.Metrics),
-		repair:   opts.RepairInterval,
-		closedCh: make(chan struct{}),
+		Prog:        prog,
+		Info:        info,
+		An:          an,
+		Cfg:         cfg,
+		source:      source,
+		impls:       make(map[string]*tableImpl),
+		quality:     quality,
+		workers:     opts.Workers,
+		lockedReads: opts.LockedReads,
+		trace:       opts.Trace,
+		audit:       opts.Audit,
+		met:         newCoreMetrics(opts.Metrics),
+		symMet:      sym.NewSolverMetrics(opts.Metrics),
+		repair:      opts.RepairInterval,
+		closedCh:    make(chan struct{}),
 	}
 	if len(degraded) > 0 {
 		s.degraded = degraded
@@ -686,6 +690,7 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	}
 	if !opts.NoCache {
 		s.cache = cache
+		s.roCache.Store(cache)
 	}
 	if len(r.buf) != 0 {
 		return nil, fmt.Errorf("core: %w: %d trailing bytes", flayerr.ErrSnapshotCorrupt, len(r.buf))
@@ -726,6 +731,11 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	}
 	s.unsound.Store(counters[13])
 	s.met.degradedTables.Set(int64(len(degraded)))
+	// Sequence numbers continue where the snapshotting engine stopped,
+	// and the restored state is published as the engine's first epoch
+	// before it escapes.
+	s.co.seq.Store(int64(s.stats.Updates))
+	s.publish()
 	// A restored engine with degraded tables resumes repair where the
 	// snapshotting one left off.
 	s.ensureRepairLocked()

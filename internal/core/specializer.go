@@ -184,6 +184,14 @@ type Options struct {
 	// equivalence.
 	NoCache bool
 
+	// LockedReads is the pre-epoch ablation: read entry points
+	// (Verdict, Statistics, Entries, Generation, DegradedTables) take
+	// the engine read lock and read mutable state instead of loading
+	// the published epoch — the seed engine's behaviour, where every
+	// query contends with writers on one RWMutex. It exists for the
+	// scaling benchmark's baseline and costs nothing when false.
+	LockedReads bool
+
 	// RepairInterval paces the adaptive precision controller's
 	// background repair goroutine (deadline.go): after RepairInterval of
 	// quiescence, degraded tables are differentially checked and
@@ -254,11 +262,15 @@ type Stats struct {
 //
 // A Specializer is safe for concurrent use: mutating entry points
 // (Apply, ApplyBatch, Preload, ReevaluateAll) serialize behind a write
-// lock, while read-only entry points (Statistics, Verdict,
-// SpecializedProgram) share a read lock — a controller may stream
-// updates from one goroutine while monitoring and compilation run from
-// others. Point re-evaluation inside a mutating call fans out over the
-// worker pool in parallel.go.
+// lock and end by publishing an immutable epoch (epoch.go), while the
+// query-path readers (Verdict, Statistics, Entries, Generation,
+// DegradedTables) load the published epoch wait-free — they never
+// block a writer and a writer never blocks them. Heavy read entry
+// points that need the full mutable state (Snapshot, DifferentialCheck,
+// SpecializedProgram) share the read lock, which is what gives them a
+// consistent cut against writers. Point re-evaluation inside a mutating
+// call fans out over the worker pool in parallel.go, grouped by taint
+// partition (shard.go).
 type Specializer struct {
 	Prog *ast.Program
 	Info *typecheck.Info
@@ -279,6 +291,17 @@ type Specializer struct {
 	impls    map[string]*tableImpl
 	stats    Stats
 	quality  Quality
+
+	// co is the cross-shard coordination layer (epoch.go): the
+	// published epoch pointer, the audit-seq allocator, the arena-sweep
+	// trigger, and the taint-partition shard map.
+	co coord
+	// verdictsDirty is set (single-threaded, in reevalPoints' epilogue)
+	// when a pass changed at least one verdict; publish() clears it and
+	// only then re-copies the verdict slice.
+	verdictsDirty bool
+	// lockedReads selects the pre-epoch read path (Options.LockedReads).
+	lockedReads bool
 
 	// workers is the configured evaluation pool bound (Options.Workers);
 	// shards holds the per-worker scratch states, grown lazily.
@@ -308,7 +331,12 @@ type Specializer struct {
 	// nil when disabled; pointDeps holds each point's sorted dependency
 	// targets and targetFp the current assignment fingerprint per
 	// target, which together form the cache key's dependency half.
+	// roCache is the wait-free readers' handle on the same cache: it is
+	// set once at construction and never swapped, so Statistics can read
+	// the hit/miss atomics without the lock even while ReevaluateAll
+	// temporarily nils the locked handle for its ablation pass.
 	cache     *queryCache
+	roCache   atomic.Pointer[queryCache]
 	pointDeps [][]string
 	targetFp  map[string]uint64
 
@@ -326,11 +354,6 @@ type Specializer struct {
 	lastApply    atomic.Int64 // unix ns of the last mutating call (quiescence)
 	closedCh     chan struct{}
 	closeOnce    sync.Once
-
-	// Expression-arena GC trigger (arena.go): the next Builder node
-	// count at which a sweep runs; 0 until the first mutating call
-	// establishes the baseline.
-	arenaNext int
 }
 
 // New builds a Specializer from parsed+checked inputs: it runs the
@@ -355,22 +378,24 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 	cfg.OverapproxThreshold = opts.OverapproxThreshold
 	cfg.SetObserver(opts.Metrics)
 	s := &Specializer{
-		Prog:     prog,
-		Info:     info,
-		An:       an,
-		Cfg:      cfg,
-		impls:    make(map[string]*tableImpl),
-		quality:  opts.Quality,
-		workers:  opts.Workers,
-		trace:    opts.Trace,
-		audit:    opts.Audit,
-		met:      newCoreMetrics(opts.Metrics),
-		symMet:   sym.NewSolverMetrics(opts.Metrics),
-		repair:   opts.RepairInterval,
-		closedCh: make(chan struct{}),
+		Prog:        prog,
+		Info:        info,
+		An:          an,
+		Cfg:         cfg,
+		impls:       make(map[string]*tableImpl),
+		quality:     opts.Quality,
+		workers:     opts.Workers,
+		lockedReads: opts.LockedReads,
+		trace:       opts.Trace,
+		audit:       opts.Audit,
+		met:         newCoreMetrics(opts.Metrics),
+		symMet:      sym.NewSolverMetrics(opts.Metrics),
+		repair:      opts.RepairInterval,
+		closedCh:    make(chan struct{}),
 	}
 	if !opts.NoCache {
 		s.cache = newQueryCache(len(an.Points))
+		s.roCache.Store(s.cache)
 	}
 	t1 := time.Now()
 	sp := s.trace.Start("preprocess", root)
@@ -395,6 +420,9 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		PreprocessTime: time.Since(t1),
 		Workers:        opts.Workers,
 	}
+	// Publish the open-time epoch before the engine escapes: readers
+	// may load it the moment New returns.
+	s.publish()
 	return s, nil
 }
 
@@ -428,6 +456,8 @@ func (s *Specializer) initState() error {
 	s.env = make(controlplane.Env)
 	s.targetFp = make(map[string]uint64, len(an.Tables))
 	s.pointDeps = buildPointDeps(an)
+	s.co.shards = buildShardMap(an, s.pointDeps)
+	s.met.initShards(s.co.shards.count)
 	s.verdicts = make([]Verdict, len(an.Points))
 	s.pointSub = make([]*sym.Expr, len(an.Points))
 	s.witnesses = make([]sym.Env, len(an.Points))
@@ -454,29 +484,42 @@ func (s *Specializer) initState() error {
 	return nil
 }
 
-// Statistics returns a copy of the engine counters. It may be called
-// concurrently with Apply/ApplyBatch from other goroutines.
+// Statistics returns a copy of the engine counters as of the published
+// epoch. It is wait-free (one atomic load, no lock) and may be called
+// concurrently with Apply/ApplyBatch from any number of goroutines
+// without ever blocking a writer. The cache and unsound counters are
+// overlaid live from their atomics; everything else is the consistent
+// cut the last mutating call published.
 func (s *Specializer) Statistics() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := s.stats
-	if s.cache != nil {
-		st.CacheHits = s.cache.hits.Load()
-		st.CacheMisses = s.cache.misses.Load()
-		st.CacheEvictions = s.cache.evictions.Load()
+	var st Stats
+	if s.lockedReads {
+		s.mu.RLock()
+		st = s.stats
+		st.DegradedTables = len(s.degraded)
+		st.ArenaNodes = s.An.Builder.NumNodes()
+		s.mu.RUnlock()
+	} else {
+		st = s.loadEpoch().stats
 	}
-	st.DegradedTables = len(s.degraded)
+	if c := s.roCache.Load(); c != nil {
+		st.CacheHits = c.hits.Load()
+		st.CacheMisses = c.misses.Load()
+		st.CacheEvictions = c.evictions.Load()
+	}
 	st.UnsoundDegraded = int(s.unsound.Load())
-	st.ArenaNodes = s.An.Builder.NumNodes()
 	return st
 }
 
-// Entries returns the live entry count of a table. Like Statistics it
-// may be called concurrently with Apply/ApplyBatch.
+// Entries returns the live entry count of a table as of the published
+// epoch. Like Statistics it is wait-free and safe to call concurrently
+// with Apply/ApplyBatch.
 func (s *Specializer) Entries(table string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.Cfg.NumEntries(table)
+	if s.lockedReads {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.Cfg.NumEntries(table)
+	}
+	return s.loadEpoch().entries[table]
 }
 
 // ReevaluateAll recomputes every program point's verdict from scratch,
@@ -489,6 +532,7 @@ func (s *Specializer) Entries(table string) int {
 func (s *Specializer) ReevaluateAll() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	for _, p := range s.An.Points {
 		s.pointSub[p.ID] = nil
 		s.witnesses[p.ID] = nil
@@ -517,6 +561,7 @@ func (s *Specializer) ReevaluateAll() int {
 func (s *Specializer) Preload(updates []*controlplane.Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publish()
 	targets := make(map[string]bool)
 	var firstErr error
 	for _, u := range updates {
@@ -578,11 +623,16 @@ func (s *Specializer) recompileTarget(target string) error {
 	return nil
 }
 
-// Verdict returns the current verdict of a point.
+// Verdict returns the verdict of a point as of the published epoch —
+// one atomic load plus an index into the epoch's frozen verdict copy,
+// wait-free against concurrent writers.
 func (s *Specializer) Verdict(id int) Verdict {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.verdicts[id]
+	if s.lockedReads {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.verdicts[id]
+	}
+	return s.loadEpoch().verdicts[id]
 }
 
 // evalPointWith answers one point's specialization query using the
@@ -681,6 +731,7 @@ func (s *Specializer) ApplyCtx(ctx context.Context, u *controlplane.Update) *Dec
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.lastApply.Store(time.Now().UnixNano())
+	defer s.publish() // runs after the sweep: the epoch sees final arena counts
 	defer s.maybeSweepArena()
 	return s.applyLocked(ctx, u)
 }
@@ -688,8 +739,8 @@ func (s *Specializer) ApplyCtx(ctx context.Context, u *controlplane.Update) *Dec
 func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *Decision {
 	t0 := time.Now()
 	d := &Decision{Update: u}
-	s.stats.Updates++
-	seq := s.stats.Updates
+	seq := s.co.nextSeq()
+	s.stats.Updates = seq
 	s.met.updates.Inc()
 	s.lastChanges = s.lastChanges[:0]
 	sp := s.trace.Start("update", 0)

@@ -308,6 +308,7 @@ func (s *Server) info(sess *Session) wire.SessionInfo {
 		Restored:   sess.restored,
 		Dirty:      sess.dirty(),
 		AuditTotal: sess.audit.Total(),
+		Epoch:      sess.pipe.Epoch(),
 	}
 }
 

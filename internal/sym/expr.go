@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Op identifies the operator at the root of an expression node.
@@ -181,6 +182,11 @@ type Builder struct {
 	nodes  map[exprKey]*Expr
 	nextID uint64
 
+	// live mirrors len(nodes) for lock-free observers: epoch publication
+	// and wait-free Statistics readers sample the arena size without
+	// contending on the intern mutex.
+	live atomic.Int64
+
 	// Substitution memo for the single-threaded Subst entry point.
 	sub SubstScratch
 }
@@ -197,6 +203,12 @@ func (b *Builder) NumNodes() int {
 	defer b.mu.Unlock()
 	return len(b.nodes)
 }
+
+// LiveNodes is the wait-free counterpart of NumNodes: it reads an
+// atomic mirror of the intern-table size without taking the builder
+// mutex, so lock-free readers (epoch publication, Statistics) never
+// contend with concurrent interning.
+func (b *Builder) LiveNodes() int { return int(b.live.Load()) }
 
 // Sweep removes every interned node not reachable from roots and
 // compacts the surviving nodes' dense ids (preserving their relative
@@ -247,6 +259,7 @@ func (b *Builder) Sweep(roots []*Expr) (swept int) {
 		e.id = uint64(i)
 	}
 	b.nextID = uint64(len(keep))
+	b.live.Store(int64(len(keep)))
 	return swept
 }
 
@@ -275,6 +288,7 @@ func (b *Builder) intern(k exprKey) *Expr {
 	}
 	b.nextID++
 	b.nodes[k] = e
+	b.live.Store(int64(len(b.nodes)))
 	return e
 }
 

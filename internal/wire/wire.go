@@ -200,6 +200,10 @@ type SessionInfo struct {
 	Dirty bool `json:"dirty,omitempty"`
 	// AuditTotal is the number of audit records ever appended.
 	AuditTotal int64 `json:"audit_total,omitempty"`
+	// Epoch is the engine's published epoch sequence number — the
+	// wait-free read-state version clients can correlate snapshots and
+	// stats against (it advances on every mutating call).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.
