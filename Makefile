@@ -5,12 +5,12 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz ./internal/progs
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz ./internal/progs ./internal/dpexec
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json bench-scaling fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke
+.PHONY: all help build test race bench cover bench-json bench-scaling bench-pps fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke
 
 # Soak-run knobs: where the daemon listens and how many updates
 # flayload drives through it.
@@ -35,8 +35,11 @@ help:
 	@echo "  bench       run the Go benchmarks"
 	@echo "  bench-json  run flaybench with observability on; writes BENCH_flay.json"
 	@echo "  bench-scaling  multicore scaling curve at GOMAXPROCS 1/4/8/16; writes BENCH_scaling.json"
+	@echo "  bench-pps   packets/sec: bytecode executor vs reference interpreter across the"
+	@echo "              catalog, differentially verified, gated >= 2x on >= 3 programs;"
+	@echo "              writes BENCH_pps.json"
 	@echo "  torture-smoke  epoch/shard concurrency torture suite, smoke slice, under -race"
-	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot, FuzzWireDecode)"
+	@echo "  fuzz-smoke  $(FUZZ_SMOKE) of native fuzzing per target (FuzzP4Parse, FuzzSolver, FuzzSnapshot, FuzzWireDecode, FuzzDpexecVsBmv2)"
 	@echo "  soak        build flayd+flayload, drive $(SOAK_N) updates, SIGTERM, assert clean exit + snapshot"
 	@echo "  soak-churn  long-horizon churn soak: flaysoak drives $(SOAK_CHURN_UPDATES) updates/program of"
 	@echo "              trace-driven churn through flayd, gating flat memory, stable p99,"
@@ -60,7 +63,7 @@ test:
 # where the race detector gets no parallelism to hide behind and
 # internal/core alone can exceed go test's 10m default.
 RACE_TIMEOUT ?= 45m
-race: fuzz-smoke soak-churn-smoke torture-smoke
+race: fuzz-smoke soak-churn-smoke torture-smoke bench-pps
 	$(GO) vet ./...
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
@@ -77,6 +80,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSolver -fuzztime=$(FUZZ_SMOKE) ./internal/sym
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZ_SMOKE) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZ_SMOKE) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDpexecVsBmv2 -fuzztime=$(FUZZ_SMOKE) ./internal/dpexec
 
 # soak: the daemon's operational acceptance loop as a make target.
 # Builds flayd and flayload, boots the daemon with a snapshot dir,
@@ -140,6 +144,16 @@ bench-json:
 # if lockfree@8 read throughput is under 3x the seed configuration.
 bench-scaling:
 	$(GO) run ./cmd/flaybench -only scaling -gomaxprocs 1,4,8,16 -json -o BENCH_scaling.json
+
+# bench-pps: the packet-execution artifact. Measures packets/sec for
+# the flattened bytecode executor against the tree-walking reference
+# interpreter across the production-shaped catalog programs, each cell
+# differentially verified packet-for-packet (before and after a
+# concurrent-churn arm with gap-free audit and monotone epochs), and
+# gated: the executor must beat the interpreter by >= 2x on at least
+# three programs. Also runs inside `make race` as the hot-swap smoke.
+bench-pps:
+	$(GO) run ./cmd/flaybench -only pps -json -o BENCH_pps.json
 
 # cover: enforce the coverage floor on the engine packages. Written
 # for a POSIX shell (no pipefail): the summary goes to a temp file and

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"regexp"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -56,9 +59,33 @@ func TestSectionRegistry(t *testing.T) {
 		}
 		seen[s.name] = true
 	}
-	for _, required := range []string{"table1", "table2", "table3", "burst", "batch", "cache", "precision", "churn", "ablation"} {
+	for _, required := range []string{"table1", "table2", "table3", "burst", "batch", "cache", "precision", "churn", "ablation", "scaling", "pps"} {
 		if !seen[required] {
 			t.Fatalf("section %q missing from registry", required)
 		}
+	}
+}
+
+// TestSectionDocMatchesRegistry pins the package doc comment's
+// "Sections:" list to the section registry, name for name and in run
+// order, so the usage text can never drift from the implemented
+// sections again (it had: the doc listed a stale order with later
+// additions missing).
+func TestSectionDocMatchesRegistry(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?s)// Sections: (.*?)\. The list`).FindSubmatch(src)
+	if m == nil {
+		t.Fatal(`doc comment lost its "Sections: ..." sentence`)
+	}
+	raw := strings.NewReplacer("\n// ", " ", "\n//", " ").Replace(string(m[1]))
+	var listed []string
+	for _, name := range strings.Split(raw, ",") {
+		listed = append(listed, strings.TrimSpace(name))
+	}
+	if want := sectionNames(); !slices.Equal(listed, want) {
+		t.Fatalf("doc comment lists sections\n  %v\nregistry implements\n  %v", listed, want)
 	}
 }

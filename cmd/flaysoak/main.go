@@ -23,7 +23,11 @@
 //     mid-churn (off its baseline) and restored locally; the snapshot
 //     must capture a prefix-consistent epoch — restore succeeds, the
 //     restored counters partition exactly, and update/entry counts
-//     match the server's published state at the snapshot boundary.
+//     match the server's published state at the snapshot boundary;
+//   - live packet path: sessions run exec-enabled, and every cycle a
+//     wire /exec burst lands mid-churn — one result per frame, with the
+//     reported execution epoch never going backwards, so the atomic
+//     image hot-swap holds up over the whole soak horizon.
 //
 // The run is time-scaled: -updates N is the per-program update budget,
 // so CI smoke runs finish in seconds (make soak-churn-smoke) while
@@ -148,9 +152,9 @@ func run(args []string) error {
 	<-samplerStopped
 	elapsed := time.Since(start)
 
-	fmt.Printf("flaysoak: %d updates across %d sessions in %v (%.0f updates/s)\n",
+	fmt.Printf("flaysoak: %d updates across %d sessions in %v (%.0f updates/s), %d packets executed mid-churn\n",
 		soak.sent, len(programs), elapsed.Round(time.Millisecond),
-		float64(soak.sent)/elapsed.Seconds())
+		float64(soak.sent)/elapsed.Seconds(), soak.executed)
 
 	soak.checkMemory(*memGrowthMax)
 	soak.checkLatency(*p99GrowthMax)
@@ -176,6 +180,7 @@ type soakRun struct {
 	heap      []int64         // server.heap_alloc_bytes per tick
 	p99s      []time.Duration // interval p99s (qualified intervals only)
 	sent      int64
+	executed  int64 // packets run through /exec mid-churn
 	failures  []string
 }
 
@@ -221,7 +226,7 @@ func percentile(ds []time.Duration, p float64) time.Duration {
 // continuity checked per pattern.
 func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycleLen int, seed uint64, deadline time.Time) {
 	session := "soak-" + p.Name
-	if _, err := s.c.CreateSession(wire.CreateSessionRequest{Name: session, Catalog: p.Name}); err != nil {
+	if _, err := s.c.CreateSession(wire.CreateSessionRequest{Name: session, Catalog: p.Name, Exec: true}); err != nil {
 		s.fail("%s: creating session: %v", session, err)
 		return
 	}
@@ -238,6 +243,7 @@ func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycl
 	baseline := info.Entries[p.BurstTable]
 	lastSeen := 0
 	sent := 0
+	var lastEpoch uint64
 	for cyc := 0; sent < budget; cyc++ {
 		for _, kind := range kinds {
 			if sent >= budget {
@@ -274,6 +280,11 @@ func (s *soakRun) drive(p *progs.Program, kinds []fuzz.PatternKind, budget, cycl
 			// has not run), the state a warm restart would actually
 			// resume from. Once per pattern is enough to gate on.
 			if cyc == 0 && !s.restoreGate(session, p) {
+				return
+			}
+			// Packet-path probe, also mid-churn: the hot-swapped image
+			// must keep answering, one result per frame, epoch monotone.
+			if !s.execProbe(session, &lastEpoch) {
 				return
 			}
 			// Drain back to baseline so live state (and the heap a
@@ -365,6 +376,42 @@ func (s *soakRun) restoreGate(session string, p *progs.Program) bool {
 			session, p.BurstTable, got, want)
 		return false
 	}
+	return true
+}
+
+// execProbe runs a small fixed burst through the session's wire /exec
+// endpoint while the churn writer is mid-cycle. The endpoint bypasses
+// the write dispatcher, so it must always answer — one result per
+// frame — and the execution epoch it reports must never go backwards
+// across probes: an image hot-swap that lost the image or resurrected
+// a stale epoch would show up here over the soak horizon.
+func (s *soakRun) execProbe(session string, lastEpoch *uint64) bool {
+	frames := [][]byte{
+		{0x02, 0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x00, 0x00, 0x00, 0x00, 0x02,
+			0x08, 0x00,
+			0x45, 0x00, 0x00, 0x20, 0x00, 0x01, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00,
+			0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x01, 0x02,
+			0x12, 0x34, 0x56, 0x78, 0x00, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+		{0xde, 0xad, 0xbe, 0xef},
+		{},
+	}
+	resp, err := s.c.ExecBytes(session, frames, []uint16{1, 2, 3})
+	if err != nil {
+		s.fail("%s: mid-churn exec: %v", session, err)
+		return false
+	}
+	if len(resp.Results) != len(frames) {
+		s.fail("%s: exec returned %d results for %d frames", session, len(resp.Results), len(frames))
+		return false
+	}
+	if resp.Epoch < *lastEpoch {
+		s.fail("%s: exec epoch went backwards: %d after %d", session, resp.Epoch, *lastEpoch)
+		return false
+	}
+	*lastEpoch = resp.Epoch
+	s.mu.Lock()
+	s.executed += int64(len(frames))
+	s.mu.Unlock()
 	return true
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devcompiler"
+	"repro/internal/dpexec"
 	"repro/internal/flayerr"
 	"repro/internal/obs"
 	"repro/internal/p4/ast"
@@ -69,7 +70,16 @@ var (
 	// ErrBackpressure: a bounded queue was full and the write was shed
 	// (HTTP 429 on the wire).
 	ErrBackpressure = flayerr.ErrBackpressure
+	// ErrExecDisabled: Exec/ExecBatch was called on a pipeline opened
+	// without WithExec.
+	ErrExecDisabled = flayerr.ErrExecDisabled
+	// ErrBadPacket: a wire exec request carried a malformed packet.
+	ErrBadPacket = flayerr.ErrBadPacket
 )
+
+// ExecResult is the observable outcome of executing one packet against
+// the pipeline's current specialized program (see Pipeline.Exec).
+type ExecResult = dpexec.Result
 
 // Re-exported control-plane vocabulary. The aliases make the full
 // update model usable through this package alone.
@@ -254,6 +264,16 @@ func WithRepairInterval(d time.Duration) Option {
 	return optionFunc(func(o *Options) { o.RepairInterval = d })
 }
 
+// WithExec enables the data-plane executor: every verdict-changing
+// epoch publication also compiles the specialized program into a
+// flattened match-action image and atomically hot-swaps it, making
+// Pipeline.Exec/ExecBatch available. Off by default (the image compile
+// adds work to the update path that pure control-plane users never
+// need).
+func WithExec() Option {
+	return optionFunc(func(o *Options) { o.Exec = true })
+}
+
 // WithTracer records a span per pipeline stage and per update.
 func WithTracer(t *Trace) Option {
 	return optionFunc(func(o *Options) { o.Tracer = t })
@@ -311,6 +331,8 @@ type Options struct {
 	// background repair goroutine (see WithRepairInterval). Zero selects
 	// the default (100ms); negative disables background repair.
 	RepairInterval time.Duration
+	// Exec enables the data-plane executor (see WithExec).
+	Exec bool
 
 	// Tracer, when non-nil, records a span per pipeline stage and per
 	// update. Metrics, when non-nil, resolves the engine's counters,
@@ -352,6 +374,7 @@ func open(name, source string, o Options) (*Pipeline, error) {
 		Workers:             o.Workers,
 		NoCache:             o.NoCache,
 		RepairInterval:      o.RepairInterval,
+		Exec:                o.Exec,
 		Trace:               o.Tracer,
 		Metrics:             o.Metrics,
 		Audit:               o.Audit,
@@ -426,6 +449,7 @@ func Restore(data []byte, opts ...Option) (*Pipeline, error) {
 		Workers:        o.Workers,
 		NoCache:        o.NoCache,
 		RepairInterval: o.RepairInterval,
+		Exec:           o.Exec,
 		Trace:          o.Tracer,
 		Metrics:        o.Metrics,
 		Audit:          o.Audit,
@@ -500,6 +524,25 @@ func (p *Pipeline) ApplyAllCtx(ctx context.Context, updates []*Update) []*Decisi
 // remaining budget.
 func (p *Pipeline) ApplyBatchCtx(ctx context.Context, updates []*Update) []*Decision {
 	return p.spec.ApplyBatchCtx(ctx, updates)
+}
+
+// Exec runs one packet through the pipeline's current specialized
+// program and returns the observable outcome (drop, egress port,
+// multicast group, emitted bytes). Execution is wait-free with respect
+// to concurrent control-plane updates: each call runs against the
+// image hot-swapped by the most recently published epoch, and an
+// in-flight update never blocks or tears a packet. Requires WithExec;
+// otherwise the error satisfies errors.Is(err, ErrExecDisabled).
+func (p *Pipeline) Exec(data []byte, port uint16) (ExecResult, error) {
+	return p.spec.Exec(data, port)
+}
+
+// ExecBatch runs a burst of packets against one consistent image (the
+// epoch current at entry), with ports[i] as packet i's ingress port
+// (missing entries default to 0). The first failing packet aborts the
+// batch.
+func (p *Pipeline) ExecBatch(packets [][]byte, ports []uint16) ([]ExecResult, error) {
+	return p.spec.ExecBatch(packets, ports)
 }
 
 // Close releases the pipeline's background resources (the precision

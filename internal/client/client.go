@@ -177,6 +177,32 @@ func (c *Client) WriteRetryDeadline(name, mode string, updates []*controlplane.U
 	}
 }
 
+// Exec runs a burst of packets through a session's current specialized
+// program (the session must be created with Exec: true). A session
+// opened without exec yields an error satisfying
+// errors.Is(err, goflay.ErrExecDisabled); a malformed packet satisfies
+// errors.Is(err, goflay.ErrBadPacket).
+func (c *Client) Exec(name string, packets []wire.Packet) (wire.ExecResponse, error) {
+	req := wire.ExecRequest{Packets: packets}
+	var resp wire.ExecResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/exec", &req, &resp)
+	return resp, err
+}
+
+// ExecBytes is Exec over raw packet buffers with per-packet ingress
+// ports (short ports default to 0).
+func (c *Client) ExecBytes(name string, packets [][]byte, ports []uint16) (wire.ExecResponse, error) {
+	wp := make([]wire.Packet, len(packets))
+	for i, data := range packets {
+		var port uint16
+		if i < len(ports) {
+			port = ports[i]
+		}
+		wp[i] = wire.FromPacket(data, port)
+	}
+	return c.Exec(name, wp)
+}
+
 // Stats fetches the session's engine statistics.
 func (c *Client) Stats(name string) (wire.Stats, error) {
 	var st wire.Stats

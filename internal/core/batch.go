@@ -128,6 +128,10 @@ func (s *Specializer) ApplyBatchCtx(ctx context.Context, updates []*controlplane
 		// update; the batch runs exactly one.
 		s.stats.Coalesced += accepted - 1
 		s.met.coalesced.Add(int64(accepted - 1))
+		// Batches mutate many targets in one epoch; the published image
+		// recompiles from the specialized program rather than chaining
+		// per-target patches.
+		s.imgMarkFull()
 	}
 
 	finish := func() []*Decision {

@@ -218,6 +218,7 @@ func (s *Specializer) shedForBatch(ctx context.Context, targets []string) {
 // recompileTarget call renders the cheap "*any*" fragment (changing the
 // fragment fingerprint, which evicts the stale cache entries).
 func (s *Specializer) degradeLocked(target, cause string) {
+	s.imgMarkFull() // precision changes can reshape the specialized program
 	s.Cfg.ForceOverapprox(target, true)
 	if s.degraded == nil {
 		s.degraded = make(map[string]string)
@@ -261,6 +262,7 @@ func (s *Specializer) Degrade(table string) error {
 // are unsound and counted. The fresh precise pass also re-seeds the
 // cost estimator.
 func (s *Specializer) promoteLocked(target, cause string) (unsound int, err error) {
+	s.imgMarkFull() // precision changes can reshape the specialized program
 	s.Cfg.ForceOverapprox(target, false)
 	t0 := time.Now()
 	if err := s.recompileTarget(target); err != nil {

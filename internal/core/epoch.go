@@ -33,6 +33,8 @@ package core
 
 import (
 	"sync/atomic"
+
+	"repro/internal/dpexec"
 )
 
 // epoch is one immutable published read-state. Everything in it is
@@ -56,6 +58,11 @@ type epoch struct {
 	// generation is Forwarded+Recompilations — the snapshot-dirtiness
 	// cursor served by Generation().
 	generation uint64
+	// img is the executable data-plane image of the specialized program
+	// under this epoch's configuration (exec.go); nil when the engine
+	// runs without Options.Exec. Hot-swapped here so packet execution is
+	// wait-free under control-plane churn, and retired with the epoch.
+	img *dpexec.Image
 }
 
 // coord is the cross-shard coordination layer: the state any shard's
@@ -114,6 +121,7 @@ func (s *Specializer) publish() {
 	st.ArenaNodes = s.An.Builder.LiveNodes()
 	e.stats = st
 	e.generation = uint64(st.Forwarded) + uint64(st.Recompilations)
+	e.img = s.buildImageLocked(prev)
 	s.co.epochSeq = e.seq
 	s.co.cur.Store(e)
 	s.met.epoch.Set(int64(e.seq))
@@ -156,6 +164,11 @@ func (v EpochView) Entries(table string) int { return v.e.entries[table] }
 
 // Degraded lists the degraded tables in this epoch, sorted.
 func (v EpochView) Degraded() []string { return append([]string(nil), v.e.degraded...) }
+
+// Image returns this epoch's executable data-plane image, or nil when
+// the engine runs without Options.Exec. Images are immutable; a view's
+// image stays runnable indefinitely.
+func (v EpochView) Image() *dpexec.Image { return v.e.img }
 
 // Epoch returns a consistent view of the currently published epoch —
 // one atomic load, wait-free against writers.

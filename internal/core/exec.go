@@ -1,0 +1,159 @@
+// Data-plane packet execution. When the engine is opened with
+// Options.Exec, every epoch publication also carries an executable
+// image: the current specialized program compiled (dpexec) under the
+// current configuration. Image maintenance rides the same
+// publication pipeline as every other epoch field:
+//
+//   - a forwarded update rebuilds only the touched table / value set /
+//     register of the previous epoch's image (Image.WithTarget) — the
+//     executable analogue of the paper's "forward the update to the
+//     device" fast path;
+//   - a respecializing update (or any heavier mutation: batches,
+//     preloads, degradations, promotions) recompiles the image from the
+//     fresh specialized program;
+//   - a rejected update republishes the previous image untouched.
+//
+// Packet execution (Exec/ExecBatch) loads the published epoch and runs
+// against its image: wait-free against writers, and always against a
+// consistent program+configuration cut. Stale images retire exactly
+// like epochs do — when the last reader drops them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dpexec"
+	"repro/internal/flayerr"
+	"repro/internal/p4/typecheck"
+)
+
+// imgMark records that target's control-plane state changed under an
+// otherwise unchanged specialized program: the next publication patches
+// the previous image incrementally.
+func (s *Specializer) imgMark(target string) {
+	if !s.exec || s.imgFull {
+		return
+	}
+	s.imgTargets = append(s.imgTargets, target)
+}
+
+// imgMarkFull forces the next publication to recompile the image from
+// the specialized program. Any mutation that may have changed the
+// program's shape (respecialization, batches, preloads, precision
+// changes) routes here.
+func (s *Specializer) imgMarkFull() {
+	if !s.exec {
+		return
+	}
+	s.imgFull = true
+	s.imgTargets = s.imgTargets[:0]
+}
+
+// buildImageLocked produces the image for the epoch being published.
+// Caller holds the write lock (or is inside a constructor). A compile
+// failure keeps serving the previous image — deterministically stale
+// rather than intermittently absent; the catalog programs never hit
+// this path.
+func (s *Specializer) buildImageLocked(prev *epoch) *dpexec.Image {
+	if !s.exec {
+		return nil
+	}
+	var pi *dpexec.Image
+	if prev != nil {
+		pi = prev.img
+	}
+	if pi != nil && !s.imgFull {
+		img := pi
+		ok := true
+		for _, t := range s.imgTargets {
+			ni, err := img.WithTarget(s.Cfg, t)
+			if err != nil {
+				ok = false
+				break
+			}
+			img = ni
+		}
+		if ok {
+			s.imgTargets = s.imgTargets[:0]
+			return img
+		}
+	}
+	s.imgFull = false
+	s.imgTargets = s.imgTargets[:0]
+	spec := s.specializedProgramLocked()
+	info, err := typecheck.Check(spec)
+	if err != nil {
+		return pi
+	}
+	img, err := dpexec.Compile(spec, info, s.Cfg)
+	if err != nil {
+		return pi
+	}
+	return img
+}
+
+func (s *Specializer) machine() *dpexec.Machine {
+	if v := s.machines.Get(); v != nil {
+		return v.(*dpexec.Machine)
+	}
+	return dpexec.NewMachine()
+}
+
+// Exec runs one packet through the published executable image and
+// returns its observable result. It is wait-free against writers: the
+// image is loaded from the current epoch with one atomic load, and
+// concurrent control-plane churn only ever swaps in fully built images.
+// Requires Options.Exec; otherwise flayerr.ErrExecDisabled.
+func (s *Specializer) Exec(data []byte, port uint16) (dpexec.Result, error) {
+	e := s.loadEpoch()
+	if e.img == nil {
+		return dpexec.Result{}, fmt.Errorf("core: %w", flayerr.ErrExecDisabled)
+	}
+	m := s.machine()
+	res, err := m.Run(e.img, data, port)
+	if err != nil {
+		s.machines.Put(m)
+		return dpexec.Result{}, err
+	}
+	res.Emitted = append([]byte(nil), res.Emitted...)
+	s.machines.Put(m)
+	return res, nil
+}
+
+// ExecBatch runs a batch of packets against one consistent image (the
+// epoch published when the batch started — mid-batch publications do
+// not tear the batch). ports may be shorter than packets; missing
+// entries default to port 0. The first packet runtime error aborts the
+// batch.
+func (s *Specializer) ExecBatch(packets [][]byte, ports []uint16) ([]dpexec.Result, error) {
+	e := s.loadEpoch()
+	if e.img == nil {
+		return nil, fmt.Errorf("core: %w", flayerr.ErrExecDisabled)
+	}
+	m := s.machine()
+	out := make([]dpexec.Result, len(packets))
+	for i, data := range packets {
+		var port uint16
+		if i < len(ports) {
+			port = ports[i]
+		}
+		res, err := m.Run(e.img, data, port)
+		if err != nil {
+			s.machines.Put(m)
+			return nil, fmt.Errorf("core: packet %d: %w", i, err)
+		}
+		res.Emitted = append([]byte(nil), res.Emitted...)
+		out[i] = res
+	}
+	s.machines.Put(m)
+	return out, nil
+}
+
+// ExecImage returns the currently published executable image (nil when
+// the engine was opened without Options.Exec). The image is immutable;
+// callers running their own dpexec.Machine against it — the benchmark
+// harness does, to measure packet rates without result copying — see
+// exactly what Exec executes.
+func (s *Specializer) ExecImage() *dpexec.Image {
+	return s.loadEpoch().img
+}

@@ -15,6 +15,13 @@ import (
 func (s *Specializer) SpecializedProgram() *ast.Program {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.specializedProgramLocked()
+}
+
+// specializedProgramLocked is SpecializedProgram with the lock already
+// held — in either mode: the rewriter only reads. The image builder
+// calls it from inside publish(), under the write lock.
+func (s *Specializer) specializedProgramLocked() *ast.Program {
 	sp := s.trace.Start("pass", 0)
 	defer s.trace.End(sp)
 	if s.quality == QualityNone {

@@ -636,6 +636,7 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 		quality:     quality,
 		workers:     opts.Workers,
 		lockedReads: opts.LockedReads,
+		exec:        opts.Exec,
 		trace:       opts.Trace,
 		audit:       opts.Audit,
 		met:         newCoreMetrics(opts.Metrics),

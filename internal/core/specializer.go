@@ -184,6 +184,12 @@ type Options struct {
 	// equivalence.
 	NoCache bool
 
+	// Exec enables the data-plane executor (exec.go): every epoch
+	// publication also compiles and hot-swaps an executable image of
+	// the specialized program, served wait-free by Exec/ExecBatch. Off
+	// by default — engines that never execute packets pay nothing.
+	Exec bool
+
 	// LockedReads is the pre-epoch ablation: read entry points
 	// (Verdict, Statistics, Entries, Generation, DegradedTables) take
 	// the engine read lock and read mutable state instead of loading
@@ -300,6 +306,16 @@ type Specializer struct {
 	// when a pass changed at least one verdict; publish() clears it and
 	// only then re-copies the verdict slice.
 	verdictsDirty bool
+	// Data-plane executor state (exec.go), all guarded by mu: exec is
+	// Options.Exec; imgTargets lists the targets forwarded updates
+	// touched since the last publication (incremental image rebuild);
+	// imgFull forces the next publication to recompile the image from
+	// the specialized program. machines pools executor machines for the
+	// wait-free Exec path.
+	exec       bool
+	imgFull    bool
+	imgTargets []string
+	machines   sync.Pool
 	// lockedReads selects the pre-epoch read path (Options.LockedReads).
 	lockedReads bool
 
@@ -386,6 +402,7 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 		quality:     opts.Quality,
 		workers:     opts.Workers,
 		lockedReads: opts.LockedReads,
+		exec:        opts.Exec,
 		trace:       opts.Trace,
 		audit:       opts.Audit,
 		met:         newCoreMetrics(opts.Metrics),
@@ -533,6 +550,7 @@ func (s *Specializer) ReevaluateAll() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publish()
+	s.imgMarkFull()
 	for _, p := range s.An.Points {
 		s.pointSub[p.ID] = nil
 		s.witnesses[p.ID] = nil
@@ -562,6 +580,7 @@ func (s *Specializer) Preload(updates []*controlplane.Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.publish()
+	s.imgMarkFull()
 	targets := make(map[string]bool)
 	var firstErr error
 	for _, u := range updates {
@@ -779,6 +798,7 @@ func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *
 	// With specialization disabled the installed implementation is the
 	// original program; nothing a valid update does can invalidate it.
 	if s.quality == QualityNone {
+		s.imgMark(target)
 		s.stats.Forwarded++
 		d.Kind = Forward
 		d.Elapsed = time.Since(t0)
@@ -803,6 +823,9 @@ func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *
 	err := s.recompileTarget(target)
 	s.trace.End(csp)
 	if err != nil {
+		// The configuration already changed: the next image must not
+		// assume the previous epoch's is patchable.
+		s.imgMarkFull()
 		s.stats.Rejected++
 		d.Kind = Rejected
 		d.Err = err
@@ -836,6 +859,9 @@ func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *
 	changedImpls := s.changedImpls(target, d)
 
 	if len(d.ChangedPoints) == 0 && len(changedImpls) == 0 {
+		// Forward: the specialized program is unchanged, so the image
+		// only needs the touched target patched.
+		s.imgMark(target)
 		s.stats.Forwarded++
 		d.Kind = Forward
 		d.Elapsed = time.Since(t0)
@@ -845,6 +871,7 @@ func (s *Specializer) applyLocked(ctx context.Context, u *controlplane.Update) *
 
 	// Respecialization: adopt the new ideal implementations for the
 	// affected components.
+	s.imgMarkFull()
 	d.Kind = Recompile
 	s.stats.Recompilations++
 	comps := map[string]bool{}

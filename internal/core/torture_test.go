@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/dpexec"
 	"repro/internal/fuzz"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -503,6 +504,140 @@ func TestEntriesLinearizableAgainstAudit(t *testing.T) {
 		if checked == 0 {
 			t.Fatalf("seed %d: readers recorded no observations", seed)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: hot-swap torture. With the executor enabled, every epoch
+// publication also compiles and hot-swaps an executable image. The
+// property: concurrent packet executors racing the batch writer must
+// only ever observe an image matching a published epoch — the image
+// hash an executor loads must equal the sequential oracle's image hash
+// at that epoch's update count (a torn or mid-batch swap would hash to
+// a state the oracle never produced), and every packet must execute
+// against the observed image without error.
+
+// runImageOracle replays the schedule sequentially with the executor
+// enabled and records the published image hash after every mutating
+// call, keyed by update count.
+func runImageOracle(t *testing.T, p *progs.Program, schedule [][]*controlplane.Update) map[int]uint64 {
+	t.Helper()
+	s, err := p.LoadWith(core.Options{Workers: 1, Exec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracle := make(map[int]uint64, len(schedule)+1)
+	record := func() {
+		v := s.Epoch()
+		img := v.Image()
+		if img == nil {
+			t.Fatalf("image oracle: epoch %d has no image with Exec enabled", v.Seq)
+		}
+		oracle[v.Stats.Updates] = img.Hash()
+	}
+	record()
+	for _, batch := range schedule {
+		for i, d := range s.ApplyBatch(batch) {
+			if d.Kind == core.Rejected {
+				t.Fatalf("image oracle: update %s (%d) rejected: %v", batch[i], i, d.Err)
+			}
+		}
+		record()
+	}
+	return oracle
+}
+
+// TestTortureHotSwap races packet executors against the batch writer
+// and checks every observed image against the sequential image oracle.
+func TestTortureHotSwap(t *testing.T) {
+	p, err := progs.ByName(tortureProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := loadEngine(t, p, 1)
+	schedule := tortureSchedule(t, p, scratch, 1, 128)
+	scratch.Close()
+	oracle := runImageOracle(t, p, schedule)
+
+	s, err := p.LoadWith(core.Options{Workers: 4, Exec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A plausible-looking frame plus junk: execution outcome is not
+	// asserted (the oracle covers semantics), only that every packet
+	// runs to completion against a coherent image.
+	packets := [][]byte{
+		{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00, 0x01, 0x02, 0x03,
+			0x04, 0x05, 0x08, 0x00, 0x45, 0x00, 0x00, 0x14, 0x00, 0x00,
+			0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 0x0A, 0x00, 0x00, 0x01,
+			0x0A, 0x00, 0x00, 0x02, 0x12, 0x34, 0x56, 0x78},
+		{0xDE, 0xAD},
+		{},
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m := dpexec.NewMachine()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := s.Epoch()
+				img := v.Image()
+				if img == nil {
+					t.Errorf("executor %d: epoch %d has no image", r, v.Seq)
+					return
+				}
+				want, ok := oracle[v.Stats.Updates]
+				if !ok {
+					t.Errorf("executor %d: epoch %d: updates=%d is no sequential state", r, v.Seq, v.Stats.Updates)
+					return
+				}
+				if got := img.Hash(); got != want {
+					t.Errorf("executor %d: epoch %d (updates=%d): image hash %x, oracle %x",
+						r, v.Seq, v.Stats.Updates, got, want)
+					return
+				}
+				if _, err := m.Run(img, packets[i%len(packets)], uint16(i%512)); err != nil {
+					t.Errorf("executor %d: packet execution trapped: %v", r, err)
+					return
+				}
+				// The facade exec path must stay usable mid-churn too.
+				if _, err := s.Exec(packets[0], 1); err != nil {
+					t.Errorf("executor %d: Exec: %v", r, err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}(r)
+	}
+
+	for _, batch := range schedule {
+		for i, d := range s.ApplyBatch(batch) {
+			if d.Kind == core.Rejected {
+				t.Fatalf("live: update %s (%d) rejected: %v", batch[i], i, d.Err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	final := s.Epoch()
+	img := final.Image()
+	if img == nil {
+		t.Fatal("final epoch has no image")
+	}
+	if want := oracle[final.Stats.Updates]; img.Hash() != want {
+		t.Fatalf("final image hash %x, oracle %x", img.Hash(), want)
 	}
 }
 

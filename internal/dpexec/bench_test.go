@@ -1,0 +1,53 @@
+package dpexec_test
+
+import (
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/dpexec"
+	"repro/internal/sym"
+)
+
+// BenchmarkExec isolates the per-packet cost of the bytecode executor
+// on a configured router: parse + lookup + TTL rewrite + deparse.
+// The steady state must stay at 0 allocs/op.
+func BenchmarkExec(b *testing.B) {
+	s, err := core.NewFromSource("router", routerSrc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		d := s.Apply(&controlplane.Update{
+			Kind: controlplane.InsertEntry, Table: "Ingress.route",
+			Entry: &controlplane.TableEntry{
+				Matches: []controlplane.FieldMatch{{
+					Kind:      controlplane.MatchLPM,
+					Value:     sym.NewBV(32, uint64(0x0a000000+i<<16)),
+					PrefixLen: 16,
+				}},
+				Action: "fwd", Params: []sym.BV{sym.NewBV(9, uint64(i+1))},
+			},
+		})
+		if d.Kind == core.Rejected {
+			b.Fatal(d.Err)
+		}
+	}
+	img, err := dpexec.Compile(s.Prog, s.Info, s.Cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := ipv4Packet(0x020000000001, 64, 0x0a030405)
+	m := dpexec.NewMachine()
+	if _, err := m.Run(img, pkt, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(img, pkt, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

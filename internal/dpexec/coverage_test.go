@@ -1,0 +1,384 @@
+package dpexec_test
+
+// Differential tests targeting the compiler paths the catalog programs
+// do not reach: value sets (incl. masked members), dynamic operator
+// evaluation and folding, default actions with arguments, optional
+// matches, indexed exact tables, hit-form conditions, and the
+// WithTarget rebuild paths for value sets and registers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/dpexec"
+	"repro/internal/sym"
+)
+
+// opsSrc exercises the expression compiler: mixed const/dynamic
+// operands, shifts (incl. oversized dynamic amounts), comparisons,
+// boolean connectives, concat, slices, ternary choice, unary ops, and
+// checksum16 over dynamic arguments — on non-byte-aligned widths.
+const opsSrc = `
+header w_t { bit<4> a; bit<12> b; bit<16> c; bit<16> d; bit<8> e; bit<8> f; }
+struct headers { w_t w; }
+struct metadata { bit<16> acc; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.w); transition accept; }
+}
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        meta.acc = hdr.w.c + hdr.w.d;
+        meta.acc = meta.acc - 16w3;
+        meta.acc = meta.acc & (hdr.w.c | 16w0x0F0F);
+        meta.acc = meta.acc ^ (hdr.w.d << 2);
+        meta.acc = meta.acc ^ (hdr.w.c >> hdr.w.e);
+        meta.acc = meta.acc + (hdr.w.c << hdr.w.f);
+        if ((hdr.w.c < hdr.w.d) && (hdr.w.e != 8w0) || !(hdr.w.f >= 8w128)) {
+            meta.acc = ~meta.acc;
+        }
+        if (hdr.w.c <= hdr.w.d) {
+            meta.acc = -meta.acc;
+        }
+        if (hdr.w.e > hdr.w.f) {
+            meta.acc = (hdr.w.a == 4w7) ? 16w99 : (8w0 ++ ~hdr.w.f);
+        }
+        hdr.w.c = checksum16(meta.acc, hdr.w.d, hdr.w.a ++ hdr.w.b);
+        std.egress_port = (hdr.w.a ++ hdr.w.b)[10:2];
+    }
+}
+`
+
+func TestDifferentialOps(t *testing.T) {
+	prog, info := build(t, opsSrc)
+	r := rand.New(rand.NewSource(11))
+	diff(t, prog, info, nil, 400, func() ([]byte, uint16) {
+		data := make([]byte, r.Intn(12))
+		r.Read(data)
+		// Bias shift amounts toward the in-range/oversized boundary.
+		if len(data) >= 8 && r.Intn(2) == 0 {
+			data[6] = byte(r.Intn(20))
+			data[7] = byte(r.Intn(20))
+		}
+		return data, uint16(r.Intn(512))
+	})
+}
+
+// vsetSrc mirrors the parser-pruning shape: a value set steering a
+// select, with the vlan tail only live when the set matches.
+const vsetSrc = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+header vlan_t { bit<16> tci; bit<16> next; }
+struct headers { ethernet_t eth; vlan_t vlan; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    value_set<bit<16>>(4) vlan_types;
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            vlan_types: parse_vlan;
+            16w0x0900 &&& 16w0xFF00: reject;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition accept;
+    }
+}
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    apply {
+        if (hdr.vlan.isValid()) {
+            std.egress_port = hdr.vlan.tci[8:0];
+        } else {
+            std.egress_port = 9w1;
+        }
+    }
+}
+`
+
+func TestDifferentialValueSets(t *testing.T) {
+	s, err := core.NewFromSource("vset", vsetSrc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := rand.New(rand.NewSource(13))
+	gen := func() ([]byte, uint16) {
+		data := make([]byte, 14+4+r.Intn(6))
+		r.Read(data)
+		switch r.Intn(4) {
+		case 0:
+			data[12], data[13] = 0x81, 0x00
+		case 1:
+			data[12], data[13] = 0x88, byte(r.Intn(4))
+		}
+		return data, uint16(r.Intn(512))
+	}
+	// Unconfigured set: never matches.
+	diff(t, s.Prog, s.Info, s.Cfg, 100, gen)
+
+	img, err := dpexec.Compile(s.Prog, s.Info, s.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact, masked, and catch-all (zero-mask) members.
+	u := &controlplane.Update{
+		Kind: controlplane.SetValueSet, ValueSet: "P.vlan_types",
+		Members: []controlplane.ValueSetMember{
+			{Value: sym.NewBV(16, 0x8100)},
+			{Value: sym.NewBV(16, 0x8800), Mask: sym.NewBV(16, 0xFF00)},
+		},
+	}
+	if d := s.Apply(u); d.Kind == core.Rejected {
+		t.Fatal(d.Err)
+	}
+	diff(t, s.Prog, s.Info, s.Cfg, 100, gen)
+
+	// Incremental vset rebuild must hash like a full compile.
+	img, err = img.WithTarget(s.Cfg, u.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := dpexec.Compile(s.Prog, s.Info, s.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Hash() != full.Hash() {
+		t.Fatalf("incremental vset hash %x != full %x", img.Hash(), full.Hash())
+	}
+}
+
+// tblSrc exercises miss blocks with arguments, optional matches, the
+// indexed all-exact probe, and hit-form conditions.
+const tblSrc = `
+header w_t { bit<16> c; bit<16> d; bit<8> e; }
+struct headers { w_t w; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.w); transition accept; }
+}
+control Ing(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action setp(bit<9> port, bit<16> tag) { std.egress_port = port; hdr.w.c = tag; }
+    action bump() { hdr.w.d = hdr.w.d + 16w1; }
+    action drop() { mark_to_drop(std); }
+    table wide {
+        key = { hdr.w.c: exact; hdr.w.e: optional; }
+        actions = { setp; drop; NoAction; }
+        default_action = setp(9w3, 16w7);
+    }
+    table fast {
+        key = { hdr.w.e: exact; }
+        actions = { bump; drop; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (fast.apply().hit) {
+            hdr.w.d = hdr.w.d + 16w0x100;
+        }
+        wide.apply();
+    }
+}
+`
+
+func TestDifferentialTables(t *testing.T) {
+	s, err := core.NewFromSource("tbl", tblSrc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := rand.New(rand.NewSource(19))
+	gen := func() ([]byte, uint16) {
+		data := make([]byte, 5+r.Intn(4))
+		r.Read(data)
+		// Bias keys toward configured values.
+		if r.Intn(2) == 0 {
+			data[4] = byte(r.Intn(8))
+		}
+		if r.Intn(2) == 0 {
+			data[0], data[1] = 0, byte(r.Intn(4))
+		}
+		return data, uint16(r.Intn(512))
+	}
+	// Program defaults only (miss block with runtime-evaluated args).
+	diff(t, s.Prog, s.Info, s.Cfg, 100, gen)
+
+	apply := func(u *controlplane.Update) {
+		t.Helper()
+		if d := s.Apply(u); d.Kind == core.Rejected {
+			t.Fatal(d.Err)
+		}
+	}
+	// Six all-exact entries cross the index floor on fast.
+	for i := 0; i < 6; i++ {
+		kind := "bump"
+		if i == 3 {
+			kind = "drop"
+		}
+		apply(&controlplane.Update{
+			Kind: controlplane.InsertEntry, Table: "Ing.fast",
+			Entry: &controlplane.TableEntry{
+				Matches: []controlplane.FieldMatch{{Kind: controlplane.MatchExact, Value: sym.NewBV(8, uint64(i))}},
+				Action:  kind,
+			},
+		})
+	}
+	// Exact+optional entries, one wildcard, plus NoAction entries.
+	apply(&controlplane.Update{
+		Kind: controlplane.InsertEntry, Table: "Ing.wide",
+		Entry: &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchExact, Value: sym.NewBV(16, 1)},
+				{Kind: controlplane.MatchOptional, Value: sym.NewBV(8, 2)},
+			},
+			Action: "setp", Params: []sym.BV{sym.NewBV(9, 17), sym.NewBV(16, 0xAB)},
+		},
+	})
+	apply(&controlplane.Update{
+		Kind: controlplane.InsertEntry, Table: "Ing.wide",
+		Entry: &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchExact, Value: sym.NewBV(16, 2)},
+				{Kind: controlplane.MatchOptional, Value: sym.NewBV(8, 0), Wildcard: true},
+			},
+			Action: "NoAction",
+		},
+	})
+	diff(t, s.Prog, s.Info, s.Cfg, 150, gen)
+
+	// Control-plane default override replaces the program default.
+	apply(&controlplane.Update{
+		Kind: controlplane.SetDefault, Table: "Ing.wide",
+		Default: controlplane.ActionCall{Name: "setp", Params: []sym.BV{sym.NewBV(9, 5), sym.NewBV(16, 0xFF)}},
+	})
+	diff(t, s.Prog, s.Info, s.Cfg, 150, gen)
+}
+
+// TestDifferentialDynamicDefaultArgs: bmv2 evaluates program-default
+// action arguments at runtime; the engine front end restricts them to
+// literals, but the executors agree on the general form. Compiled
+// without a configuration, so the program default is live.
+func TestDifferentialDynamicDefaultArgs(t *testing.T) {
+	prog, info := build(t, `
+header w_t { bit<16> c; bit<16> d; bit<8> e; }
+struct headers { w_t w; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.w); transition accept; }
+}
+control Ing(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    action setp(bit<9> port, bit<16> tag) { std.egress_port = port; hdr.w.c = tag; }
+    table dflt {
+        key = { hdr.w.c: exact; }
+        actions = { setp; NoAction; }
+        default_action = setp(9w3, hdr.w.d + 16w1);
+    }
+    apply { dflt.apply(); }
+}
+`)
+	r := rand.New(rand.NewSource(23))
+	diff(t, prog, info, nil, 100, func() ([]byte, uint16) {
+		data := make([]byte, 5+r.Intn(3))
+		r.Read(data)
+		return data, uint16(r.Intn(512))
+	})
+}
+
+// regSrc is a counting register for the WithTarget register path.
+const regSrc = `
+header h_t { bit<8> v; }
+struct headers { h_t h; }
+struct metadata { }
+parser P(packet_in pkt, out headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control C(inout headers hdr, inout metadata meta, inout standard_metadata_t std) {
+    register<bit<9>>(4) seen;
+    apply {
+        bit<9> prev;
+        seen.read(prev, 32w0);
+        std.egress_port = prev;
+        seen.write(32w0, prev + 9w1);
+    }
+}
+`
+
+func TestWithTargetRegister(t *testing.T) {
+	s, err := core.NewFromSource("reg", regSrc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	img, err := dpexec.Compile(s.Prog, s.Info, s.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &controlplane.Update{Kind: controlplane.FillRegister, Register: "C.seen", Fill: sym.NewBV(9, 40)}
+	if d := s.Apply(u); d.Kind == core.Rejected {
+		t.Fatal(d.Err)
+	}
+	ni, err := img.WithTarget(s.Cfg, u.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := dpexec.Compile(s.Prog, s.Info, s.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Hash() != full.Hash() {
+		t.Fatalf("incremental register hash %x != full %x", ni.Hash(), full.Hash())
+	}
+	if ni.Hash() == img.Hash() {
+		t.Fatal("register fill did not change the image hash")
+	}
+	m := dpexec.NewMachine()
+	res, err := m.Run(ni, []byte{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 40 {
+		t.Fatalf("register fill not applied: egress %d, want 40", res.EgressPort)
+	}
+	// Swapping images resets register state to the new image's fill.
+	if _, err := m.Run(ni, []byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Run(img, []byte{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 0 {
+		t.Fatalf("hot swap kept stale register state: egress %d, want 0", res.EgressPort)
+	}
+}
+
+// TestWithTargetUnknown: patching a target the image does not contain
+// (a pruned table) returns the image unchanged — the engine only
+// forwards updates whose target is unobservable in the program.
+func TestWithTargetUnknown(t *testing.T) {
+	prog, info := build(t, opsSrc)
+	img, err := dpexec.Compile(prog, info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := img.WithTarget(nil, "Ing.gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni != img {
+		t.Fatal("unknown target rebuilt a new image")
+	}
+}
+
+func TestImageAccessors(t *testing.T) {
+	prog, info := build(t, opsSrc)
+	img, err := dpexec.Compile(prog, info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NumSlots() == 0 || img.NumInstrs() == 0 || img.Hash() == 0 {
+		t.Fatalf("degenerate image: slots=%d instrs=%d hash=%x",
+			img.NumSlots(), img.NumInstrs(), img.Hash())
+	}
+}

@@ -1,0 +1,550 @@
+package dpexec
+
+import (
+	"strconv"
+
+	"repro/internal/p4/ast"
+	"repro/internal/p4/typecheck"
+	"repro/internal/sym"
+)
+
+// ---------------------------------------------------------------------------
+// Parser FSM
+
+// compileParser flattens the parser state machine: each state is a
+// basic block starting with a step-counter check, transitions are
+// direct jumps, and select cases are chains of keyset tests. It
+// returns the index of the accept block's exit jump, which the caller
+// patches to the first control's entry.
+func (c *compiler) compileParser(pd *ast.ParserDecl) (int, error) {
+	a := c.asm
+	nonterm := c.trap("parser did not terminate")
+
+	type fix struct {
+		idx   int
+		state string
+	}
+	var fixes []fix
+	jumpTo := func(state string) {
+		fixes = append(fixes, fix{a.emit(opJmp, -1, 0, 0), state})
+	}
+
+	jumpTo("start")
+	pcOf := map[string]int{}
+	for _, st := range pd.States {
+		if _, dup := pcOf[st.Name]; dup || st.Name == "accept" || st.Name == "reject" {
+			continue // unreachable by bmv2's name resolution
+		}
+		pcOf[st.Name] = len(a.code)
+		a.emit(opStep, nonterm, 0, 0)
+		c.pushScope()
+		for _, s := range st.Stmts {
+			if err := c.compileStmt(s); err != nil {
+				c.popScope()
+				return 0, err
+			}
+		}
+		err := c.compileTransition(pd, st.Trans, jumpTo)
+		c.popScope()
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Accept: count the final step, then fall through to the controls.
+	pcOf["accept"] = len(a.code)
+	a.emit(opStep, nonterm, 0, 0)
+	acceptJ := a.emit(opJmp, -1, 0, 0)
+	// Reject: count the final step, then halt rejected.
+	pcOf["reject"] = len(a.code)
+	a.emit(opStep, nonterm, 0, 0)
+	a.emit(opRejectPkt, 0, 0, 0)
+	// Unknown transition targets trap exactly like bmv2's runtime
+	// lookup failure (after counting the step that reached them).
+	for _, f := range fixes {
+		pc, ok := pcOf[f.state]
+		if !ok {
+			pc = len(a.code)
+			pcOf[f.state] = pc
+			a.emit(opStep, nonterm, 0, 0)
+			a.emit(opTrap, c.trap("unknown parser state "+f.state), 0, 0)
+		}
+		a.code[f.idx].a = int32(pc)
+	}
+	return acceptJ, nil
+}
+
+func (c *compiler) compileTransition(pd *ast.ParserDecl, tr ast.Transition, jumpTo func(string)) error {
+	a := c.asm
+	if tr.Select == nil {
+		jumpTo(tr.Next)
+		return nil
+	}
+	// Evaluate every select key once, into stable slots.
+	selSlots := make([]int32, len(tr.Select))
+	pos := tr.Pos().String()
+	for i, e := range tr.Select {
+		v, err := c.expr(e)
+		if err != nil {
+			return err
+		}
+		slot := c.cc.alloc("$sel:"+pos+":"+strconv.Itoa(i), sym.BV{})
+		if v.c {
+			a.emit(opStoreC, slot, a.constIdx(v.k), 0)
+		} else {
+			a.emit(opStore, slot, 0, 0)
+		}
+		selSlots[i] = slot
+	}
+	for _, cs := range tr.Cases {
+		if len(cs.Keysets) == 1 && cs.Keysets[0].Kind == ast.KeysetDefault {
+			jumpTo(cs.Next)
+			return nil // later cases are unreachable
+		}
+		var toNext []int
+		for ki, ks := range cs.Keysets {
+			if ki >= len(selSlots) {
+				return cerr("select case has more keysets than keys")
+			}
+			switch ks.Kind {
+			case ast.KeysetDefault:
+				// Matches anything: no test.
+			case ast.KeysetValue:
+				a.emit(opLoad, selSlots[ki], 0, 0)
+				v, err := c.expr(ks.Value)
+				if err != nil {
+					return err
+				}
+				c.mat(v)
+				a.emit(opEqv, 0, 0, 0)
+				toNext = append(toNext, a.emit(opJf, -1, 0, 0))
+			case ast.KeysetMask:
+				// key & mask == value & mask. Keyset expressions are
+				// pure, so re-evaluating the mask for the second
+				// conjunct is observationally identical to bmv2's
+				// evaluate-once.
+				a.emit(opLoad, selSlots[ki], 0, 0)
+				m, err := c.expr(ks.Mask)
+				if err != nil {
+					return err
+				}
+				c.mat(m)
+				a.emit(opAnd, 0, 0, 0)
+				v, err := c.expr(ks.Value)
+				if err != nil {
+					return err
+				}
+				if v.c && m.c {
+					a.emit(opPushC, a.constIdx(v.k.And(m.k)), 0, 0)
+				} else {
+					c.mat(v)
+					m2, err := c.expr(ks.Mask)
+					if err != nil {
+						return err
+					}
+					c.mat(m2)
+					a.emit(opAnd, 0, 0, 0)
+				}
+				a.emit(opEqv, 0, 0, 0)
+				toNext = append(toNext, a.emit(opJf, -1, 0, 0))
+			case ast.KeysetValueSet:
+				vi, err := c.vsetRef(pd, ks.Ref)
+				if err != nil {
+					return err
+				}
+				a.emit(opLoad, selSlots[ki], 0, 0)
+				a.emit(opVsMatch, vi, 0, 0)
+				toNext = append(toNext, a.emit(opJf, -1, 0, 0))
+			default:
+				return cerr("unknown keyset kind")
+			}
+		}
+		jumpTo(cs.Next)
+		for _, j := range toNext {
+			a.code[j].a = int32(len(a.code))
+		}
+	}
+	jumpTo("reject")
+	return nil
+}
+
+func (c *compiler) vsetRef(pd *ast.ParserDecl, ref string) (int32, error) {
+	q := pd.Name + "." + ref
+	if i, ok := c.img.vsetIdx[q]; ok {
+		return int32(i), nil
+	}
+	i := len(c.img.vsets)
+	c.img.vsetIdx[q] = i
+	c.img.vsets = append(c.img.vsets, buildVset(q, c.cfg))
+	return int32(i), nil
+}
+
+// ---------------------------------------------------------------------------
+// Controls
+
+func (c *compiler) compileControl(cd *ast.ControlDecl) error {
+	a := c.asm
+	a.emit(opCtlBegin, 0, 0, 0)
+	c.control = cd
+	c.exitFix = c.exitFix[:0]
+	c.tblFix = c.tblFix[:0]
+	c.pushScope()
+	defer func() { c.popScope(); c.control = nil }()
+	for _, v := range cd.Locals {
+		if err := c.compileVarDecl(v); err != nil {
+			return err
+		}
+	}
+	for _, r := range cd.Registers {
+		q := cd.Name + "." + r.Name
+		ri, ok := c.img.regIdx[q]
+		if !ok {
+			t := c.cc.info.Resolve(r.Elem)
+			ri = len(c.img.regs)
+			fill := sym.BV{W: uint16(t.Width)}
+			if c.cfg != nil {
+				if f, got := c.cfg.RegisterFill(q); got {
+					fill = f
+				}
+			}
+			c.img.regs = append(c.img.regs, regTemplate{qname: q, size: r.Size, width: uint16(t.Width), fill: fill})
+			c.img.regIdx[q] = ri
+		}
+		c.bind(r.Name, binding{kind: bindRegister, reg: int32(ri)})
+	}
+	if err := c.compileStmt(cd.Apply); err != nil {
+		return err
+	}
+	end := int32(len(a.code))
+	for _, i := range c.exitFix {
+		a.code[i].a = end
+	}
+	for _, i := range c.tblFix {
+		a.code[i].c = end
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (c *compiler) compileStmt(s ast.Stmt) error {
+	a := c.asm
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.pushScope()
+		for _, inner := range s.Stmts {
+			if err := c.compileStmt(inner); err != nil {
+				c.popScope()
+				return err
+			}
+		}
+		c.popScope()
+		return nil
+	case *ast.VarDecl:
+		return c.compileVarDecl(s)
+	case *ast.AssignStmt:
+		v, err := c.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		path, err := c.lvalPath(s.LHS)
+		if err != nil {
+			return err
+		}
+		slot, ok := c.cc.slot(path)
+		if !ok {
+			return cerr("assignment to unknown location %s", path)
+		}
+		if v.c {
+			a.emit(opStoreC, slot, a.constIdx(v.k), 0)
+		} else {
+			a.emit(opStore, slot, 0, 0)
+		}
+		return nil
+	case *ast.IfStmt:
+		return c.compileIf(s)
+	case *ast.CallStmt:
+		return c.compileCall(s.Call)
+	case *ast.ExitStmt:
+		if c.inBlock {
+			a.emit(opExitBlk, 0, 0, 0)
+			return nil
+		}
+		if c.control == nil {
+			return cerr("exit outside a control")
+		}
+		c.exitFix = append(c.exitFix, a.emit(opExit, -1, 0, 0))
+		return nil
+	default:
+		return cerr("unsupported statement %T", s)
+	}
+}
+
+func (c *compiler) compileVarDecl(v *ast.VarDecl) error {
+	a := c.asm
+	t := c.cc.info.Resolve(v.Type)
+	key := localKey(v)
+	slot, ok := c.cc.slot(key)
+	if !ok {
+		return cerr("internal: local %s not pre-allocated", key)
+	}
+	var iv cv
+	if v.Init != nil {
+		var err error
+		if iv, err = c.expr(v.Init); err != nil {
+			return err
+		}
+	} else if t.Kind == typecheck.KBool {
+		iv = constCV(sym.Bool(false))
+	} else {
+		iv = constCV(sym.BV{W: uint16(t.Width)})
+	}
+	if iv.c {
+		a.emit(opStoreC, slot, a.constIdx(iv.k), 0)
+	} else {
+		a.emit(opStore, slot, 0, 0)
+	}
+	c.bind(v.Name, binding{kind: bindPath, path: key})
+	return nil
+}
+
+// hitForm matches `t.apply().hit`, the one side-effecting condition.
+func hitForm(e ast.Expr) *ast.Member {
+	m, ok := e.(*ast.Member)
+	if !ok || m.Name != "hit" {
+		return nil
+	}
+	call, ok := m.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	inner, ok := call.Fun.(*ast.Member)
+	if !ok || inner.Name != "apply" {
+		return nil
+	}
+	return inner
+}
+
+func (c *compiler) compileIf(s *ast.IfStmt) error {
+	a := c.asm
+	if inner := hitForm(s.Cond); inner != nil {
+		if err := c.tableApply(inner, true); err != nil {
+			return err
+		}
+	} else {
+		v, err := c.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if v.c {
+			if v.k.IsTrue() {
+				return c.compileStmt(s.Then)
+			}
+			if s.Else != nil {
+				return c.compileStmt(s.Else)
+			}
+			return nil
+		}
+	}
+	jf := a.emit(opJf, -1, 0, 0)
+	if err := c.compileStmt(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		a.code[jf].a = int32(len(a.code))
+		return nil
+	}
+	jend := a.emit(opJmp, -1, 0, 0)
+	a.code[jf].a = int32(len(a.code))
+	if err := c.compileStmt(s.Else); err != nil {
+		return err
+	}
+	a.code[jend].a = int32(len(a.code))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+func (c *compiler) compileCall(call *ast.CallExpr) error {
+	a := c.asm
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "mark_to_drop":
+			if len(call.Args) != 1 {
+				return cerr("mark_to_drop takes one argument")
+			}
+			path, err := c.lvalPath(call.Args[0])
+			if err != nil {
+				return err
+			}
+			slot, ok := c.cc.slot(path + ".drop")
+			if !ok {
+				return cerr("internal: drop slot for %s not pre-allocated", path)
+			}
+			a.emit(opStoreC, slot, a.constIdx(sym.NewBV(1, 1)), 0)
+			return nil
+		case "count":
+			return nil
+		default:
+			if c.control == nil {
+				return cerr("unknown function %s", fun.Name)
+			}
+			act := c.control.Action(fun.Name)
+			if act == nil {
+				return cerr("unknown function %s", fun.Name)
+			}
+			pos := call.Pos().String()
+			args := make([]argVal, len(call.Args))
+			for i, aE := range call.Args {
+				v, err := c.expr(aE)
+				if err != nil {
+					return err
+				}
+				if v.c {
+					args[i] = argVal{c: true, k: v.k}
+					continue
+				}
+				slot, ok := c.cc.slot(argKey(pos, i))
+				if !ok {
+					return cerr("internal: arg slot %s not pre-allocated", argKey(pos, i))
+				}
+				a.emit(opStore, slot, 0, 0)
+				args[i] = argVal{slot: slot}
+			}
+			return c.inlineAction(act, args, pos)
+		}
+	case *ast.Member:
+		switch fun.Name {
+		case "apply":
+			return c.tableApply(fun, false)
+		case "setValid", "setInvalid":
+			path, err := c.lvalPath(fun.X)
+			if err != nil {
+				return err
+			}
+			slot, ok := c.cc.slot(path + ".$valid")
+			if !ok {
+				return cerr("internal: valid slot for %s not pre-allocated", path)
+			}
+			a.emit(opStoreC, slot, a.constIdx(sym.Bool(fun.Name == "setValid")), 0)
+			return nil
+		case "extract":
+			return c.compileExtract(call)
+		case "read":
+			ri, err := c.registerRef(fun.X)
+			if err != nil {
+				return err
+			}
+			idx, err := c.expr(call.Args[1])
+			if err != nil {
+				return err
+			}
+			dst, err := c.lvalPath(call.Args[0])
+			if err != nil {
+				return err
+			}
+			slot, ok := c.cc.slot(dst)
+			if !ok {
+				return cerr("register read into unknown location %s", dst)
+			}
+			c.mat(idx)
+			a.emit(opRegRead, ri, slot, 0)
+			return nil
+		case "write":
+			ri, err := c.registerRef(fun.X)
+			if err != nil {
+				return err
+			}
+			idx, err := c.expr(call.Args[0])
+			if err != nil {
+				return err
+			}
+			c.mat(idx)
+			v, err := c.expr(call.Args[1])
+			if err != nil {
+				return err
+			}
+			c.mat(v)
+			a.emit(opRegWrite, ri, 0, 0)
+			return nil
+		default:
+			return cerr("unknown method %s", fun.Name)
+		}
+	default:
+		return cerr("invalid call")
+	}
+}
+
+func (c *compiler) compileExtract(call *ast.CallExpr) error {
+	if c.inBlock {
+		return cerr("extract inside a table action")
+	}
+	if len(call.Args) != 1 {
+		return cerr("extract takes one argument")
+	}
+	path, err := c.lvalPath(call.Args[0])
+	if err != nil {
+		return err
+	}
+	ht := c.cc.info.TypeOf(call.Args[0])
+	h := c.cc.prog.Header(ht.Name)
+	if h == nil {
+		return cerr("extract of non-header %s", path)
+	}
+	d := extractDesc{inParser: c.control == nil}
+	for _, f := range h.Fields {
+		ft := c.cc.info.Resolve(f.Type)
+		slot, ok := c.cc.slot(path + "." + f.Name)
+		if !ok {
+			return cerr("extract into unknown field %s.%s", path, f.Name)
+		}
+		d.fields = append(d.fields, fieldRef{slot: slot, w: uint16(ft.Width)})
+	}
+	vs, ok := c.cc.slot(path + ".$valid")
+	if !ok {
+		return cerr("extract target %s has no valid slot", path)
+	}
+	d.validSlot = vs
+	di := len(c.img.extracts)
+	c.img.extracts = append(c.img.extracts, d)
+	c.asm.emit(opExtractHdr, int32(di), 0, 0)
+	return nil
+}
+
+func (c *compiler) registerRef(e ast.Expr) (int32, error) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return 0, cerr("register reference must be an identifier")
+	}
+	b, found := c.lookup(id.Name)
+	if !found || b.kind != bindRegister {
+		return 0, cerr("%s is not a register", id.Name)
+	}
+	if c.img != nil {
+		if rt := c.img.regs[b.reg]; rt.size <= 0 {
+			return 0, cerr("register %s has no cells", id.Name)
+		}
+	}
+	return b.reg, nil
+}
+
+// inlineAction flattens an action call: constant arguments bind as
+// compile-time constants (so entry-bound parameters fold through the
+// body), dynamic arguments read from their spill slots.
+func (c *compiler) inlineAction(act *ast.Action, args []argVal, pos string) error {
+	if len(args) != len(act.Params) {
+		return cerr("action %s called with %d args, wants %d", act.Name, len(args), len(act.Params))
+	}
+	c.pushScope()
+	defer c.popScope()
+	for i, p := range act.Params {
+		if args[i].c {
+			c.bind(p.Name, binding{kind: bindConst, k: args[i].k})
+		} else {
+			c.bind(p.Name, binding{kind: bindVal, slot: args[i].slot})
+		}
+	}
+	return c.compileStmt(act.Body)
+}

@@ -1,0 +1,614 @@
+package dpexec
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/p4/ast"
+	"repro/internal/sym"
+)
+
+// ---------------------------------------------------------------------------
+// Compiled match structures
+//
+// A table compiles to a precedence-ordered list of entries whose match
+// conditions are reduced to three runtime modes (always / exact /
+// masked) and whose action bodies are inlined, constant-folded blocks.
+// LPM prefixes become precomputed masks; Optional wildcards become
+// matchAlways. Entries that can never match (key-count or key-width
+// mismatches, where the reference interpreter would panic before the
+// control plane's validation existed) are dropped at build time.
+
+const (
+	matchAlways uint8 = iota // matches any key
+	matchEq                  // key == value (width-sensitive struct equality)
+	matchMasked              // key & mask == value & mask (precomputed RHS)
+)
+
+type exMatch struct {
+	mode   uint8
+	value  sym.BV // matchEq
+	mask   sym.BV // matchMasked
+	mvalue sym.BV // matchMasked: value & mask, precomputed
+}
+
+// exEntry is one active table entry: its compiled matches and inlined
+// action block. blk == nil is NoAction; trap != "" reproduces bmv2's
+// match-time error for entries referencing unknown actions.
+type exEntry struct {
+	matches []exMatch
+	blk     *block
+	trap    string
+}
+
+// exTable is one compiled table. The trailing fields retain enough
+// compile context to rebuild the table incrementally when the control
+// plane updates it (Image.WithTarget).
+type exTable struct {
+	qname     string
+	keySlots  []int32
+	keyWidths []uint16
+	entries   []exEntry
+	miss      *block
+	missTrap  string
+
+	// index accelerates all-exact tables: key hash -> entry indices in
+	// precedence order. Nil for small or non-exact tables.
+	index map[uint64][]int32
+
+	hash uint64
+
+	cd  *ast.ControlDecl
+	tbl *ast.Table
+	env []map[string]binding
+}
+
+// Value-set member match modes, mirroring bmv2's three-way member
+// classification (exact when the mask is absent or all-ones, wildcard
+// when it is zero, masked otherwise).
+const (
+	vsEq uint8 = iota
+	vsAlways
+	vsMasked
+	vsNever // width-mismatched member: unreachable under config validation
+)
+
+type vsMember struct {
+	mode   uint8
+	value  sym.BV
+	mask   sym.BV
+	mvalue sym.BV
+}
+
+type exVset struct {
+	qname   string
+	members []vsMember
+	hash    uint64
+}
+
+// match reports whether key is in the value set, first-true-wins in
+// member order like bmv2.
+func (v *exVset) match(key sym.BV) bool {
+	for i := range v.members {
+		m := &v.members[i]
+		switch m.mode {
+		case vsEq:
+			if key == m.value {
+				return true
+			}
+		case vsAlways:
+			return true
+		case vsMasked:
+			if key.W != m.mask.W {
+				continue
+			}
+			if (sym.BV{Hi: key.Hi & m.mask.Hi, Lo: key.Lo & m.mask.Lo, W: key.W}) == m.mvalue {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+
+// buildExTable compiles one table under cfg. It is the single source of
+// table compilation for both the full compile and incremental rebuilds,
+// which is what keeps a WithTarget chain hash-identical to Compile.
+func buildExTable(cc *compileCtx, img *Image, cfg *controlplane.Config, cd *ast.ControlDecl, tbl *ast.Table, qname string, keySlots []int32, keyWidths []uint16, env []map[string]binding) (*exTable, error) {
+	t := &exTable{
+		qname:     qname,
+		keySlots:  keySlots,
+		keyWidths: keyWidths,
+		cd:        cd,
+		tbl:       tbl,
+		env:       env,
+	}
+	if cfg != nil {
+		active, _ := cfg.ActiveEntries(qname)
+		for _, e := range active {
+			ee, live, err := buildEntry(cc, img, cfg, cd, qname, keyWidths, env, e)
+			if err != nil {
+				return nil, err
+			}
+			if live {
+				t.entries = append(t.entries, ee)
+			}
+		}
+	}
+
+	// Miss path: the declared default, unless the control plane
+	// overrides it with a bound action call.
+	name := "NoAction"
+	var constParams []sym.BV
+	override := false
+	if tbl.Default != nil {
+		name = tbl.Default.Name
+	}
+	if cfg != nil {
+		if d, ok := cfg.Default(qname); ok {
+			name, constParams, override = d.Name, d.Params, true
+		}
+	}
+	if name != "NoAction" {
+		act := cd.Action(name)
+		switch {
+		case act == nil:
+			t.missTrap = fmt.Sprintf("table %s default references unknown action %s", qname, name)
+		case override:
+			blk, err := compileEntryBlock(cc, img, cfg, cd, env, act, constParams)
+			if err != nil {
+				return nil, err
+			}
+			t.miss = blk
+		default:
+			blk, err := compileMissBlock(cc, img, cfg, cd, env, qname, tbl.Default, act)
+			if err != nil {
+				return nil, err
+			}
+			t.miss = blk
+		}
+	}
+
+	t.buildIndex()
+	t.hash = t.computeHash()
+	return t, nil
+}
+
+// buildEntry compiles one active entry. live == false drops entries
+// that can never match any key (bmv2 reaches the same outcome via
+// struct inequality, or would panic on width mismatches that config
+// validation already rejects).
+func buildEntry(cc *compileCtx, img *Image, cfg *controlplane.Config, cd *ast.ControlDecl, qname string, keyWidths []uint16, env []map[string]binding, e *controlplane.TableEntry) (exEntry, bool, error) {
+	var ee exEntry
+	if len(e.Matches) != len(keyWidths) {
+		return ee, false, nil
+	}
+	ee.matches = make([]exMatch, len(e.Matches))
+	for i := range e.Matches {
+		m := &e.Matches[i]
+		kw := keyWidths[i]
+		switch m.Kind {
+		case controlplane.MatchExact:
+			ee.matches[i] = exMatch{mode: matchEq, value: m.Value}
+		case controlplane.MatchTernary:
+			em, ok := maskedMatch(m.Value, m.Mask)
+			if !ok {
+				return ee, false, nil
+			}
+			ee.matches[i] = em
+		case controlplane.MatchLPM:
+			if m.PrefixLen <= 0 {
+				ee.matches[i] = exMatch{mode: matchAlways}
+				break
+			}
+			if kw == 0 || m.Value.W != kw {
+				return ee, false, nil
+			}
+			// Oversized prefixes shift the mask to zero, which matches
+			// everything — the same outcome as bmv2's dynamic shift.
+			mask := shiftMask(kw, m.PrefixLen)
+			em, _ := maskedMatch(m.Value, mask)
+			ee.matches[i] = em
+		case controlplane.MatchOptional:
+			if m.Wildcard {
+				ee.matches[i] = exMatch{mode: matchAlways}
+			} else {
+				ee.matches[i] = exMatch{mode: matchEq, value: m.Value}
+			}
+		default:
+			return ee, false, nil
+		}
+	}
+	if e.Action == "NoAction" {
+		return ee, true, nil
+	}
+	act := cd.Action(e.Action)
+	if act == nil {
+		ee.trap = fmt.Sprintf("table %s entry references unknown action %s", qname, e.Action)
+		return ee, true, nil
+	}
+	blk, err := compileEntryBlock(cc, img, cfg, cd, env, act, e.Params)
+	if err != nil {
+		return ee, false, err
+	}
+	ee.blk = blk
+	return ee, true, nil
+}
+
+// shiftMask is bmv2's LPM mask: width-kw all-ones shifted left by
+// (kw - prefixLen), with oversized shifts collapsing to zero.
+func shiftMask(kw uint16, prefixLen int) sym.BV {
+	n := int(kw) - prefixLen
+	if n < 0 || n >= int(kw) {
+		// Prefix longer than the key: bmv2's uint conversion makes the
+		// shift oversized, zeroing the mask (which matches everything).
+		return sym.BV{W: kw}
+	}
+	return sym.AllOnes(kw).Shl(uint(n))
+}
+
+func maskedMatch(value, mask sym.BV) (exMatch, bool) {
+	if value.W != mask.W {
+		return exMatch{}, false
+	}
+	return exMatch{
+		mode:   matchMasked,
+		mask:   mask,
+		mvalue: sym.BV{Hi: value.Hi & mask.Hi, Lo: value.Lo & mask.Lo, W: value.W},
+	}, true
+}
+
+// compileEntryBlock inlines an action body with every parameter bound
+// to a compile-time constant, in the scope environment captured at the
+// table's apply site. The block owns its code and constant pool, so
+// incremental rebuilds never touch shared image arrays.
+func compileEntryBlock(cc *compileCtx, img *Image, cfg *controlplane.Config, cd *ast.ControlDecl, env []map[string]binding, act *ast.Action, params []sym.BV) (*block, error) {
+	if len(params) != len(act.Params) {
+		return nil, cerr("action %s called with %d args, wants %d", act.Name, len(params), len(act.Params))
+	}
+	bc := &compiler{
+		cc:      cc,
+		cfg:     cfg,
+		img:     img,
+		asm:     newAsm(),
+		scopes:  env,
+		control: cd,
+		inBlock: true,
+		trapIdx: make(map[string]int32),
+	}
+	bc.pushScope()
+	for i, p := range act.Params {
+		bc.bind(p.Name, binding{kind: bindConst, k: params[i]})
+	}
+	if err := bc.compileStmt(act.Body); err != nil {
+		return nil, err
+	}
+	return &block{code: bc.asm.code, consts: bc.asm.consts}, nil
+}
+
+// compileMissBlock compiles the declared default action: its arguments
+// are expressions evaluated at miss time in the apply-site scope
+// (dynamic ones spill to the prewalk-allocated default-arg slots), then
+// the body inlines like any other action call.
+func compileMissBlock(cc *compileCtx, img *Image, cfg *controlplane.Config, cd *ast.ControlDecl, env []map[string]binding, qname string, def *ast.ActionRef, act *ast.Action) (*block, error) {
+	bc := &compiler{
+		cc:      cc,
+		cfg:     cfg,
+		img:     img,
+		asm:     newAsm(),
+		scopes:  env,
+		control: cd,
+		inBlock: true,
+		trapIdx: make(map[string]int32),
+	}
+	args := make([]argVal, len(def.Args))
+	for i, aE := range def.Args {
+		v, err := bc.expr(aE)
+		if err != nil {
+			return nil, err
+		}
+		if v.c {
+			args[i] = argVal{c: true, k: v.k}
+			continue
+		}
+		slot, ok := cc.slot(argKey("default:"+qname, i))
+		if !ok {
+			return nil, cerr("internal: default arg slot for %s not pre-allocated", qname)
+		}
+		bc.asm.emit(opStore, slot, 0, 0)
+		args[i] = argVal{slot: slot}
+	}
+	if err := bc.inlineAction(act, args, "default:"+qname); err != nil {
+		return nil, err
+	}
+	return &block{code: bc.asm.code, consts: bc.asm.consts}, nil
+}
+
+// buildVset compiles one parser value set under cfg.
+func buildVset(qname string, cfg *controlplane.Config) *exVset {
+	v := &exVset{qname: qname}
+	if cfg != nil {
+		for _, mem := range cfg.ValueSet(qname) {
+			switch {
+			case mem.Mask.W == 0 || mem.Mask.IsAllOnes():
+				v.members = append(v.members, vsMember{mode: vsEq, value: mem.Value})
+			case mem.Mask.IsZero():
+				v.members = append(v.members, vsMember{mode: vsAlways})
+			case mem.Value.W != mem.Mask.W:
+				v.members = append(v.members, vsMember{mode: vsNever})
+			default:
+				v.members = append(v.members, vsMember{
+					mode:   vsMasked,
+					value:  mem.Value,
+					mask:   mem.Mask,
+					mvalue: sym.BV{Hi: mem.Value.Hi & mem.Mask.Hi, Lo: mem.Value.Lo & mem.Mask.Lo, W: mem.Value.W},
+				})
+			}
+		}
+	}
+	v.hash = v.computeHash()
+	return v
+}
+
+// buildIndex builds the exact-match accelerator when the table is big
+// enough to benefit and every entry matches exactly on every key. The
+// probe re-verifies with entryMatches, so the index is semantically
+// transparent.
+func (t *exTable) buildIndex() {
+	t.index = nil
+	if len(t.entries) < 4 {
+		return
+	}
+	for i := range t.entries {
+		for j := range t.entries[i].matches {
+			if t.entries[i].matches[j].mode != matchEq {
+				return
+			}
+		}
+	}
+	idx := make(map[uint64][]int32, len(t.entries))
+	for i := range t.entries {
+		h := fnvOffset
+		for j := range t.entries[i].matches {
+			h = mixBV(h, t.entries[i].matches[j].value)
+		}
+		idx[h] = append(idx[h], int32(i))
+	}
+	t.index = idx
+}
+
+// ---------------------------------------------------------------------------
+// Content hashing
+//
+// FNV-1a-style folding over every semantically relevant field. The
+// image hash is the fold of the configuration-independent code hash
+// with each table/value-set/register hash in side-table order; the
+// index map is derived state and deliberately excluded.
+
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+func mix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * uint(i))) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+func mixBV(h uint64, v sym.BV) uint64 {
+	h = mix(h, v.Hi)
+	h = mix(h, v.Lo)
+	return mix(h, uint64(v.W))
+}
+
+func mixStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return mix(h, uint64(len(s)))
+}
+
+func mixCode(h uint64, code []instr) uint64 {
+	h = mix(h, uint64(len(code)))
+	for _, in := range code {
+		h = mix(h, uint64(in.op))
+		h = mix(h, uint64(uint32(in.a)))
+		h = mix(h, uint64(uint32(in.b)))
+		h = mix(h, uint64(uint32(in.c)))
+	}
+	return h
+}
+
+func hashBlock(h uint64, b *block) uint64 {
+	if b == nil {
+		return mix(h, 0)
+	}
+	h = mix(h, 1)
+	h = mixCode(h, b.code)
+	h = mix(h, uint64(len(b.consts)))
+	for _, v := range b.consts {
+		h = mixBV(h, v)
+	}
+	return h
+}
+
+func (t *exTable) computeHash() uint64 {
+	h := fnvOffset
+	h = mixStr(h, t.qname)
+	for _, s := range t.keySlots {
+		h = mix(h, uint64(uint32(s)))
+	}
+	for _, w := range t.keyWidths {
+		h = mix(h, uint64(w))
+	}
+	h = mix(h, uint64(len(t.entries)))
+	for i := range t.entries {
+		e := &t.entries[i]
+		h = mix(h, uint64(len(e.matches)))
+		for j := range e.matches {
+			m := &e.matches[j]
+			h = mix(h, uint64(m.mode))
+			h = mixBV(h, m.value)
+			h = mixBV(h, m.mask)
+			h = mixBV(h, m.mvalue)
+		}
+		h = hashBlock(h, e.blk)
+		h = mixStr(h, e.trap)
+	}
+	h = hashBlock(h, t.miss)
+	h = mixStr(h, t.missTrap)
+	return h
+}
+
+func (v *exVset) computeHash() uint64 {
+	h := fnvOffset
+	h = mixStr(h, v.qname)
+	h = mix(h, uint64(len(v.members)))
+	for i := range v.members {
+		m := &v.members[i]
+		h = mix(h, uint64(m.mode))
+		h = mixBV(h, m.value)
+		h = mixBV(h, m.mask)
+		h = mixBV(h, m.mvalue)
+	}
+	return h
+}
+
+// hashCode folds every configuration-independent image field: code,
+// constants, slot layout, extract and deparse plans, environment and
+// result slots, and trap messages.
+func (img *Image) hashCode() uint64 {
+	h := fnvOffset
+	h = mixCode(h, img.code)
+	h = mix(h, uint64(len(img.consts)))
+	for _, v := range img.consts {
+		h = mixBV(h, v)
+	}
+	h = mix(h, uint64(len(img.slotInit)))
+	for _, v := range img.slotInit {
+		h = mixBV(h, v)
+	}
+	h = mix(h, uint64(len(img.extracts)))
+	for i := range img.extracts {
+		d := &img.extracts[i]
+		h = mix(h, uint64(len(d.fields)))
+		for _, f := range d.fields {
+			h = mix(h, uint64(uint32(f.slot)))
+			h = mix(h, uint64(f.w))
+		}
+		h = mix(h, uint64(uint32(d.validSlot)))
+		if d.inParser {
+			h = mix(h, 1)
+		} else {
+			h = mix(h, 0)
+		}
+	}
+	h = mix(h, uint64(len(img.deparse)))
+	for i := range img.deparse {
+		dh := &img.deparse[i]
+		h = mix(h, uint64(uint32(dh.validSlot)))
+		h = mix(h, uint64(len(dh.fields)))
+		for _, f := range dh.fields {
+			h = mix(h, uint64(uint32(f.slot)))
+			h = mix(h, uint64(f.w))
+		}
+	}
+	h = mix(h, uint64(len(img.portSlots)))
+	for _, s := range img.portSlots {
+		h = mix(h, uint64(uint32(s)))
+	}
+	h = mix(h, uint64(len(img.lenSlots)))
+	for _, s := range img.lenSlots {
+		h = mix(h, uint64(uint32(s)))
+	}
+	h = mix(h, uint64(uint32(img.dropSlot)))
+	h = mix(h, uint64(uint32(img.egressSlot)))
+	h = mix(h, uint64(uint32(img.mcastSlot)))
+	h = mix(h, uint64(len(img.traps)))
+	for _, t := range img.traps {
+		h = mixStr(h, t)
+	}
+	return h
+}
+
+// rehash recomputes the full image hash from the cached code hash and
+// the side tables.
+func (img *Image) rehash() {
+	h := img.codeHash
+	for _, t := range img.tables {
+		h = mix(h, t.hash)
+	}
+	for _, v := range img.vsets {
+		h = mix(h, v.hash)
+	}
+	for _, r := range img.regs {
+		h = mixStr(h, r.qname)
+		h = mix(h, uint64(r.size))
+		h = mix(h, uint64(r.width))
+		h = mixBV(h, r.fill)
+	}
+	img.hash = h
+}
+
+// ---------------------------------------------------------------------------
+// Incremental rebuild
+
+// WithTarget derives a new image reflecting cfg for one updated target
+// (a table, value set, or register qualified name), rebuilding only
+// that side table. Targets absent from the image — for example tables
+// pruned out of a specialized program — return the receiver unchanged.
+// The receiver is never mutated.
+//
+// The invariant the engine's torture suite pins: a chain of WithTarget
+// rebuilds hashes identically to a from-scratch Compile against the
+// same final configuration.
+func (img *Image) WithTarget(cfg *controlplane.Config, target string) (ni *Image, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ni, err = nil, cerr("rebuild panic: %v", r)
+		}
+	}()
+	if ti, ok := img.tableIdx[target]; ok {
+		cp := *img
+		cp.tables = make([]*exTable, len(img.tables))
+		copy(cp.tables, img.tables)
+		old := img.tables[ti]
+		nt, err := buildExTable(img.cc, &cp, cfg, old.cd, old.tbl, old.qname, old.keySlots, old.keyWidths, old.env)
+		if err != nil {
+			return nil, err
+		}
+		cp.tables[ti] = nt
+		cp.rehash()
+		return &cp, nil
+	}
+	if vi, ok := img.vsetIdx[target]; ok {
+		cp := *img
+		cp.vsets = make([]*exVset, len(img.vsets))
+		copy(cp.vsets, img.vsets)
+		cp.vsets[vi] = buildVset(target, cfg)
+		cp.rehash()
+		return &cp, nil
+	}
+	if ri, ok := img.regIdx[target]; ok {
+		cp := *img
+		cp.regs = append([]regTemplate(nil), img.regs...)
+		rt := cp.regs[ri]
+		fill := sym.BV{W: rt.width}
+		if cfg != nil {
+			if f, got := cfg.RegisterFill(target); got {
+				fill = f
+			}
+		}
+		rt.fill = fill
+		cp.regs[ri] = rt
+		cp.rehash()
+		return &cp, nil
+	}
+	return img, nil
+}

@@ -43,4 +43,12 @@ var (
 	// ErrBackpressure marks a write shed because a bounded queue was at
 	// capacity (HTTP 429 on the wire).
 	ErrBackpressure = errors.New("backpressure")
+
+	// ErrExecDisabled marks a packet-execution request against an engine
+	// or session that was opened without the data-plane executor.
+	ErrExecDisabled = errors.New("exec disabled")
+
+	// ErrBadPacket marks a malformed packet in a wire exec request:
+	// bad hex, an oversized frame, or a missing body.
+	ErrBadPacket = errors.New("bad packet")
 )

@@ -1,0 +1,202 @@
+// /exec wire round-trip suite: the hosted packet-execution endpoint
+// must be observationally identical to a local exec-enabled engine fed
+// the same config, and every malformed-packet and wrong-session shape
+// must map to the documented status code and flayerr sentinel.
+package server_test
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/flayerr"
+	"repro/internal/progs"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// execDaemon starts a daemon with one exec-enabled session ("jit") and
+// one plain session ("plain"), both on the named catalog program.
+func execDaemon(t *testing.T, prog string) *testDaemon {
+	t.Helper()
+	d := startDaemon(t, server.Config{})
+	if _, err := d.c.CreateSession(wire.CreateSessionRequest{Name: "jit", Catalog: prog, Exec: true}); err != nil {
+		t.Fatalf("creating exec session: %v", err)
+	}
+	if _, err := d.c.CreateSession(wire.CreateSessionRequest{Name: "plain", Catalog: prog}); err != nil {
+		t.Fatalf("creating plain session: %v", err)
+	}
+	return d
+}
+
+// TestExecRoundTrip: packets executed over the wire come back with the
+// same verdicts a local exec-enabled engine produces for the same
+// program, config, and frames — before and after the representative
+// config lands.
+func TestExecRoundTrip(t *testing.T) {
+	const prog = "nat44"
+	d := execDaemon(t, prog)
+
+	p, err := progs.ByName(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := p.LoadWith(core.Options{Exec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(11))
+	packets := make([][]byte, 64)
+	ports := make([]uint16, len(packets))
+	for i := range packets {
+		packets[i] = make([]byte, r.Intn(96))
+		r.Read(packets[i])
+		ports[i] = uint16(r.Intn(64))
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		resp, err := d.c.ExecBytes("jit", packets, ports)
+		if err != nil {
+			t.Fatalf("%s: ExecBytes: %v", stage, err)
+		}
+		if len(resp.Results) != len(packets) {
+			t.Fatalf("%s: %d results for %d packets", stage, len(resp.Results), len(packets))
+		}
+		want, err := local.ExecBatch(packets, ports)
+		if err != nil {
+			t.Fatalf("%s: local ExecBatch: %v", stage, err)
+		}
+		for i, got := range resp.Results {
+			w := wire.FromExecResult(want[i])
+			same := got.Dropped == w.Dropped && got.ParserRejected == w.ParserRejected &&
+				got.EgressPort == w.EgressPort && got.McastGrp == w.McastGrp &&
+				(got.Emitted == nil) == (w.Emitted == nil) &&
+				(got.Emitted == nil || *got.Emitted == *w.Emitted)
+			if !same {
+				t.Fatalf("%s: packet %d: wire %+v vs local %+v", stage, i, got, w)
+			}
+		}
+	}
+
+	check("initial config")
+
+	updates := p.Representative()
+	if _, err := d.c.Write("jit", wire.ModeBatch, updates); err != nil {
+		t.Fatalf("representative write: %v", err)
+	}
+	local.ApplyBatch(updates)
+	check("representative config")
+
+	// The response's epoch correlates with the engine's published state:
+	// after verdict-changing writes it must have advanced past the
+	// initial one.
+	resp, err := d.c.ExecBytes("jit", packets[:1], ports[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch == 0 {
+		t.Fatalf("epoch not reported after %d updates", len(updates))
+	}
+}
+
+// TestExecErrors: every /exec error path maps to the documented status
+// code, and the wire code unwraps to the matching flayerr sentinel
+// through the client.
+func TestExecErrors(t *testing.T) {
+	d := execDaemon(t, "fig3")
+	ok := []wire.Packet{{W: 1, Hex: "a0"}}
+
+	cases := []struct {
+		name     string
+		status   int
+		sentinel error
+		run      func() error
+	}{
+		{"unknown session", http.StatusNotFound, nil, func() error {
+			_, err := d.c.Exec("ghost", ok)
+			return err
+		}},
+		{"exec disabled", http.StatusConflict, flayerr.ErrExecDisabled, func() error {
+			_, err := d.c.Exec("plain", ok)
+			return err
+		}},
+		{"no packets", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", nil)
+			return err
+		}},
+		{"too many packets", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", make([]wire.Packet, wire.MaxExecPackets+1))
+			return err
+		}},
+		{"negative length", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", []wire.Packet{{W: -1}})
+			return err
+		}},
+		{"oversized packet", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", []wire.Packet{{W: wire.MaxPacketBytes + 1,
+				Hex: strings.Repeat("00", wire.MaxPacketBytes+1)}})
+			return err
+		}},
+		{"hex length mismatch", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", []wire.Packet{{W: 2, Hex: "abc"}})
+			return err
+		}},
+		{"bad hex digit", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", []wire.Packet{ok[0], {W: 1, Hex: "zz"}})
+			return err
+		}},
+		{"uppercase hex", http.StatusBadRequest, flayerr.ErrBadPacket, func() error {
+			_, err := d.c.Exec("jit", []wire.Packet{{W: 1, Hex: "A0"}})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		err := c.run()
+		if !client.IsStatus(err, c.status) {
+			t.Errorf("%s: got %v, want HTTP %d", c.name, err, c.status)
+			continue
+		}
+		if c.sentinel != nil && !errors.Is(err, c.sentinel) {
+			t.Errorf("%s: %v does not unwrap to %v", c.name, err, c.sentinel)
+		}
+	}
+
+	// Raw malformed bodies (the client can't produce these): unknown
+	// field, truncated JSON, wrong top-level shape, future version.
+	for _, body := range []string{
+		`{"packets":[],"bogus":1}`,
+		`{"packets":[`,
+		`[]`,
+		`{"version":99,"packets":[{"w":0,"hex":""}]}`,
+	} {
+		resp, err := http.Post(d.ts.URL+"/v1/sessions/jit/exec", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("malformed body %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Oversized body → 413, same as the write path.
+	d2 := startDaemon(t, server.Config{MaxBody: 1024})
+	if _, err := d2.c.CreateSession(wire.CreateSessionRequest{Name: "jit", Catalog: "fig3", Exec: true}); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.NewReader(`{"packets":[` + strings.Repeat(`{"w":0,"hex":""},`, 4096) + `{}]}`)
+	resp, err := http.Post(d2.ts.URL+"/v1/sessions/jit/exec", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+}

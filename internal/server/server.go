@@ -9,6 +9,7 @@
 //	GET    /v1/sessions/{name}           session info
 //	DELETE /v1/sessions/{name}           close a session (and its snapshot)
 //	POST   /v1/sessions/{name}/updates   apply updates (single or batched)
+//	POST   /v1/sessions/{name}/exec      execute packets (sessions created with exec)
 //	GET    /v1/sessions/{name}/stats     engine statistics
 //	GET    /v1/sessions/{name}/audit     decision audit records (?since=seq)
 //	POST   /v1/sessions/{name}/snapshot  checkpoint warm state
@@ -287,6 +288,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/exec", s.handleExec)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/audit", s.handleAudit)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/snapshot", s.handleSnapshot)
@@ -381,6 +383,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.NoCache {
 		opts = append(opts, goflay.WithNoCache())
+	}
+	if req.Exec {
+		opts = append(opts, goflay.WithExec())
 	}
 	var (
 		pipe    *goflay.Pipeline
@@ -501,6 +506,48 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	out := wire.WriteResponse{Coalesced: res.coalesced, Decisions: make([]wire.Decision, len(res.decisions))}
 	for i, d := range res.decisions {
 		out.Decisions[i] = wire.FromDecision(d)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExec runs a packet burst through the session's current
+// specialized program. Packet execution is a wait-free read against
+// the published epoch's image, so it bypasses the write dispatcher —
+// exec requests are never queued behind control-plane writes and never
+// answer 429.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	var req wire.ExecRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	packets, ports, err := req.ToPackets()
+	if err != nil {
+		s.errorErr(w, http.StatusBadRequest, err)
+		return
+	}
+	epoch := sess.pipe.Epoch()
+	results, err := sess.pipe.ExecBatch(packets, ports)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, goflay.ErrExecDisabled):
+			// The session exists but was created without exec.
+			status = http.StatusConflict
+		case errors.Is(err, goflay.ErrBadPacket):
+			status = http.StatusBadRequest
+		}
+		s.errorErr(w, status, err)
+		return
+	}
+	s.met.Counter("server.exec_requests").Inc()
+	s.met.Counter("server.exec_packets").Add(int64(len(packets)))
+	out := wire.ExecResponse{Epoch: epoch, Results: make([]wire.ExecResult, len(results))}
+	for i, res := range results {
+		out.Results[i] = wire.FromExecResult(res)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,36 @@
+package sym
+
+// Byte-level constant extraction, used by the data-plane executor's
+// byte-aligned fast paths: a compiled image deparses whole-byte header
+// fields straight out of a BV's limbs, and builds field values straight
+// from packet bytes, without going through per-bit Bit()/Shl() loops.
+
+// AppendBE appends the big-endian encoding of v's low `width` bits to
+// dst and returns the extended slice. width must be a multiple of 8 and
+// at most MaxWidth; bits of v above width are ignored (they are zero by
+// the BV invariant whenever width >= v.W).
+func AppendBE(dst []byte, v BV, width uint16) []byte {
+	for k := int(width)/8 - 1; k >= 0; k-- {
+		shift := uint(k * 8)
+		var b byte
+		if shift >= 64 {
+			b = byte(v.Hi >> (shift - 64))
+		} else {
+			b = byte(v.Lo >> shift)
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// FromBE builds a width-w bitvector from the first w/8 bytes of b,
+// most-significant byte first. w must be a multiple of 8, between 8 and
+// MaxWidth, and b must hold at least w/8 bytes.
+func FromBE(b []byte, w uint16) BV {
+	var hi, lo uint64
+	for k := 0; k < int(w)/8; k++ {
+		hi = hi<<8 | lo>>56
+		lo = lo<<8 | uint64(b[k])
+	}
+	return BV{Hi: hi, Lo: lo, W: w}
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dpexec"
+	"repro/internal/flayerr"
+)
+
+// MaxPacketBytes caps one wire packet (jumbo frame headroom). The cap
+// bounds the per-request work an /exec call can demand, independently
+// of the body size cap.
+const MaxPacketBytes = 9216
+
+// MaxExecPackets caps the packets of one /exec request.
+const MaxExecPackets = 4096
+
+// Packet is the wire form of one data-plane packet: the byte length
+// plus the bytes in lowercase hex (two nibbles per byte, most
+// significant first), mirroring the {w,hex} bitvector convention with
+// w counting bytes. {"w":3,"hex":"08004f"} is the frame 08 00 4f.
+type Packet struct {
+	W   int    `json:"w"`
+	Hex string `json:"hex"`
+	// Port is the ingress port (ignored on emitted packets).
+	Port uint16 `json:"port,omitempty"`
+}
+
+// ExecRequest runs a burst of packets through a session's current
+// specialized program (POST /v1/sessions/{name}/exec).
+type ExecRequest struct {
+	Version int      `json:"version,omitempty"`
+	Packets []Packet `json:"packets"`
+}
+
+// ExecResult is the observable outcome of one packet.
+type ExecResult struct {
+	Dropped        bool   `json:"dropped,omitempty"`
+	ParserRejected bool   `json:"parser_rejected,omitempty"`
+	EgressPort     uint64 `json:"egress_port,omitempty"`
+	McastGrp       uint64 `json:"mcast_grp,omitempty"`
+	// Emitted is the deparsed output frame; omitted when dropped.
+	Emitted *Packet `json:"emitted,omitempty"`
+}
+
+// ExecResponse returns one result per submitted packet, in order.
+type ExecResponse struct {
+	Results []ExecResult `json:"results"`
+	// Epoch is the engine epoch whose image executed the burst, for
+	// correlating results against stats and audit reads.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ToPacket validates a wire packet and returns its raw bytes. Every
+// malformed shape yields an error satisfying
+// errors.Is(err, flayerr.ErrBadPacket).
+func ToPacket(p Packet) ([]byte, error) {
+	bad := func(format string, args ...any) ([]byte, error) {
+		return nil, fmt.Errorf("%w: %s", flayerr.ErrBadPacket, fmt.Sprintf(format, args...))
+	}
+	if p.W < 0 || p.W > MaxPacketBytes {
+		return bad("length %d out of range [0,%d]", p.W, MaxPacketBytes)
+	}
+	if len(p.Hex) != 2*p.W {
+		return bad("length-%d packet needs %d hex nibbles, got %d", p.W, 2*p.W, len(p.Hex))
+	}
+	data := make([]byte, p.W)
+	for i := 0; i < len(p.Hex); i++ {
+		c := p.Hex[i]
+		var d byte
+		switch {
+		case c >= '0' && c <= '9':
+			d = c - '0'
+		case c >= 'a' && c <= 'f':
+			d = c - 'a' + 10
+		default:
+			return bad("invalid hex digit %q", c)
+		}
+		data[i/2] = data[i/2]<<4 | d
+	}
+	return data, nil
+}
+
+// FromPacket converts raw bytes to the wire packet form.
+func FromPacket(data []byte, port uint16) Packet {
+	var b strings.Builder
+	b.Grow(2 * len(data))
+	for _, c := range data {
+		b.WriteByte("0123456789abcdef"[c>>4])
+		b.WriteByte("0123456789abcdef"[c&0xf])
+	}
+	return Packet{W: len(data), Hex: b.String(), Port: port}
+}
+
+// ToPackets validates an exec request into raw packet buffers plus
+// their ingress ports.
+func (r *ExecRequest) ToPackets() ([][]byte, []uint16, error) {
+	if err := CheckVersion(r.Version); err != nil {
+		return nil, nil, err
+	}
+	if len(r.Packets) == 0 {
+		return nil, nil, fmt.Errorf("%w: exec request carries no packets", flayerr.ErrBadPacket)
+	}
+	if len(r.Packets) > MaxExecPackets {
+		return nil, nil, fmt.Errorf("%w: %d packets over the per-request cap %d",
+			flayerr.ErrBadPacket, len(r.Packets), MaxExecPackets)
+	}
+	packets := make([][]byte, len(r.Packets))
+	ports := make([]uint16, len(r.Packets))
+	for i, p := range r.Packets {
+		data, err := ToPacket(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		packets[i] = data
+		ports[i] = p.Port
+	}
+	return packets, ports, nil
+}
+
+// FromExecResult converts an executor result to its wire form.
+func FromExecResult(r dpexec.Result) ExecResult {
+	out := ExecResult{
+		Dropped:        r.Dropped,
+		ParserRejected: r.ParserRejected,
+		EgressPort:     r.EgressPort,
+		McastGrp:       r.McastGrp,
+	}
+	if !r.Dropped {
+		p := FromPacket(r.Emitted, 0)
+		out.Emitted = &p
+	}
+	return out
+}

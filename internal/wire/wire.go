@@ -129,6 +129,9 @@ type CreateSessionRequest struct {
 	Quality             string `json:"quality,omitempty"` // full | no-narrowing | dce-only | none
 	Workers             int    `json:"workers,omitempty"`
 	NoCache             bool   `json:"no_cache,omitempty"`
+	// Exec enables the data-plane executor for the session, making
+	// POST /v1/sessions/{name}/exec available.
+	Exec bool `json:"exec,omitempty"`
 }
 
 // Stats is the wire form of core.Stats (durations as nanoseconds).
@@ -336,6 +339,8 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeSnapshotCorrupt  = "snapshot_corrupt"
 	CodeBackpressure     = "backpressure"
+	CodeExecDisabled     = "exec_disabled"
+	CodeBadPacket        = "bad_packet"
 )
 
 // CodeOf classifies an error against the sentinel set; it returns ""
@@ -354,6 +359,10 @@ func CodeOf(err error) string {
 		return CodeBackpressure
 	case errors.Is(err, flayerr.ErrClosed):
 		return CodeClosed
+	case errors.Is(err, flayerr.ErrExecDisabled):
+		return CodeExecDisabled
+	case errors.Is(err, flayerr.ErrBadPacket):
+		return CodeBadPacket
 	default:
 		return ""
 	}
@@ -373,6 +382,10 @@ func SentinelOf(code string) error {
 		return flayerr.ErrSnapshotCorrupt
 	case CodeBackpressure:
 		return flayerr.ErrBackpressure
+	case CodeExecDisabled:
+		return flayerr.ErrExecDisabled
+	case CodeBadPacket:
+		return flayerr.ErrBadPacket
 	default:
 		return nil
 	}
