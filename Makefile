@@ -5,12 +5,12 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/trace ./internal/fuzz ./internal/progs ./internal/dpexec
+COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/wire/binproto ./internal/cluster ./internal/trace ./internal/fuzz ./internal/progs ./internal/dpexec
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json bench-scaling bench-pps fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke
+.PHONY: all help build test race bench cover bench-json bench-scaling bench-pps fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke soak-cluster soak-cluster-smoke
 
 # Soak-run knobs: where the daemon listens and how many updates
 # flayload drives through it.
@@ -24,6 +24,16 @@ SOAK_N    ?= 5000
 SOAK_CHURN_ADDR    ?= 127.0.0.1:9446
 SOAK_CHURN_UPDATES ?= 24000
 SOAK_CHURN_CYCLE   ?= 1000
+
+# Cluster-soak knobs: the front's address, how many concurrent
+# sessions the swarm holds on the fleet, the total update budget split
+# across them, and the client-side concurrency cap. The defaults are
+# the headline run from EXPERIMENTS.md: 10k concurrent sessions of
+# mixed read/write load through the front (minutes on one core).
+SOAK_CLUSTER_FRONT    ?= 127.0.0.1:9450
+SOAK_CLUSTER_SESSIONS ?= 10000
+SOAK_CLUSTER_N        ?= 100000
+SOAK_CLUSTER_WORKERS  ?= 512
 
 all: tier1
 
@@ -44,6 +54,10 @@ help:
 	@echo "  soak-churn  long-horizon churn soak: flaysoak drives $(SOAK_CHURN_UPDATES) updates/program of"
 	@echo "              trace-driven churn through flayd, gating flat memory, stable p99,"
 	@echo "              audit-seq continuity and zero unsound verdicts"
+	@echo "  soak-cluster  fleet soak: 3 flayd shards (each with a replicating standby)"
+	@echo "              behind flayfront; flayload swarm mode holds $(SOAK_CLUSTER_SESSIONS) concurrent"
+	@echo "              sessions of mixed read/write load through the front and gates"
+	@echo "              exact per-session accounting (zero lost writes, zero rejects)"
 
 # Tier-1: the baseline gate every change must keep green.
 tier1: build test
@@ -63,7 +77,7 @@ test:
 # where the race detector gets no parallelism to hide behind and
 # internal/core alone can exceed go test's 10m default.
 RACE_TIMEOUT ?= 45m
-race: fuzz-smoke soak-churn-smoke torture-smoke bench-pps
+race: fuzz-smoke soak-churn-smoke soak-cluster-smoke torture-smoke bench-pps
 	$(GO) vet ./...
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
@@ -80,6 +94,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSolver -fuzztime=$(FUZZ_SMOKE) ./internal/sym
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=$(FUZZ_SMOKE) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZ_SMOKE) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzBinFrameDecode -fuzztime=$(FUZZ_SMOKE) ./internal/wire/binproto
 	$(GO) test -run='^$$' -fuzz=FuzzDpexecVsBmv2 -fuzztime=$(FUZZ_SMOKE) ./internal/dpexec
 
 # soak: the daemon's operational acceptance loop as a make target.
@@ -124,6 +139,48 @@ soak-churn:
 soak-churn-smoke:
 	$(MAKE) soak-churn SOAK_CHURN_UPDATES=2400 SOAK_CHURN_CYCLE=200 SOAK_CHURN_ADDR=127.0.0.1:9447
 
+# soak-cluster: the fleet's operational acceptance loop. Boots three
+# active flayd shards, each with its own binary listener and a standby
+# it replicates to, puts flayfront in front of them, and runs flayload
+# in swarm mode: SOAK_CLUSTER_SESSIONS concurrent sessions (the names
+# consistent-hash across the shards) of mixed read/write load driven
+# through the front, finishing with an exact per-session accounting
+# check — every session must report its full share of updates applied
+# and zero rejects, i.e. no accepted write was lost anywhere in the
+# fleet. Every process must then exit 0 on SIGTERM.
+soak-cluster:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/flayd ./cmd/flayd; \
+	$(GO) build -o $$tmp/flayfront ./cmd/flayfront; \
+	$(GO) build -o $$tmp/flayload ./cmd/flayload; \
+	pids=""; \
+	for i in 1 2 3; do \
+		$$tmp/flayd -addr 127.0.0.1:947$$i -standby & pids="$$pids $$!"; \
+		$$tmp/flayd -addr 127.0.0.1:945$$i -bin-addr 127.0.0.1:946$$i \
+			-replicate-to http://127.0.0.1:947$$i & pids="$$pids $$!"; \
+	done; \
+	sleep 1; \
+	$$tmp/flayfront -addr $(SOAK_CLUSTER_FRONT) \
+		-shard name=shard-1,addr=http://127.0.0.1:9451,bin=127.0.0.1:9461,standby=http://127.0.0.1:9471 \
+		-shard name=shard-2,addr=http://127.0.0.1:9452,bin=127.0.0.1:9462,standby=http://127.0.0.1:9472 \
+		-shard name=shard-3,addr=http://127.0.0.1:9453,bin=127.0.0.1:9463,standby=http://127.0.0.1:9473 \
+		& pids="$$pids $$!"; \
+	$$tmp/flayload -addr $(SOAK_CLUSTER_FRONT) -session swarm -program fig3 \
+		-sessions $(SOAK_CLUSTER_SESSIONS) -n $(SOAK_CLUSTER_N) -workers $(SOAK_CLUSTER_WORKERS) \
+		-batch 4 -read-every 1 \
+		|| { kill -TERM $$pids; exit 1; }; \
+	kill -TERM $$pids; \
+	fail=0; for p in $$pids; do wait $$p || { echo "FAIL: pid $$p exited non-zero after SIGTERM"; fail=1; }; done; \
+	test $$fail -eq 0; \
+	echo "soak-cluster OK: $(SOAK_CLUSTER_SESSIONS) sessions, exact accounting across the fleet"
+
+# A seconds-scale slice of the cluster soak, run as part of `make
+# race` so the fleet harness (flayfront routing, swarm accounting,
+# shard replication) can never rot.
+soak-cluster-smoke:
+	$(MAKE) soak-cluster SOAK_CLUSTER_SESSIONS=300 SOAK_CLUSTER_N=6000 SOAK_CLUSTER_WORKERS=64
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -134,7 +191,7 @@ bench:
 # hit-rate bar, the precision section's p99-under-deadline and
 # zero-unsound-verdict bars) and exits non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn,scaling -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn,scaling,cluster -json -o BENCH_flay.json
 
 # bench-scaling: the multicore scaling artifact. Re-runs the scaling
 # section (wait-free reads vs the LockedReads seed baseline under

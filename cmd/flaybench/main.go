@@ -10,7 +10,8 @@
 //	flaybench [-only sections] [-full] [-json] [-o FILE] [-gomaxprocs LIST]
 //
 // Sections: table1, fig1, fig3, fig5, table2, table3, stages, burst,
-// batch, cache, precision, churn, ablation, scaling, pps. The list is
+// batch, cache, precision, churn, ablation, scaling, pps,
+// cluster. The list is
 // generated from the section registry (benchSections) and pinned equal
 // to it by TestSectionDocMatchesRegistry; -only takes a comma-separated
 // subset ("-only burst,batch"). -full extends Table 3 to 10000
@@ -71,6 +72,7 @@ type benchReport struct {
 	Churn      *churnReport     `json:"churn,omitempty"`
 	Scaling    *scalingReport   `json:"scaling,omitempty"`
 	PPS        *ppsReport       `json:"pps,omitempty"`
+	Cluster    *clusterReport   `json:"cluster,omitempty"`
 }
 
 type sectionReport struct {
@@ -162,6 +164,7 @@ var benchSections = []struct {
 	{"ablation", ablation},
 	{"scaling", scalingSection},
 	{"pps", ppsSection},
+	{"cluster", clusterSection},
 }
 
 func sectionNames() []string {

@@ -52,7 +52,7 @@ func main() {
 // testable in-process: it returns nil after a clean signal-triggered
 // drain, and main turns that into exit status 0.
 func run(ctx context.Context, args []string, logw *os.File) error {
-	fs, cfg, addr := flags()
+	fs, cfg, df := flags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,15 +63,32 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", df.addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv}
-	logger.Printf("listening on http://%s (snapshots: %s)", ln.Addr(), orNone(cfg.SnapshotDir))
+	role := "active"
+	if cfg.Standby {
+		role = "standby"
+	}
+	logger.Printf("listening on http://%s as %s (snapshots: %s)", ln.Addr(), role, orNone(cfg.SnapshotDir))
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	var binLn net.Listener
+	if df.binAddr != "" {
+		binLn, err = net.Listen("tcp", df.binAddr)
+		if err != nil {
+			return err
+		}
+		logger.Printf("binary protocol on %s", binLn.Addr())
+		go func() {
+			if err := srv.ServeBin(binLn); err != nil {
+				logger.Printf("binary listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -82,6 +99,9 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	// Graceful shutdown: stop accepting, let in-flight HTTP requests
 	// finish, then drain the sessions and snapshot the dirty ones.
 	logger.Printf("signal received; draining")
+	if binLn != nil {
+		binLn.Close() // srv.Shutdown closes the live binary connections
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {

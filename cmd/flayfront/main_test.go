@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	full := "name=shard-a,addr=http://h1:9444,bin=h1:9445,standby=http://h2:9444,standby-bin=h2:9445"
+	sc, err := parseShard(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "shard-a" || sc.Addr != "http://h1:9444" || sc.BinAddr != "h1:9445" ||
+		sc.StandbyAddr != "http://h2:9444" || sc.StandbyBin != "h2:9445" {
+		t.Fatalf("parsed %+v", sc)
+	}
+
+	if sc, err := parseShard("name=a,addr=http://h:1"); err != nil || sc.BinAddr != "" {
+		t.Fatalf("minimal spec: %+v, %v", sc, err)
+	}
+
+	for spec, wantErr := range map[string]string{
+		"name=a":                "needs name= and addr=",
+		"addr=http://h:1":       "needs name= and addr=",
+		"name=a,addr=h,port=9":  `unknown field "port"`,
+		"name=a,addr=h,garbage": "not key=value",
+	} {
+		if _, err := parseShard(spec); err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("parseShard(%q) = %v, want %q", spec, err, wantErr)
+		}
+	}
+}
+
+// TestRunFlagErrors pins the startup validation paths that never reach
+// a listener.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                              // no shards
+		{"-shard", "name=a"},            // spec missing addr
+		{"-shard", "name=a,addr=h,x=y"}, // unknown field
+		{"-addr", "256.0.0.1:0", "-shard", "name=a,addr=http://h:1"}, // bad listen addr
+	} {
+		if err := run(context.Background(), args, os.Stderr); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

@@ -32,6 +32,16 @@
 //	                  run is forced to -workers 1 (in-order replay), and
 //	                  the steady-state invariant is verified over the
 //	                  wire from the session's live entry counts
+//	-sessions N       swarm mode (cluster soak): create N sessions named
+//	                  <session>-00000.. — through a flayfront the names
+//	                  consistent-hash across the shard fleet — split -n
+//	                  across them, drive each session's stream in order
+//	                  from the worker pool with interleaved stats reads,
+//	                  and finish with an exact per-session accounting
+//	                  check (every session applied its full share, zero
+//	                  rejected)
+//	-read-every N     swarm mode: issue a stats read after every Nth
+//	                  chunk of each session's stream (0 = writes only)
 //
 // The stream is generated locally against the same catalog program the
 // session runs, so every update is valid for the session's evolving
@@ -79,16 +89,28 @@ func run(args []string) error {
 	report := fs.Duration("report", 0, "interval between progress reports (0 = final report only)")
 	writeDeadline := fs.Duration("deadline", 0, "per-write latency budget (0 = none); the daemon may degrade precision to honor it")
 	churnPat := fs.String("churn", "", "replay a churn pattern (diurnal|flapstorm|acl-rollout|gc) instead of a mixed fuzz stream")
+	sessions := fs.Int("sessions", 1, "swarm mode: drive N concurrent sessions named <session>-00000.. with -n split across them (cluster soak)")
+	readEvery := fs.Int("read-every", 3, "swarm mode: issue a stats read after every Nth chunk (0 = writes only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *batch <= 0 || *workers <= 0 || *n <= 0 {
 		return fmt.Errorf("-n, -batch and -workers must be positive")
 	}
+	if *sessions > 1 && *churnPat != "" {
+		return fmt.Errorf("-sessions and -churn are mutually exclusive")
+	}
 
-	c := client.New("http://" + *addr)
+	// One pooled transport shared by every worker: each closed loop
+	// keeps reusing its connection instead of dialing per write, and the
+	// trace counters prove it in the final report.
+	c := client.NewPooled("http://"+*addr, *workers)
 	if err := c.WaitReady(10 * time.Second); err != nil {
 		return err
+	}
+
+	if *sessions > 1 {
+		return runSwarm(c, *session, *program, *sessions, *n, *seed, *batch, *singleEvery, *workers, *readEvery, *timeout)
 	}
 
 	// Create the session if it is not already live.
@@ -254,6 +276,15 @@ func run(args []string) error {
 	fmt.Printf("sent      %d updates in %v (%.0f updates/s), %d retries after 429\n",
 		sent.Load(), elapsed.Round(time.Millisecond),
 		float64(sent.Load())/elapsed.Seconds(), retried.Load())
+	if cs := c.Conns(); cs != nil {
+		total := cs.Dialed() + cs.Reused()
+		reuse := float64(0)
+		if total > 0 {
+			reuse = 100 * float64(cs.Reused()) / float64(total)
+		}
+		fmt.Printf("conns     dialed=%d reused=%d (%.1f%% reuse over %d requests)\n",
+			cs.Dialed(), cs.Reused(), reuse, total)
+	}
 	fmt.Printf("verdicts  forwarded=%d recompiled=%d rejected=%d (rejected seen by this run: %d)\n",
 		st.Forwarded, st.Recompilations, st.Rejected, rejected.Load())
 	fmt.Printf("cache     hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)

@@ -1,0 +1,182 @@
+// Swarm mode (-sessions N > 1): the cluster soak driver. Instead of
+// hammering one session, flayload creates N sessions named
+// <session>-00000..<session>-NNNNN — through a flayfront those names
+// consistent-hash across the shard fleet — and drives each with its
+// own deterministic stream, in order, from a bounded worker pool. The
+// load is mixed read/write: every third chunk the worker also reads
+// the session's stats back through the front. Because each session's
+// stream replays in order from an empty configuration, the run ends
+// with an exact per-session accounting check over the wire: every
+// session must report exactly its share of updates applied and zero
+// rejected — the fleet-level zero-lost-writes gate that `make
+// soak-cluster` builds on.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fuzz"
+	"repro/internal/progs"
+	"repro/internal/wire"
+)
+
+func runSwarm(c *client.Client, prefix, program string, sessions, n int, seed uint64, batch, singleEvery, workers, readEvery int, timeout time.Duration) error {
+	per := n / sessions
+	if per < 1 {
+		return fmt.Errorf("-n %d spread over -sessions %d leaves no updates per session", n, sessions)
+	}
+	if workers > sessions {
+		workers = sessions
+	}
+	p, err := progs.ByName(program)
+	if err != nil {
+		return err
+	}
+	local, err := p.Load()
+	if err != nil {
+		return err
+	}
+	names := make([]string, sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%05d", prefix, i)
+	}
+
+	fmt.Printf("flayload: swarm of %d sessions x %d updates (%s) over %d workers\n",
+		sessions, per, program, workers)
+	start := time.Now()
+	deadline := start.Add(timeout)
+	var (
+		sent, reads, retried, rejected atomic.Int64
+		errOnce                        sync.Once
+		failed                         atomic.Bool
+		runErr                         error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { runErr = err })
+		failed.Store(true)
+	}
+
+	// eachSession runs fn(i) for every session index from the worker
+	// pool, stopping early once any worker has failed.
+	eachSession := func(fn func(i int) error) {
+		idx := make(chan int, sessions)
+		for i := 0; i < sessions; i++ {
+			idx <- i
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if failed.Load() {
+						return
+					}
+					if time.Now().After(deadline) {
+						fail(fmt.Errorf("deadline %v exceeded", timeout))
+						return
+					}
+					if err := fn(i); err != nil {
+						fail(fmt.Errorf("session %s: %w", names[i], err))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: bring every session up so the whole fleet holds the full
+	// population concurrently before any load lands on it.
+	eachSession(func(i int) error {
+		_, err := c.CreateSession(wire.CreateSessionRequest{Name: names[i], Catalog: program})
+		for a := 0; err != nil && a < 20 && (client.IsStatus(err, 429) || client.IsStatus(err, 503)); a++ {
+			time.Sleep(10 * time.Millisecond)
+			_, err = c.CreateSession(wire.CreateSessionRequest{Name: names[i], Catalog: program})
+		}
+		return err
+	})
+	if runErr != nil {
+		return runErr
+	}
+	created := time.Since(start)
+	fmt.Printf("created   %d sessions in %v (%.0f/s)\n",
+		sessions, created.Round(time.Millisecond), float64(sessions)/created.Seconds())
+
+	// Phase 2: drive each session's own stream in declared order (so the
+	// replay is valid and every write must be accepted), mixing in a
+	// stats read every readEvery-th chunk.
+	eachSession(func(i int) error {
+		stream, err := fuzz.New(local.An, seed+uint64(i)).Stream(per)
+		if err != nil {
+			return err
+		}
+		for j, ch := range carve(stream, batch, singleEvery) {
+			resp, retries, err := c.WriteRetry(names[i], ch.mode, ch.updates, 50, 5*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			sent.Add(int64(len(ch.updates)))
+			retried.Add(int64(retries))
+			for _, d := range resp.Decisions {
+				if d.Kind == "rejected" {
+					rejected.Add(1)
+				}
+			}
+			if readEvery > 0 && j%readEvery == readEvery-1 {
+				if _, err := c.Stats(names[i]); err != nil {
+					return err
+				}
+				reads.Add(1)
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		return runErr
+	}
+	elapsed := time.Since(start)
+
+	// Phase 3: exact accounting. Every session reports back through the
+	// front; any shortfall is a lost accepted write somewhere in the
+	// fleet, any reject means an in-order replay was refused.
+	eachSession(func(i int) error {
+		st, err := c.Stats(names[i])
+		if err != nil {
+			return err
+		}
+		if st.Updates != per || st.Rejected != 0 {
+			return fmt.Errorf("applied %d/%d updates (%d rejected)", st.Updates, per, st.Rejected)
+		}
+		return nil
+	})
+
+	fmt.Printf("sent      %d updates + %d reads in %v (%.0f req/s), %d retries after 429\n",
+		sent.Load(), reads.Load(), elapsed.Round(time.Millisecond),
+		(float64(sent.Load())/float64(batch)+float64(reads.Load()))/elapsed.Seconds(), retried.Load())
+	if cs := c.Conns(); cs != nil {
+		total := cs.Dialed() + cs.Reused()
+		reuse := float64(0)
+		if total > 0 {
+			reuse = 100 * float64(cs.Reused()) / float64(total)
+		}
+		fmt.Printf("conns     dialed=%d reused=%d (%.1f%% reuse)\n", cs.Dialed(), cs.Reused(), reuse)
+	}
+	if snap, err := c.Metrics(); err == nil {
+		printHist(snap, "core.update_ns", "update")
+		printHist(snap, "server.apply_ns", "apply")
+	}
+	if runErr != nil {
+		return fmt.Errorf("verification: %w", runErr)
+	}
+	if rejected.Load() != 0 {
+		return fmt.Errorf("%d in-order updates rejected", rejected.Load())
+	}
+	fmt.Printf("verify    %d sessions each applied exactly %d updates, 0 rejected\n", sessions, per)
+	return nil
+}

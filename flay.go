@@ -81,6 +81,10 @@ var (
 // the pipeline's current specialized program (see Pipeline.Exec).
 type ExecResult = dpexec.Result
 
+// PinnedExec is a batch-level pin of one published executable image;
+// see Pipeline.PinExec.
+type PinnedExec = core.PinnedExec
+
 // Re-exported control-plane vocabulary. The aliases make the full
 // update model usable through this package alone.
 type (
@@ -544,6 +548,16 @@ func (p *Pipeline) Exec(data []byte, port uint16) (ExecResult, error) {
 func (p *Pipeline) ExecBatch(packets [][]byte, ports []uint16) ([]ExecResult, error) {
 	return p.spec.ExecBatch(packets, ports)
 }
+
+// PinExec pins the currently published executable image for a stream of
+// packets: the epoch load and machine rental are paid once per pin
+// instead of once per packet, and every Run of the pin executes against
+// the same program+configuration cut regardless of concurrent updates.
+// Exec and ExecBatch are one-pin conveniences over this. A pin is not
+// safe for concurrent use; pin per goroutine, and Close it to return
+// the machine to the pool. Requires WithExec; otherwise the error
+// satisfies errors.Is(err, ErrExecDisabled).
+func (p *Pipeline) PinExec() (*PinnedExec, error) { return p.spec.PinExec() }
 
 // Close releases the pipeline's background resources (the precision
 // repair goroutine). Updates applied after Close are rejected with

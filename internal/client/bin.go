@@ -1,0 +1,222 @@
+// BinClient: the native speaker of flayd's length-prefixed binary
+// protocol (internal/wire/binproto). One TCP connection, scoped to one
+// session by the mandatory Attach, with pipelining: any number of
+// concurrent Writes may be in flight, matched to responses by
+// correlation ID, so a single connection saturates the dispatcher
+// without per-request round-trip stalls or HTTP framing overhead.
+//
+// Errors carry the same classification as the HTTP surface: a TErr
+// frame becomes an *APIError with the server's status and machine code,
+// so errors.Is(err, goflay.ErrBackpressure) and friends work unchanged.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/wire"
+	"repro/internal/wire/binproto"
+)
+
+// BinClient is one binary-protocol connection attached to one session.
+// Safe for concurrent use; Writes pipeline.
+type BinClient struct {
+	conn net.Conn
+	corr atomic.Uint64
+
+	// wmu serializes frame writes onto the connection.
+	wmu sync.Mutex
+
+	// pmu guards the pending map and the sticky transport error. A
+	// pending channel (capacity 1) is closed without a frame when the
+	// connection dies.
+	pmu     sync.Mutex
+	err     error
+	pending map[uint64]chan binproto.Frame
+
+	attached atomic.Bool
+}
+
+// DialBin connects and performs the protocol handshake. Attach must be
+// the first call on the returned client.
+func DialBin(addr string) (*BinClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return NewBin(conn)
+}
+
+// NewBin wraps an established connection (tests, custom dialers) and
+// performs the handshake.
+func NewBin(conn net.Conn) (*BinClient, error) {
+	if err := binproto.WriteHandshake(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := binproto.ReadHandshake(br); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	b := &BinClient{conn: conn, pending: make(map[uint64]chan binproto.Frame)}
+	go b.readLoop(br)
+	return b, nil
+}
+
+// Close tears the connection down; in-flight calls fail with the
+// connection error.
+func (b *BinClient) Close() error {
+	return b.conn.Close()
+}
+
+func (b *BinClient) readLoop(br *bufio.Reader) {
+	for {
+		f, err := binproto.ReadFrame(br)
+		if err != nil {
+			b.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		b.pmu.Lock()
+		ch, ok := b.pending[f.Corr]
+		delete(b.pending, f.Corr)
+		b.pmu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail sets the sticky error and releases every waiter.
+func (b *BinClient) fail(err error) {
+	b.pmu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	for corr, ch := range b.pending {
+		delete(b.pending, corr)
+		close(ch)
+	}
+	b.pmu.Unlock()
+	b.conn.Close()
+}
+
+// call sends one frame and waits for its correlated response.
+func (b *BinClient) call(t byte, payload []byte) (binproto.Frame, error) {
+	corr := b.corr.Add(1)
+	ch := make(chan binproto.Frame, 1)
+	b.pmu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.pmu.Unlock()
+		return binproto.Frame{}, err
+	}
+	b.pending[corr] = ch
+	b.pmu.Unlock()
+
+	b.wmu.Lock()
+	err := binproto.WriteFrame(b.conn, binproto.Frame{Type: t, Corr: corr, Payload: payload})
+	b.wmu.Unlock()
+	if err != nil {
+		b.fail(fmt.Errorf("client: write: %w", err))
+		return binproto.Frame{}, err
+	}
+
+	f, ok := <-ch
+	if !ok {
+		b.pmu.Lock()
+		err := b.err
+		b.pmu.Unlock()
+		return binproto.Frame{}, err
+	}
+	if f.Type == binproto.TErr {
+		e, derr := binproto.DecodeErrMsg(f.Payload)
+		if derr != nil {
+			return binproto.Frame{}, fmt.Errorf("client: undecodable error frame: %w", derr)
+		}
+		return binproto.Frame{}, &APIError{Status: e.Status, Msg: e.Msg, Code: e.Code}
+	}
+	return f, nil
+}
+
+// Attach scopes the connection to a session, creating it from a catalog
+// program when a catalog is given and the session does not exist.
+func (b *BinClient) Attach(name, catalog string, exec bool) (*binproto.AttachOK, error) {
+	if !b.attached.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("client: connection already attached")
+	}
+	f, err := b.call(binproto.TAttach, binproto.AppendAttach(nil, &binproto.Attach{Name: name, Catalog: catalog, Exec: exec}))
+	if err != nil {
+		b.attached.Store(false)
+		return nil, err
+	}
+	if f.Type != binproto.TAttachOK {
+		return nil, fmt.Errorf("client: attach answered frame type %#x", f.Type)
+	}
+	ok, err := binproto.DecodeAttachOK(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: attach-ok: %w", err)
+	}
+	return ok, nil
+}
+
+// Write applies updates on the attached session (batch semantics when
+// batch is set). Concurrent Writes pipeline on the one connection.
+func (b *BinClient) Write(updates []*controlplane.Update, batch bool) (wire.WriteResponse, error) {
+	return b.WriteOpts(updates, batch, 0, "")
+}
+
+// WriteOpts is Write with a latency budget (0 = none) and an
+// idempotency key ("" = none).
+func (b *BinClient) WriteOpts(updates []*controlplane.Update, batch bool, deadline time.Duration, reqID string) (wire.WriteResponse, error) {
+	w := &binproto.Write{Batch: batch, ReqID: reqID, Updates: updates}
+	if deadline > 0 {
+		w.DeadlineMS = uint64((deadline + time.Millisecond - 1) / time.Millisecond)
+	}
+	f, err := b.call(binproto.TWrite, binproto.AppendWrite(nil, w))
+	if err != nil {
+		return wire.WriteResponse{}, err
+	}
+	if f.Type != binproto.TWriteOK {
+		return wire.WriteResponse{}, fmt.Errorf("client: write answered frame type %#x", f.Type)
+	}
+	ok, err := binproto.DecodeWriteOK(f.Payload)
+	if err != nil {
+		return wire.WriteResponse{}, fmt.Errorf("client: write-ok: %w", err)
+	}
+	return wire.WriteResponse{Decisions: ok.Decisions, Coalesced: ok.Coalesced, Replayed: ok.Replayed}, nil
+}
+
+// Stats fetches the attached session's engine statistics.
+func (b *BinClient) Stats() (wire.Stats, error) {
+	f, err := b.call(binproto.TStats, nil)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	var st wire.Stats
+	if err := json.Unmarshal(f.Payload, &st); err != nil {
+		return wire.Stats{}, fmt.Errorf("client: stats: %w", err)
+	}
+	return st, nil
+}
+
+// Snapshot fetches the attached session's warm-state checkpoint.
+func (b *BinClient) Snapshot() ([]byte, error) {
+	f, err := b.call(binproto.TSnapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Ping round-trips an empty frame (liveness, latency probes).
+func (b *BinClient) Ping() error {
+	_, err := b.call(binproto.TPing, nil)
+	return err
+}

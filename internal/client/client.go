@@ -10,11 +10,15 @@ package client
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/controlplane"
@@ -54,6 +58,9 @@ func IsStatus(err error, status int) bool {
 type Client struct {
 	base string
 	hc   *http.Client
+	// conns, when non-nil, counts connection establishment vs reuse for
+	// every request (NewPooled turns it on).
+	conns *ConnStats
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -62,6 +69,39 @@ type Client struct {
 func New(base string) *Client {
 	return &Client{base: base, hc: &http.Client{}}
 }
+
+// NewPooled returns a client whose transport keeps up to maxConns idle
+// connections to the daemon (default http.Transport keeps only 2 per
+// host, which makes a many-worker load generator churn through fresh
+// TCP connections). Connection establishment vs reuse is counted per
+// request; read it with Conns.
+func NewPooled(base string, maxConns int) *Client {
+	if maxConns <= 0 {
+		maxConns = 16
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxConns,
+		MaxIdleConnsPerHost: maxConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{base: base, hc: &http.Client{Transport: tr}, conns: &ConnStats{}}
+}
+
+// ConnStats counts how requests got their TCP connection.
+type ConnStats struct {
+	dialed atomic.Int64
+	reused atomic.Int64
+}
+
+// Dialed is the number of requests that needed a fresh connection.
+func (s *ConnStats) Dialed() int64 { return s.dialed.Load() }
+
+// Reused is the number of requests served on a kept-alive connection.
+func (s *ConnStats) Reused() int64 { return s.reused.Load() }
+
+// Conns returns the client's connection counters (nil unless the client
+// was built with NewPooled).
+func (c *Client) Conns() *ConnStats { return c.conns }
 
 // WithHTTPClient swaps the transport (timeouts, test servers).
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
@@ -86,6 +126,16 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.conns != nil {
+		trace := &httptrace.ClientTrace{GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.conns.reused.Add(1)
+			} else {
+				c.conns.dialed.Add(1)
+			}
+		}}
+		req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -155,10 +205,16 @@ func (c *Client) WriteDeadline(name, mode string, updates []*controlplane.Update
 	return resp, err
 }
 
-// WriteRetry is Write plus bounded retries on 429 backpressure, backing
-// off linearly (attempt * step). Other errors return immediately; after
-// the last attempt the 429's *APIError is returned, satisfying
-// errors.Is(err, goflay.ErrBackpressure).
+// WriteRetry is Write plus bounded retries, backing off linearly
+// (attempt * step). Retried failures are the transient ones: 429
+// backpressure, 502/503 (a front door mid-failover, a standby not yet
+// promoted), and transport errors (connection killed under the
+// request). Every attempt carries the same generated req_id, so a write
+// whose response was lost is answered from the server's idempotency
+// cache on retry instead of applying twice — exactly-once across a
+// shard failover. Other errors return immediately; after the last
+// attempt the final *APIError is returned with its sentinel mapping
+// intact (e.g. errors.Is(err, goflay.ErrBackpressure) for a 429).
 func (c *Client) WriteRetry(name, mode string, updates []*controlplane.Update, attempts int, step time.Duration) (wire.WriteResponse, int, error) {
 	return c.WriteRetryDeadline(name, mode, updates, 0, attempts, step)
 }
@@ -166,15 +222,55 @@ func (c *Client) WriteRetry(name, mode string, updates []*controlplane.Update, a
 // WriteRetryDeadline is WriteRetry with a per-request latency budget
 // (see WriteDeadline).
 func (c *Client) WriteRetryDeadline(name, mode string, updates []*controlplane.Update, deadline time.Duration, attempts int, step time.Duration) (wire.WriteResponse, int, error) {
+	req := wire.WriteRequest{Mode: mode, Updates: wire.FromUpdates(updates), ReqID: NewReqID()}
+	if deadline > 0 {
+		req.DeadlineMS = int64((deadline + time.Millisecond - 1) / time.Millisecond)
+	}
 	retries := 0
 	for {
-		resp, err := c.WriteDeadline(name, mode, updates, deadline)
-		if err == nil || !IsStatus(err, http.StatusTooManyRequests) || retries >= attempts {
+		var resp wire.WriteResponse
+		err := c.do(http.MethodPost, "/v1/sessions/"+name+"/updates", &req, &resp)
+		if err == nil || !retryable(err) || retries >= attempts {
 			return resp, retries, err
 		}
 		retries++
 		time.Sleep(time.Duration(retries) * step)
 	}
+}
+
+// retryable classifies an error as transient: worth re-sending the same
+// req_id at.
+func retryable(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		// No HTTP status at all: the transport failed (connection
+		// refused or killed mid-request — the failover window).
+		return true
+	}
+	switch ae.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// reqSeq disambiguates req_ids minted by this process.
+var reqSeq atomic.Uint64
+
+// NewReqID mints a unique idempotency key: random process prefix plus a
+// process-local sequence number.
+func NewReqID() string {
+	var b [6]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:]) + "-" + fmt.Sprint(reqSeq.Add(1))
+}
+
+// Promote flips a standby daemon live (POST /v1/replica/promote),
+// returning the sessions now serving. Idempotent.
+func (c *Client) Promote() (wire.ReplicaPromoteResponse, error) {
+	var resp wire.ReplicaPromoteResponse
+	err := c.do(http.MethodPost, "/v1/replica/promote", nil, &resp)
+	return resp, err
 }
 
 // Exec runs a burst of packets through a session's current specialized

@@ -1,0 +1,158 @@
+// Failover suite: the retrying client against a real active/standby
+// pair. The scenario is the one the front door creates — a write is
+// applied and replicated, but the shard dies before answering, and the
+// retry lands on the freshly promoted standby. The req_id idempotency
+// key must make that exactly-once: no duplicate apply, the replayed
+// decisions intact, and the error classification (standby, 503)
+// surviving the wire round trip in between.
+package client_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/flayerr"
+	"repro/internal/server"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+func insertUpdate(val uint64) *controlplane.Update {
+	return &controlplane.Update{
+		Kind:  controlplane.InsertEntry,
+		Table: "Ingress.eth_table",
+		Entry: &controlplane.TableEntry{
+			Action: "drop",
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchTernary, Value: sym.NewBV(48, val), Mask: sym.NewBV(48, 0xffffffffffff)},
+			},
+		},
+	}
+}
+
+func TestWriteRetryExactlyOnceAcrossFailover(t *testing.T) {
+	newServer := func(cfg server.Config) *server.Server {
+		cfg.Logf = t.Logf
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	standbySrv := newServer(server.Config{Standby: true})
+	standbyTS := httptest.NewServer(standbySrv)
+	defer standbyTS.Close()
+	activeSrv := newServer(server.Config{ReplicateTo: standbyTS.URL})
+	activeTS := httptest.NewServer(activeSrv)
+	defer activeTS.Close()
+
+	// The stand-in front door: routes to the current backend, and on the
+	// armed request simulates a shard crash after the write was applied
+	// and replicated but before the response left — the backend flips to
+	// the (not yet promoted) standby and the client's connection dies.
+	var backend atomic.Value
+	backend.Store(http.Handler(activeSrv))
+	var killOnce atomic.Bool
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killOnce.CompareAndSwap(true, false) {
+			rec := httptest.NewRecorder()
+			activeSrv.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				t.Errorf("armed write was not applied: HTTP %d %s", rec.Code, rec.Body)
+			}
+			backend.Store(http.Handler(standbySrv))
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // response lost
+			return
+		}
+		backend.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	c := client.New(front.URL)
+	if _, err := c.CreateSession(wire.CreateSessionRequest{Name: "fo", Catalog: "fig3"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	const setup = 5
+	for i := 0; i < setup; i++ {
+		if _, err := c.Write("fo", wire.ModeSingle, []*controlplane.Update{insertUpdate(uint64(0x0a000000 + i))}); err != nil {
+			t.Fatalf("setup write %d: %v", i, err)
+		}
+	}
+
+	// Sentinel mapping across the wire: the unpromoted standby refuses a
+	// direct write with a classified 503.
+	sc := client.New(standbyTS.URL)
+	if _, err := sc.Write("fo", wire.ModeSingle, []*controlplane.Update{insertUpdate(0x0b000000)}); !errors.Is(err, flayerr.ErrStandby) {
+		t.Fatalf("standby write error = %v, want errors.Is ErrStandby", err)
+	}
+	if !client.IsStatus(flayerrOf(t, sc), http.StatusServiceUnavailable) {
+		t.Fatal("standby refusal is not a 503")
+	}
+
+	// Promote arrives mid-retry, the way a failover detector would.
+	killOnce.Store(true)
+	promoted := make(chan struct{})
+	time.AfterFunc(75*time.Millisecond, func() {
+		defer close(promoted)
+		if _, err := sc.Promote(); err != nil {
+			t.Errorf("promote: %v", err)
+		}
+	})
+
+	resp, retries, err := c.WriteRetry("fo", wire.ModeSingle, []*controlplane.Update{insertUpdate(0x0c000000)}, 50, 5*time.Millisecond)
+	<-promoted
+	if err != nil {
+		t.Fatalf("write across failover: %v (%d retries)", err, retries)
+	}
+	if retries == 0 {
+		t.Fatal("the killed response did not force a retry")
+	}
+	if !resp.Replayed {
+		t.Fatal("retried write was re-applied instead of replayed from the idempotency cache")
+	}
+	if len(resp.Decisions) != 1 || resp.Decisions[0].Kind == "" {
+		t.Fatalf("replayed decisions malformed: %+v", resp.Decisions)
+	}
+
+	// Exactly-once: the promoted standby absorbed the armed write via
+	// replication, once.
+	st, err := sc.Stats("fo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != setup+1 {
+		t.Fatalf("standby applied %d updates, want %d (exactly-once violated)", st.Updates, setup+1)
+	}
+
+	// Life goes on: a fresh write through the front lands on the
+	// promoted standby and is not a replay.
+	resp, _, err = c.WriteRetry("fo", wire.ModeSingle, []*controlplane.Update{insertUpdate(0x0d000000)}, 5, 5*time.Millisecond)
+	if err != nil || resp.Replayed {
+		t.Fatalf("post-failover write: err %v, replayed %v", err, resp.Replayed)
+	}
+	if st, _ := sc.Stats("fo"); st.Updates != setup+2 {
+		t.Fatalf("post-failover write did not apply: %d updates", st.Updates)
+	}
+}
+
+// flayerrOf re-issues the refused standby write to capture its error
+// for status checks.
+func flayerrOf(t *testing.T, sc *client.Client) error {
+	t.Helper()
+	_, err := sc.Write("fo", wire.ModeSingle, []*controlplane.Update{insertUpdate(0x0b000001)})
+	if err == nil {
+		t.Fatal("standby accepted a write")
+	}
+	return err
+}

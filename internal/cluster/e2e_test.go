@@ -1,0 +1,298 @@
+// End-to-end fleet suite: a real front door over real shards, each an
+// active flayd replicating to a standby. The headline test kills one
+// active abruptly mid-churn and requires the fleet to come out the
+// other side with exactly-once semantics: every acknowledged write
+// applied exactly once on the promoted standby, audit sequence
+// continuous, and the survivors untouched.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/server"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// shardHandle bundles one shard's processes with the levers the test
+// pulls: an abrupt active kill, and address bookkeeping.
+type shardHandle struct {
+	cfg       cluster.ShardConfig
+	activeSrv *server.Server
+	activeWeb *http.Server
+	activeBin net.Listener
+}
+
+// kill tears the active down the way a crash would: every listener and
+// every live connection closed immediately, no draining.
+func (h *shardHandle) kill() {
+	h.activeWeb.Close()
+	h.activeBin.Close()
+}
+
+func startShard(t *testing.T, name string) *shardHandle {
+	t.Helper()
+	newSrv := func(cfg server.Config) *server.Server {
+		cfg.Logf = t.Logf
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	listen := func() net.Listener {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		return ln
+	}
+
+	standbySrv := newSrv(server.Config{Standby: true})
+	standbyTS := httptest.NewServer(standbySrv)
+	t.Cleanup(standbyTS.Close)
+	standbyBin := listen()
+	go standbySrv.ServeBin(standbyBin)
+
+	activeSrv := newSrv(server.Config{ReplicateTo: standbyTS.URL})
+	activeLn := listen()
+	activeWeb := &http.Server{Handler: activeSrv}
+	go activeWeb.Serve(activeLn)
+	t.Cleanup(func() { activeWeb.Close() })
+	activeBin := listen()
+	go activeSrv.ServeBin(activeBin)
+
+	return &shardHandle{
+		cfg: cluster.ShardConfig{
+			Name:        name,
+			Addr:        "http://" + activeLn.Addr().String(),
+			BinAddr:     activeBin.Addr().String(),
+			StandbyAddr: standbyTS.URL,
+			StandbyBin:  standbyBin.Addr().String(),
+		},
+		activeSrv: activeSrv,
+		activeWeb: activeWeb,
+		activeBin: activeBin,
+	}
+}
+
+func TestClusterKillShardFailover(t *testing.T) {
+	shards := map[string]*shardHandle{}
+	front := cluster.New(cluster.Config{
+		ProbeInterval: 20 * time.Millisecond,
+		FailAfter:     2,
+		Logf:          t.Logf,
+	})
+	for _, name := range []string{"shard-a", "shard-b", "shard-c"} {
+		h := startShard(t, name)
+		shards[h.cfg.Addr] = h
+		if err := front.AddShard(h.cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	front.Start()
+	t.Cleanup(front.Close)
+	frontTS := httptest.NewServer(front)
+	t.Cleanup(frontTS.Close)
+	frontBin, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { frontBin.Close() })
+	go front.ServeBin(frontBin)
+
+	c := client.New(frontTS.URL)
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("e2e-%02d", i)
+		if _, err := c.CreateSession(wire.CreateSessionRequest{Name: names[i], Catalog: "fig3"}); err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+	}
+
+	// The victim is whichever shard owns the first session; the ring
+	// must have spread the rest across more than one shard.
+	victimAddr, ok := front.Route(names[0])
+	if !ok {
+		t.Fatal("no route for session")
+	}
+	victim := shards[victimAddr]
+	owners := map[string]bool{}
+	for _, n := range names {
+		addr, _ := front.Route(n)
+		owners[addr] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("ring placed all %d sessions on one shard", len(names))
+	}
+
+	// Churn: one worker per session streams distinct inserts through the
+	// front, counting only acknowledged writes. The retry loop carries a
+	// req_id, so an ack lost to the crash must surface as a replay, not
+	// a second apply.
+	acked := make([]int, len(names))
+	replays := make([]int, len(names))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := []*controlplane.Update{e2eInsert(uint64(i)<<20 | uint64(seq))}
+				resp, _, err := c.WriteRetry(name, wire.ModeSingle, u, 80, 5*time.Millisecond)
+				if err != nil {
+					t.Errorf("write %s/%d lost: %v", name, seq, err)
+					return
+				}
+				acked[i]++
+				if resp.Replayed {
+					replays[i]++
+				}
+			}
+		}(i, name)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	victim.kill()
+
+	// The prober must declare the shard dead and promote its standby.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		addr, _ := front.Route(names[0])
+		if addr == victim.cfg.StandbyAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("front never failed the victim over")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // churn on the promoted standby
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Exactly-once, zero lost: every session's engine saw each
+	// acknowledged write exactly once, and the audit log is continuous
+	// (one record per write, no reset across the failover).
+	table := "Ingress.eth_table"
+	for i, name := range names {
+		info, err := c.Session(name)
+		if err != nil {
+			t.Fatalf("session %s after failover: %v", name, err)
+		}
+		if info.Stats.Updates != acked[i] {
+			t.Errorf("%s: %d updates applied, %d acknowledged", name, info.Stats.Updates, acked[i])
+		}
+		if info.Entries[table] != acked[i] {
+			t.Errorf("%s: %d live entries, want %d (duplicate or lost apply)", name, info.Entries[table], acked[i])
+		}
+		if info.AuditTotal != int64(acked[i]) {
+			t.Errorf("%s: audit seq %d, want %d (continuity broken)", name, info.AuditTotal, acked[i])
+		}
+	}
+	totalReplays := 0
+	for _, r := range replays {
+		totalReplays += r
+	}
+	t.Logf("churn: %v acked per session, %d replays absorbed", acked, totalReplays)
+
+	// The session list fan-out still sees the whole fleet.
+	sessions, err := c.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != len(names) {
+		t.Fatalf("fan-out listed %d sessions, want %d", len(sessions), len(names))
+	}
+
+	// Front health and aggregated metrics reflect the failover.
+	var fh wire.HealthResponse
+	if err := getJSON(frontTS.URL+"/healthz", &fh); err != nil {
+		t.Fatal(err)
+	}
+	sawFailover := false
+	for _, sh := range fh.Shards {
+		if sh.Name == victim.cfg.Name {
+			sawFailover = sh.FailedOver && sh.Addr == victim.cfg.StandbyAddr
+		}
+	}
+	if !sawFailover {
+		t.Fatalf("health does not record the failover: %+v", fh.Shards)
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["front.failovers"] != 1 {
+		t.Errorf("front.failovers = %d, want 1", snap.Counters["front.failovers"])
+	}
+	if snap.Counters["server.ship_rounds"] == 0 {
+		t.Error("aggregate metrics carry no shard counters")
+	}
+
+	// The binary protocol routes through the front onto the promoted
+	// standby: attach to the victim's session and write.
+	b, err := client.DialBin(frontBin.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Attach(names[0], "", false); err != nil {
+		t.Fatalf("binary attach through front: %v", err)
+	}
+	if _, err := b.Write([]*controlplane.Update{e2eInsert(0xfff000)}, false); err != nil {
+		t.Fatalf("binary write through front: %v", err)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := acked[0] + 1; st.Updates != want {
+		t.Fatalf("binary stats after failover: %d updates, want %d", st.Updates, want)
+	}
+}
+
+func e2eInsert(val uint64) *controlplane.Update {
+	return &controlplane.Update{
+		Kind:  controlplane.InsertEntry,
+		Table: "Ingress.eth_table",
+		Entry: &controlplane.TableEntry{
+			Action: "drop",
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchTernary, Value: sym.NewBV(48, val), Mask: sym.NewBV(48, 0xffffffffffff)},
+			},
+		},
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

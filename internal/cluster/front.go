@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ShardConfig describes one shard: a stable name (its ring identity),
+// the active flayd's addresses, and optionally a standby flayd the
+// active replicates to (see server.Config.ReplicateTo). When the front
+// declares the active dead it promotes the standby and swaps the
+// addresses; the name — and so the session placement — never changes.
+type ShardConfig struct {
+	Name    string
+	Addr    string // active HTTP base URL, e.g. http://127.0.0.1:7001
+	BinAddr string // active binary listener, e.g. 127.0.0.1:7101 ("" = none)
+	// Standby addresses ("" = no failover for this shard).
+	StandbyAddr string
+	StandbyBin  string
+}
+
+// shard is the mutable runtime state behind a ring member.
+type shard struct {
+	name string
+
+	mu          sync.RWMutex
+	addr        string
+	binAddr     string
+	standbyAddr string
+	standbyBin  string
+	failedOver  bool
+	misses      int // consecutive probe failures
+}
+
+func (sh *shard) current() (addr, binAddr string) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.addr, sh.binAddr
+}
+
+func (sh *shard) healthy() bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.misses == 0
+}
+
+// Config tunes the front door.
+type Config struct {
+	// Vnodes per ring member (default DefaultVnodes).
+	Vnodes int
+	// ProbeInterval is the health-probe cadence; 0 disables the prober
+	// (failover then only happens via Failover).
+	ProbeInterval time.Duration
+	// FailAfter is how many consecutive probe failures declare a shard
+	// dead (default 3).
+	FailAfter int
+	// MaxConns bounds idle proxy connections per shard (default 64).
+	MaxConns int
+	// Metrics receives the front's own counters; one is created if nil.
+	Metrics *obs.Registry
+	// Logf receives operational log lines (default: drop them).
+	Logf func(format string, args ...any)
+}
+
+// Front is the fleet's single entry point: an http.Handler proxying the
+// HTTP/JSON API onto the owning shard (plus fleet-wide fan-out for
+// listing and metrics), and a binary-protocol proxy that routes each
+// connection's Attach and then splices bytes.
+type Front struct {
+	cfg  Config
+	met  *obs.Registry
+	logf func(format string, args ...any)
+	ring *Ring
+
+	// hc is the pooled transport shared by proxying, probes, fan-out
+	// and promotes.
+	hc *http.Client
+
+	mu      sync.RWMutex
+	shards  map[string]*shard
+	proxies map[string]*httputil.ReverseProxy // by base URL
+
+	mux  *http.ServeMux
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a front with no shards; add them with AddShard, then
+// Start the prober (optional) and serve.
+func New(cfg Config) *Front {
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	f := &Front{
+		cfg:  cfg,
+		met:  cfg.Metrics,
+		logf: cfg.Logf,
+		ring: NewRing(cfg.Vnodes),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxConns * 4,
+			MaxIdleConnsPerHost: cfg.MaxConns,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		shards:  make(map[string]*shard),
+		proxies: make(map[string]*httputil.ReverseProxy),
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+	}
+	f.routes()
+	return f
+}
+
+// Start launches the health prober (no-op when ProbeInterval is 0).
+func (f *Front) Start() {
+	if f.cfg.ProbeInterval <= 0 {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(f.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				f.probeAll()
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the prober.
+func (f *Front) Close() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.wg.Wait()
+}
+
+// AddShard registers a shard and claims its ring range. Sessions hash
+// onto the updated ring immediately — membership changes re-route new
+// traffic; existing sessions stay where their shard's state lives.
+func (f *Front) AddShard(sc ShardConfig) error {
+	if sc.Name == "" || sc.Addr == "" {
+		return fmt.Errorf("cluster: shard needs a name and an address")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.shards[sc.Name]; ok {
+		return fmt.Errorf("cluster: shard %q exists", sc.Name)
+	}
+	f.shards[sc.Name] = &shard{
+		name:        sc.Name,
+		addr:        sc.Addr,
+		binAddr:     sc.BinAddr,
+		standbyAddr: sc.StandbyAddr,
+		standbyBin:  sc.StandbyBin,
+	}
+	f.ring.Add(sc.Name)
+	f.met.Gauge("front.shards").Set(int64(len(f.shards)))
+	return nil
+}
+
+// RemoveShard drops a shard from the ring; its sessions re-route to the
+// surviving members on the next request.
+func (f *Front) RemoveShard(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.shards[name]; !ok {
+		return
+	}
+	delete(f.shards, name)
+	f.ring.Remove(name)
+	f.met.Gauge("front.shards").Set(int64(len(f.shards)))
+}
+
+// shardFor resolves the shard owning a session name.
+func (f *Front) shardFor(session string) (*shard, bool) {
+	member := f.ring.Lookup(session)
+	if member == "" {
+		return nil, false
+	}
+	f.mu.RLock()
+	sh, ok := f.shards[member]
+	f.mu.RUnlock()
+	return sh, ok
+}
+
+// Route reports the HTTP base URL currently serving a session (tests,
+// diagnostics).
+func (f *Front) Route(session string) (string, bool) {
+	sh, ok := f.shardFor(session)
+	if !ok {
+		return "", false
+	}
+	addr, _ := sh.current()
+	return addr, true
+}
+
+// allShards snapshots the shard set sorted by name.
+func (f *Front) allShards() []*shard {
+	f.mu.RLock()
+	out := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		out = append(out, sh)
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Failover promotes the shard's standby and swaps the addresses behind
+// its ring identity. Idempotent per standby: a shard that already
+// failed over (or has no standby) is an error.
+func (f *Front) Failover(name string) error {
+	f.mu.RLock()
+	sh, ok := f.shards[name]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("cluster: no shard %q", name)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.standbyAddr == "" {
+		return fmt.Errorf("cluster: shard %q has no standby to promote", name)
+	}
+	resp, err := f.hc.Post(sh.standbyAddr+"/v1/replica/promote", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("cluster: promoting standby of %q: %w", name, err)
+	}
+	defer resp.Body.Close()
+	var pr wire.ReplicaPromoteResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&pr); err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: promoting standby of %q: HTTP %d (%v)", name, resp.StatusCode, err)
+	}
+	f.logf("cluster: shard %s failed over to %s (%d sessions live)", name, sh.standbyAddr, len(pr.Sessions))
+	sh.addr, sh.binAddr = sh.standbyAddr, sh.standbyBin
+	sh.standbyAddr, sh.standbyBin = "", ""
+	sh.failedOver = true
+	sh.misses = 0
+	f.met.Counter("front.failovers").Inc()
+	return nil
+}
+
+// probeAll health-checks every shard and fails the dead ones over.
+func (f *Front) probeAll() {
+	for _, sh := range f.allShards() {
+		addr, _ := sh.current()
+		ok := f.probe(addr)
+		sh.mu.Lock()
+		if ok {
+			sh.misses = 0
+			sh.mu.Unlock()
+			continue
+		}
+		sh.misses++
+		misses, standby := sh.misses, sh.standbyAddr
+		sh.mu.Unlock()
+		f.met.Counter("front.probe_failures").Inc()
+		if misses >= f.cfg.FailAfter && standby != "" {
+			if err := f.Failover(sh.name); err != nil {
+				f.logf("cluster: %v", err)
+			}
+		}
+	}
+}
+
+func (f *Front) probe(base string) bool {
+	ctx, cancel := contextWithTimeout(f.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,122 @@
+// The front door's binary-protocol surface. The protocol is
+// session-scoped — the first frame on every connection is Attach — so
+// the front only has to speak binproto for one frame: it reads the
+// Attach, hashes the session name onto the ring, dials the owning
+// shard's binary listener, replays the handshake and the Attach frame,
+// and then splices bytes in both directions. Pipelining, batching and
+// flush behaviour stay end-to-end between client and shard; the front
+// adds one hop, not one parse.
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/wire/binproto"
+)
+
+// binDialTimeout bounds the upstream dial when splicing a connection.
+const binDialTimeout = 5 * time.Second
+
+// ServeBin accepts binary-protocol connections on ln and splices each
+// onto the shard owning its session. It blocks until ln closes.
+func (f *Front) ServeBin(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go f.spliceBinConn(conn)
+	}
+}
+
+func (f *Front) spliceBinConn(conn net.Conn) {
+	defer conn.Close()
+	// Client speaks first; answer before reading the Attach so pipelined
+	// clients are not stalled.
+	if err := binproto.ReadHandshake(conn); err != nil {
+		f.met.Counter("front.bin_errors").Inc()
+		return
+	}
+	if err := binproto.WriteHandshake(conn); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	fr, err := binproto.ReadFrame(br)
+	if err != nil {
+		f.binRefuse(conn, 0, http.StatusBadRequest, "", "reading attach: "+err.Error())
+		return
+	}
+	if fr.Type != binproto.TAttach {
+		f.binRefuse(conn, fr.Corr, http.StatusBadRequest, "", "first frame must be attach")
+		return
+	}
+	att, err := binproto.DecodeAttach(fr.Payload)
+	if err != nil {
+		f.binRefuse(conn, fr.Corr, http.StatusBadRequest, "", err.Error())
+		return
+	}
+	sh, ok := f.shardFor(att.Name)
+	if !ok {
+		f.binRefuse(conn, fr.Corr, http.StatusServiceUnavailable, wire.CodeStandby, "no shards registered")
+		return
+	}
+	_, binAddr := sh.current()
+	if binAddr == "" {
+		f.binRefuse(conn, fr.Corr, http.StatusServiceUnavailable, wire.CodeStandby, "shard "+sh.name+" has no binary listener")
+		return
+	}
+	up, err := net.DialTimeout("tcp", binAddr, binDialTimeout)
+	if err != nil {
+		f.met.Counter("front.proxy_errors").Inc()
+		f.binRefuse(conn, fr.Corr, http.StatusBadGateway, "", "shard unreachable: "+err.Error())
+		return
+	}
+	defer up.Close()
+	if err := binproto.WriteHandshake(up); err != nil {
+		return
+	}
+	if err := binproto.ReadHandshake(up); err != nil {
+		f.binRefuse(conn, fr.Corr, http.StatusBadGateway, "", "shard handshake: "+err.Error())
+		return
+	}
+	if err := binproto.WriteFrame(up, fr); err != nil {
+		return
+	}
+	f.met.Counter("front.bin_conns").Inc()
+	f.logf("cluster: bin session %q spliced onto %s (%s)", att.Name, sh.name, binAddr)
+
+	// Splice. The client-side reader goes through br so frames the
+	// client pipelined behind the Attach are not lost.
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(up, br)
+		// Client went away (or shard write failed): unblock the other
+		// copy so the connection tears down as a unit.
+		up.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(conn, up)
+		conn.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// binRefuse answers one TErr frame and lets the deferred close drop the
+// connection — same shape the shard itself uses for a fatal frame.
+func (f *Front) binRefuse(w io.Writer, corr uint64, status int, code, msg string) {
+	f.met.Counter("front.bin_errors").Inc()
+	payload := binproto.AppendErrMsg(nil, &binproto.ErrMsg{Status: status, Code: code, Msg: msg})
+	_ = binproto.WriteFrame(w, binproto.Frame{Type: binproto.TErr, Corr: corr, Payload: payload})
+}

@@ -1,0 +1,301 @@
+// The front door's HTTP surface: per-session requests proxy to the
+// owning shard; fleet-level requests (session list, metrics, health)
+// fan out and merge.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		d = time.Second
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+func (f *Front) routes() {
+	f.mux.HandleFunc("GET /healthz", f.handleHealth)
+	f.mux.HandleFunc("GET /metrics", f.handleMetricsText)
+	f.mux.HandleFunc("GET /v1/metrics", f.handleMetricsJSON)
+	f.mux.HandleFunc("POST /v1/sessions", f.handleCreate)
+	f.mux.HandleFunc("GET /v1/sessions", f.handleList)
+	f.mux.HandleFunc("/v1/sessions/{name}", f.handleSession)
+	f.mux.HandleFunc("/v1/sessions/{name}/{rest...}", f.handleSession)
+	f.mux.HandleFunc("POST /v1/replica/promote", f.handlePromoteAll)
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.met.Counter("front.http_requests").Inc()
+	f.mux.ServeHTTP(w, r)
+}
+
+// proxyFor returns (building if needed) the reverse proxy for a shard
+// base URL. Proxies share the front's pooled transport.
+func (f *Front) proxyFor(base string) (*httputil.ReverseProxy, error) {
+	f.mu.RLock()
+	p, ok := f.proxies[base]
+	f.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	target, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard url %q: %w", base, err)
+	}
+	p = httputil.NewSingleHostReverseProxy(target)
+	p.Transport = f.hc.Transport
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		f.met.Counter("front.proxy_errors").Inc()
+		f.errorf(w, http.StatusBadGateway, "shard unreachable: %v", err)
+	}
+	f.mu.Lock()
+	f.proxies[base] = p
+	f.mu.Unlock()
+	return p, nil
+}
+
+// forward proxies the request to the shard owning the session.
+func (f *Front) forward(w http.ResponseWriter, r *http.Request, session string) {
+	sh, ok := f.shardFor(session)
+	if !ok {
+		f.errorf(w, http.StatusServiceUnavailable, "no shards registered")
+		return
+	}
+	addr, _ := sh.current()
+	p, err := f.proxyFor(addr)
+	if err != nil {
+		f.errorf(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	p.ServeHTTP(w, r)
+}
+
+// handleSession proxies every per-session endpoint by the {name} path
+// segment — the consistent-hash routing step.
+func (f *Front) handleSession(w http.ResponseWriter, r *http.Request) {
+	f.forward(w, r, r.PathValue("name"))
+}
+
+// handleCreate peeks the create body for the session name, restores the
+// body, and proxies to the owning shard.
+func (f *Front) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, wire.DefaultMaxBody+1))
+	if err != nil {
+		f.errorf(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > wire.DefaultMaxBody {
+		f.errorf(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", wire.DefaultMaxBody)
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Name == "" {
+		f.errorf(w, http.StatusBadRequest, "create body carries no session name")
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	f.forward(w, r, req.Name)
+}
+
+// handleList fans out to every shard and merges the session lists.
+func (f *Front) handleList(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		list wire.SessionList
+		err  error
+	}
+	shards := f.allShards()
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			addr, _ := sh.current()
+			results[i].err = f.getJSON(addr+"/v1/sessions", &results[i].list)
+		}(i, sh)
+	}
+	wg.Wait()
+	var merged wire.SessionList
+	for i, res := range results {
+		if res.err != nil {
+			f.logf("cluster: listing %s: %v", shards[i].name, res.err)
+			continue
+		}
+		merged.Sessions = append(merged.Sessions, res.list.Sessions...)
+	}
+	sort.Slice(merged.Sessions, func(i, j int) bool { return merged.Sessions[i].Name < merged.Sessions[j].Name })
+	f.writeJSON(w, http.StatusOK, merged)
+}
+
+// handlePromoteAll is an operator hammer: promote every standby (used
+// when the front is being pointed at a standby fleet wholesale).
+func (f *Front) handlePromoteAll(w http.ResponseWriter, r *http.Request) {
+	var out wire.ReplicaPromoteResponse
+	for _, sh := range f.allShards() {
+		sh.mu.RLock()
+		standby := sh.standbyAddr
+		sh.mu.RUnlock()
+		if standby == "" {
+			continue
+		}
+		if err := f.Failover(sh.name); err != nil {
+			f.errorf(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+	}
+	for _, sh := range f.allShards() {
+		out.Sessions = append(out.Sessions, sh.name)
+	}
+	f.writeJSON(w, http.StatusOK, out)
+}
+
+// mergeSnapshot folds one shard's metrics into the aggregate: counters,
+// gauges and histogram counts/sums add; histogram extrema and quantiles
+// take the worst case (a fleet p99 is at least the worst shard's p99).
+func mergeSnapshot(dst *obs.Snapshot, src obs.Snapshot) {
+	if dst.Counters == nil {
+		dst.Counters = make(map[string]int64)
+	}
+	if dst.Gauges == nil {
+		dst.Gauges = make(map[string]int64)
+	}
+	if dst.Histograms == nil {
+		dst.Histograms = make(map[string]obs.HistogramSnapshot)
+	}
+	for k, v := range src.Counters {
+		dst.Counters[k] += v
+	}
+	for k, v := range src.Gauges {
+		dst.Gauges[k] += v
+	}
+	for k, h := range src.Histograms {
+		m, ok := dst.Histograms[k]
+		if !ok {
+			dst.Histograms[k] = h
+			continue
+		}
+		m.Count += h.Count
+		m.Sum += h.Sum
+		if h.Min < m.Min {
+			m.Min = h.Min
+		}
+		if h.Max > m.Max {
+			m.Max = h.Max
+		}
+		if h.P50 > m.P50 {
+			m.P50 = h.P50
+		}
+		if h.P95 > m.P95 {
+			m.P95 = h.P95
+		}
+		if h.P99 > m.P99 {
+			m.P99 = h.P99
+		}
+		dst.Histograms[k] = m
+	}
+}
+
+// aggregate fans out to every shard's /v1/metrics and merges, folding
+// in the front's own counters.
+func (f *Front) aggregate() obs.Snapshot {
+	shards := f.allShards()
+	snaps := make([]obs.Snapshot, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			addr, _ := sh.current()
+			errs[i] = f.getJSON(addr+"/v1/metrics", &snaps[i])
+		}(i, sh)
+	}
+	wg.Wait()
+	var out obs.Snapshot
+	mergeSnapshot(&out, f.met.Snapshot())
+	for i, snap := range snaps {
+		if errs[i] != nil {
+			f.logf("cluster: scraping %s: %v", shards[i].name, errs[i])
+			continue
+		}
+		mergeSnapshot(&out, snap)
+	}
+	return out
+}
+
+func (f *Front) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	f.writeJSON(w, http.StatusOK, f.aggregate())
+}
+
+func (f *Front) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := f.aggregate()
+	if err := snap.WriteProm(w, "flay"); err != nil {
+		f.logf("cluster: writing /metrics: %v", err)
+	}
+}
+
+// handleHealth answers /healthz with the standard wire.HealthResponse
+// shape plus a per-shard detail row, so a plain client's readiness
+// probe works unchanged against a front.
+func (f *Front) handleHealth(w http.ResponseWriter, r *http.Request) {
+	out := wire.HealthResponse{Status: "ok", Version: wire.Version}
+	for _, sh := range f.allShards() {
+		sh.mu.RLock()
+		row := wire.ShardHealth{
+			Name:       sh.name,
+			Addr:       sh.addr,
+			Healthy:    sh.misses == 0,
+			FailedOver: sh.failedOver,
+			HasStandby: sh.standbyAddr != "",
+		}
+		sh.mu.RUnlock()
+		if !row.Healthy {
+			out.Status = "degraded"
+		}
+		out.Shards = append(out.Shards, row)
+	}
+	f.writeJSON(w, http.StatusOK, out)
+}
+
+func (f *Front) getJSON(u string, v any) error {
+	resp, err := f.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, wire.DefaultMaxBody)).Decode(v)
+}
+
+func (f *Front) errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	f.met.Counter("front.http_errors").Inc()
+	f.writeJSON(w, status, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (f *Front) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,120 @@
+// Package cluster is the flayd fleet layer: a consistent-hash ring
+// mapping session names onto shards, and a front door (Front) that
+// proxies both the HTTP/JSON and the binary protocol onto the owning
+// shard, aggregates fleet metrics, and fails a dead shard over to its
+// snapshot-shipped standby.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is
+// projected onto vnodes points of a 64-bit circle; a key is owned by
+// the first point at or after its hash. With enough vnodes (the default
+// 128) key ownership is near-uniform, and adding or removing one member
+// moves only ~1/N of the keyspace.
+//
+// Members are stable shard identities, not addresses: a failover swaps
+// the address behind a member and leaves the ring — and therefore every
+// session's placement — untouched.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []point // sorted by hash
+	members map[string]struct{}
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVnodes is the per-member virtual node count.
+const DefaultVnodes = 128
+
+// NewRing builds an empty ring (vnodes <= 0 uses DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// fnv-1a mixes trailing bytes weakly, and both session names and
+	// vnode labels share long prefixes, which clusters raw hashes into
+	// narrow bands of the circle. A splitmix64 finalizer avalanches the
+	// state so near-identical strings land far apart.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", member, i)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its points (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key ("" on an empty ring).
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].member
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"shard-a", "shard-b", "shard-c", "shard-d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 4000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("session-%d", i))]++
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d members own keys: %v", len(counts), len(members), counts)
+	}
+	// With 128 vnodes the split should be within a loose 2x band of even.
+	want := keys / len(members)
+	for m, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Errorf("member %s owns %d keys, want within [%d,%d]", m, n, want/2, want*2)
+		}
+	}
+}
+
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"shard-a", "shard-b", "shard-c", "shard-d"} {
+		r.Add(m)
+	}
+	const keys = 4000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Lookup(fmt.Sprintf("session-%d", i))
+	}
+	r.Remove("shard-b")
+	moved, fromB := 0, 0
+	for i := range before {
+		now := r.Lookup(fmt.Sprintf("session-%d", i))
+		if now == "shard-b" {
+			t.Fatalf("key still maps to removed member")
+		}
+		if now != before[i] {
+			moved++
+			if before[i] == "shard-b" {
+				fromB++
+			}
+		}
+	}
+	// Consistent hashing's contract: only the removed member's keys move.
+	if moved != fromB {
+		t.Fatalf("%d keys moved but only %d belonged to the removed member", moved, fromB)
+	}
+	// Re-adding restores the original placement exactly.
+	r.Add("shard-b")
+	for i := range before {
+		if now := r.Lookup(fmt.Sprintf("session-%d", i)); now != before[i] {
+			t.Fatalf("key %d moved from %s to %s after re-add", i, before[i], now)
+		}
+	}
+}
+
+func TestRingDeterministicAndEmpty(t *testing.T) {
+	if got := NewRing(8).Lookup("x"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	a, b := NewRing(16), NewRing(16)
+	for _, m := range []string{"s1", "s2", "s3"} {
+		a.Add(m)
+		b.Add(m)
+	}
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings disagree on %s", k)
+		}
+	}
+	a.Add("s2") // idempotent
+	if got := len(a.Members()); got != 3 {
+		t.Fatalf("duplicate add changed membership: %d members", got)
+	}
+}

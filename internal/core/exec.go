@@ -99,25 +99,64 @@ func (s *Specializer) machine() *dpexec.Machine {
 	return dpexec.NewMachine()
 }
 
+// PinnedExec pins one published image (and one pooled machine) for a
+// stream of packets. Every Run executes against exactly the image
+// current at PinExec time: the epoch load, the nil-image check and the
+// machine rental are paid once per pin instead of once per packet, and
+// a concurrent epoch publication cannot tear the stream — every packet
+// of the pin sees the same program+configuration cut. A PinnedExec is
+// not safe for concurrent use (it owns one machine); pin per goroutine.
+//
+// The pinned image is immutable and retires like any epoch image: when
+// the pin and the publication pipeline both drop it.
+type PinnedExec struct {
+	s   *Specializer
+	img *dpexec.Image
+	m   *dpexec.Machine
+}
+
+// PinExec pins the currently published executable image for batch-level
+// execution. Requires Options.Exec; otherwise flayerr.ErrExecDisabled.
+// Callers must Close the pin to return its machine to the pool.
+func (s *Specializer) PinExec() (*PinnedExec, error) {
+	img := s.loadEpoch().img
+	if img == nil {
+		return nil, fmt.Errorf("core: %w", flayerr.ErrExecDisabled)
+	}
+	return &PinnedExec{s: s, img: img, m: s.machine()}, nil
+}
+
+// Run executes one packet against the pinned image.
+func (p *PinnedExec) Run(data []byte, port uint16) (dpexec.Result, error) {
+	res, err := p.m.Run(p.img, data, port)
+	if err != nil {
+		return dpexec.Result{}, err
+	}
+	res.Emitted = append([]byte(nil), res.Emitted...)
+	return res, nil
+}
+
+// Close returns the pin's machine to the pool. Idempotent; Run after
+// Close panics (the machine is gone).
+func (p *PinnedExec) Close() {
+	if p.m != nil {
+		p.s.machines.Put(p.m)
+		p.m = nil
+	}
+}
+
 // Exec runs one packet through the published executable image and
 // returns its observable result. It is wait-free against writers: the
 // image is loaded from the current epoch with one atomic load, and
 // concurrent control-plane churn only ever swaps in fully built images.
 // Requires Options.Exec; otherwise flayerr.ErrExecDisabled.
 func (s *Specializer) Exec(data []byte, port uint16) (dpexec.Result, error) {
-	e := s.loadEpoch()
-	if e.img == nil {
-		return dpexec.Result{}, fmt.Errorf("core: %w", flayerr.ErrExecDisabled)
-	}
-	m := s.machine()
-	res, err := m.Run(e.img, data, port)
+	p, err := s.PinExec()
 	if err != nil {
-		s.machines.Put(m)
 		return dpexec.Result{}, err
 	}
-	res.Emitted = append([]byte(nil), res.Emitted...)
-	s.machines.Put(m)
-	return res, nil
+	defer p.Close()
+	return p.Run(data, port)
 }
 
 // ExecBatch runs a batch of packets against one consistent image (the
@@ -126,26 +165,23 @@ func (s *Specializer) Exec(data []byte, port uint16) (dpexec.Result, error) {
 // entries default to port 0. The first packet runtime error aborts the
 // batch.
 func (s *Specializer) ExecBatch(packets [][]byte, ports []uint16) ([]dpexec.Result, error) {
-	e := s.loadEpoch()
-	if e.img == nil {
-		return nil, fmt.Errorf("core: %w", flayerr.ErrExecDisabled)
+	p, err := s.PinExec()
+	if err != nil {
+		return nil, err
 	}
-	m := s.machine()
+	defer p.Close()
 	out := make([]dpexec.Result, len(packets))
 	for i, data := range packets {
 		var port uint16
 		if i < len(ports) {
 			port = ports[i]
 		}
-		res, err := m.Run(e.img, data, port)
+		res, err := p.Run(data, port)
 		if err != nil {
-			s.machines.Put(m)
 			return nil, fmt.Errorf("core: packet %d: %w", i, err)
 		}
-		res.Emitted = append([]byte(nil), res.Emitted...)
 		out[i] = res
 	}
-	s.machines.Put(m)
 	return out, nil
 }
 

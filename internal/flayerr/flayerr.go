@@ -51,4 +51,9 @@ var (
 	// ErrBadPacket marks a malformed packet in a wire exec request:
 	// bad hex, an oversized frame, or a missing body.
 	ErrBadPacket = errors.New("bad packet")
+
+	// ErrStandby marks a write against a standby replica: its sessions
+	// mutate only through the replication channel until promotion
+	// (HTTP 503 on the wire; clients re-route or retry).
+	ErrStandby = errors.New("standby")
 )

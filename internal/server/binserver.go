@@ -1,0 +1,316 @@
+// The binary listener: flayd's second protocol surface. Same versioned
+// vocabulary as the HTTP/JSON API (internal/wire), framed as
+// length-prefixed binary (internal/wire/binproto) over a raw TCP
+// connection, with pipelining: a client may have many writes in flight
+// on one connection, matched back by correlation ID.
+//
+// Connections are session-scoped: after the handshake, the first frame
+// must be an Attach naming the session (optionally creating it from a
+// catalog program). Every subsequent Write lands on that session. This
+// is what makes the front door's job trivial — it routes the Attach and
+// then splices bytes.
+//
+// The read loop never blocks on the engine: each Write is submitted to
+// the session's dispatcher and a bounded number of waiter goroutines
+// (binInflight) carry results back to the single writer goroutine,
+// which batches frame flushes. Responses may therefore interleave out
+// of order — that is the point of correlation IDs.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	goflay "repro"
+	"repro/internal/flayerr"
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/internal/wire/binproto"
+)
+
+// binInflight bounds the write requests in flight per connection (the
+// pipelining window the server is willing to buffer).
+const binInflight = 256
+
+// ServeBin accepts binary-protocol connections until the listener
+// closes. Run it in its own goroutine alongside the HTTP server.
+func (s *Server) ServeBin(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveBinConn(conn)
+	}
+}
+
+// trackBinConn registers a live connection for Shutdown to close;
+// reports false when the server is already draining.
+func (s *Server) trackBinConn(conn net.Conn) bool {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		return false
+	}
+	s.binMu.Lock()
+	s.binConns[conn] = struct{}{}
+	s.binMu.Unlock()
+	return true
+}
+
+func (s *Server) untrackBinConn(conn net.Conn) {
+	s.binMu.Lock()
+	delete(s.binConns, conn)
+	s.binMu.Unlock()
+}
+
+func (s *Server) serveBinConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.trackBinConn(conn) {
+		return
+	}
+	defer s.untrackBinConn(conn)
+	s.met.Counter("server.bin_conns").Inc()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := binproto.ReadHandshake(br); err != nil {
+		return
+	}
+	if err := binproto.WriteHandshake(conn); err != nil {
+		return
+	}
+
+	// Single writer: waiter goroutines funnel response frames here; the
+	// writer flushes when the channel runs dry, batching under load.
+	out := make(chan binproto.Frame, binInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// On a write error, keep draining so waiter goroutines blocked
+		// on a full channel always get to finish.
+		defer func() {
+			for range out {
+			}
+		}()
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		for f := range out {
+			if err := binproto.WriteFrame(bw, f); err != nil {
+				return
+			}
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+	defer func() { close(out); <-writerDone }()
+
+	sess, ok := s.binAttach(br, out)
+	if !ok {
+		return
+	}
+	sem := make(chan struct{}, binInflight)
+	defer func() {
+		// Wait for in-flight writes so their responses beat the close.
+		for i := 0; i < binInflight; i++ {
+			sem <- struct{}{}
+		}
+	}()
+	for {
+		f, err := binproto.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		s.met.Counter("server.bin_frames").Inc()
+		switch f.Type {
+		case binproto.TWrite:
+			if !s.binWrite(sess, f, out, sem) {
+				return
+			}
+		case binproto.TStats:
+			payload, err := json.Marshal(wire.FromStats(sess.pipe.Statistics()))
+			if err != nil {
+				binErr(out, f.Corr, 500, fmt.Errorf("stats: %w", err))
+				continue
+			}
+			out <- binproto.Frame{Type: binproto.TStatsOK, Corr: f.Corr, Payload: payload}
+		case binproto.TSnapshot:
+			data, err := sess.pipe.Snapshot()
+			if err != nil {
+				binErr(out, f.Corr, 500, fmt.Errorf("snapshot: %w", err))
+				continue
+			}
+			out <- binproto.Frame{Type: binproto.TSnapshotOK, Corr: f.Corr, Payload: data}
+		case binproto.TPing:
+			out <- binproto.Frame{Type: binproto.TPong, Corr: f.Corr}
+		default:
+			// Unknown frame type is a protocol error; drop the conn.
+			binErr(out, f.Corr, 400, fmt.Errorf("unexpected frame type %#x", f.Type))
+			return
+		}
+	}
+}
+
+// binAttach consumes the mandatory first frame: Attach resolves (or
+// creates, given a catalog) the session the connection is scoped to.
+func (s *Server) binAttach(br *bufio.Reader, out chan<- binproto.Frame) (*Session, bool) {
+	f, err := binproto.ReadFrame(br)
+	if err != nil {
+		return nil, false
+	}
+	if f.Type != binproto.TAttach {
+		binErr(out, f.Corr, 400, fmt.Errorf("first frame must be attach, got %#x", f.Type))
+		return nil, false
+	}
+	a, err := binproto.DecodeAttach(f.Payload)
+	if err != nil {
+		binErr(out, f.Corr, 400, err)
+		return nil, false
+	}
+	sess, ok := s.session(a.Name)
+	created := false
+	if !ok {
+		if a.Catalog == "" {
+			binErr(out, f.Corr, 404, fmt.Errorf("no session %q", a.Name))
+			return nil, false
+		}
+		sess, err = s.binCreate(a)
+		if err != nil {
+			status := 422
+			switch {
+			case errors.Is(err, flayerr.ErrStandby):
+				status = 503
+			case errors.Is(err, errExists):
+				// Lost a create race: attach to the winner.
+				if sess, ok = s.session(a.Name); ok {
+					err = nil
+				}
+			}
+			if err != nil {
+				binErr(out, f.Corr, status, err)
+				return nil, false
+			}
+		} else {
+			created = true
+		}
+	}
+	out <- binproto.Frame{Type: binproto.TAttachOK, Corr: f.Corr, Payload: binproto.AppendAttachOK(nil, &binproto.AttachOK{
+		Name:    sess.name,
+		Program: sess.program,
+		Epoch:   sess.pipe.Epoch(),
+		Created: created,
+	})}
+	return sess, true
+}
+
+var errExists = errors.New("session exists")
+
+// binCreate loads a catalog session on behalf of an Attach, mirroring
+// the HTTP create path (standby gate, audit trail, base ship).
+func (s *Server) binCreate(a *binproto.Attach) (*Session, error) {
+	if s.standby.Load() {
+		return nil, fmt.Errorf("server: %w", flayerr.ErrStandby)
+	}
+	if !nameRE.MatchString(a.Name) {
+		return nil, fmt.Errorf("invalid session name %q (want %s)", a.Name, nameRE)
+	}
+	trail := obs.NewTrail(s.cfg.AuditLimit)
+	opts := []goflay.Option{goflay.WithMetrics(s.met), goflay.WithAudit(trail)}
+	if a.Exec {
+		opts = append(opts, goflay.WithExec())
+	}
+	pipe, err := goflay.OpenCatalog(a.Catalog, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("loading session: %w", err)
+	}
+	sess := s.newSession(a.Name, "catalog:"+a.Catalog, pipe, trail, false)
+	sess.exec = a.Exec
+	if err := s.addSession(sess); err != nil {
+		sess.close()
+		return nil, fmt.Errorf("%w: %v", errExists, err)
+	}
+	if s.ship != nil {
+		s.ship.shipBase(sess)
+	}
+	return sess, nil
+}
+
+// binWrite decodes and submits one pipelined write. Returns false only
+// on unrecoverable protocol errors (malformed payload).
+func (s *Server) binWrite(sess *Session, f binproto.Frame, out chan<- binproto.Frame, sem chan struct{}) bool {
+	if s.standby.Load() {
+		binErr(out, f.Corr, 503, fmt.Errorf("server: %w", flayerr.ErrStandby))
+		return true
+	}
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		binErr(out, f.Corr, 503, errors.New("draining"))
+		return true
+	}
+	w, err := binproto.DecodeWrite(f.Payload)
+	if err != nil {
+		binErr(out, f.Corr, 400, err)
+		return false
+	}
+	var deadline time.Time
+	switch {
+	case w.DeadlineMS > 0:
+		deadline = time.Now().Add(time.Duration(w.DeadlineMS) * time.Millisecond)
+	case s.cfg.PressureDeadline > 0 && sess.pressured():
+		deadline = time.Now().Add(s.cfg.PressureDeadline)
+		s.met.Counter("server.pressure_deadlines").Inc()
+	}
+	wr := &writeReq{updates: w.Updates, batch: w.Batch, deadline: deadline, reqID: w.ReqID, resp: make(chan writeResult, 1)}
+	start := time.Now()
+	sem <- struct{}{} // bound in-flight before accepting more frames
+	if err := sess.submit(wr); err != nil {
+		<-sem
+		status := 503
+		if errors.Is(err, ErrQueueFull) {
+			status = 429
+		}
+		binErr(out, f.Corr, status, err)
+		return true
+	}
+	corr := f.Corr
+	go func() {
+		defer func() { <-sem }()
+		res, err := sess.wait(wr)
+		if err != nil {
+			binErr(out, corr, 503, err)
+			return
+		}
+		s.met.Counter("server.write_requests").Inc()
+		s.met.Counter("server.write_updates").Add(int64(len(w.Updates)))
+		s.met.Histogram("server.write_ns").ObserveDuration(time.Since(start))
+		resp := writeResponse(res)
+		out <- binproto.Frame{Type: binproto.TWriteOK, Corr: corr, Payload: binproto.AppendWriteOK(nil, &binproto.WriteOK{
+			Coalesced: resp.Coalesced,
+			Replayed:  resp.Replayed,
+			Decisions: resp.Decisions,
+		})}
+	}()
+	return true
+}
+
+// binErr emits an error frame carrying the same status + machine code
+// the HTTP surface would have answered.
+func binErr(out chan<- binproto.Frame, corr uint64, status int, err error) {
+	out <- binproto.Frame{Type: binproto.TErr, Corr: corr, Payload: binproto.AppendErrMsg(nil, &binproto.ErrMsg{
+		Status: status,
+		Code:   wire.CodeOf(err),
+		Msg:    err.Error(),
+	})}
+}

@@ -1,0 +1,246 @@
+// Replication suite: an active daemon shipping to a hot standby must
+// keep the standby observationally identical (state, audit sequence,
+// specialized source), survive a standby restart via gap-triggered base
+// catch-up, refuse client writes until promoted, and keep req_id'd
+// writes exactly-once through the idempotency cache.
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/flayerr"
+	"repro/internal/fuzz"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startStandby runs a standby daemon on its own listener and returns
+// the daemon plus its base URL.
+func startStandby(t *testing.T) *testDaemon {
+	t.Helper()
+	return startDaemon(t, server.Config{Standby: true})
+}
+
+func promote(t *testing.T, base string) wire.ReplicaPromoteResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/replica/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer resp.Body.Close()
+	var out wire.ReplicaPromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("promote decode: %v", err)
+	}
+	return out
+}
+
+// TestReplicationTracksActive drives a mixed single/batch stream
+// through an active daemon and asserts the standby converges to the
+// same session: update counts, audit sequence, entry counts, and
+// byte-identical specialized source. Then a promote flips the standby
+// live and it starts accepting writes where the active left off.
+func TestReplicationTracksActive(t *testing.T) {
+	standby := startStandby(t)
+	active := startDaemon(t, server.Config{ReplicateTo: standby.ts.URL})
+
+	if _, err := active.c.CreateSession(wire.CreateSessionRequest{Name: "rep", Catalog: "fig3"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	local, _ := localEngine(t, "fig3")
+	stream, err := fuzz.New(local.An, 21).Stream(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range mixedChunks(stream) {
+		if _, err := active.c.Write("rep", ch.mode, ch.updates); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+
+	// The ship is synchronous (before ack), so by now the standby has
+	// everything that was acknowledged.
+	aInfo, err := active.c.Session("rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sInfo, err := standby.c.Session("rep")
+	if err != nil {
+		t.Fatalf("standby has no replica session: %v", err)
+	}
+	if sInfo.Stats.Updates != aInfo.Stats.Updates {
+		t.Fatalf("standby absorbed %d updates, active applied %d", sInfo.Stats.Updates, aInfo.Stats.Updates)
+	}
+	if sInfo.AuditTotal != aInfo.AuditTotal {
+		t.Fatalf("audit sequence diverged: standby %d, active %d", sInfo.AuditTotal, aInfo.AuditTotal)
+	}
+	if !reflect.DeepEqual(sInfo.Entries, aInfo.Entries) {
+		t.Fatalf("entry counts diverged: standby %v, active %v", sInfo.Entries, aInfo.Entries)
+	}
+	aSrc, _ := active.c.Source("rep", "specialized")
+	sSrc, _ := standby.c.Source("rep", "specialized")
+	if aSrc != sSrc {
+		t.Fatal("specialized source diverged between active and standby")
+	}
+
+	// Standby refuses client writes with the typed sentinel...
+	if _, err := standby.c.Write("rep", "", stream[:1]); !errors.Is(err, flayerr.ErrStandby) {
+		t.Fatalf("standby write: got %v, want ErrStandby", err)
+	}
+	if h, _ := standby.c.Health(); !h.Standby {
+		t.Fatal("standby health does not report standby")
+	}
+
+	// ...until promoted, after which the session continues with audit
+	// sequence continuity.
+	out := promote(t, standby.ts.URL)
+	if len(out.Sessions) != 1 || out.Sessions[0] != "rep" {
+		t.Fatalf("promote reported sessions %v", out.Sessions)
+	}
+	resp, err := standby.c.Write("rep", "", stream[:1])
+	if err != nil {
+		t.Fatalf("post-promote write: %v", err)
+	}
+	if len(resp.Decisions) != 1 {
+		t.Fatalf("post-promote write got %d decisions", len(resp.Decisions))
+	}
+	post, _ := standby.c.Session("rep")
+	if post.AuditTotal != aInfo.AuditTotal+1 {
+		t.Fatalf("audit sequence after promote: %d, want %d", post.AuditTotal, aInfo.AuditTotal+1)
+	}
+	if h, _ := standby.c.Health(); h.Standby {
+		t.Fatal("promoted daemon still reports standby")
+	}
+}
+
+// TestReplicaGapCatchup kills the replication target entirely: the
+// active's ships fail while the standby is down, and when a fresh
+// (empty) standby comes up on the same address, the next round answers
+// a replica gap and the active catches it up with a base snapshot that
+// subsumes everything missed.
+func TestReplicaGapCatchup(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+
+	// Short ship timeout: while the standby is down its listener accepts
+	// but never answers, and the test should not sit out the default.
+	active := startDaemon(t, server.Config{
+		ReplicateTo:   url,
+		ReplicaClient: &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	if _, err := active.c.CreateSession(wire.CreateSessionRequest{Name: "gap", Catalog: "fig3"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	local, _ := localEngine(t, "fig3")
+	stream, err := fuzz.New(local.An, 22).Stream(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standby is not serving yet: these rounds ship into the void (the
+	// writes still succeed — replication degrades, never blocks acks).
+	for _, u := range stream[:10] {
+		if _, err := active.c.Write("gap", wire.ModeSingle, []*controlplane.Update{u}); err != nil {
+			t.Fatalf("write while standby down: %v", err)
+		}
+	}
+
+	standbySrv, err := server.New(server.Config{Standby: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: standbySrv}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	sc := client.New(url)
+
+	// The next round hits "no session" -> gap -> base catch-up, and the
+	// rounds after it extend the base.
+	for _, u := range stream[10:] {
+		if _, err := active.c.Write("gap", wire.ModeSingle, []*controlplane.Update{u}); err != nil {
+			t.Fatalf("write after standby restart: %v", err)
+		}
+	}
+	aInfo, _ := active.c.Session("gap")
+	sInfo, err := sc.Session("gap")
+	if err != nil {
+		t.Fatalf("standby did not catch up: %v", err)
+	}
+	if sInfo.Stats.Updates == 0 || !reflect.DeepEqual(sInfo.Entries, aInfo.Entries) {
+		t.Fatalf("standby entries %v diverge from active %v", sInfo.Entries, aInfo.Entries)
+	}
+	met, _ := active.c.Metrics()
+	if met.Counters["server.ship_gaps"] == 0 {
+		t.Fatal("no gap catch-up recorded despite standby restart")
+	}
+}
+
+// TestWriteIdempotency sends the same req_id twice and expects the
+// second answer to replay the cached decisions without re-applying.
+func TestWriteIdempotency(t *testing.T) {
+	d := startDaemon(t, server.Config{})
+	if _, err := d.c.CreateSession(wire.CreateSessionRequest{Name: "idem", Catalog: "fig3"}); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := localEngine(t, "fig3")
+	stream, err := fuzz.New(local.An, 23).Stream(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() wire.WriteResponse {
+		t.Helper()
+		body, _ := json.Marshal(wire.WriteRequest{Updates: wire.FromUpdates(stream), ReqID: "req-1", Mode: wire.ModeBatch})
+		resp, err := http.Post(d.ts.URL+"/v1/sessions/idem/updates", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post status %d", resp.StatusCode)
+		}
+		var out wire.WriteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := post()
+	if first.Replayed {
+		t.Fatal("first write marked replayed")
+	}
+	st1, _ := d.c.Stats("idem")
+	second := post()
+	if !second.Replayed {
+		t.Fatal("duplicate req_id was not replayed")
+	}
+	if !reflect.DeepEqual(first.Decisions, second.Decisions) {
+		t.Fatalf("replayed decisions differ:\n first: %+v\nsecond: %+v", first.Decisions, second.Decisions)
+	}
+	st2, _ := d.c.Stats("idem")
+	if st2.Updates != st1.Updates {
+		t.Fatalf("duplicate req_id re-applied updates: %d -> %d", st1.Updates, st2.Updates)
+	}
+	// Distinct req_ids still apply.
+	time.Sleep(10 * time.Millisecond)
+	body, _ := json.Marshal(wire.WriteRequest{Updates: wire.FromUpdates(stream[:1]), ReqID: "req-2"})
+	resp, err := http.Post(d.ts.URL+"/v1/sessions/idem/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st3, _ := d.c.Stats("idem")
+	if st3.Updates != st1.Updates+1 {
+		t.Fatalf("fresh req_id did not apply: %d -> %d", st1.Updates, st3.Updates)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"regexp"
@@ -39,9 +40,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	goflay "repro"
+	"repro/internal/flayerr"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -79,6 +82,20 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logf receives operational log lines (default: drop them).
 	Logf func(format string, args ...any)
+
+	// Standby boots the server as a replication target: its sessions
+	// mutate only through the /v1/replica/* channel (client writes and
+	// creates answer 503 with code "standby", reads are served normally)
+	// until Promote flips it live.
+	Standby bool
+	// ReplicateTo, when non-empty, is the base URL of a standby flayd:
+	// every session is base-shipped there on create/restore, and every
+	// applied write round is forwarded there before it is acknowledged,
+	// so a killed shard loses no accepted write.
+	ReplicateTo string
+	// ReplicaClient overrides the HTTP client used for replication
+	// (tests; default is a dedicated pooled client).
+	ReplicaClient *http.Client
 }
 
 const (
@@ -96,9 +113,20 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// standby is the replication role flag; Promote flips it false.
+	standby atomic.Bool
+	// ship forwards rounds and base snapshots to the standby (nil when
+	// replication is not configured).
+	ship *shipper
+
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	draining bool
+
+	// binMu/binConns track live binary-protocol connections so Shutdown
+	// can close them (their read loops would otherwise block forever).
+	binMu    sync.Mutex
+	binConns map[io.Closer]struct{}
 }
 
 // nameRE validates session names: path- and filename-safe, no leading
@@ -136,6 +164,11 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		sessions: make(map[string]*Session),
+		binConns: make(map[io.Closer]struct{}),
+	}
+	s.standby.Store(cfg.Standby)
+	if cfg.ReplicateTo != "" {
+		s.ship = newShipper(cfg.ReplicateTo, cfg.ReplicaClient, s.met, cfg.Logf)
 	}
 	s.routes()
 	if cfg.SnapshotDir != "" {
@@ -177,9 +210,15 @@ func (s *Server) restoreAll() error {
 			s.cfg.Logf("server: restoring snapshot %s: %v", e.Name(), err)
 			continue
 		}
-		s.sessions[name] = s.newSession(name, "(restored)", pipe, trail, true)
+		sess := s.newSession(name, "(restored)", pipe, trail, true)
+		s.sessions[name] = sess
 		s.met.Counter("server.sessions_restored").Inc()
 		s.cfg.Logf("server: restored session %s (%d updates deep)", name, pipe.Statistics().Updates)
+		if s.ship != nil {
+			// Seed the standby; a failure here self-heals on the first
+			// round ship (409 gap -> base catch-up).
+			s.ship.shipBase(sess)
+		}
 	}
 	s.met.Gauge("server.sessions").Set(int64(len(s.sessions)))
 	return nil
@@ -254,6 +293,15 @@ func (s *Server) Shutdown() error {
 	s.draining = true
 	s.mu.Unlock()
 
+	// Unblock binary-protocol read loops; their in-flight writes were
+	// already accepted into session queues and drain below.
+	s.binMu.Lock()
+	for c := range s.binConns {
+		c.Close()
+	}
+	s.binConns = make(map[io.Closer]struct{})
+	s.binMu.Unlock()
+
 	var firstErr error
 	for _, sess := range s.snapshotList() {
 		sess.close() // drains accepted writes
@@ -293,6 +341,37 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/audit", s.handleAudit)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/source", s.handleSource)
+	s.mux.HandleFunc("POST /v1/replica/sessions", s.handleReplicaSession)
+	s.mux.HandleFunc("POST /v1/replica/sessions/{name}/rounds", s.handleReplicaRound)
+	s.mux.HandleFunc("POST /v1/replica/promote", s.handleReplicaPromote)
+}
+
+// Standby reports whether the server is still a replication target.
+func (s *Server) Standby() bool { return s.standby.Load() }
+
+// Promote flips a standby live: client writes are accepted from here
+// on, replica rounds are refused. Idempotent; returns the names of the
+// sessions now serving.
+func (s *Server) Promote() []string {
+	if s.standby.CompareAndSwap(true, false) {
+		s.met.Counter("server.promotions_to_active").Inc()
+		s.cfg.Logf("server: promoted to active")
+	}
+	var names []string
+	for _, sess := range s.snapshotList() {
+		names = append(names, sess.name)
+	}
+	return names
+}
+
+// gateStandby refuses mutations while the server is a standby (503 with
+// code "standby"; the front door re-routes).
+func (s *Server) gateStandby(w http.ResponseWriter) bool {
+	if s.standby.Load() {
+		s.errorErr(w, http.StatusServiceUnavailable, fmt.Errorf("server: %w", flayerr.ErrStandby))
+		return false
+	}
+	return true
 }
 
 func (s *Server) info(sess *Session) wire.SessionInfo {
@@ -327,6 +406,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Version:  wire.Version,
 		Sessions: n,
 		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Standby:  s.standby.Load(),
 	})
 }
 
@@ -357,6 +437,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.gateStandby(w) {
+		return
+	}
 	var req wire.CreateSessionRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -409,10 +492,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.newSession(req.Name, program, pipe, trail, len(req.Snapshot) > 0)
+	sess.exec = req.Exec
 	if err := s.addSession(sess); err != nil {
 		sess.close()
 		s.errorf(w, http.StatusConflict, "%v", err)
 		return
+	}
+	if s.ship != nil {
+		s.ship.shipBase(sess)
 	}
 	s.cfg.Logf("server: session %s loaded %s in %v", req.Name, program, time.Since(start).Round(time.Millisecond))
 	writeJSON(w, http.StatusCreated, s.info(sess))
@@ -444,6 +531,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.gateStandby(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if !s.removeSession(name) {
 		s.errorf(w, http.StatusNotFound, "no session %q", name)
@@ -453,6 +543,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if !s.gateStandby(w) {
+		return
+	}
 	sess, ok := s.named(w, r)
 	if !ok {
 		return
@@ -485,7 +578,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Now().Add(s.cfg.PressureDeadline)
 		s.met.Counter("server.pressure_deadlines").Inc()
 	}
-	wr := &writeReq{updates: updates, batch: req.Batch(), deadline: deadline, resp: make(chan writeResult, 1)}
+	wr := &writeReq{updates: updates, batch: req.Batch(), deadline: deadline, reqID: req.ReqID, resp: make(chan writeResult, 1)}
 	start := time.Now()
 	if err := sess.submit(wr); err != nil {
 		status := http.StatusServiceUnavailable
@@ -503,11 +596,20 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	s.met.Counter("server.write_requests").Inc()
 	s.met.Counter("server.write_updates").Add(int64(len(updates)))
 	s.met.Histogram("server.write_ns").ObserveDuration(time.Since(start))
-	out := wire.WriteResponse{Coalesced: res.coalesced, Decisions: make([]wire.Decision, len(res.decisions))}
-	for i, d := range res.decisions {
-		out.Decisions[i] = wire.FromDecision(d)
+	writeJSON(w, http.StatusOK, writeResponse(res))
+}
+
+// writeResponse converts a dispatcher result to its wire form. A result
+// carrying pre-wired decisions (idempotency-cache hits, and any request
+// that sent a req_id) reuses them verbatim.
+func writeResponse(res writeResult) wire.WriteResponse {
+	out := wire.WriteResponse{Coalesced: res.coalesced, Replayed: res.replayed}
+	if res.wired != nil {
+		out.Decisions = res.wired
+		return out
 	}
-	writeJSON(w, http.StatusOK, out)
+	out.Decisions = wireDecisions(res.decisions)
+	return out
 }
 
 // handleExec runs a packet burst through the session's current

@@ -12,6 +12,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/flayerr"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Submission errors the HTTP layer maps to statuses. Both wrap the
@@ -36,6 +37,9 @@ type writeReq struct {
 	// dispatcher turns it into a context deadline, under which the
 	// engine may degrade table precision rather than miss it.
 	deadline time.Time
+	// reqID is the client's idempotency key ("" = none): a duplicate is
+	// answered from the session's decision cache without re-applying.
+	reqID string
 	// resp is buffered (capacity 1) so the dispatcher never blocks
 	// handing a result back, even if the requester gave up.
 	resp chan writeResult
@@ -43,9 +47,14 @@ type writeReq struct {
 
 type writeResult struct {
 	decisions []*goflay.Decision
+	// wired, when non-nil, is the response already in wire form (the
+	// idempotency-cache hit path); it takes precedence over decisions.
+	wired []wire.Decision
 	// coalesced is set when the request shared an ApplyBatch with at
 	// least one other request.
 	coalesced bool
+	// replayed is set when the result came from the idempotency cache.
+	replayed bool
 }
 
 // Session hosts one named Pipeline behind a single dispatcher
@@ -67,9 +76,27 @@ type Session struct {
 	audit *obs.Trail
 	srv   *Server
 
+	// exec records whether the session was created with the data-plane
+	// executor, so a base ship re-enables it on the standby.
+	exec bool
+
 	queue chan *writeReq
 	stop  chan struct{} // closed by close(); dispatcher drains and exits
 	done  chan struct{} // closed when the dispatcher has exited
+
+	// roundMu serializes write rounds against replication: the active
+	// holds it across apply+seq+ship so a base snapshot (taken under the
+	// same mutex) covers exactly repSeq rounds; the standby holds it
+	// while applying incoming rounds. repSeq is the sequence number of
+	// the last round applied (active) or absorbed (standby).
+	roundMu sync.Mutex
+	repSeq  uint64
+
+	// Idempotency cache: reqID → response already answered, bounded
+	// FIFO. Guarded by dedupMu (the binary and HTTP paths share it).
+	dedupMu    sync.Mutex
+	dedup      map[string]cachedWrite
+	dedupOrder []string
 
 	// snapGen is the engine generation captured by the last snapshot;
 	// genNever means no snapshot has been taken yet. snapMu serializes
@@ -94,6 +121,7 @@ func (s *Server) newSession(name, program string, pipe *goflay.Pipeline, audit *
 		queue:    make(chan *writeReq, s.cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		dedup:    make(map[string]cachedWrite),
 		snapGen:  genNever,
 	}
 	if restored {
@@ -212,32 +240,110 @@ func serveCtx(reqs []*writeReq) (context.Context, context.CancelFunc) {
 // else — an explicit batch, or several coalesced requests regardless of
 // their modes — goes through ApplyBatch as one atomic configuration
 // transition, with the decision slice split back per request in order.
+//
+// Requests carrying an idempotency key that is already in the decision
+// cache are answered from it without touching the engine (exactly-once
+// under client retries). When replication is configured, the round is
+// shipped to the standby before any request is acknowledged: an
+// acknowledged write is on the standby, so a shard kill loses nothing
+// that was accepted.
 func (sess *Session) serve(reqs []*writeReq) {
 	met := sess.srv.met
-	start := time.Now()
-	ctx, cancel := serveCtx(reqs)
-	defer cancel()
-	if len(reqs) == 1 && !reqs[0].batch {
-		ds := sess.pipe.ApplyAllCtx(ctx, reqs[0].updates)
-		met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
-		reqs[0].resp <- writeResult{decisions: ds}
+	fresh := reqs[:0]
+	for _, r := range reqs {
+		if r.reqID != "" {
+			if c, ok := sess.dedupGet(r.reqID); ok {
+				met.Counter("server.replayed_requests").Inc()
+				r.resp <- writeResult{wired: c.decisions, coalesced: c.coalesced, replayed: true}
+				continue
+			}
+		}
+		fresh = append(fresh, r)
+	}
+	if len(fresh) == 0 {
 		return
 	}
-	var all []*controlplane.Update
-	for _, r := range reqs {
-		all = append(all, r.updates...)
+	start := time.Now()
+	ctx, cancel := serveCtx(fresh)
+	defer cancel()
+	batch := len(fresh) > 1 || fresh[0].batch
+	if sess.srv.ship != nil {
+		sess.roundMu.Lock()
+		defer sess.roundMu.Unlock()
 	}
-	ds := sess.pipe.ApplyBatchCtx(ctx, all)
+	var ds []*goflay.Decision
+	if !batch {
+		ds = sess.pipe.ApplyAllCtx(ctx, fresh[0].updates)
+	} else {
+		var all []*controlplane.Update
+		for _, r := range fresh {
+			all = append(all, r.updates...)
+		}
+		ds = sess.pipe.ApplyBatchCtx(ctx, all)
+	}
 	met.Histogram("server.apply_ns").ObserveDuration(time.Since(start))
-	coalesced := len(reqs) > 1
+	coalesced := len(fresh) > 1
 	if coalesced {
-		met.Counter("server.coalesced_requests").Add(int64(len(reqs)))
+		met.Counter("server.coalesced_requests").Add(int64(len(fresh)))
+	}
+	if sess.srv.ship != nil {
+		sess.repSeq++
+		sess.srv.ship.shipRound(sess, sess.repSeq, batch, fresh)
 	}
 	off := 0
-	for _, r := range reqs {
-		r.resp <- writeResult{decisions: ds[off : off+len(r.updates)], coalesced: coalesced}
+	for _, r := range fresh {
+		slice := ds[off : off+len(r.updates)]
 		off += len(r.updates)
+		res := writeResult{decisions: slice, coalesced: coalesced}
+		if r.reqID != "" {
+			res.wired = wireDecisions(slice)
+			sess.dedupPut(r.reqID, cachedWrite{decisions: res.wired, coalesced: coalesced})
+		}
+		r.resp <- res
 	}
+}
+
+// cachedWrite is one idempotency-cache entry: the wire-form response a
+// reqID was originally answered with, replayed verbatim on duplicates.
+type cachedWrite struct {
+	decisions []wire.Decision
+	coalesced bool
+}
+
+// dedupCap bounds the idempotency cache: old enough entries age out
+// FIFO, which is safe because a client only retries a reqID while the
+// original request is unresolved — not dedupCap writes later.
+const dedupCap = 512
+
+func (sess *Session) dedupGet(reqID string) (cachedWrite, bool) {
+	sess.dedupMu.Lock()
+	defer sess.dedupMu.Unlock()
+	c, ok := sess.dedup[reqID]
+	return c, ok
+}
+
+func (sess *Session) dedupPut(reqID string, c cachedWrite) {
+	sess.dedupMu.Lock()
+	defer sess.dedupMu.Unlock()
+	if _, ok := sess.dedup[reqID]; ok {
+		return
+	}
+	for len(sess.dedupOrder) >= dedupCap {
+		delete(sess.dedup, sess.dedupOrder[0])
+		sess.dedupOrder = sess.dedupOrder[1:]
+	}
+	sess.dedup[reqID] = c
+	sess.dedupOrder = append(sess.dedupOrder, reqID)
+}
+
+// wireDecisions converts engine decisions to wire form (the shape the
+// idempotency cache stores, so a replayed answer is byte-stable).
+func wireDecisions(ds []*goflay.Decision) []wire.Decision {
+	out := make([]wire.Decision, len(ds))
+	for i, d := range ds {
+		out[i] = wire.FromDecision(d)
+	}
+	return out
 }
 
 // close stops the dispatcher, waits for it to drain, and releases the

@@ -1,0 +1,894 @@
+// Package binproto is the length-prefixed binary framing of flayd's
+// versioned wire protocol — the streaming update channel the HTTP/JSON
+// surface (internal/wire) is the compat layer for. The shape follows
+// RBFRT's observation that a runtime-control channel lives or dies on
+// per-update overhead: instead of one HTTP request/response per write,
+// a connection carries a stream of varint-framed update batches with
+// client-chosen correlation IDs, so many writes are in flight at once
+// (pipelining) and responses are matched by ID rather than by order.
+//
+// Connection layout:
+//
+//	handshake  "FLAY" + version byte, sent by both sides
+//	frames     type(1) | corr(uvarint) | len(uvarint) | payload(len)
+//
+// A connection is session-scoped: the first frame must be Attach, which
+// names (and optionally creates) the session every subsequent Write on
+// the connection applies to. The hot path — Write frames carrying
+// update batches, WriteOK frames carrying decisions — is fully binary:
+// bitvectors travel as width + big-endian bytes, never hex strings.
+// Low-rate control frames (Stats, Snapshot) carry their existing JSON
+// bodies inside the frame, so the two surfaces cannot drift.
+//
+// The decoder mirrors the strictness of the JSON path: every frame is
+// capped, every string and count bounded, every bitvector width checked
+// before a sym.BV is built, and malformed input yields an error — never
+// a panic, and never a chimera update the engine would misapply.
+// FuzzBinFrameDecode holds the package to that, differentially: a
+// logical message accepted by the JSON decoder must round-trip through
+// the binary encoding to the identical engine vocabulary.
+package binproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/controlplane"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// Version is the binary protocol version, carried in the handshake.
+// It tracks wire.Version: the framing and the logical protocol version
+// move together.
+const Version = wire.Version
+
+// magic opens every connection in both directions.
+var magic = [4]byte{'F', 'L', 'A', 'Y'}
+
+// Frame types. Requests are odd-ish client-to-server types; every
+// request is answered by its OK type or by TErr, echoing the corr ID.
+const (
+	TAttach     byte = 0x01 // payload: Attach
+	TAttachOK   byte = 0x02 // payload: AttachOK
+	TWrite      byte = 0x03 // payload: Write (binary update batch)
+	TWriteOK    byte = 0x04 // payload: WriteOK (binary decisions)
+	TStats      byte = 0x05 // payload: empty; answered with JSON wire.Stats
+	TStatsOK    byte = 0x06 // payload: JSON wire.Stats
+	TSnapshot   byte = 0x07 // payload: empty
+	TSnapshotOK byte = 0x08 // payload: raw Pipeline.Snapshot bytes
+	TPing       byte = 0x09 // payload: empty
+	TPong       byte = 0x0a // payload: empty
+	TErr        byte = 0x0f // payload: ErrMsg
+)
+
+// MaxFrame caps a frame payload, mirroring the HTTP body cap.
+const MaxFrame = wire.DefaultMaxBody
+
+// Bounds on decoded aggregates, so a short malicious frame cannot make
+// the decoder allocate gigabytes before length checks catch up.
+const (
+	maxString  = 1 << 16
+	maxUpdates = 1 << 16
+	maxSlice   = 1 << 20
+)
+
+// Decoding errors.
+var (
+	// ErrHandshake marks a peer that did not open with magic+version.
+	ErrHandshake = errors.New("binproto: bad handshake")
+	// ErrFrameTooLarge marks a frame over MaxFrame.
+	ErrFrameTooLarge = errors.New("binproto: frame too large")
+	// ErrTruncated marks a payload that ended mid-value.
+	ErrTruncated = errors.New("binproto: truncated payload")
+	// ErrMalformed marks a payload that decoded to out-of-range values.
+	ErrMalformed = errors.New("binproto: malformed payload")
+)
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Type byte
+	// Corr is the client-chosen correlation ID; responses echo it, so
+	// many requests can be in flight on one connection.
+	Corr    uint64
+	Payload []byte
+}
+
+// WriteHandshake sends magic + version.
+func WriteHandshake(w io.Writer) error {
+	_, err := w.Write([]byte{magic[0], magic[1], magic[2], magic[3], Version})
+	return err
+}
+
+// ReadHandshake consumes and validates the peer's magic + version.
+func ReadHandshake(r io.Reader) error {
+	var b [5]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if b[0] != magic[0] || b[1] != magic[1] || b[2] != magic[2] || b[3] != magic[3] {
+		return fmt.Errorf("%w: bad magic %q", ErrHandshake, b[:4])
+	}
+	if b[4] != Version {
+		return fmt.Errorf("%w: version %d, speak %d", ErrHandshake, b[4], Version)
+	}
+	return nil
+}
+
+// WriteFrame writes one frame. The caller owns buffering and flushing
+// (batch several frames, then flush — that is the point of the
+// protocol).
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [1 + 2*binMaxVarint]byte
+	hdr[0] = f.Type
+	n := 1
+	n += putUvarint(hdr[n:], f.Corr)
+	n += putUvarint(hdr[n:], uint64(len(f.Payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing the payload cap.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	t, err := r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	corr, err := readUvarint(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	n, err := readUvarint(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: %d bytes (cap %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("binproto: reading %d-byte payload: %w", n, err)
+	}
+	return Frame{Type: t, Corr: corr, Payload: payload}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+// Attach opens a session scope on the connection. When Catalog is
+// non-empty and no session Name exists, the server creates one from the
+// catalog program; otherwise the session must already exist.
+type Attach struct {
+	Name    string
+	Catalog string
+	// Exec asks a created session to enable the data-plane executor.
+	Exec bool
+}
+
+// AttachOK acknowledges an Attach.
+type AttachOK struct {
+	Name    string
+	Program string
+	Epoch   uint64
+	// Created reports whether the attach created the session.
+	Created bool
+}
+
+// Write is one streamed update batch.
+type Write struct {
+	// Batch requests ApplyBatch semantics (one atomic transition);
+	// otherwise updates apply one at a time.
+	Batch bool
+	// DeadlineMS is the request's latency budget in milliseconds (0 =
+	// none), same semantics as the JSON deadline_ms field.
+	DeadlineMS uint64
+	// ReqID is the optional idempotency key: a session remembers
+	// recently served IDs and answers duplicates from the decision
+	// cache instead of re-applying (exactly-once across retries and
+	// shard failover).
+	ReqID   string
+	Updates []*controlplane.Update
+}
+
+// WriteOK carries one decision per update of the matching Write.
+type WriteOK struct {
+	Coalesced bool
+	// Replayed reports the request was answered from the session's
+	// idempotency cache (a duplicate ReqID) without re-applying.
+	Replayed  bool
+	Decisions []wire.Decision
+}
+
+// ErrMsg is the payload of a TErr frame: the binary form of
+// wire.ErrorResponse plus the HTTP status the JSON surface would have
+// answered, so both surfaces classify identically.
+type ErrMsg struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+// Err converts the message to a client-side error value.
+func (e *ErrMsg) Error() string {
+	return fmt.Sprintf("binproto: status %d: %s", e.Status, e.Msg)
+}
+
+// ---------------------------------------------------------------------------
+// Encoders. All appenders; callers build payloads with them.
+
+const binMaxVarint = 10
+
+func putUvarint(b []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		b[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	b[i] = byte(v)
+	return i + 1
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binMaxVarint]byte
+	return append(b, tmp[:putUvarint(tmp[:], v)]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendBV encodes a bitvector as width + ceil(w/8) big-endian bytes.
+// The zero-width BV (the engine's "no value") encodes as width 0 and no
+// bytes.
+func appendBV(b []byte, v sym.BV) []byte {
+	b = appendUvarint(b, uint64(v.W))
+	n := (int(v.W) + 7) / 8
+	for i := n - 1; i >= 0; i-- {
+		var byt byte
+		if i >= 8 {
+			byt = byte(v.Hi >> (uint(i-8) * 8))
+		} else {
+			byt = byte(v.Lo >> (uint(i) * 8))
+		}
+		b = append(b, byt)
+	}
+	return b
+}
+
+// AppendAttach encodes an Attach payload.
+func AppendAttach(b []byte, a *Attach) []byte {
+	b = appendString(b, a.Name)
+	b = appendString(b, a.Catalog)
+	return appendBool(b, a.Exec)
+}
+
+// AppendAttachOK encodes an AttachOK payload.
+func AppendAttachOK(b []byte, a *AttachOK) []byte {
+	b = appendString(b, a.Name)
+	b = appendString(b, a.Program)
+	b = appendUvarint(b, a.Epoch)
+	return appendBool(b, a.Created)
+}
+
+// AppendWrite encodes a Write payload.
+func AppendWrite(b []byte, w *Write) []byte {
+	b = appendBool(b, w.Batch)
+	b = appendUvarint(b, w.DeadlineMS)
+	b = appendString(b, w.ReqID)
+	b = appendUvarint(b, uint64(len(w.Updates)))
+	for _, u := range w.Updates {
+		b = AppendUpdate(b, u)
+	}
+	return b
+}
+
+// AppendUpdate encodes one engine update. It is total over updates the
+// engine accepts, like wire.FromUpdate.
+func AppendUpdate(b []byte, u *controlplane.Update) []byte {
+	b = append(b, byte(u.Kind))
+	switch u.Kind {
+	case controlplane.InsertEntry, controlplane.ModifyEntry, controlplane.DeleteEntry:
+		b = appendString(b, u.Table)
+		b = appendEntry(b, u.Entry)
+	case controlplane.SetDefault:
+		b = appendString(b, u.Table)
+		b = appendActionCall(b, u.Default)
+	case controlplane.SetValueSet:
+		b = appendString(b, u.ValueSet)
+		b = appendUvarint(b, uint64(len(u.Members)))
+		for _, m := range u.Members {
+			b = appendBV(b, m.Value)
+			b = appendBV(b, m.Mask)
+		}
+	case controlplane.FillRegister:
+		b = appendString(b, u.Register)
+		b = appendBV(b, u.Fill)
+	}
+	return b
+}
+
+func appendEntry(b []byte, e *controlplane.TableEntry) []byte {
+	b = appendUvarint(b, uint64(e.Priority))
+	b = appendUvarint(b, uint64(len(e.Matches)))
+	for _, m := range e.Matches {
+		b = append(b, byte(m.Kind))
+		b = appendBV(b, m.Value)
+		switch m.Kind {
+		case controlplane.MatchTernary:
+			b = appendBV(b, m.Mask)
+		case controlplane.MatchLPM:
+			b = appendUvarint(b, uint64(m.PrefixLen))
+		case controlplane.MatchOptional:
+			b = appendBool(b, m.Wildcard)
+		}
+	}
+	b = appendString(b, e.Action)
+	b = appendUvarint(b, uint64(len(e.Params)))
+	for _, p := range e.Params {
+		b = appendBV(b, p)
+	}
+	return b
+}
+
+func appendActionCall(b []byte, a controlplane.ActionCall) []byte {
+	b = appendString(b, a.Name)
+	b = appendUvarint(b, uint64(len(a.Params)))
+	for _, p := range a.Params {
+		b = appendBV(b, p)
+	}
+	return b
+}
+
+// AppendWriteOK encodes a WriteOK payload.
+func AppendWriteOK(b []byte, w *WriteOK) []byte {
+	b = appendBool(b, w.Coalesced)
+	b = appendBool(b, w.Replayed)
+	b = appendUvarint(b, uint64(len(w.Decisions)))
+	for i := range w.Decisions {
+		b = appendDecision(b, &w.Decisions[i])
+	}
+	return b
+}
+
+func appendDecision(b []byte, d *wire.Decision) []byte {
+	b = appendString(b, d.Kind)
+	b = appendString(b, d.Target)
+	b = appendString(b, d.Update)
+	b = appendUvarint(b, uint64(d.AffectedPoints))
+	b = appendUvarint(b, uint64(len(d.ChangedPoints)))
+	for _, p := range d.ChangedPoints {
+		b = appendUvarint(b, uint64(p))
+	}
+	b = appendUvarint(b, uint64(len(d.Components)))
+	for _, c := range d.Components {
+		b = appendString(b, c)
+	}
+	b = appendString(b, d.ImplChange)
+	b = appendUvarint(b, uint64(d.ElapsedNS))
+	b = appendString(b, d.Precision)
+	b = appendString(b, d.Error)
+	return appendString(b, d.ErrorCode)
+}
+
+// AppendErrMsg encodes an ErrMsg payload.
+func AppendErrMsg(b []byte, e *ErrMsg) []byte {
+	b = appendUvarint(b, uint64(e.Status))
+	b = appendString(b, e.Code)
+	return appendString(b, e.Msg)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders. Strict: every length bounded, every width validated, every
+// leftover byte an error.
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < binMaxVarint; i++ {
+		if r.off >= len(r.b) {
+			return 0, ErrTruncated
+		}
+		c := r.b[r.off]
+		r.off++
+		if c < 0x80 {
+			if i == binMaxVarint-1 && c > 1 {
+				return 0, fmt.Errorf("%w: uvarint overflow", ErrMalformed)
+			}
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("%w: uvarint too long", ErrMalformed)
+}
+
+func (r *reader) count(max uint64, what string) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > max {
+		return 0, fmt.Errorf("%w: %d %s (cap %d)", ErrMalformed, n, what, max)
+	}
+	// A count can never exceed the bytes remaining (every element is at
+	// least one byte), so a lying prefix fails here instead of
+	// allocating.
+	if n > uint64(len(r.b)-r.off) {
+		return 0, fmt.Errorf("%w: %d %s in %d remaining bytes", ErrTruncated, n, what, len(r.b)-r.off)
+	}
+	return int(n), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.count(maxString, "string bytes")
+	if err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *reader) boolean() (bool, error) {
+	if r.off >= len(r.b) {
+		return false, ErrTruncated
+	}
+	c := r.b[r.off]
+	r.off++
+	if c > 1 {
+		return false, fmt.Errorf("%w: bool byte %d", ErrMalformed, c)
+	}
+	return c == 1, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+// bv decodes a width-carrying bitvector; allowZero admits the
+// zero-width "no value".
+func (r *reader) bv(allowZero bool) (sym.BV, error) {
+	w, err := r.uvarint()
+	if err != nil {
+		return sym.BV{}, err
+	}
+	if w == 0 {
+		if !allowZero {
+			return sym.BV{}, fmt.Errorf("%w: zero-width bitvector", ErrMalformed)
+		}
+		return sym.BV{}, nil
+	}
+	if w > sym.MaxWidth {
+		return sym.BV{}, fmt.Errorf("%w: bitvector width %d out of range [1,%d]", ErrMalformed, w, sym.MaxWidth)
+	}
+	n := (int(w) + 7) / 8
+	if r.off+n > len(r.b) {
+		return sym.BV{}, ErrTruncated
+	}
+	var hi, lo uint64
+	for i := 0; i < n; i++ {
+		hi = hi<<8 | lo>>56
+		lo = lo<<8 | uint64(r.b[r.off+i])
+	}
+	r.off += n
+	out := sym.BV{Hi: hi, Lo: lo, W: uint16(w)}
+	if out != sym.NewBV2(uint16(w), hi, lo) {
+		return sym.BV{}, fmt.Errorf("%w: bitvector value overflows width %d", ErrMalformed, w)
+	}
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// DecodeAttach decodes an Attach payload.
+func DecodeAttach(b []byte) (*Attach, error) {
+	r := &reader{b: b}
+	var a Attach
+	var err error
+	if a.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if a.Catalog, err = r.str(); err != nil {
+		return nil, err
+	}
+	if a.Exec, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if a.Name == "" {
+		return nil, fmt.Errorf("%w: attach without session name", ErrMalformed)
+	}
+	return &a, nil
+}
+
+// DecodeAttachOK decodes an AttachOK payload.
+func DecodeAttachOK(b []byte) (*AttachOK, error) {
+	r := &reader{b: b}
+	var a AttachOK
+	var err error
+	if a.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if a.Program, err = r.str(); err != nil {
+		return nil, err
+	}
+	if a.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if a.Created, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// DecodeWrite decodes a Write payload into validated engine updates.
+func DecodeWrite(b []byte) (*Write, error) {
+	r := &reader{b: b}
+	var w Write
+	var err error
+	if w.Batch, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	if w.DeadlineMS, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if w.ReqID, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(maxUpdates, "updates")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: write carries no updates", ErrMalformed)
+	}
+	w.Updates = make([]*controlplane.Update, n)
+	for i := range w.Updates {
+		u, err := decodeUpdate(r)
+		if err != nil {
+			return nil, fmt.Errorf("update %d: %w", i, err)
+		}
+		w.Updates[i] = u
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// DecodeUpdate decodes one standalone engine update (used by the
+// differential fuzz target; the frame path goes through DecodeWrite).
+func DecodeUpdate(b []byte) (*controlplane.Update, error) {
+	r := &reader{b: b}
+	u, err := decodeUpdate(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func decodeUpdate(r *reader) (*controlplane.Update, error) {
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	u := &controlplane.Update{Kind: controlplane.UpdateKind(kind)}
+	switch u.Kind {
+	case controlplane.InsertEntry, controlplane.ModifyEntry, controlplane.DeleteEntry:
+		if u.Table, err = r.str(); err != nil {
+			return nil, err
+		}
+		if u.Table == "" {
+			return nil, fmt.Errorf("%w: entry update without table", ErrMalformed)
+		}
+		if u.Entry, err = decodeEntry(r); err != nil {
+			return nil, err
+		}
+	case controlplane.SetDefault:
+		if u.Table, err = r.str(); err != nil {
+			return nil, err
+		}
+		if u.Table == "" {
+			return nil, fmt.Errorf("%w: set-default without table", ErrMalformed)
+		}
+		if u.Default, err = decodeActionCall(r); err != nil {
+			return nil, err
+		}
+	case controlplane.SetValueSet:
+		if u.ValueSet, err = r.str(); err != nil {
+			return nil, err
+		}
+		if u.ValueSet == "" {
+			return nil, fmt.Errorf("%w: set-value-set without value set", ErrMalformed)
+		}
+		n, err := r.count(maxSlice, "members")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			var m controlplane.ValueSetMember
+			if m.Value, err = r.bv(false); err != nil {
+				return nil, fmt.Errorf("member %d: %w", i, err)
+			}
+			if m.Mask, err = r.bv(true); err != nil {
+				return nil, fmt.Errorf("member %d: %w", i, err)
+			}
+			u.Members = append(u.Members, m)
+		}
+	case controlplane.FillRegister:
+		if u.Register, err = r.str(); err != nil {
+			return nil, err
+		}
+		if u.Register == "" {
+			return nil, fmt.Errorf("%w: fill-register without register", ErrMalformed)
+		}
+		if u.Fill, err = r.bv(false); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown update kind %d", ErrMalformed, kind)
+	}
+	return u, nil
+}
+
+func decodeEntry(r *reader) (*controlplane.TableEntry, error) {
+	prio, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if prio > 1<<31 {
+		return nil, fmt.Errorf("%w: priority %d out of range", ErrMalformed, prio)
+	}
+	e := &controlplane.TableEntry{Priority: int(prio)}
+	nm, err := r.count(maxSlice, "matches")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nm; i++ {
+		kind, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		m := controlplane.FieldMatch{Kind: controlplane.MatchKind(kind)}
+		if m.Value, err = r.bv(false); err != nil {
+			return nil, fmt.Errorf("match %d: %w", i, err)
+		}
+		switch m.Kind {
+		case controlplane.MatchExact:
+		case controlplane.MatchTernary:
+			if m.Mask, err = r.bv(true); err != nil {
+				return nil, fmt.Errorf("match %d: %w", i, err)
+			}
+		case controlplane.MatchLPM:
+			plen, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("match %d: %w", i, err)
+			}
+			if plen > uint64(m.Value.W) {
+				return nil, fmt.Errorf("%w: lpm prefix length %d out of range [0,%d]", ErrMalformed, plen, m.Value.W)
+			}
+			m.PrefixLen = int(plen)
+		case controlplane.MatchOptional:
+			if m.Wildcard, err = r.boolean(); err != nil {
+				return nil, fmt.Errorf("match %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown match kind %d", ErrMalformed, kind)
+		}
+		e.Matches = append(e.Matches, m)
+	}
+	if e.Action, err = r.str(); err != nil {
+		return nil, err
+	}
+	if e.Action == "" {
+		return nil, fmt.Errorf("%w: entry has no action", ErrMalformed)
+	}
+	np, err := r.count(maxSlice, "params")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		p, err := r.bv(false)
+		if err != nil {
+			return nil, fmt.Errorf("param %d: %w", i, err)
+		}
+		e.Params = append(e.Params, p)
+	}
+	return e, nil
+}
+
+func decodeActionCall(r *reader) (controlplane.ActionCall, error) {
+	var a controlplane.ActionCall
+	var err error
+	if a.Name, err = r.str(); err != nil {
+		return a, err
+	}
+	if a.Name == "" {
+		return a, fmt.Errorf("%w: default action has no name", ErrMalformed)
+	}
+	n, err := r.count(maxSlice, "params")
+	if err != nil {
+		return a, err
+	}
+	for i := 0; i < n; i++ {
+		p, err := r.bv(false)
+		if err != nil {
+			return a, fmt.Errorf("param %d: %w", i, err)
+		}
+		a.Params = append(a.Params, p)
+	}
+	return a, nil
+}
+
+// DecodeWriteOK decodes a WriteOK payload.
+func DecodeWriteOK(b []byte) (*WriteOK, error) {
+	r := &reader{b: b}
+	var w WriteOK
+	var err error
+	if w.Coalesced, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	if w.Replayed, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(maxUpdates, "decisions")
+	if err != nil {
+		return nil, err
+	}
+	w.Decisions = make([]wire.Decision, n)
+	for i := range w.Decisions {
+		if err := decodeDecision(r, &w.Decisions[i]); err != nil {
+			return nil, fmt.Errorf("decision %d: %w", i, err)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+func decodeDecision(r *reader, d *wire.Decision) error {
+	var err error
+	if d.Kind, err = r.str(); err != nil {
+		return err
+	}
+	if d.Target, err = r.str(); err != nil {
+		return err
+	}
+	if d.Update, err = r.str(); err != nil {
+		return err
+	}
+	ap, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if ap > 1<<31 {
+		return fmt.Errorf("%w: affected points %d out of range", ErrMalformed, ap)
+	}
+	d.AffectedPoints = int(ap)
+	ncp, err := r.count(maxSlice, "changed points")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ncp; i++ {
+		p, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if p > 1<<31 {
+			return fmt.Errorf("%w: changed point %d out of range", ErrMalformed, p)
+		}
+		d.ChangedPoints = append(d.ChangedPoints, int(p))
+	}
+	nc, err := r.count(maxSlice, "components")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nc; i++ {
+		c, err := r.str()
+		if err != nil {
+			return err
+		}
+		d.Components = append(d.Components, c)
+	}
+	if d.ImplChange, err = r.str(); err != nil {
+		return err
+	}
+	el, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	d.ElapsedNS = int64(el)
+	if d.ElapsedNS < 0 {
+		return fmt.Errorf("%w: negative elapsed", ErrMalformed)
+	}
+	if d.Precision, err = r.str(); err != nil {
+		return err
+	}
+	if d.Error, err = r.str(); err != nil {
+		return err
+	}
+	d.ErrorCode, err = r.str()
+	return err
+}
+
+// DecodeErrMsg decodes an ErrMsg payload.
+func DecodeErrMsg(b []byte) (*ErrMsg, error) {
+	r := &reader{b: b}
+	var e ErrMsg
+	status, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if status > 999 {
+		return nil, fmt.Errorf("%w: status %d", ErrMalformed, status)
+	}
+	e.Status = int(status)
+	if e.Code, err = r.str(); err != nil {
+		return nil, err
+	}
+	if e.Msg, err = r.str(); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < binMaxVarint; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if c < 0x80 {
+			if i == binMaxVarint-1 && c > 1 {
+				return 0, fmt.Errorf("%w: uvarint overflow", ErrMalformed)
+			}
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("%w: uvarint too long", ErrMalformed)
+}

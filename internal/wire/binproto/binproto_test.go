@@ -1,0 +1,204 @@
+package binproto
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+func bv(w uint16, lo uint64) sym.BV { return sym.NewBV(w, lo) }
+
+// sampleUpdates covers every update kind and every match kind.
+func sampleUpdates() []*controlplane.Update {
+	return []*controlplane.Update{
+		{Kind: controlplane.InsertEntry, Table: "ingress.t", Entry: &controlplane.TableEntry{
+			Priority: 7,
+			Matches: []controlplane.FieldMatch{
+				{Kind: controlplane.MatchExact, Value: bv(32, 0x0a000001)},
+				{Kind: controlplane.MatchTernary, Value: bv(16, 0x00ff), Mask: bv(16, 0xffff)},
+				{Kind: controlplane.MatchTernary, Value: bv(16, 0)}, // zero-width mask
+				{Kind: controlplane.MatchLPM, Value: bv(32, 0x0a000000), PrefixLen: 8},
+				{Kind: controlplane.MatchOptional, Value: bv(9, 0x1ff), Wildcard: true},
+			},
+			Action: "fwd",
+			Params: []sym.BV{bv(9, 3), sym.NewBV2(128, ^uint64(0), ^uint64(0))},
+		}},
+		{Kind: controlplane.ModifyEntry, Table: "t2", Entry: &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{{Kind: controlplane.MatchExact, Value: bv(8, 42)}},
+			Action:  "drop",
+		}},
+		{Kind: controlplane.DeleteEntry, Table: "t3", Entry: &controlplane.TableEntry{
+			Matches: []controlplane.FieldMatch{{Kind: controlplane.MatchExact, Value: bv(1, 1)}},
+			Action:  "x",
+		}},
+		{Kind: controlplane.SetDefault, Table: "t4", Default: controlplane.ActionCall{
+			Name: "drop", Params: []sym.BV{bv(48, 0xdeadbeef)},
+		}},
+		{Kind: controlplane.SetValueSet, ValueSet: "vs", Members: []controlplane.ValueSetMember{
+			{Value: bv(16, 0x0800)},
+			{Value: bv(16, 0x8100), Mask: bv(16, 0xff00)},
+		}},
+		{Kind: controlplane.FillRegister, Register: "r", Fill: bv(64, 123456789)},
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	in := &Write{Batch: true, DeadlineMS: 50, ReqID: "req-1", Updates: sampleUpdates()}
+	out, err := DecodeWrite(AppendWrite(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestUpdateRoundTripMatchesJSON(t *testing.T) {
+	// The binary encoding and the JSON encoding must decode to the same
+	// engine vocabulary for every update kind.
+	for i, u := range sampleUpdates() {
+		bin, err := DecodeUpdate(AppendUpdate(nil, u))
+		if err != nil {
+			t.Fatalf("update %d: binary decode: %v", i, err)
+		}
+		ju := wire.FromUpdate(u)
+		jsonBack, err := wire.ToUpdate(&ju)
+		if err != nil {
+			t.Fatalf("update %d: json round trip: %v", i, err)
+		}
+		if !reflect.DeepEqual(bin, jsonBack) {
+			t.Fatalf("update %d: binary %+v != json %+v", i, bin, jsonBack)
+		}
+	}
+}
+
+func TestAttachRoundTrip(t *testing.T) {
+	in := &Attach{Name: "s1", Catalog: "scion", Exec: true}
+	out, err := DecodeAttach(AppendAttach(nil, in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("attach round trip: %+v, %v", out, err)
+	}
+	ok := &AttachOK{Name: "s1", Program: "catalog:scion", Epoch: 42, Created: true}
+	got, err := DecodeAttachOK(AppendAttachOK(nil, ok))
+	if err != nil || !reflect.DeepEqual(ok, got) {
+		t.Fatalf("attach-ok round trip: %+v, %v", got, err)
+	}
+}
+
+func TestWriteOKRoundTrip(t *testing.T) {
+	in := &WriteOK{Coalesced: true, Replayed: true, Decisions: []wire.Decision{
+		{Kind: "forward", Target: "t", Update: "insert t", AffectedPoints: 3,
+			ChangedPoints: []int{1, 2}, Components: []string{"a", "b"},
+			ImplChange: "hash->hash", ElapsedNS: 1234, Precision: "degraded"},
+		{Kind: "rejected", Error: "duplicate key", ErrorCode: "unknown_table"},
+	}}
+	out, err := DecodeWriteOK(AppendWriteOK(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestErrMsgRoundTrip(t *testing.T) {
+	in := &ErrMsg{Status: 429, Code: wire.CodeBackpressure, Msg: "queue full"}
+	out, err := DecodeErrMsg(AppendErrMsg(nil, in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("errmsg round trip: %+v, %v", out, err)
+	}
+	if !strings.Contains(out.Error(), "429") {
+		t.Fatalf("ErrMsg.Error() = %q", out.Error())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: TAttach, Corr: 0, Payload: AppendAttach(nil, &Attach{Name: "s"})},
+		{Type: TWrite, Corr: 1 << 40, Payload: AppendWrite(nil, &Write{Updates: sampleUpdates()})},
+		{Type: TPing, Corr: 7, Payload: nil},
+	}
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	if err := ReadHandshake(r); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Corr != want.Corr || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("FLA"),
+		[]byte("HTTP/"),
+		{'F', 'L', 'A', 'Y', 99},
+	} {
+		if err := ReadHandshake(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("handshake %q accepted", bad)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := AppendWrite(nil, &Write{Updates: sampleUpdates()})
+	cases := map[string][]byte{
+		"empty":            {},
+		"trailing":         append(append([]byte{}, good...), 0xff),
+		"truncated":        good[:len(good)-3],
+		"no updates":       AppendWrite(nil, &Write{}),
+		"bad kind":         {0, 0, 0, 1, 99},
+		"lying count":      {0, 0, 0, 0xff, 0xff, 0x03}, // claims 65535 updates in 0 bytes
+		"bool out of band": {7, 0, 0, 1},
+	}
+	for name, data := range cases {
+		if _, err := DecodeWrite(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Overwide bitvector and overflowing value.
+	if _, err := DecodeUpdate([]byte{byte(controlplane.FillRegister), 1, 'r', 200, 1, 0}); err == nil {
+		t.Error("width-200 bitvector accepted")
+	}
+	if _, err := DecodeUpdate([]byte{byte(controlplane.FillRegister), 1, 'r', 1, 0xff}); err == nil {
+		t.Error("overflowing width-1 bitvector accepted")
+	}
+	// LPM prefix beyond width.
+	bad := []byte{byte(controlplane.InsertEntry), 1, 't', 0 /*prio*/, 1 /*1 match*/, byte(controlplane.MatchLPM), 8, 0x0a, 33}
+	if _, err := DecodeUpdate(bad); err == nil {
+		t.Error("lpm prefix 33 on width 8 accepted")
+	}
+}
+
+func TestFrameCap(t *testing.T) {
+	// A frame header claiming more than MaxFrame must be rejected before
+	// any allocation.
+	var buf bytes.Buffer
+	buf.WriteByte(TWrite)
+	buf.Write([]byte{0})                                        // corr
+	buf.Write(appendUvarint(nil, uint64(MaxFrame)+1))           // len
+	if _, err := ReadFrame(bufio.NewReader(&buf)); err == nil { // no payload needed
+		t.Fatal("oversized frame accepted")
+	}
+}

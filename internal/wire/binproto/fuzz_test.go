@@ -1,0 +1,89 @@
+package binproto
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzBinFrameDecode is the differential fuzz target for the binary
+// framing: the binary decoder and the JSON decoder must agree on every
+// logical message.
+//
+// Two obligations, from one byte stream:
+//
+//  1. Robustness: the binary decoders (Write, WriteOK, Attach, ErrMsg)
+//     never panic on arbitrary bytes — they decode or they error.
+//  2. Equivalence: when the same bytes parse as a JSON WriteRequest
+//     whose updates survive conversion to engine vocabulary, encoding
+//     those updates in binary and decoding them back must yield the
+//     identical engine updates (binary decode ≡ JSON decode on the
+//     same logical message). The response direction is held to the
+//     same bar via wire.Decision round-trips.
+func FuzzBinFrameDecode(f *testing.F) {
+	// Binary seeds: well-formed payloads of each message type.
+	f.Add(AppendWrite(nil, &Write{Batch: true, ReqID: "r", Updates: sampleUpdates()}))
+	f.Add(AppendAttach(nil, &Attach{Name: "s", Catalog: "scion"}))
+	f.Add(AppendWriteOK(nil, &WriteOK{Decisions: []wire.Decision{{Kind: "forward", ElapsedNS: 1}}}))
+	f.Add(AppendErrMsg(nil, &ErrMsg{Status: 429, Code: wire.CodeBackpressure, Msg: "q"}))
+	// JSON seeds: the same logical messages on the compat surface.
+	f.Add([]byte(`{"version":1,"mode":"batch","updates":[{"kind":"insert","table":"t","entry":{"matches":[{"kind":"exact","value":{"w":32,"hex":"0a000001"}}],"action":"fwd","params":[{"w":9,"hex":"1ff"}]}}]}`))
+	f.Add([]byte(`{"updates":[{"kind":"insert","table":"t","entry":{"matches":[{"kind":"lpm","value":{"w":32,"hex":"0a000000"},"prefix_len":8}],"action":"fwd"}}]}`))
+	f.Add([]byte(`{"updates":[{"kind":"set-value-set","value_set":"vs","members":[{"value":{"w":8,"hex":"2a"},"mask":{"w":8,"hex":"ff"}}]}]}`))
+	f.Add([]byte(`{"updates":[{"kind":"fill-register","register":"r","fill":{"w":128,"hex":"ffffffffffffffffffffffffffffffff"}}]}`))
+	f.Add([]byte(`{"updates":[{"kind":"set-default","table":"t","default":{"name":"drop","params":[{"w":48,"hex":"0000deadbeef"}]}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// 1. Binary decoders must not panic, and anything they accept
+		// must re-encode byte-identically (canonical encoding).
+		if w, err := DecodeWrite(data); err == nil {
+			re := AppendWrite(nil, w)
+			back, err := DecodeWrite(re)
+			if err != nil {
+				t.Fatalf("re-decode of accepted Write failed: %v", err)
+			}
+			if !reflect.DeepEqual(w, back) {
+				t.Fatalf("binary Write does not round-trip: %+v vs %+v", w, back)
+			}
+		}
+		if a, err := DecodeAttach(data); err == nil {
+			if back, err := DecodeAttach(AppendAttach(nil, a)); err != nil || !reflect.DeepEqual(a, back) {
+				t.Fatalf("binary Attach does not round-trip (%v)", err)
+			}
+		}
+		if ok, err := DecodeWriteOK(data); err == nil {
+			if back, err := DecodeWriteOK(AppendWriteOK(nil, ok)); err != nil || !reflect.DeepEqual(ok, back) {
+				t.Fatalf("binary WriteOK does not round-trip (%v)", err)
+			}
+		}
+		if e, err := DecodeErrMsg(data); err == nil {
+			if back, err := DecodeErrMsg(AppendErrMsg(nil, e)); err != nil || !reflect.DeepEqual(e, back) {
+				t.Fatalf("binary ErrMsg does not round-trip (%v)", err)
+			}
+		}
+
+		// 2. Differential: JSON-accepted updates must survive the binary
+		// encoding unchanged.
+		var wr wire.WriteRequest
+		if err := wire.DecodeBytes(data, &wr); err != nil {
+			return
+		}
+		jsonUpdates, err := wr.ToUpdates()
+		if err != nil {
+			return
+		}
+		bin := AppendWrite(nil, &Write{Batch: wr.Batch(), Updates: jsonUpdates})
+		w, err := DecodeWrite(bin)
+		if err != nil {
+			t.Fatalf("binary encoding of JSON-accepted updates fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(jsonUpdates, w.Updates) {
+			t.Fatalf("binary decode != JSON decode on the same logical message:\n json: %+v\n  bin: %+v",
+				jsonUpdates, w.Updates)
+		}
+		if w.Batch != wr.Batch() {
+			t.Fatalf("batch semantics diverge: json %v, bin %v", wr.Batch(), w.Batch)
+		}
+	})
+}

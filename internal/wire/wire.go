@@ -237,6 +237,11 @@ type WriteRequest struct {
 	// for the engine, which may degrade table precision to honor it —
 	// affected decisions come back with "precision":"degraded".
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ReqID is an optional idempotency key. A session remembers the
+	// decisions of recently served IDs and answers a duplicate from
+	// that cache instead of re-applying, so a client retrying a write
+	// whose response was lost (crash, failover) lands it exactly once.
+	ReqID string `json:"req_id,omitempty"`
 }
 
 // Decision is the wire form of one core.Decision.
@@ -289,6 +294,9 @@ type WriteResponse struct {
 	// Coalesced is set when the server folded this request into a
 	// shared batch with at least one other concurrent request.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Replayed is set when the response was served from the session's
+	// idempotency cache (duplicate req_id) without re-applying.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // AuditResponse is a slice of the session's decision audit trail.
@@ -315,10 +323,26 @@ type SnapshotResponse struct {
 
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" | "draining"
+	Status   string `json:"status"` // "ok" | "draining" | "degraded"
 	Version  int    `json:"version"`
 	Sessions int    `json:"sessions"`
 	UptimeNS int64  `json:"uptime_ns"`
+	// Standby marks a replication target that has not been promoted:
+	// it serves reads but refuses client writes.
+	Standby bool `json:"standby,omitempty"`
+	// Shards is the per-shard detail when the responder is a flayfront
+	// fronting a fleet; empty for a single daemon. Status is "degraded"
+	// while any shard is unhealthy.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one shard's row in a front door's health report.
+type ShardHealth struct {
+	Name       string `json:"name"`
+	Addr       string `json:"addr"`
+	Healthy    bool   `json:"healthy"`
+	FailedOver bool   `json:"failed_over"`
+	HasStandby bool   `json:"has_standby"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -341,6 +365,7 @@ const (
 	CodeBackpressure     = "backpressure"
 	CodeExecDisabled     = "exec_disabled"
 	CodeBadPacket        = "bad_packet"
+	CodeStandby          = "standby"
 )
 
 // CodeOf classifies an error against the sentinel set; it returns ""
@@ -363,6 +388,8 @@ func CodeOf(err error) string {
 		return CodeExecDisabled
 	case errors.Is(err, flayerr.ErrBadPacket):
 		return CodeBadPacket
+	case errors.Is(err, flayerr.ErrStandby):
+		return CodeStandby
 	default:
 		return ""
 	}
@@ -386,6 +413,8 @@ func SentinelOf(code string) error {
 		return flayerr.ErrExecDisabled
 	case CodeBadPacket:
 		return flayerr.ErrBadPacket
+	case CodeStandby:
+		return flayerr.ErrStandby
 	default:
 		return nil
 	}
