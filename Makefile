@@ -5,12 +5,12 @@ GO ?= go
 
 # Coverage floor for the engine packages gated by `make cover`.
 COVER_MIN ?= 70
-COVER_PKGS = ./internal/core ./internal/sym ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/wire/binproto ./internal/cluster ./internal/trace ./internal/fuzz ./internal/progs ./internal/dpexec
+COVER_PKGS = ./internal/core ./internal/sym ./internal/dd ./internal/obs ./internal/controlplane ./internal/server ./internal/wire ./internal/wire/binproto ./internal/cluster ./internal/trace ./internal/fuzz ./internal/progs ./internal/dpexec
 
 # Seconds of native fuzzing per target in the `make race` smoke.
 FUZZ_SMOKE ?= 5s
 
-.PHONY: all help build test race bench cover bench-json bench-scaling bench-pps fuzz-smoke torture-smoke tier1 soak soak-churn soak-churn-smoke soak-cluster soak-cluster-smoke
+.PHONY: all help build test race bench cover bench-json bench-scaling bench-pps bench-dd fuzz-smoke torture-smoke dd-smoke tier1 soak soak-churn soak-churn-smoke soak-cluster soak-cluster-smoke
 
 # Soak-run knobs: where the daemon listens and how many updates
 # flayload drives through it.
@@ -77,7 +77,7 @@ test:
 # where the race detector gets no parallelism to hide behind and
 # internal/core alone can exceed go test's 10m default.
 RACE_TIMEOUT ?= 45m
-race: fuzz-smoke soak-churn-smoke soak-cluster-smoke torture-smoke bench-pps
+race: fuzz-smoke soak-churn-smoke soak-cluster-smoke torture-smoke dd-smoke bench-pps
 	$(GO) vet ./...
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
@@ -88,6 +88,14 @@ race: fuzz-smoke soak-churn-smoke soak-cluster-smoke torture-smoke bench-pps
 # `make race`'s package sweep above.
 torture-smoke:
 	$(GO) test -race -short -run 'TestTortureConcurrency' ./internal/core
+
+# dd-smoke: the diagram-vs-solver differential proof under the race
+# detector, run early so a diverging diagram verdict (or a data race
+# in the COW store publication) fails fast. The full matrix — every
+# catalog program and churn pattern across the worker grid — runs in
+# the package sweep above.
+dd-smoke:
+	$(GO) test -race -run 'TestDDMatchesSolverCatalog|TestDDSnapshotPreservesVariableOrder' ./internal/core
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzP4Parse -fuzztime=$(FUZZ_SMOKE) ./internal/p4/parser
@@ -191,7 +199,15 @@ bench:
 # hit-rate bar, the precision section's p99-under-deadline and
 # zero-unsound-verdict bars) and exits non-zero on any mismatch.
 bench-json:
-	$(GO) run ./cmd/flaybench -only burst,batch,cache,precision,churn,scaling,cluster -json -o BENCH_flay.json
+	$(GO) run ./cmd/flaybench -only burst,batch,cache,dd,precision,churn,scaling,cluster -json -o BENCH_flay.json
+
+# bench-dd: the decision-diagram query-core artifact. Replays the
+# precise-mode middleblock ACL burst through a diagram engine and a
+# solver-only engine, cross-checks every point verdict and the
+# specialized source byte-for-byte between the two, and exits non-zero
+# unless the diagram engine's query pass beats the solver's by >= 3x.
+bench-dd:
+	$(GO) run ./cmd/flaybench -only dd -json -o BENCH_flay.json
 
 # bench-scaling: the multicore scaling artifact. Re-runs the scaling
 # section (wait-free reads vs the LockedReads seed baseline under

@@ -197,7 +197,7 @@ func BenchmarkTable3UpdateScaling(b *testing.B) {
 func BenchmarkFig3Evolution(b *testing.B) {
 	p := progs.Fig3()
 	for i := 0; i < b.N; i++ {
-		pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{})
+		pipe, err := goflay.Open(p.Name, p.Source)
 		if err != nil {
 			b.Fatal(err)
 		}

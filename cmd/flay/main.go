@@ -15,6 +15,7 @@
 //	-threshold N        overapproximation threshold (-1 = precise mode)
 //	-target tofino|bmv2 device backend for compile
 //	-representative     install the catalog entry's representative config first
+//	-explain TABLE      print the decision-diagram explanation of TABLE's points
 //	-audit FILE         dump the decision audit trail as JSONL ("-" = stdout)
 //	-snapshot FILE      checkpoint the engine's warm state to FILE afterwards
 //	-restore FILE       warm-restart from a snapshot instead of opening a source
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +49,7 @@ func main() {
 	threshold := flag.Int("threshold", 0, "overapproximation threshold (0 = default 100, negative = precise)")
 	target := flag.String("target", "tofino", "device backend (tofino|bmv2)")
 	representative := flag.Bool("representative", false, "install the catalog representative configuration first")
+	explainTable := flag.String("explain", "", "print the decision-diagram explanation of every program point the named table influences")
 	auditPath := flag.String("audit", "", `dump the decision audit trail as JSONL to FILE ("-" = stdout)`)
 	snapshotPath := flag.String("snapshot", "", "checkpoint the engine's warm state to FILE after the command")
 	restorePath := flag.String("restore", "", "warm-restart from a snapshot FILE instead of opening a source")
@@ -93,21 +96,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opts := goflay.Options{
-		SkipParser:          *skipParser,
-		OverapproxThreshold: *threshold,
+	opts := []goflay.Option{goflay.WithOverapproxThreshold(*threshold)}
+	if *skipParser || (catalogEntry != nil && catalogEntry.SkipParser) {
+		opts = append(opts, goflay.WithSkipParser())
 	}
+	var trail *goflay.AuditTrail
 	if *auditPath != "" {
-		opts.Audit = goflay.NewAuditTrail(0)
-	}
-	if catalogEntry != nil && catalogEntry.SkipParser {
-		opts.SkipParser = true
+		trail = goflay.NewAuditTrail(0)
+		opts = append(opts, goflay.WithAudit(trail))
 	}
 	switch *target {
 	case "tofino":
-		opts.Target = goflay.TargetTofino
+		opts = append(opts, goflay.WithTarget(goflay.TargetTofino))
 	case "bmv2":
-		opts.Target = goflay.TargetBMv2
+		opts = append(opts, goflay.WithTarget(goflay.TargetBMv2))
 	default:
 		fatal("unknown target %q", *target)
 	}
@@ -120,9 +122,9 @@ func main() {
 		if rerr != nil {
 			fatal("%v", rerr)
 		}
-		pipe, err = goflay.Restore(data, opts)
+		pipe, err = goflay.Restore(data, opts...)
 	} else {
-		pipe, err = goflay.Open(name, source, opts)
+		pipe, err = goflay.Open(name, source, opts...)
 	}
 	if err != nil {
 		fatal("%v", err)
@@ -172,6 +174,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *explainTable != "" {
+		if err := runExplain(pipe, *explainTable); err != nil {
+			fatal("%v", err)
+		}
+	}
 	if *auditPath != "" {
 		if err := dumpAudit(pipe.Audit(), *auditPath); err != nil {
 			fatal("%v", err)
@@ -187,6 +194,49 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "flay: snapshot (%d bytes) written to %s\n", len(data), *snapshotPath)
 	}
+}
+
+// runExplain prints, for every program point the named table
+// influences, the verdict and the decision-diagram path that produced
+// it: the predicates tested along the witness assignment, the branch
+// taken at each, and the witness itself.
+func runExplain(pipe *goflay.Pipeline, table string) error {
+	ids, err := pipe.Points(table)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d program points\n", table, len(ids))
+	for _, id := range ids {
+		ex, err := pipe.Explain(table, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("point #%d %s [%s]: %s", ex.Point, ex.Kind, ex.Query, ex.Verdict)
+		if ex.Value != "" {
+			fmt.Printf(" = %s", ex.Value)
+		}
+		fmt.Printf(" (%s, epoch %d)\n", ex.Source, ex.Epoch)
+		for _, st := range ex.Steps {
+			branch := "false"
+			if st.Taken {
+				branch = "true"
+			}
+			fmt.Printf("  %-40s -> %s\n", st.Pred, branch)
+		}
+		if len(ex.Witness) > 0 {
+			names := make([]string, 0, len(ex.Witness))
+			for n := range ex.Witness {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Printf("  witness:")
+			for _, n := range names {
+				fmt.Printf(" @%s@=%s", n, ex.Witness[n])
+			}
+			fmt.Println()
+		}
+	}
+	return nil
 }
 
 // dumpAudit writes the pipeline's decision audit trail as JSONL — one
@@ -266,6 +316,7 @@ flags:
   -threshold N      overapproximation threshold (negative = precise mode)
   -target T         tofino (default) or bmv2
   -representative   install the catalog representative configuration first
+  -explain TABLE    print the decision-diagram explanation of TABLE's points
   -audit FILE       dump the decision audit trail as JSONL ("-" = stdout)
   -snapshot FILE    checkpoint the engine's warm state to FILE afterwards
   -restore FILE     warm-restart from a snapshot (no source argument)

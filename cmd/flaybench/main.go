@@ -10,7 +10,7 @@
 //	flaybench [-only sections] [-full] [-json] [-o FILE] [-gomaxprocs LIST]
 //
 // Sections: table1, fig1, fig3, fig5, table2, table3, stages, burst,
-// batch, cache, precision, churn, ablation, scaling, pps,
+// batch, cache, dd, precision, churn, ablation, scaling, pps,
 // cluster. The list is
 // generated from the section registry (benchSections) and pinned equal
 // to it by TestSectionDocMatchesRegistry; -only takes a comma-separated
@@ -68,6 +68,7 @@ type benchReport struct {
 	Sections   []sectionReport  `json:"sections"`
 	Burst      *burstReport     `json:"burst,omitempty"`
 	Cache      *cacheReport     `json:"cache,omitempty"`
+	DD         *ddReport        `json:"dd,omitempty"`
 	Precision  *precisionReport `json:"precision,omitempty"`
 	Churn      *churnReport     `json:"churn,omitempty"`
 	Scaling    *scalingReport   `json:"scaling,omitempty"`
@@ -116,6 +117,22 @@ type cacheReport struct {
 	FreshMS       float64 `json:"fresh_ms"`
 }
 
+// ddReport records the decision-diagram query core's effect on the
+// precise query pass: the same burst replayed with the diagram path on
+// and off (cache off on both arms, so every verdict really runs a
+// query), with the verdict-for-verdict differential and the >= 3x
+// query-pass gate verified before the report is emitted.
+type ddReport struct {
+	Updates      int     `json:"updates"`
+	SolverEvalMS int64   `json:"solver_eval_ms"`
+	DDEvalMS     int64   `json:"dd_eval_ms"`
+	Speedup      float64 `json:"speedup"`
+	DDQueries    int64   `json:"dd_queries"`
+	DDFallbacks  int64   `json:"dd_fallbacks"`
+	DDCompiles   int64   `json:"dd_compiles"`
+	DDNodes      int     `json:"dd_nodes"`
+}
+
 // precisionReport records the adaptive-precision deadline experiment:
 // a 10000-entry ACL burst driven with a per-update latency budget on a
 // never-statically-overapproximating engine. The cross-checks (at least
@@ -159,6 +176,7 @@ var benchSections = []struct {
 	{"burst", burst},
 	{"batch", batchSection},
 	{"cache", cacheSection},
+	{"dd", ddSection},
 	{"precision", precisionSection},
 	{"churn", churnSection},
 	{"ablation", ablation},
@@ -345,7 +363,7 @@ func fig1(bool) {
 func fig3(bool) {
 	header("Fig. 3: one table's implementation across five control-plane updates")
 	p := progs.Fig3()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{})
+	pipe, err := goflay.Open(p.Name, p.Source)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -554,7 +572,7 @@ func table3Measure(n, threshold int) time.Duration {
 func stages(bool) {
 	header("§4.2: SCION stage savings on the Tofino-2 model")
 	p := progs.Scion()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Target: goflay.TargetTofino})
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.WithTarget(goflay.TargetTofino))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -833,6 +851,92 @@ func cacheSection(bool) {
 	fmt.Println("\n(hits replay memoized verdicts without substituting or querying the")
 	fmt.Println("solver; past the overapproximation threshold the burst table's")
 	fmt.Println("fingerprint stabilizes and tainted points hit on every update)")
+}
+
+// ---------------------------------------------------------------------------
+
+// ddSection measures the decision-diagram query core against the probe
+// solver on the SCION burst — the same workload as the cache section,
+// but with the query cache off on both arms so every point
+// re-evaluation runs a real specialization query instead of replaying a
+// memo. The diagram arm compiles each point's residue once and answers
+// subsequent queries by walking the canonical diagram; the solver arm
+// substitutes and probes per query. The section verifies the two arms
+// verdict-for-verdict and byte-identical on the specialized program,
+// then gates the query-pass (EvalTime) speedup at >= 3x.
+func ddSection(bool) {
+	header("Decision diagrams: compiled residues vs per-query solver probes (middleblock ACL, precise mode)")
+	p := progs.Middleblock()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dd verification failed: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// Precise mode (no overapproximation) on a growing ACL is the
+	// query shape the diagram core exists for: every installed entry
+	// re-evaluates match-conjunction residues whose satisfying
+	// assignments the probe solver hunts across a >100-bit space,
+	// while the diagram answers from compiled roots and memoized
+	// re-compiles. The value cache is off in both engines so the
+	// comparison is pure query machinery.
+	const updates = 250
+	run := func(noDD bool) *core.Specializer {
+		s, err := p.LoadWith(core.Options{NoCache: true, NoDD: noDD, OverapproxThreshold: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < updates; i++ {
+			if d := s.Apply(progs.MiddleblockACLEntry(i)); d.Kind == core.Rejected {
+				log.Fatalf("ACL entry %d rejected: %v", i, d.Err)
+			}
+		}
+		return s
+	}
+
+	solver := run(true)
+	ddEng := run(false)
+	sst, dst := solver.Statistics(), ddEng.Statistics()
+	if dst.DDQueries == 0 {
+		fail("diagram engine answered no queries on the diagram path")
+	}
+	if sst.DDQueries != 0 || sst.DDNodes != 0 {
+		fail("NoDD engine reported diagram activity: %+v", sst)
+	}
+	for id := 0; id < sst.Points; id++ {
+		sv, dv := solver.Verdict(id), ddEng.Verdict(id)
+		if sv.Kind != dv.Kind || sv.Val != dv.Val {
+			fail("point %d: solver says %s, diagram says %s", id, sv, dv)
+		}
+	}
+	if goflaySpec(solver) != goflaySpec(ddEng) {
+		fail("diagram and solver specialized programs diverged")
+	}
+
+	speedup := float64(sst.EvalTime) / float64(dst.EvalTime)
+	fmt.Printf("solver:   %d × Apply  query pass %12v  (%v/update)\n",
+		updates, sst.EvalTime.Round(time.Millisecond), (sst.EvalTime / updates).Round(time.Microsecond))
+	fmt.Printf("diagram:  %d × Apply  query pass %12v  (%v/update)\n",
+		updates, dst.EvalTime.Round(time.Millisecond), (dst.EvalTime / updates).Round(time.Microsecond))
+	fmt.Printf("speedup:  %.1f×\n", speedup)
+	fmt.Printf("\ndd queries=%d fallbacks=%d compiles=%d nodes=%d\n",
+		dst.DDQueries, dst.DDFallbacks, dst.DDCompiles, dst.DDNodes)
+	fmt.Println("cross-check: verdicts identical point-for-point, end states byte-identical")
+	if speedup < 3.0 {
+		fail("query-pass speedup %.2fx is below the 3x acceptance bar", speedup)
+	}
+
+	rep.DD = &ddReport{
+		Updates:      updates,
+		SolverEvalMS: sst.EvalTime.Milliseconds(),
+		DDEvalMS:     dst.EvalTime.Milliseconds(),
+		Speedup:      speedup,
+		DDQueries:    dst.DDQueries,
+		DDFallbacks:  dst.DDFallbacks,
+		DDCompiles:   dst.DDCompiles,
+		DDNodes:      dst.DDNodes,
+	}
+	fmt.Println("\n(each point's residual condition compiles into the shared canonical")
+	fmt.Println("diagram exactly once per assignment epoch; a query is then a")
+	fmt.Println("root-to-terminal walk instead of substitution plus solver probes)")
 }
 
 // ---------------------------------------------------------------------------

@@ -53,7 +53,7 @@ func ExampleOpen() {
 // functional options of ExampleOpen.
 func ExampleOptions() {
 	p := progs.Fig3()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Workers: 2})
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.WithWorkers(2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,6 +33,7 @@ package goflay
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/controlplane"
@@ -104,6 +105,14 @@ type (
 	Stats = core.Stats
 	// BV is a bitvector value (match keys, masks, action parameters).
 	BV = sym.BV
+	// Explanation is the introspection record of one program point: the
+	// specialization query, the verdict, and — when the point's
+	// condition is compiled in the decision-diagram core — the exact
+	// predicate path and witness assignment behind it (see
+	// Pipeline.Explain).
+	Explanation = core.Explanation
+	// ExplainStep is one predicate test along an explained path.
+	ExplainStep = core.ExplainStep
 )
 
 // Re-exported observability vocabulary (the internal/obs package made
@@ -210,53 +219,69 @@ const (
 //
 //	pipe, err := goflay.Open(name, src,
 //		goflay.WithWorkers(4), goflay.WithMetrics(reg))
-//
-// The legacy Options struct also implements Option (it replaces the
-// whole accumulated configuration, so pass it first if mixing forms).
-type Option interface {
-	applyOption(*Options)
+type Option func(*options)
+
+// options is the resolved configuration an Option list folds into.
+type options struct {
+	skipParser          bool
+	overapproxThreshold int
+	target              Target
+	quality             Quality
+	workers             int
+	noCache             bool
+	noDD                bool
+	repairInterval      time.Duration
+	exec                bool
+	tracer              *Trace
+	metrics             *Metrics
+	audit               *AuditTrail
 }
-
-// optionFunc adapts a function to the Option interface.
-type optionFunc func(*Options)
-
-func (f optionFunc) applyOption(o *Options) { f(o) }
 
 // WithSkipParser skips parser analysis (the paper does this for
 // switch.p4).
 func WithSkipParser() Option {
-	return optionFunc(func(o *Options) { o.SkipParser = true })
+	return func(o *options) { o.skipParser = true }
 }
 
 // WithOverapproxThreshold sets the per-table entry count past which the
 // table's assignment is overapproximated (default 100; negative
 // disables overapproximation entirely).
 func WithOverapproxThreshold(n int) Option {
-	return optionFunc(func(o *Options) { o.OverapproxThreshold = n })
+	return func(o *options) { o.overapproxThreshold = n }
 }
 
 // WithTarget selects the device backend for Compile (default Tofino).
 func WithTarget(t Target) Option {
-	return optionFunc(func(o *Options) { o.Target = t })
+	return func(o *options) { o.target = t }
 }
 
 // WithQuality selects specialization aggressiveness (default
 // QualityFull).
 func WithQuality(q Quality) Option {
-	return optionFunc(func(o *Options) { o.Quality = q })
+	return func(o *options) { o.quality = q }
 }
 
 // WithWorkers bounds the point re-evaluation worker pool: 1 forces
 // serial evaluation, >1 sets the pool size, and <=0 (the default) uses
 // GOMAXPROCS.
 func WithWorkers(n int) Option {
-	return optionFunc(func(o *Options) { o.Workers = n })
+	return func(o *options) { o.workers = n }
 }
 
 // WithNoCache disables the taint-keyed specialization-query cache (for
 // ablation measurements and differential testing).
 func WithNoCache() Option {
-	return optionFunc(func(o *Options) { o.NoCache = true })
+	return func(o *options) { o.noCache = true }
+}
+
+// WithNoDD disables the canonical decision-diagram query core: every
+// specialization query then runs on the substitute-and-probe solver
+// path, and Explain reports solver-path verdicts without diagram
+// evidence. The core is on by default and changes no observable
+// verdict — this switch exists for ablation measurements and the
+// DD-vs-solver differential suite.
+func WithNoDD() Option {
+	return func(o *options) { o.noDD = true }
 }
 
 // WithRepairInterval paces the adaptive precision controller's
@@ -265,7 +290,7 @@ func WithNoCache() Option {
 // the default (100ms); negative disables background repair (promotion
 // then only happens through PromoteAll).
 func WithRepairInterval(d time.Duration) Option {
-	return optionFunc(func(o *Options) { o.RepairInterval = d })
+	return func(o *options) { o.repairInterval = d }
 }
 
 // WithExec enables the data-plane executor: every verdict-changing
@@ -275,83 +300,33 @@ func WithRepairInterval(d time.Duration) Option {
 // adds work to the update path that pure control-plane users never
 // need).
 func WithExec() Option {
-	return optionFunc(func(o *Options) { o.Exec = true })
+	return func(o *options) { o.exec = true }
 }
 
 // WithTracer records a span per pipeline stage and per update.
 func WithTracer(t *Trace) Option {
-	return optionFunc(func(o *Options) { o.Tracer = t })
+	return func(o *options) { o.tracer = t }
 }
 
 // WithMetrics resolves the engine's counters, gauges and latency
 // histograms in the given registry.
 func WithMetrics(m *Metrics) Option {
-	return optionFunc(func(o *Options) { o.Metrics = m })
+	return func(o *options) { o.metrics = m }
 }
 
 // WithAudit routes the decision audit trail to the given trail.
 func WithAudit(a *AuditTrail) Option {
-	return optionFunc(func(o *Options) { o.Audit = a })
+	return func(o *options) { o.audit = a }
 }
 
-// resolveOptions folds a variadic option list into one Options value.
-func resolveOptions(opts []Option) Options {
-	var o Options
+// resolveOptions folds a variadic option list into one options value.
+func resolveOptions(opts []Option) options {
+	var o options
 	for _, opt := range opts {
-		opt.applyOption(&o)
+		opt(&o)
 	}
 	return o
 }
-
-// Options configures Open.
-//
-// Deprecated: Options predates the functional Option form; new code
-// should pass With* options directly. The struct keeps every positional
-// Open(name, source, Options{...}) call site compiling: it implements
-// Option by replacing the entire accumulated configuration with itself.
-type Options struct {
-	// SkipParser skips parser analysis (useful for very large programs;
-	// the paper does this for switch.p4).
-	SkipParser bool
-	// OverapproxThreshold is the per-table entry count past which the
-	// table's control-plane assignment is overapproximated (default
-	// 100; negative disables overapproximation entirely).
-	OverapproxThreshold int
-	// Target selects the device backend for Compile (default Tofino).
-	Target Target
-	// Quality selects specialization aggressiveness (default
-	// QualityFull).
-	Quality Quality
-	// Workers bounds the point re-evaluation worker pool: 1 forces
-	// serial evaluation, >1 sets the pool size, and <=0 (the default)
-	// uses GOMAXPROCS.
-	Workers int
-	// NoCache disables the taint-keyed specialization-query cache. The
-	// cache is on by default and changes no observable decision — it
-	// only skips redundant solver work — so this switch exists for
-	// ablation measurements and differential testing.
-	NoCache bool
-	// RepairInterval paces the adaptive precision controller's
-	// background repair goroutine (see WithRepairInterval). Zero selects
-	// the default (100ms); negative disables background repair.
-	RepairInterval time.Duration
-	// Exec enables the data-plane executor (see WithExec).
-	Exec bool
-
-	// Tracer, when non-nil, records a span per pipeline stage and per
-	// update. Metrics, when non-nil, resolves the engine's counters,
-	// gauges and latency histograms. Audit, when non-nil, receives the
-	// decision audit trail. Each defaults to nil (disabled, no update-
-	// path allocation).
-	Tracer  *Trace
-	Metrics *Metrics
-	Audit   *AuditTrail
-}
-
-// applyOption lets the deprecated struct form participate in the
-// variadic Option API: the struct value replaces the accumulated
-// configuration wholesale.
-func (o Options) applyOption(dst *Options) { *dst = o }
 
 // Pipeline is a live program + configuration pair under incremental
 // specialization.
@@ -370,28 +345,29 @@ func Open(name, source string, opts ...Option) (*Pipeline, error) {
 	return open(name, source, resolveOptions(opts))
 }
 
-func open(name, source string, o Options) (*Pipeline, error) {
+func open(name, source string, o options) (*Pipeline, error) {
 	s, err := core.NewFromSource(name, source, core.Options{
-		SkipParser:          o.SkipParser,
-		OverapproxThreshold: o.OverapproxThreshold,
-		Quality:             o.Quality,
-		Workers:             o.Workers,
-		NoCache:             o.NoCache,
-		RepairInterval:      o.RepairInterval,
-		Exec:                o.Exec,
-		Trace:               o.Tracer,
-		Metrics:             o.Metrics,
-		Audit:               o.Audit,
+		SkipParser:          o.skipParser,
+		OverapproxThreshold: o.overapproxThreshold,
+		Quality:             o.quality,
+		Workers:             o.workers,
+		NoCache:             o.noCache,
+		NoDD:                o.noDD,
+		RepairInterval:      o.repairInterval,
+		Exec:                o.exec,
+		Trace:               o.tracer,
+		Metrics:             o.metrics,
+		Audit:               o.audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
 		spec:    s,
-		target:  o.Target,
-		tracer:  o.Tracer,
-		metrics: o.Metrics,
-		audit:   o.Audit,
+		target:  o.target,
+		tracer:  o.tracer,
+		metrics: o.metrics,
+		audit:   o.audit,
 	}, nil
 }
 
@@ -407,7 +383,7 @@ func OpenCatalog(name string, opts ...Option) (*Pipeline, error) {
 	}
 	o := resolveOptions(opts)
 	if p.SkipParser {
-		o.SkipParser = true
+		o.skipParser = true
 	}
 	return open(p.Name, p.Source, o)
 }
@@ -450,23 +426,24 @@ func (p *Pipeline) Snapshot() ([]byte, error) { return p.spec.Snapshot() }
 func Restore(data []byte, opts ...Option) (*Pipeline, error) {
 	o := resolveOptions(opts)
 	s, err := core.Restore(data, core.Options{
-		Workers:        o.Workers,
-		NoCache:        o.NoCache,
-		RepairInterval: o.RepairInterval,
-		Exec:           o.Exec,
-		Trace:          o.Tracer,
-		Metrics:        o.Metrics,
-		Audit:          o.Audit,
+		Workers:        o.workers,
+		NoCache:        o.noCache,
+		NoDD:           o.noDD,
+		RepairInterval: o.repairInterval,
+		Exec:           o.exec,
+		Trace:          o.tracer,
+		Metrics:        o.metrics,
+		Audit:          o.audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
 		spec:    s,
-		target:  o.Target,
-		tracer:  o.Tracer,
-		metrics: o.Metrics,
-		audit:   o.Audit,
+		target:  o.target,
+		tracer:  o.tracer,
+		metrics: o.metrics,
+		audit:   o.audit,
 	}, nil
 }
 
@@ -612,6 +589,56 @@ func (p *Pipeline) Tables() []string {
 
 // Entries returns the installed entry count of a table.
 func (p *Pipeline) Entries(table string) int { return p.spec.Entries(table) }
+
+// Points returns the IDs of the program points the named control-plane
+// object (table, value set or register) can influence through the
+// taint map, in ascending order — the enumeration half of the
+// introspection API: walk Points, Explain each. Unknown names yield an
+// error satisfying errors.Is(err, ErrUnknownTable).
+func (p *Pipeline) Points(table string) ([]int, error) {
+	an := p.spec.An
+	if an.Tables[table] == nil && an.ValueSets[table] == nil && an.Registers[table] == nil {
+		return nil, fmt.Errorf("goflay: points: %w: %q", ErrUnknownTable, table)
+	}
+	pts := an.PointsOf(table)
+	ids := make([]int, 0, len(pts))
+	for _, pt := range pts {
+		ids = append(ids, pt.ID)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Explain reports how the published verdict at one program point comes
+// about: the specialization query asked there, the verdict, and — when
+// the point's condition is compiled in the decision-diagram query core
+// — the predicates tested along the witness path through the canonical
+// diagram together with the witness assignment itself (a liveness
+// witness for executability queries, one realizing assignment for
+// constancy). table scopes the lookup: when non-empty, the point must
+// be one the named object influences (Points(table) lists them); ""
+// addresses any point by global ID. Explain is wait-free — it reads
+// the published epoch and walks immutable diagram nodes — and may be
+// called concurrently with updates from any number of goroutines.
+func (p *Pipeline) Explain(table string, point int) (*Explanation, error) {
+	if table != "" {
+		ids, err := p.Points(table)
+		if err != nil {
+			return nil, err
+		}
+		ok := false
+		for _, id := range ids {
+			if id == point {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("goflay: explain: point %d is not influenced by %q", point, table)
+		}
+	}
+	return p.spec.Explain(point)
+}
 
 // SpecializedProgram returns the AST of the program specialized to the
 // current configuration.

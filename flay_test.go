@@ -11,7 +11,7 @@ import (
 
 func TestPipelineEndToEnd(t *testing.T) {
 	p := progs.Fig3()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{})
+	pipe, err := goflay.Open(p.Name, p.Source)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,20 +62,20 @@ func TestPipelineEndToEnd(t *testing.T) {
 }
 
 func TestOpenErrors(t *testing.T) {
-	if _, err := goflay.Open("bad", "control C {", goflay.Options{}); err == nil {
+	if _, err := goflay.Open("bad", "control C {"); err == nil {
 		t.Fatal("expected parse error")
 	}
 	if _, err := goflay.Open("bad", `
 struct metadata { flub x; }
 control C(inout metadata meta, inout standard_metadata_t std) { apply { } }
-`, goflay.Options{}); err == nil {
+`); err == nil {
 		t.Fatal("expected type error")
 	}
 }
 
 func TestApplyAllAndRejection(t *testing.T) {
 	p := progs.Fig5()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{})
+	pipe, err := goflay.Open(p.Name, p.Source)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestApplyAllAndRejection(t *testing.T) {
 // shape the RWMutex-guarded engine exists for. Run under -race.
 func TestPipelineConcurrentUse(t *testing.T) {
 	p := progs.Fig3()
-	pipe, err := goflay.Open(p.Name, p.Source, goflay.Options{Workers: 4})
+	pipe, err := goflay.Open(p.Name, p.Source, goflay.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}

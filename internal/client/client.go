@@ -18,6 +18,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptrace"
+	"net/url"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -304,6 +306,27 @@ func (c *Client) Stats(name string) (wire.Stats, error) {
 	var st wire.Stats
 	err := c.do(http.MethodGet, "/v1/sessions/"+name+"/stats", nil, &st)
 	return st, err
+}
+
+// Explain fetches decision-diagram explanations of a session's program
+// points: every point the table influences, or — when point >= 0 — just
+// that point (membership-checked against the table when both are
+// given). Pass table == "" with point >= 0 to explain one point by ID.
+func (c *Client) Explain(name, table string, point int) (wire.ExplainResponse, error) {
+	q := url.Values{}
+	if table != "" {
+		q.Set("table", table)
+	}
+	if point >= 0 {
+		q.Set("point", strconv.Itoa(point))
+	}
+	path := "/v1/sessions/" + name + "/explain"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp wire.ExplainResponse
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
 }
 
 // Audit fetches audit records with Seq > since (since 0 = everything

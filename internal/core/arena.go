@@ -77,7 +77,7 @@ func (s *Specializer) arenaRoots() []*sym.Expr {
 			}
 		}
 	}
-	return roots
+	return s.ddArenaRoots(roots)
 }
 
 // maybeSweepArena runs an arena collection when the intern table has
@@ -97,6 +97,12 @@ func (s *Specializer) maybeSweepArena() {
 		return
 	}
 	swept := b.Sweep(s.arenaRoots())
+	// The workers' diagram compile memos are keyed on expression
+	// pointers whose arena ids the sweep just reassigned; drop them
+	// (the diagrams themselves hold no expression pointers and the
+	// rooted residues above keep the per-point roots valid).
+	s.flushDDCtxs()
+	s.ddMaybeSweep()
 	live := b.NumNodes()
 	s.stats.ArenaSweeps++
 	s.stats.ArenaSwept += swept

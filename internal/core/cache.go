@@ -182,6 +182,14 @@ func (s *Specializer) depFp(id int) uint64 {
 // fingerprint (from an earlier visit to the same configuration within
 // the current pass window) survive.
 func (s *Specializer) evictStale(target string) {
+	// The diagram core re-uses the exact same taint routing: the points
+	// this target taints drop their compiled diagram roots (the residue
+	// they were compiled from is about to change), nothing else does.
+	if s.ddc != nil {
+		for _, p := range s.An.PointsOf(target) {
+			s.ddc.invalidate(p.ID)
+		}
+	}
 	if s.cache == nil {
 		return
 	}

@@ -63,6 +63,11 @@ type epoch struct {
 	// runs without Options.Exec. Hot-swapped here so packet execution is
 	// wait-free under control-plane churn, and retired with the epoch.
 	img *dpexec.Image
+	// dd is the diagram query core's frozen read-state (dd.go): the
+	// store and the per-point roots at publication, carried
+	// copy-on-write like the verdict slice. Nil when the core is
+	// disabled. Explain walks it wait-free.
+	dd *ddEpoch
 }
 
 // coord is the cross-shard coordination layer: the state any shard's
@@ -122,6 +127,13 @@ func (s *Specializer) publish() {
 	e.stats = st
 	e.generation = uint64(st.Forwarded) + uint64(st.Recompilations)
 	e.img = s.buildImageLocked(prev)
+	if s.ddc != nil {
+		e.dd = s.ddc.publishState(prev)
+	} else if prev != nil {
+		// Keep the last diagram state visible across an ablation pass
+		// (ReevaluateAll publishes with s.ddc temporarily nil).
+		e.dd = prev.dd
+	}
 	s.co.epochSeq = e.seq
 	s.co.cur.Store(e)
 	s.met.epoch.Set(int64(e.seq))

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataplane"
+	"repro/internal/dd"
 	"repro/internal/obs"
 	"repro/internal/sym"
 )
@@ -40,6 +41,17 @@ import (
 type evalShard struct {
 	solver *sym.Solver
 	sub    sym.SubstScratch
+	dd     *dd.Ctx
+}
+
+// ddCtx returns the worker's diagram compile context against the given
+// store, dropping stale memos when the store was rebuilt since the
+// worker last compiled.
+func (sh *evalShard) ddCtx(st *dd.Store) *dd.Ctx {
+	if sh.dd == nil || sh.dd.Store() != st {
+		sh.dd = dd.NewCtx(st)
+	}
+	return sh.dd
 }
 
 // minParallelPoints is the fan-out threshold: below it, goroutine and

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/dataplane"
+	"repro/internal/dd"
 	"repro/internal/flayerr"
 	"repro/internal/p4/parser"
 	"repro/internal/p4/typecheck"
@@ -43,7 +44,11 @@ import (
 // version. Version 2 added the adaptive-precision sections: the
 // degraded-table set (after the threshold) and three more cumulative
 // counters (degradations, promotions, unsound degraded verdicts).
-var snapMagic = []byte("goflay-snap\x02")
+// Version 3 added the decision-diagram variable order (after the
+// degraded set): atom names and widths in registration order, so a
+// restored engine rebuilds its diagrams — they are never serialized —
+// under the exact order the snapshotting engine walked.
+var snapMagic = []byte("goflay-snap\x03")
 
 // snapMaxWitnessVars bounds decoded witness tables against hostile
 // length prefixes.
@@ -210,6 +215,17 @@ func (s *Specializer) Snapshot() ([]byte, error) {
 	for _, name := range degraded {
 		w.str(name)
 		w.str(s.degraded[name])
+	}
+
+	// The diagram core's variable order (dd.go). Diagrams rebuild from
+	// the residues on restore; only the order — which fixes canonical
+	// form and walk-witness determinism — travels. Empty when the core
+	// is disabled.
+	order := s.variableOrder()
+	w.n(len(order))
+	for _, a := range order {
+		w.str(a.Name)
+		w.u(uint64(a.Width))
 	}
 
 	writeConfigState(w, s.Cfg.State())
@@ -572,6 +588,16 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	for i := 0; i < ndeg && r.err == nil; i++ {
 		degraded[r.str()] = r.str()
 	}
+	norder := r.n()
+	order := make([]dd.Atom, 0, norder)
+	for i := 0; i < norder && r.err == nil; i++ {
+		a := dd.Atom{Name: r.str(), Width: uint16(r.u())}
+		if a.Width < 1 || a.Width > sym.MaxWidth {
+			return nil, fmt.Errorf("core: %w: atom %q has width %d",
+				flayerr.ErrSnapshotCorrupt, a.Name, a.Width)
+		}
+		order = append(order, a)
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -646,6 +672,15 @@ func Restore(data []byte, opts Options) (*Specializer, error) {
 	}
 	if len(degraded) > 0 {
 		s.degraded = degraded
+	}
+	if !opts.NoDD {
+		if len(order) > 0 {
+			s.ddc = newDDCore(an, order)
+		} else {
+			// Snapshot from a core-disabled engine: derive a fresh order.
+			s.ddc = newDDCore(an, nil)
+		}
+		s.roDD.Store(s.ddc)
 	}
 
 	var counters [14]int64

@@ -183,6 +183,12 @@ type Options struct {
 	// suite and the flaybench ablation turn it off to prove and measure
 	// equivalence.
 	NoCache bool
+	// NoDD disables the canonical decision-diagram query core (dd.go):
+	// every specialization query then runs on the substitute-and-probe
+	// solver path. The diagram core is on by default; the differential
+	// suite and the flaybench dd section use the ablation to prove
+	// verdict equivalence and measure the speedup.
+	NoDD bool
 
 	// Exec enables the data-plane executor (exec.go): every epoch
 	// publication also compiles and hot-swaps an executable image of
@@ -249,6 +255,15 @@ type Stats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+
+	// Decision-diagram query core counters (zero when the core is
+	// disabled). DDQueries counts verdicts answered on the diagram
+	// path, DDFallbacks queries punted to the probe solver, DDCompiles
+	// root compilations, and DDNodes the interned diagram nodes.
+	DDQueries   int64
+	DDFallbacks int64
+	DDCompiles  int64
+	DDNodes     int
 
 	// Adaptive precision controller counters (deadline.go).
 	Degradations    int // tables degraded to overapproximation
@@ -356,6 +371,13 @@ type Specializer struct {
 	pointDeps [][]string
 	targetFp  map[string]uint64
 
+	// The decision-diagram query core (dd.go): ddc is nil when
+	// disabled; roDD mirrors roCache — set once at construction, read
+	// by wait-free Statistics even while ReevaluateAll temporarily nils
+	// the locked handle for its ablation pass.
+	ddc  *ddCore
+	roDD atomic.Pointer[ddCore]
+
 	// Adaptive precision controller state (deadline.go). costNS is the
 	// per-target EWMA of precise analysis cost per tainted point (ns),
 	// costGlobalNS the engine-wide fallback; degraded maps each
@@ -413,6 +435,10 @@ func New(prog *ast.Program, info *typecheck.Info, opts Options) (*Specializer, e
 	if !opts.NoCache {
 		s.cache = newQueryCache(len(an.Points))
 		s.roCache.Store(s.cache)
+	}
+	if !opts.NoDD {
+		s.ddc = newDDCore(an, nil)
+		s.roDD.Store(s.ddc)
 	}
 	t1 := time.Now()
 	sp := s.trace.Start("preprocess", root)
@@ -478,22 +504,32 @@ func (s *Specializer) initState() error {
 	s.verdicts = make([]Verdict, len(an.Points))
 	s.pointSub = make([]*sym.Expr, len(an.Points))
 	s.witnesses = make([]sym.Env, len(an.Points))
-	for name := range an.Tables {
+	// Deterministic target order: compile-time state (register refill
+	// variables become diagram atoms as they appear) must not depend on
+	// map iteration, or restored engines could walk diagrams in a
+	// different variable order than the engine that snapshotted them.
+	for _, name := range sortedNames(an.Tables) {
 		if err := s.recompileTarget(name); err != nil {
 			return err
 		}
 	}
-	seenVS := make(map[string]bool)
+	// ValueSets is keyed by alias as well as canonical name; targets are
+	// the deduped canonical names, sorted for the same determinism.
+	seenVS := make(map[string]bool, len(an.ValueSets))
+	vsNames := make([]string, 0, len(an.ValueSets))
 	for _, vi := range an.ValueSets {
-		if seenVS[vi.Name] {
-			continue
+		if !seenVS[vi.Name] {
+			seenVS[vi.Name] = true
+			vsNames = append(vsNames, vi.Name)
 		}
-		seenVS[vi.Name] = true
-		if err := s.recompileTarget(vi.Name); err != nil {
+	}
+	sortStrings(vsNames)
+	for _, name := range vsNames {
+		if err := s.recompileTarget(name); err != nil {
 			return err
 		}
 	}
-	for name := range an.Registers {
+	for _, name := range sortedNames(an.Registers) {
 		if err := s.recompileTarget(name); err != nil {
 			return err
 		}
@@ -522,6 +558,12 @@ func (s *Specializer) Statistics() Stats {
 		st.CacheHits = c.hits.Load()
 		st.CacheMisses = c.misses.Load()
 		st.CacheEvictions = c.evictions.Load()
+	}
+	if d := s.roDD.Load(); d != nil {
+		st.DDQueries = d.queries.Load()
+		st.DDFallbacks = d.fallbacks.Load()
+		st.DDCompiles = d.compiles.Load()
+		st.DDNodes = d.store.Load().NumNodes()
 	}
 	st.UnsoundDegraded = int(s.unsound.Load())
 	return st
@@ -561,10 +603,14 @@ func (s *Specializer) ReevaluateAll() int {
 	// sound.
 	cache := s.cache
 	s.cache = nil
+	// Same for the diagram core: the baseline measures the solver path.
+	ddc := s.ddc
+	s.ddc = nil
 	t0 := time.Now()
 	changed := s.reevalPoints(s.An.Points)
 	s.stats.EvalTime += time.Since(t0)
 	s.cache = cache
+	s.ddc = ddc
 	return len(changed)
 }
 
@@ -632,6 +678,9 @@ func (s *Specializer) recompileTarget(target string) error {
 	for k, v := range frag {
 		s.env[k] = v
 	}
+	if s.ddc != nil {
+		s.ddc.ensureAtoms(frag)
+	}
 	fp := controlplane.EnvFingerprint(frag)
 	if old, ok := s.targetFp[target]; !ok || old != fp {
 		s.targetFp[target] = fp
@@ -688,7 +737,7 @@ func (s *Specializer) evalPointWith(sh *evalShard, p *dataplane.Point) Verdict {
 		return v
 	}
 	s.pointSub[p.ID] = sub
-	v := s.queryPoint(sh, p, sub)
+	v := s.queryAny(sh, p, sub)
 	s.storeCached(p.ID, key, v)
 	return v
 }

@@ -127,7 +127,7 @@ func TestQueueFullMapsTo429(t *testing.T) {
 // is served during the drain — graceful shutdown loses nothing.
 func TestCloseDrainsAcceptedWrites(t *testing.T) {
 	srv := newTestServer(t, Config{QueueDepth: 16})
-	pipe, err := goflay.OpenCatalog("fig3", goflay.Options{Metrics: srv.met})
+	pipe, err := goflay.OpenCatalog("fig3", goflay.WithMetrics(srv.met))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 //	POST   /v1/sessions/{name}/updates   apply updates (single or batched)
 //	POST   /v1/sessions/{name}/exec      execute packets (sessions created with exec)
 //	GET    /v1/sessions/{name}/stats     engine statistics
+//	GET    /v1/sessions/{name}/explain   decision-diagram point explanations
 //	GET    /v1/sessions/{name}/audit     decision audit records (?since=seq)
 //	POST   /v1/sessions/{name}/snapshot  checkpoint warm state
 //	GET    /v1/sessions/{name}/source    specialized/original P4 source
@@ -338,6 +339,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/updates", s.handleUpdates)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/exec", s.handleExec)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/audit", s.handleAudit)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/source", s.handleSource)
@@ -466,6 +468,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.NoCache {
 		opts = append(opts, goflay.WithNoCache())
+	}
+	if req.NoDD {
+		opts = append(opts, goflay.WithNoDD())
 	}
 	if req.Exec {
 		opts = append(opts, goflay.WithExec())
@@ -658,6 +663,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sess, ok := s.named(w, r); ok {
 		writeJSON(w, http.StatusOK, wire.FromStats(sess.pipe.Statistics()))
 	}
+}
+
+// handleExplain reports decision-diagram explanations of program
+// points: ?table=NAME explains every point the named table influences;
+// adding &point=N narrows to one point (with membership checked);
+// ?point=N alone explains one point by ID. Like stats and exec, it is a
+// wait-free read against the published epoch — it never queues behind
+// control-plane writes.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.named(w, r)
+	if !ok {
+		return
+	}
+	table := r.URL.Query().Get("table")
+	rawPoint := r.URL.Query().Get("point")
+	if table == "" && rawPoint == "" {
+		s.errorf(w, http.StatusBadRequest, "explain wants ?table=NAME and/or ?point=N")
+		return
+	}
+	resp := wire.ExplainResponse{Table: table}
+	var ids []int
+	if rawPoint != "" {
+		id, err := strconv.Atoi(rawPoint)
+		if err != nil || id < 0 {
+			s.errorf(w, http.StatusBadRequest, "invalid point=%q", rawPoint)
+			return
+		}
+		ids = []int{id}
+	} else {
+		var err error
+		if ids, err = sess.pipe.Points(table); err != nil {
+			s.errorErr(w, http.StatusNotFound, err)
+			return
+		}
+	}
+	for _, id := range ids {
+		ex, err := sess.pipe.Explain(table, id)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, goflay.ErrUnknownTable) {
+				status = http.StatusNotFound
+			}
+			s.errorErr(w, status, err)
+			return
+		}
+		resp.Points = append(resp.Points, ex)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {

@@ -736,3 +736,90 @@ func TestSessionInfoEntriesAndRuntimeGauges(t *testing.T) {
 		}
 	}
 }
+
+// TestExplainEndpoint drives the decision-diagram introspection API
+// over the wire: a hosted session and a local engine ingest the same
+// update stream, then every point of one table is explained through
+// GET /v1/sessions/{name}/explain and cross-checked against the local
+// engine's Explain. Also pins the query-parameter contract (point-only
+// lookup, membership check, and the no-filter error).
+func TestExplainEndpoint(t *testing.T) {
+	const (
+		prog = "fig3"
+		seed = 7
+	)
+	d := startDaemon(t, server.Config{})
+	info, err := d.c.CreateSession(wire.CreateSessionRequest{Name: "xp", Catalog: prog})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	if len(info.Tables) == 0 {
+		t.Fatal("session reports no tables")
+	}
+
+	local, _ := localEngine(t, prog)
+	stream, err := fuzz.New(local.An, seed).Stream(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.c.Write("xp", wire.ModeBatch, stream); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	local.ApplyBatch(stream)
+
+	table := info.Tables[0]
+	resp, err := d.c.Explain("xp", table, -1)
+	if err != nil {
+		t.Fatalf("explain table %q: %v", table, err)
+	}
+	if resp.Table != table {
+		t.Fatalf("response echoes table %q, want %q", resp.Table, table)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatalf("table %q explained zero points", table)
+	}
+	for _, ex := range resp.Points {
+		if ex.Verdict == "" || ex.Query == "" || ex.Kind == "" {
+			t.Fatalf("point %d: incomplete explanation %+v", ex.Point, ex)
+		}
+		if ex.Source != "dd" && ex.Source != "solver" {
+			t.Fatalf("point %d: source %q, want dd or solver", ex.Point, ex.Source)
+		}
+		want, err := local.Explain(ex.Point)
+		if err != nil {
+			t.Fatalf("local explain %d: %v", ex.Point, err)
+		}
+		if ex.Verdict != want.Verdict || ex.Query != want.Query {
+			t.Fatalf("point %d: wire verdict %s/%s, local %s/%s",
+				ex.Point, ex.Query, ex.Verdict, want.Query, want.Verdict)
+		}
+		// Diagram-backed explanations must carry path evidence when
+		// the point is live; the local engine agrees on the source.
+		if ex.Source == "dd" && ex.Verdict == "live" && len(ex.Steps) == 0 && len(ex.Witness) == 0 {
+			t.Fatalf("point %d: dd-sourced live verdict with no steps or witness", ex.Point)
+		}
+	}
+
+	// Point-only addressing returns exactly the requested record.
+	pt := resp.Points[0].Point
+	one, err := d.c.Explain("xp", "", pt)
+	if err != nil {
+		t.Fatalf("explain point %d: %v", pt, err)
+	}
+	if len(one.Points) != 1 || one.Points[0].Point != pt {
+		t.Fatalf("point query returned %d records (first %+v), want the one point %d",
+			len(one.Points), one.Points[0], pt)
+	}
+
+	// Contract errors: some filter is mandatory, table names are
+	// checked, and table+point enforces membership.
+	if _, err := d.c.Explain("xp", "", -1); err == nil {
+		t.Fatal("explain with neither filter succeeded")
+	}
+	if _, err := d.c.Explain("xp", "no-such-table", -1); !client.IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("unknown table: %v, want 404", err)
+	}
+	if _, err := d.c.Explain("xp", table, 1<<30); err == nil {
+		t.Fatalf("explain accepted point 2^30 as influenced by %q", table)
+	}
+}

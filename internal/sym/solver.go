@@ -63,6 +63,15 @@ const (
 	maxCandidatesPerVar         = 12
 )
 
+// DefaultExhaustiveBits is the default exhaustive-search bound: the
+// largest total free-variable bit-width for which the solver's search
+// is complete (Unsat- and Const-capable). The decision-diagram query
+// core mirrors this bound so its verdicts are interchangeable with
+// solver verdicts: a diagram-side unsatisfiability or constancy proof
+// only upgrades to Dead/Const when the solver's exhaustive pass would
+// have certified it too.
+const DefaultExhaustiveBits = solverDefaultExhaustiveBits
+
 // NewSolver returns a Solver with default budgets and a fixed
 // deterministic probe sequence.
 func NewSolver() *Solver {
@@ -91,6 +100,22 @@ func (s *Solver) exhaustiveBits() int {
 		return s.ExhaustiveBits
 	}
 	return solverDefaultExhaustiveBits
+}
+
+// Eval evaluates e under env using the solver's memoized scratch. It
+// reports false when a variable needed by the evaluation is
+// unassigned. The decision-diagram path uses it to verify walk-derived
+// witnesses against the residue before installing them.
+func (s *Solver) Eval(e *Expr, env Env) (BV, bool) {
+	return s.sc.eval(e, env)
+}
+
+// FreeVars collects the distinct variable nodes reachable from e,
+// sorted by builder id — the same enumeration the solver's searches
+// use, exposed so the diagram path can mirror the exhaustive-bits
+// decision exactly.
+func (s *Solver) FreeVars(e *Expr) []*Expr {
+	return s.sc.vars(e)
 }
 
 // Check reports whether the width-1 expression e is satisfiable over its

@@ -129,6 +129,9 @@ type CreateSessionRequest struct {
 	Quality             string `json:"quality,omitempty"` // full | no-narrowing | dce-only | none
 	Workers             int    `json:"workers,omitempty"`
 	NoCache             bool   `json:"no_cache,omitempty"`
+	// NoDD disables the canonical decision-diagram query core (ablation;
+	// every point query runs the probe-solver path).
+	NoDD bool `json:"no_dd,omitempty"`
 	// Exec enables the data-plane executor for the session, making
 	// POST /v1/sessions/{name}/exec available.
 	Exec bool `json:"exec,omitempty"`
@@ -153,6 +156,13 @@ type Stats struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
+
+	// Decision-diagram query-core counters (all zero when the core is
+	// disabled with no_dd).
+	DDQueries   int64 `json:"dd_queries,omitempty"`
+	DDFallbacks int64 `json:"dd_fallbacks,omitempty"`
+	DDCompiles  int64 `json:"dd_compiles,omitempty"`
+	DDNodes     int   `json:"dd_nodes,omitempty"`
 
 	// Adaptive precision controller counters.
 	Degradations    int `json:"degradations,omitempty"`
@@ -181,6 +191,10 @@ func FromStats(s core.Stats) Stats {
 		CacheHits:       s.CacheHits,
 		CacheMisses:     s.CacheMisses,
 		CacheEvictions:  s.CacheEvictions,
+		DDQueries:       s.DDQueries,
+		DDFallbacks:     s.DDFallbacks,
+		DDCompiles:      s.DDCompiles,
+		DDNodes:         s.DDNodes,
 		Degradations:    s.Degradations,
 		Promotions:      s.Promotions,
 		DegradedTables:  s.DegradedTables,
@@ -212,6 +226,19 @@ type SessionInfo struct {
 // SessionList is the GET /v1/sessions response.
 type SessionList struct {
 	Sessions []SessionInfo `json:"sessions"`
+}
+
+// Explanation is one program point's introspection record. The engine
+// type already carries wire-stable json tags, so it travels as-is.
+type Explanation = core.Explanation
+
+// ExplainResponse is the GET /v1/sessions/{name}/explain response:
+// introspection records for every requested program point, cut from the
+// published epoch named in each record.
+type ExplainResponse struct {
+	// Table echoes the ?table= filter, empty for a point-only query.
+	Table  string         `json:"table,omitempty"`
+	Points []*Explanation `json:"points"`
 }
 
 // Write modes.
